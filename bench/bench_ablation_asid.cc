@@ -1,0 +1,120 @@
+// Naive vs refined ASID detector (Section III-B): the naive algorithm
+// searches all n columns (O(n^2 log n)); the refined algorithm searches the
+// heaviest-n' screen and scans the rest (O(n log n)). Measures the wall-time
+// gap on detectable patterns, then quantifies the sensitivity cost of
+// screening analytically: the naive floor is the non-naturally-occurring
+// frontier, the refined floor the (higher) detectable frontier of Fig 12.
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/aligned_detector.h"
+#include "analysis/aligned_thresholds.h"
+#include "analysis/synthetic_matrix.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+
+namespace {
+
+using namespace dcs;
+
+struct Outcome {
+  int detected = 0;
+  double seconds = 0.0;
+};
+
+Outcome Run(const BitMatrix& matrix, std::size_t n_prime, int trials_done) {
+  AlignedDetectorOptions opts;
+  opts.first_iteration_hopefuls = n_prime;
+  opts.hopefuls = std::min<std::size_t>(512, n_prime);
+  AlignedDetector detector(opts);
+  Outcome out;
+  const double t0 = bench::NowSeconds();
+  const AlignedDetection detection = detector.DetectInMatrix(matrix, n_prime);
+  out.seconds = bench::NowSeconds() - t0;
+  out.detected = detection.pattern_found ? 1 : 0;
+  (void)trials_done;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const BenchScale scale = BenchScaleFromEnv();
+  bench::Banner("ASID ablation", "naive (full matrix) vs refined (screen)",
+                scale);
+
+  const std::size_t m = 250;
+  const std::size_t n = scale == BenchScale::kPaper ? 40000 : 12000;
+  const std::size_t n_prime = 400;
+  const int trials = bench::Trials(scale, 3, 10);
+
+  Rng rng(EnvInt64("DCS_SEED", 41));
+  TablePrinter table({"pattern a x b", "algorithm", "searched columns",
+                      "detected", "avg seconds"});
+
+  struct Case {
+    std::size_t a;
+    std::size_t b;
+    const char* note;
+  };
+  for (const Case c : {Case{70, 16, "comfortable"},
+                       Case{45, 24, "moderate"}}) {
+    Outcome naive_total;
+    Outcome refined_total;
+    for (int t = 0; t < trials; ++t) {
+      SyntheticAlignedOptions mo;
+      mo.m = m;
+      mo.n = n;
+      mo.pattern_rows = c.a;
+      mo.pattern_cols = c.b;
+      std::vector<std::uint32_t> rows;
+      std::vector<std::size_t> cols;
+      const BitMatrix matrix = SampleLiteralAligned(mo, &rng, &rows, &cols);
+      const Outcome naive = Run(matrix, n, t);
+      const Outcome refined = Run(matrix, n_prime, t);
+      naive_total.detected += naive.detected;
+      naive_total.seconds += naive.seconds;
+      refined_total.detected += refined.detected;
+      refined_total.seconds += refined.seconds;
+    }
+    const std::string label = std::to_string(c.a) + " x " +
+                              std::to_string(c.b) + " (" + c.note + ")";
+    table.AddRow({label, "naive", std::to_string(n),
+                  TablePrinter::Fmt(
+                      static_cast<double>(naive_total.detected) / trials, 2),
+                  TablePrinter::Fmt(naive_total.seconds / trials, 2)});
+    table.AddRow({label, "refined", std::to_string(n_prime),
+                  TablePrinter::Fmt(
+                      static_cast<double>(refined_total.detected) / trials,
+                      2),
+                  TablePrinter::Fmt(refined_total.seconds / trials, 2)});
+  }
+  std::printf("%zu x %zu matrices, %d trials per row:\n", m, n, trials);
+  table.Print(std::cout);
+  // Sensitivity cost of the screen, from the analytic frontiers.
+  TablePrinter frontiers({"a (routers)", "naive floor: min NNO b",
+                          "refined floor: min detectable b"});
+  DetectabilityOptions calc;
+  calc.n_prime = static_cast<std::int64_t>(n_prime);
+  for (std::int64_t a : {40, 70, 100}) {
+    const std::int64_t nno = MinNonNaturallyOccurringB(
+        static_cast<std::int64_t>(m), static_cast<std::int64_t>(n), a,
+        calc.epsilon);
+    const std::int64_t detectable = DetectableThresholdB(
+        static_cast<std::int64_t>(m), static_cast<std::int64_t>(n), a, 0.95,
+        static_cast<std::int64_t>(n), calc);
+    frontiers.AddRow({std::to_string(a),
+                      nno > 0 ? std::to_string(nno) : "-",
+                      detectable > 0 ? std::to_string(detectable) : "-"});
+  }
+  std::printf("\nsensitivity floors at this geometry (m = %zu, n = %zu, "
+              "n' = %zu):\n", m, n, n_prime);
+  frontiers.Print(std::cout);
+  std::printf(
+      "\nThe refined screen gives a ~(n/n')x speedup on the quadratic "
+      "stage and pays for it\nwith the gap between the two floors — the "
+      "tradeoff Fig 12 charts at paper scale.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig 13: sensitivity of the Erdős–Rényi phase-transition test. Graph-level
+// Monte-Carlo at the paper's full scale: n = 102,400 group vertices, null
+// edge probability p1 = 0.65e-5 (below the 1/n transition), content of 100
+// packets, pattern sizes n1 in {120, 130, 140}. Reports the largest-CC
+// distribution and the false negative rate at the paper's threshold of 100.
+// Paper anchors: FN = 16.6% / 5.2% / 1.0%, FP ~ 0.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "analysis/er_test.h"
+#include "analysis/lambda_table.h"
+#include "analysis/unaligned_model.h"
+#include "bench_util.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "graph/er_random.h"
+
+int main() {
+  using namespace dcs;
+  const BenchScale scale = BenchScaleFromEnv();
+  bench::Banner("Fig 13", "Erdős–Rényi test false positives/negatives",
+                scale);
+
+  const std::size_t n = 102'400;
+  const double p1 = 0.65e-5;
+  const std::size_t threshold = 100;
+  const int trials = bench::Trials(scale, 40, 200);
+
+  // Pattern edge probability from the physical signal model at g = 100.
+  const UnalignedSignalModel model{UnalignedModelOptions{}};
+  const double p_star = LambdaTable::PStarFromEdgeProb(p1, 10);
+  const double p2 = model.PatternEdgeProb(100, p_star, p1);
+  std::printf("n = %zu, p1 = %.3g (phase transition at %.3g), threshold = "
+              "%zu\nmodel-derived pattern edge probability p2(g=100) = %.4f\n\n",
+              n, p1, 1.0 / static_cast<double>(n), threshold, p2);
+
+  Rng rng(EnvInt64("DCS_SEED", 13));
+  const double t0 = bench::NowSeconds();
+
+  TablePrinter table({"configuration", "largest CC p25/p50/p75/max",
+                      "false positive", "false negative"});
+
+  // Null hypothesis: pure G(n, p1).
+  {
+    Histogram h;
+    int fired = 0;
+    for (int t = 0; t < trials; ++t) {
+      const Graph g = SampleErGraph(n, p1, &rng);
+      const ErTestResult r = RunErTest(g, threshold);
+      h.Add(static_cast<std::int64_t>(r.largest_component));
+      if (r.pattern_detected) ++fired;
+    }
+    table.AddRow({"null (no content)",
+                  std::to_string(h.Quantile(0.25)) + "/" +
+                      std::to_string(h.Quantile(0.5)) + "/" +
+                      std::to_string(h.Quantile(0.75)) + "/" +
+                      std::to_string(h.Max()),
+                  TablePrinter::Fmt(static_cast<double>(fired) / trials, 3),
+                  "-"});
+  }
+
+  // The paper's n1 = 120/130/140 plus smaller patterns so the
+  // false-negative transition region is visible under our calibration.
+  for (std::size_t n1 : {50u, 65u, 80u, 120u, 130u, 140u}) {
+    Histogram h;
+    int missed = 0;
+    for (int t = 0; t < trials; ++t) {
+      const PlantedGraph planted = SamplePlantedGraph(n, p1, n1, p2, &rng);
+      const ErTestResult r = RunErTest(planted.graph, threshold);
+      h.Add(static_cast<std::int64_t>(r.largest_component));
+      if (!r.pattern_detected) ++missed;
+    }
+    table.AddRow({"pattern n1 = " + std::to_string(n1),
+                  std::to_string(h.Quantile(0.25)) + "/" +
+                      std::to_string(h.Quantile(0.5)) + "/" +
+                      std::to_string(h.Quantile(0.75)) + "/" +
+                      std::to_string(h.Max()),
+                  "-",
+                  TablePrinter::Fmt(static_cast<double>(missed) / trials,
+                                    3)});
+  }
+  std::printf("%d trials per row (paper: FN 16.6%% / 5.2%% / 1.0%% for n1 = "
+              "120/130/140):\n", trials);
+  table.Print(std::cout);
+  std::printf("elapsed: %.1f s\n", bench::NowSeconds() - t0);
+  return 0;
+}

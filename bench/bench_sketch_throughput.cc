@@ -1,0 +1,90 @@
+// Section III-A line-speed claim: the data collection modules must keep up
+// with OC-48 (2.4M packets/s) or faster. google-benchmark microbenchmarks
+// of the per-packet update paths; items_per_second is packets per second.
+
+#include <benchmark/benchmark.h>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "net/packet.h"
+#include "sketch/bitmap_sketch.h"
+#include "sketch/flow_split_sketch.h"
+#include "sketch/offset_sampling.h"
+
+namespace dcs {
+namespace {
+
+std::vector<Packet> MakePackets(std::size_t count, std::size_t payload) {
+  Rng rng(1);
+  std::vector<Packet> packets(count);
+  for (Packet& pkt : packets) {
+    pkt.flow.src_ip = static_cast<std::uint32_t>(rng.Next());
+    pkt.flow.dst_ip = static_cast<std::uint32_t>(rng.Next());
+    pkt.flow.src_port = static_cast<std::uint16_t>(rng.UniformInt(65536));
+    pkt.flow.dst_port = static_cast<std::uint16_t>(rng.UniformInt(65536));
+    pkt.payload.resize(payload);
+    for (char& c : pkt.payload) {
+      c = static_cast<char>(rng.UniformInt(256));
+    }
+  }
+  return packets;
+}
+
+void BM_AlignedBitmapUpdate(benchmark::State& state) {
+  BitmapSketchOptions opts;  // 4 Mbit paper sizing.
+  BitmapSketch sketch(opts);
+  const auto packets = MakePackets(4096, state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Update(packets[i]));
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AlignedBitmapUpdate)->Arg(536)->Arg(1460);
+
+void BM_OffsetSamplingUpdate(benchmark::State& state) {
+  OffsetSamplingOptions opts;  // 10 arrays x 1024 bits.
+  Rng rng(2);
+  OffsetSamplingArrays arrays(opts, &rng);
+  const auto packets = MakePackets(4096, state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arrays.Update(packets[i]));
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OffsetSamplingUpdate)->Arg(536)->Arg(1460);
+
+void BM_FlowSplitUpdate(benchmark::State& state) {
+  FlowSplitOptions opts;  // 128 groups, paper sizing.
+  Rng rng(3);
+  FlowSplitSketch sketch(opts, &rng);
+  const auto packets = MakePackets(4096, 536);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Update(packets[i]));
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowSplitUpdate);
+
+void BM_PayloadHash(benchmark::State& state) {
+  const auto packets = MakePackets(256, state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Hash64(packets[i].PayloadPrefix(64), 0x5EED));
+    i = (i + 1) & 255;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PayloadHash)->Arg(536);
+
+}  // namespace
+}  // namespace dcs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table II: the minimum statistically-meaningful cluster size m(g) in the
+// unaligned case — the smallest number of correlated groups such that some
+// (p1, d) pair gives type-I error below 1e-10 and type-II error below 5%
+// (Eqs 2 and 3, co-tuned by brute force as in Section IV-C).
+// Paper column: g=80 -> 297, 90 -> 150, 100 -> 95, 110 -> 62, 120 -> 46,
+// 130 -> 36, 140 -> 28, 150 -> 23.
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/lambda_table.h"
+#include "analysis/unaligned_model.h"
+#include "analysis/unaligned_thresholds.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace dcs;
+  const BenchScale scale = BenchScaleFromEnv();
+  bench::Banner("Table II",
+                "non-naturally-occurring cluster bound m(g), unaligned",
+                scale);
+
+  const UnalignedSignalModel model{UnalignedModelOptions{}};
+  UnalignedNnoOptions opts;
+  opts.num_vertices = 102'400;
+
+  const double t0 = bench::NowSeconds();
+  TablePrinter table({"content packets g", "min cluster size m", "paper",
+                      "best p1", "best d", "q(g) at best p1"});
+  const int paper[] = {297, 150, 95, 62, 46, 36, 28, 23};
+  int idx = 0;
+  for (std::size_t g = 80; g <= 150; g += 10, ++idx) {
+    const UnalignedNnoResult result =
+        MinClusterSizeForContent(model, g, 10, opts);
+    const double p_star =
+        result.best_p1 > 0 ? LambdaTable::PStarFromEdgeProb(result.best_p1, 10)
+                           : 0.0;
+    table.AddRow({std::to_string(g),
+                  result.min_cluster_size > 0
+                      ? std::to_string(result.min_cluster_size)
+                      : "infeasible",
+                  std::to_string(paper[idx]),
+                  TablePrinter::Fmt(result.best_p1, 7),
+                  std::to_string(result.best_d),
+                  result.best_p1 > 0
+                      ? TablePrinter::Fmt(model.MatchExceedProb(g, p_star), 3)
+                      : "-"});
+  }
+  table.Print(std::cout);
+  std::printf("elapsed: %.1f s\n", bench::NowSeconds() - t0);
+  return 0;
+}

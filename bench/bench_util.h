@@ -1,0 +1,42 @@
+#ifndef DCS_BENCH_BENCH_UTIL_H_
+#define DCS_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/config.h"
+
+namespace dcs {
+namespace bench {
+
+/// Prints the standard experiment banner: which paper artifact this binary
+/// regenerates and at what scale it is running.
+inline void Banner(const char* artifact, const char* description,
+                   BenchScale scale) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("scale: %s   (set DCS_SCALE=paper for full scale, "
+              "DCS_TRIALS=<k> to override trials)\n",
+              BenchScaleName(scale).c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Monotonic wall-clock seconds.
+inline double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Trials with a scale-dependent default, overridable via DCS_TRIALS.
+inline int Trials(BenchScale scale, int small_default, int paper_default) {
+  const std::int64_t env = EnvInt64("DCS_TRIALS", 0);
+  if (env > 0) return static_cast<int>(env);
+  return scale == BenchScale::kPaper ? paper_default : small_default;
+}
+
+}  // namespace bench
+}  // namespace dcs
+
+#endif  // DCS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,92 @@
+// Worm outbreak: the unaligned case end to end.
+//
+// An email worm (fixed body behind a variable SMTP header, Section II-A of
+// the paper) spreads across 16 of 20 monitored links. Each instance has a
+// random prefix, so the aligned sketch is blind to it; the offset-sampling +
+// flow-splitting sketch catches it. We also run the EarlyBird-style local
+// detector on one link to demonstrate why single-vantage monitoring misses
+// distributed content entirely.
+//
+// Build & run:   ./build/examples/worm_outbreak
+
+#include <cstdio>
+
+#include "baseline/local_detector.h"
+#include "dcs/dcs.h"
+#include "traffic/content_catalog.h"
+#include "traffic/trace_synthesizer.h"
+
+int main() {
+  std::printf("=== worm outbreak (unaligned common content) ===\n\n");
+
+  dcs::ScenarioOptions scenario;
+  scenario.num_routers = 20;
+  scenario.background_packets_per_router = 9500;
+  dcs::PlantedContent worm;
+  worm.content_id = 666;
+  worm.content_bytes = 536 * 100;  // 100-packet worm body.
+  for (std::uint32_t r = 0; r < 16; ++r) worm.router_ids.push_back(r);
+  worm.aligned = false;            // Variable SMTP-style prefix.
+  worm.max_prefix_bytes = 535;
+  worm.instances_per_router = 4;   // Four recipients behind each link.
+  scenario.planted = {worm};
+
+  dcs::ContentCatalog catalog(7);
+  const auto traces = dcs::SynthesizeScenario(scenario, catalog);
+  std::printf("synthesized %zu router traces (~%zu packets each)\n",
+              traces.size(), traces[0].size());
+
+  // --- Single-vantage baseline: blind by design.
+  dcs::LocalDetectorOptions local_opts;
+  local_opts.prevalence_threshold = 6;
+  dcs::LocalPrevalenceDetector local(local_opts);
+  for (const dcs::Packet& pkt : traces[0]) local.Update(pkt);
+  std::printf(
+      "\n[local baseline] router 0 sees %zu distinct fingerprints; "
+      "prevalent (>=6 packets): %zu -> the worm is invisible locally\n",
+      local.table_size(), local.PrevalentFingerprints().size());
+
+  // --- DCS pipeline.
+  dcs::UnalignedPipelineOptions options;
+  options.sketch.num_groups = 16;
+  options.er_threshold = 50;
+  options.detector.beta = 30;
+  options.detector.expand_min_edges = 3;
+
+  dcs::DcsMonitor monitor(dcs::AlignedPipelineOptions{}, options);
+  dcs::Rng offsets_rng(2026);
+  std::uint64_t digest_bytes = 0;
+  std::uint64_t raw_bytes = 0;
+  for (std::uint32_t router = 0; router < scenario.num_routers; ++router) {
+    dcs::UnalignedCollector collector(router, options.sketch, &offsets_rng);
+    const auto epochs = traces[router].SplitIntoEpochs(traces[router].size());
+    const dcs::Digest digest = collector.ProcessEpoch(epochs[0]);
+    digest_bytes += digest.EncodedSizeBytes();
+    raw_bytes += digest.raw_bytes_covered;
+    const dcs::Status status = monitor.AddDigest(digest);
+    if (!status.ok()) {
+      std::fprintf(stderr, "AddDigest: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf(
+      "\n[collection] %.1f MB of traffic -> %.1f KB of digests (%.0fx "
+      "reduction)\n",
+      raw_bytes / 1e6, digest_bytes / 1e3,
+      static_cast<double>(raw_bytes) / static_cast<double>(digest_bytes));
+
+  const dcs::UnalignedReport report = monitor.AnalyzeUnaligned();
+  std::printf("\n[analysis center] largest connected component: %zu "
+              "(threshold %zu)\n",
+              report.largest_component, report.er_threshold);
+  std::printf("%s\n", report.ToString().c_str());
+  if (!report.common_content_detected) {
+    std::printf("no common content declared\n");
+    return 2;
+  }
+  std::printf("\nrouters flagged for packet logging / IDS follow-up:");
+  for (std::uint32_t r : report.routers) std::printf(" %u", r);
+  std::printf("\n(%zu of them are genuinely infected links 0..15)\n",
+              report.routers.size());
+  return 0;
+}

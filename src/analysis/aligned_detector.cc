@@ -1,0 +1,287 @@
+#include "analysis/aligned_detector.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "analysis/aligned_thresholds.h"
+
+namespace dcs {
+namespace {
+
+// A b'-product: the AND of b' columns, with the paper's A_v column set.
+struct Product {
+  BitVector bits;
+  std::vector<std::uint32_t> cols;  // Indices into the screened set, sorted.
+  std::uint32_t weight = 0;
+};
+
+// Bounded min-heap of candidate (weight, payload) entries keeping the top H.
+template <typename Payload>
+class TopH {
+ public:
+  explicit TopH(std::size_t capacity) : capacity_(capacity) {}
+
+  void Offer(std::uint32_t weight, const Payload& payload) {
+    if (heap_.size() < capacity_) {
+      heap_.emplace_back(weight, payload);
+      std::push_heap(heap_.begin(), heap_.end(), Greater);
+    } else if (weight > heap_.front().first) {
+      std::pop_heap(heap_.begin(), heap_.end(), Greater);
+      heap_.back() = {weight, payload};
+      std::push_heap(heap_.begin(), heap_.end(), Greater);
+    }
+  }
+
+  std::uint32_t floor_weight() const {
+    return heap_.size() < capacity_ ? 0 : heap_.front().first;
+  }
+
+  /// Entries in descending weight order.
+  std::vector<std::pair<std::uint32_t, Payload>> TakeSorted() {
+    std::sort(heap_.begin(), heap_.end(), Greater);
+    return std::move(heap_);
+  }
+
+ private:
+  static bool Greater(const std::pair<std::uint32_t, Payload>& a,
+                      const std::pair<std::uint32_t, Payload>& b) {
+    return a.first > b.first;
+  }
+
+  std::size_t capacity_;
+  std::vector<std::pair<std::uint32_t, Payload>> heap_;
+};
+
+std::uint64_t ColumnSetFingerprint(const std::vector<std::uint32_t>& cols) {
+  std::uint64_t h = 0x5EAFC0DE;
+  for (std::uint32_t c : cols) h = HashCombine(h, Mix64(c + 1));
+  return h;
+}
+
+}  // namespace
+
+AlignedDetector::AlignedDetector(const AlignedDetectorOptions& options)
+    : options_(options) {
+  DCS_CHECK(options.first_iteration_hopefuls >= 1);
+  DCS_CHECK(options.hopefuls >= 1);
+  DCS_CHECK(options.max_iterations >= 2);
+}
+
+AlignedDetection AlignedDetector::Detect(
+    const ScreenedColumns& screened) const {
+  AlignedDetection detection;
+  const std::size_t n_cols = screened.columns.size();
+  const std::size_t m = screened.num_rows;
+  if (n_cols < 2 || m == 0) return detection;
+
+  // --- Iteration b' = 2: all column pairs, keep the heaviest hopefuls.
+  TopH<std::pair<std::uint32_t, std::uint32_t>> pair_heap(
+      options_.first_iteration_hopefuls);
+  for (std::uint32_t i = 0; i < n_cols; ++i) {
+    const BitVector& ci = screened.columns[i];
+    const std::uint32_t wi = screened.weights[i];
+    for (std::uint32_t j = i + 1; j < n_cols; ++j) {
+      // AND weight can't beat min(w_i, w_j); skip hopeless pairs cheaply.
+      if (std::min(wi, screened.weights[j]) <= pair_heap.floor_weight()) {
+        continue;
+      }
+      const auto weight = static_cast<std::uint32_t>(
+          ci.CommonOnes(screened.columns[j]));
+      if (weight > pair_heap.floor_weight()) {
+        pair_heap.Offer(weight, {i, j});
+      }
+    }
+  }
+
+  std::vector<Product> hopefuls;
+  for (auto& [weight, pair] : pair_heap.TakeSorted()) {
+    Product product;
+    product.bits = screened.columns[pair.first];
+    product.bits.InPlaceAnd(screened.columns[pair.second]);
+    product.cols = {pair.first, pair.second};
+    product.weight = weight;
+    hopefuls.push_back(std::move(product));
+  }
+  if (hopefuls.empty()) return detection;
+
+  detection.weight_trajectory.push_back(hopefuls.front().weight);
+
+  // Mean density of the screened columns: the significance gate must use it
+  // rather than 1/2, because the screen hands us columns that were selected
+  // for weight.
+  double density_sum = 0.0;
+  for (std::uint32_t w : screened.weights) density_sum += w;
+  const double density = std::clamp(
+      density_sum / (static_cast<double>(n_cols) * static_cast<double>(m)),
+      0.5, 0.999);
+
+  // Track the most significant (lowest natural-occurrence bound) product
+  // seen across iterations; the weight-loss heuristics below only decide
+  // when to stop iterating early.
+  auto significance = [&](const Product& p) {
+    return LogNaturalOccurrenceBoundDensity(
+        static_cast<std::int64_t>(m), static_cast<std::int64_t>(n_cols),
+        static_cast<std::int64_t>(p.weight),
+        static_cast<std::int64_t>(p.cols.size()), density);
+  };
+  Product best_product = hopefuls.front();
+  double best_log_bound = significance(best_product);
+  std::size_t best_iteration = 2;
+  bool flattened = false;
+  bool dive_detected = false;
+  double prev_weight = static_cast<double>(hopefuls.front().weight);
+
+  // --- Iterations b' >= 3: extend each hopeful by one more column.
+  for (std::size_t iter = 3; iter <= options_.max_iterations; ++iter) {
+    TopH<std::pair<std::uint32_t, std::uint32_t>> heap(options_.hopefuls);
+    for (std::uint32_t h = 0;
+         h < static_cast<std::uint32_t>(hopefuls.size()); ++h) {
+      const Product& v = hopefuls[h];
+      if (v.weight <= heap.floor_weight()) continue;  // Can only shrink.
+      for (std::uint32_t c = 0; c < n_cols; ++c) {
+        if (std::binary_search(v.cols.begin(), v.cols.end(), c)) continue;
+        if (std::min(v.weight, screened.weights[c]) <= heap.floor_weight()) {
+          continue;
+        }
+        const auto weight =
+            static_cast<std::uint32_t>(v.bits.CommonOnes(
+                screened.columns[c]));
+        if (weight > heap.floor_weight()) heap.Offer(weight, {h, c});
+      }
+    }
+
+    std::vector<Product> next;
+    std::unordered_set<std::uint64_t> seen;  // Dedup identical column sets.
+    for (auto& [weight, hc] : heap.TakeSorted()) {
+      const Product& parent = hopefuls[hc.first];
+      std::vector<std::uint32_t> cols = parent.cols;
+      cols.insert(std::lower_bound(cols.begin(), cols.end(), hc.second),
+                  hc.second);
+      if (!seen.insert(ColumnSetFingerprint(cols)).second) continue;
+      Product product;
+      product.bits = parent.bits;
+      product.bits.InPlaceAnd(screened.columns[hc.second]);
+      product.cols = std::move(cols);
+      product.weight = weight;
+      next.push_back(std::move(product));
+    }
+    if (next.empty()) break;
+    hopefuls = std::move(next);
+
+    const double cur_weight = static_cast<double>(hopefuls.front().weight);
+    detection.weight_trajectory.push_back(hopefuls.front().weight);
+
+    const double log_bound = significance(hopefuls.front());
+    if (log_bound < best_log_bound) {
+      best_log_bound = log_bound;
+      best_product = hopefuls.front();
+      best_iteration = iter;
+    }
+
+    // Termination procedure (Section III-B): the weight first decays
+    // steeply per iteration while noise rows are being zeroed out, flattens
+    // as the product absorbs pattern columns, then dives again once the
+    // pattern is exhausted. Stop shortly after the second dive begins (the
+    // best product is already recorded). Tiny weights make the ratio
+    // meaningless, so flattening requires some mass left.
+    if (!dive_detected && prev_weight > 0) {
+      const double ratio = cur_weight / prev_weight;
+      if (flattened && ratio <= options_.dive_ratio) {
+        dive_detected = true;
+        if (!options_.record_full_trajectory) break;
+      } else if (ratio >= options_.flatten_ratio && cur_weight >= 8.0) {
+        flattened = true;
+      }
+    }
+    prev_weight = cur_weight;
+    if (hopefuls.front().weight == 0) break;
+    // Pure-noise fast path: once the heaviest product is down to a handful
+    // of rows without ever flattening, no later product can become
+    // significant — products only lose weight.
+    if (!options_.record_full_trajectory && !flattened &&
+        hopefuls.front().weight < 4) {
+      break;
+    }
+  }
+
+  detection.stop_iteration = best_iteration;
+
+  // Non-naturally-occurring gate (Fig 5 line 6) within the searched
+  // submatrix, at the screened density.
+  if (best_log_bound > std::log(options_.nno_epsilon)) return detection;
+
+  detection.pattern_found = true;
+  std::vector<std::size_t> set_rows;
+  best_product.bits.AppendSetBits(&set_rows);
+  detection.rows.assign(set_rows.begin(), set_rows.end());
+  detection.columns.reserve(best_product.cols.size());
+  for (std::uint32_t c : best_product.cols) {
+    detection.columns.push_back(screened.original_ids[c]);
+  }
+  std::sort(detection.columns.begin(), detection.columns.end());
+  return detection;
+}
+
+std::vector<AlignedDetection> AlignedDetector::DetectMultipleInMatrix(
+    const BitMatrix& matrix, std::size_t n_prime,
+    std::size_t max_patterns) const {
+  std::vector<AlignedDetection> detections;
+  BitMatrix working = matrix;
+  for (std::size_t round = 0; round < max_patterns; ++round) {
+    AlignedDetection detection = DetectInMatrix(working, n_prime);
+    if (!detection.pattern_found) break;
+    // Erase the found pattern's columns so the next round sees only what
+    // remains.
+    for (std::size_t c : detection.columns) {
+      for (std::size_t r = 0; r < working.rows(); ++r) {
+        working.row(r).Clear(c);
+      }
+    }
+    detections.push_back(std::move(detection));
+  }
+  return detections;
+}
+
+AlignedDetection AlignedDetector::DetectInMatrix(const BitMatrix& matrix,
+                                                 std::size_t n_prime) const {
+  const ScreenedColumns screened = ScreenHeaviestColumns(matrix, n_prime);
+  AlignedDetection detection = Detect(screened);
+  if (!detection.pattern_found) return detection;
+
+  // Fig 6 lines 10-14: scan every column outside S1 against the core.
+  BitVector core_bits(matrix.rows());
+  for (std::uint32_t r : detection.rows) core_bits.Set(r);
+  const std::size_t core_weight = detection.rows.size();
+  const std::size_t thresh =
+      core_weight > options_.gamma ? core_weight - options_.gamma : 1;
+
+  std::unordered_set<std::size_t> in_screen(screened.original_ids.begin(),
+                                            screened.original_ids.end());
+  // Common-1s with the core for every column in one pass over core rows.
+  std::vector<std::uint32_t> common(matrix.cols(), 0);
+  for (std::uint32_t r : detection.rows) {
+    const BitVector& row = matrix.row(r);
+    for (std::size_t w = 0; w < row.num_words(); ++w) {
+      std::uint64_t word = row.words()[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        ++common[(w << 6) + static_cast<std::size_t>(bit)];
+        word &= word - 1;
+      }
+    }
+  }
+  for (std::size_t c = 0; c < matrix.cols(); ++c) {
+    if (common[c] >= thresh && !in_screen.contains(c)) {
+      detection.columns.push_back(c);
+    }
+  }
+  std::sort(detection.columns.begin(), detection.columns.end());
+  return detection;
+}
+
+}  // namespace dcs

@@ -1,0 +1,95 @@
+#ifndef DCS_ANALYSIS_ALIGNED_DETECTOR_H_
+#define DCS_ANALYSIS_ALIGNED_DETECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "analysis/weight_screen.h"
+
+namespace dcs {
+
+/// Tuning of the greedy ASID search (Figs 5 and 6).
+struct AlignedDetectorOptions {
+  /// "Hopefuls" kept after the 2-product pass. The paper keeps O(n) of the
+  /// n(n-1)/2 pairs; with the default n' = 4000 screen this is n'.
+  std::size_t first_iteration_hopefuls = 4000;
+  /// Hopefuls kept in later iterations. Monte-Carlo shows O(n) is
+  /// sufficient, not necessary (Section III-B); a smaller list here cuts the
+  /// per-iteration cost with no measurable accuracy loss at our scales.
+  std::size_t hopefuls = 1024;
+  /// Upper bound on iterations — the paper's num_iterations = b + c.
+  std::size_t max_iterations = 40;
+  /// epsilon of the non-naturally-occurring gate (Section III-C).
+  double nno_epsilon = 1e-3;
+  /// Core-scan slack: columns with >= weight(core) - gamma common 1s join
+  /// the pattern (Fig 6 line 12; "2 or 3 works almost 100% of the time").
+  std::uint32_t gamma = 2;
+  /// Ratio above which the weight-loss curve counts as flattened and below
+  /// which (after flattening) the second exponential dive is declared; see
+  /// the termination procedure of Section III-B and Fig 7. The dive ratio
+  /// sits above the noise-phase decay (~0.55-0.75, inflated past 1/2 by
+  /// max-selection among the hopefuls) and below the plateau (~0.9+).
+  double flatten_ratio = 0.85;
+  double dive_ratio = 0.80;
+  /// When true, runs all max_iterations and records the full weight-loss
+  /// trajectory (used to regenerate Fig 7); termination still reports the
+  /// iteration the procedure would have chosen.
+  bool record_full_trajectory = false;
+};
+
+/// Detector output.
+struct AlignedDetection {
+  /// Whether a non-naturally-occurring pattern was found.
+  bool pattern_found = false;
+  /// Rows of the detected core — the routers that saw the content.
+  std::vector<std::uint32_t> rows;
+  /// Original column ids of the detected pattern (core columns, plus scanned
+  /// columns when expansion ran).
+  std::vector<std::size_t> columns;
+  /// Heaviest product weight after each iteration; index 0 is the 2-product
+  /// pass (Fig 7's y-axis series).
+  std::vector<std::size_t> weight_trajectory;
+  /// Iteration (b') at which the termination procedure stopped.
+  std::size_t stop_iteration = 0;
+};
+
+/// \brief Greedy ASID detector for the aligned case.
+///
+/// Detect() runs the k-product "hopefuls" iteration of Fig 5 over a set of
+/// columns — the naive algorithm when given all columns, the refined
+/// algorithm's core search when given the heaviest-n' screen. The weight
+/// trajectory termination procedure decides when the noise is gone (see
+/// Fig 7); the result passes the non-naturally-occurring gate before being
+/// reported. DetectInMatrix() adds the refined algorithm's final scan that
+/// grows the core across the unscreened columns (Fig 6 lines 10-14).
+class AlignedDetector {
+ public:
+  explicit AlignedDetector(const AlignedDetectorOptions& options);
+
+  /// Core search over the given (typically screened) columns.
+  AlignedDetection Detect(const ScreenedColumns& screened) const;
+
+  /// Full refined pipeline: screen to n_prime columns, find the core, then
+  /// scan every remaining column against the core.
+  AlignedDetection DetectInMatrix(const BitMatrix& matrix,
+                                  std::size_t n_prime) const;
+
+  /// Iterated detection for multiple common contents in one epoch
+  /// (Section II-D): detect, erase the found pattern's columns from a
+  /// working copy, repeat until nothing significant remains or
+  /// `max_patterns` is hit. Patterns are returned in detection order.
+  std::vector<AlignedDetection> DetectMultipleInMatrix(
+      const BitMatrix& matrix, std::size_t n_prime,
+      std::size_t max_patterns) const;
+
+  const AlignedDetectorOptions& options() const { return options_; }
+
+ private:
+  AlignedDetectorOptions options_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_ANALYSIS_ALIGNED_DETECTOR_H_

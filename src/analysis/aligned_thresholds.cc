@@ -1,0 +1,115 @@
+#include "analysis/aligned_thresholds.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats_math.h"
+
+namespace dcs {
+
+double LogNaturalOccurrenceBound(std::int64_t m, std::int64_t n,
+                                 std::int64_t a, std::int64_t b) {
+  return LogNaturalOccurrenceBoundDensity(m, n, a, b, 0.5);
+}
+
+double LogNaturalOccurrenceBoundDensity(std::int64_t m, std::int64_t n,
+                                        std::int64_t a, std::int64_t b,
+                                        double density) {
+  DCS_CHECK(density > 0.0 && density < 1.0);
+  return LogChoose(static_cast<double>(m), static_cast<double>(a)) +
+         LogChoose(static_cast<double>(n), static_cast<double>(b)) +
+         static_cast<double>(a) * static_cast<double>(b) * std::log(density);
+}
+
+bool IsNonNaturallyOccurring(std::int64_t m, std::int64_t n, std::int64_t a,
+                             std::int64_t b, double epsilon) {
+  DCS_CHECK(epsilon > 0.0);
+  return LogNaturalOccurrenceBound(m, n, a, b) <= std::log(epsilon);
+}
+
+std::int64_t MinNonNaturallyOccurringB(std::int64_t m, std::int64_t n,
+                                       std::int64_t a, double epsilon) {
+  if (a <= 0) return -1;
+  // The bound is monotone decreasing in b for b well below n/2 (each extra
+  // column multiplies it by roughly (n/b) 2^{-a}), so a linear scan from 1
+  // finds the frontier; patterns anywhere near n/2 columns are out of scope.
+  for (std::int64_t b = 1; b <= n; ++b) {
+    if (IsNonNaturallyOccurring(m, n, a, b, epsilon)) return b;
+  }
+  return -1;
+}
+
+namespace {
+
+// Smallest weight threshold t whose expected noise-column survivor count
+// fits the budget. Monotone in t, so binary search.
+std::int64_t PickWeightThreshold(std::int64_t m, std::int64_t n,
+                                 double budget) {
+  std::int64_t lo = m / 2;
+  std::int64_t hi = m;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    const double expected =
+        static_cast<double>(n) * std::exp(LogBinomSf(mid, m, 0.5));
+    if (expected <= budget) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+DetectabilityAnalysis AnalyzeDetectability(std::int64_t m, std::int64_t n,
+                                           std::int64_t a, std::int64_t b,
+                                           const DetectabilityOptions& opts) {
+  DCS_CHECK(a >= 1 && a <= m);
+  DCS_CHECK(b >= 1 && b <= n);
+  DetectabilityAnalysis out;
+  out.weight_threshold = PickWeightThreshold(
+      m, n, opts.noise_budget_fraction * static_cast<double>(opts.n_prime));
+  out.expected_noise_columns =
+      static_cast<double>(n) *
+      std::exp(LogBinomSf(out.weight_threshold, m, 0.5));
+  // A pattern column has weight a + Binomial(m-a, 1/2); it survives when
+  // that exceeds t.
+  out.pattern_survival_prob =
+      std::exp(LogBinomSf(out.weight_threshold - a, m - a, 0.5));
+  // Core width needed for significance inside the screened matrix.
+  out.min_core_columns =
+      MinNonNaturallyOccurringB(m, opts.n_prime, a, opts.epsilon);
+  if (out.min_core_columns < 0) {
+    out.detection_prob = 0.0;
+    return out;
+  }
+  out.detection_prob = std::exp(
+      LogBinomSf(out.min_core_columns - 1, b, out.pattern_survival_prob));
+  return out;
+}
+
+std::int64_t DetectableThresholdB(std::int64_t m, std::int64_t n,
+                                  std::int64_t a, double target_prob,
+                                  std::int64_t max_b,
+                                  const DetectabilityOptions& opts) {
+  // detection_prob is monotone nondecreasing in b (same survival
+  // probability, same required core width, more trials), so binary search.
+  std::int64_t lo = 1;
+  std::int64_t hi = max_b;
+  if (AnalyzeDetectability(m, n, a, hi, opts).detection_prob < target_prob) {
+    return -1;
+  }
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (AnalyzeDetectability(m, n, a, mid, opts).detection_prob >=
+        target_prob) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace dcs

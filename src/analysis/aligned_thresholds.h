@@ -1,0 +1,84 @@
+#ifndef DCS_ANALYSIS_ALIGNED_THRESHOLDS_H_
+#define DCS_ANALYSIS_ALIGNED_THRESHOLDS_H_
+
+#include <cstdint>
+
+namespace dcs {
+
+/// \brief Natural-occurrence and detectability analysis for the aligned case
+/// (Sections III-C and V-A.2).
+///
+/// All quantities are for an m x n 0/1 matrix whose noise entries are
+/// Bernoulli(1/2) and a candidate all-1 submatrix of a rows x b columns.
+
+/// log of the Markov bound C(m,a) C(n,b) 2^{-ab} on the probability that an
+/// a x b all-1 submatrix occurs naturally (Eq 1; the paper prints the
+/// binomials with swapped arguments — rows pair with `a`, columns with `b`).
+double LogNaturalOccurrenceBound(std::int64_t m, std::int64_t n,
+                                 std::int64_t a, std::int64_t b);
+
+/// Density-aware generalization: noise entries are Bernoulli(density)
+/// instead of Bernoulli(1/2). The weight screen hands the detector columns
+/// whose density is well above 1/2 (they were selected for weight), so its
+/// significance gate must use the screened density or it under-counts
+/// natural occurrences.
+double LogNaturalOccurrenceBoundDensity(std::int64_t m, std::int64_t n,
+                                        std::int64_t a, std::int64_t b,
+                                        double density);
+
+/// True when the bound is at most `epsilon` — the paper's
+/// "non-naturally-occurring" test used by the detectors' output gate.
+bool IsNonNaturallyOccurring(std::int64_t m, std::int64_t n, std::int64_t a,
+                             std::int64_t b, double epsilon);
+
+/// Smallest b such that an a x b pattern is non-naturally-occurring, or -1
+/// when even b = n is naturally occurring. This generates the lower curve of
+/// Fig 12.
+std::int64_t MinNonNaturallyOccurringB(std::int64_t m, std::int64_t n,
+                                       std::int64_t a, double epsilon);
+
+/// Outcome of the Section V-A.2 screening analysis for one (a, b) point.
+struct DetectabilityAnalysis {
+  /// Column-weight threshold t used for screening ("550" in the paper's
+  /// worked example).
+  std::int64_t weight_threshold = 0;
+  /// Expected number of noise columns heavier than t (must stay below
+  /// n_prime or the pattern is squeezed out).
+  double expected_noise_columns = 0.0;
+  /// Probability that one pattern column survives the screen:
+  /// P[a + Binomial(m-a, 1/2) > t] (the paper's 0.55).
+  double pattern_survival_prob = 0.0;
+  /// Smallest core width l such that an a x l submatrix is
+  /// non-naturally-occurring within the screened m x n_prime matrix (the
+  /// paper's 8).
+  std::int64_t min_core_columns = 0;
+  /// P[at least min_core_columns of the b pattern columns survive] — the
+  /// detection probability (the paper's 0.988 at (100, 30)).
+  double detection_prob = 0.0;
+};
+
+/// Parameters of the screening analysis.
+struct DetectabilityOptions {
+  std::int64_t n_prime = 4000;  ///< Screened submatrix width (Theorem 2).
+  double epsilon = 1e-3;        ///< NNO threshold inside the submatrix.
+  /// The screen keeps expected noise below this fraction of n_prime
+  /// (2900/4000 in the paper's example).
+  double noise_budget_fraction = 0.75;
+};
+
+/// Evaluates detectability of an a x b pattern in an m x n matrix using the
+/// weight threshold that best fits the noise budget.
+DetectabilityAnalysis AnalyzeDetectability(std::int64_t m, std::int64_t n,
+                                           std::int64_t a, std::int64_t b,
+                                           const DetectabilityOptions& opts);
+
+/// Smallest b whose detection probability reaches `target_prob`, or -1 if
+/// none does below `max_b`. Generates the upper curve of Fig 12.
+std::int64_t DetectableThresholdB(std::int64_t m, std::int64_t n,
+                                  std::int64_t a, double target_prob,
+                                  std::int64_t max_b,
+                                  const DetectabilityOptions& opts);
+
+}  // namespace dcs
+
+#endif  // DCS_ANALYSIS_ALIGNED_THRESHOLDS_H_

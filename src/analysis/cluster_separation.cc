@@ -1,0 +1,78 @@
+#include "analysis/cluster_separation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "graph/union_find.h"
+
+namespace dcs {
+
+std::vector<std::vector<Graph::VertexId>> SeparateClusters(
+    const Graph& graph, const std::vector<Graph::VertexId>& detected,
+    const ClusterSeparationOptions& options) {
+  DCS_CHECK(graph.finalized());
+  DCS_CHECK(std::is_sorted(detected.begin(), detected.end()));
+
+  // Union-find over the induced subgraph only.
+  std::unordered_map<Graph::VertexId, std::uint32_t> index_of;
+  index_of.reserve(detected.size());
+  for (std::uint32_t i = 0; i < detected.size(); ++i) {
+    index_of.emplace(detected[i], i);
+  }
+  // Detected-neighbor lists (indices into `detected`), ascending.
+  std::vector<std::vector<std::uint32_t>> adj(detected.size());
+  for (std::uint32_t i = 0; i < detected.size(); ++i) {
+    for (Graph::VertexId w : graph.neighbors(detected[i])) {
+      const auto it = index_of.find(w);
+      if (it != index_of.end()) adj[i].push_back(it->second);
+    }
+  }
+
+  UnionFind uf(detected.size());
+  for (std::uint32_t i = 0; i < detected.size(); ++i) {
+    for (std::uint32_t j : adj[i]) {
+      if (j <= i) continue;
+      if (options.min_common_neighbors > 0) {
+        // Triangle support: count common detected neighbors.
+        std::size_t common = 0;
+        auto a = adj[i].begin();
+        auto b = adj[j].begin();
+        while (a != adj[i].end() && b != adj[j].end()) {
+          if (*a < *b) {
+            ++a;
+          } else if (*b < *a) {
+            ++b;
+          } else {
+            ++common;
+            ++a;
+            ++b;
+          }
+        }
+        if (common < options.min_common_neighbors) continue;
+      }
+      uf.Union(i, j);
+    }
+  }
+
+  std::unordered_map<std::uint32_t, std::vector<Graph::VertexId>> by_root;
+  for (std::uint32_t i = 0; i < detected.size(); ++i) {
+    by_root[uf.Find(i)].push_back(detected[i]);
+  }
+  std::vector<std::vector<Graph::VertexId>> clusters;
+  clusters.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    if (members.size() >= options.min_cluster_size) {
+      std::sort(members.begin(), members.end());
+      clusters.push_back(std::move(members));
+    }
+  }
+  std::sort(clusters.begin(), clusters.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;  // Deterministic tie-break.
+            });
+  return clusters;
+}
+
+}  // namespace dcs

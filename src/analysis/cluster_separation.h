@@ -1,0 +1,43 @@
+#ifndef DCS_ANALYSIS_CLUSTER_SEPARATION_H_
+#define DCS_ANALYSIS_CLUSTER_SEPARATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcs {
+
+/// \brief Splits a detected vertex set into per-content clusters
+/// (Section II-D).
+///
+/// The detection pipeline reports one large cluster that can mix several
+/// common contents transmitted in the same epoch. Distinct contents
+/// correlate only their own carriers: within the dense graph G', two groups
+/// carrying the same content connect with probability p2 while carriers of
+/// different contents connect at the background rate. The connected
+/// components of the subgraph induced on the detected vertices therefore
+/// separate the contents; singletons (background vertices dragged in by the
+/// core expansion) are dropped via `min_cluster_size`.
+struct ClusterSeparationOptions {
+  /// Clusters smaller than this are discarded as noise.
+  std::size_t min_cluster_size = 3;
+  /// An edge only links two detected vertices into one cluster when they
+  /// share at least this many common detected neighbors (triangle support).
+  /// Within one content's cluster every edge has ~p2^2 * cluster_size
+  /// support, while a chance background edge between two different
+  /// contents' clusters has essentially none — so raising this cleanly
+  /// severs spurious bridges in the dense G' graph. 1 keeps triangles.
+  std::size_t min_common_neighbors = 1;
+};
+
+/// Connected components of the induced subgraph on `detected`, largest
+/// first; each cluster is sorted ascending. Requires a finalized graph and
+/// a sorted `detected`.
+std::vector<std::vector<Graph::VertexId>> SeparateClusters(
+    const Graph& graph, const std::vector<Graph::VertexId>& detected,
+    const ClusterSeparationOptions& options);
+
+}  // namespace dcs
+
+#endif  // DCS_ANALYSIS_CLUSTER_SEPARATION_H_

@@ -1,0 +1,67 @@
+#include "analysis/correlation.h"
+
+#include <algorithm>
+
+#include "common/distributions.h"
+#include "common/logging.h"
+
+namespace dcs {
+
+GroupPairCorrelation CorrelateGroups(std::span<const BitVector> rows_a,
+                                     std::span<const BitVector> rows_b) {
+  GroupPairCorrelation best;
+  for (std::uint32_t i = 0; i < rows_a.size(); ++i) {
+    for (std::uint32_t j = 0; j < rows_b.size(); ++j) {
+      const auto common =
+          static_cast<std::uint32_t>(rows_a[i].CommonOnes(rows_b[j]));
+      if (common > best.max_common) {
+        best.max_common = common;
+        best.row_a = i;
+        best.row_b = j;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> ForEachGroupPair(
+    std::size_t num_groups, const PairScanOptions& options,
+    const std::function<void(std::uint32_t, std::uint32_t)>& visit) {
+  std::vector<std::uint32_t> sampled;
+  if (options.group_sample_rate >= 1.0) {
+    sampled.resize(num_groups);
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      sampled[g] = static_cast<std::uint32_t>(g);
+    }
+  } else {
+    DCS_CHECK(options.group_sample_rate > 0.0);
+    const auto keep = static_cast<std::uint64_t>(
+        options.group_sample_rate * static_cast<double>(num_groups));
+    Rng rng(options.sample_seed);
+    for (std::uint64_t g :
+         SampleWithoutReplacement(&rng, num_groups, std::max<std::uint64_t>(
+                                                        keep, 2))) {
+      sampled.push_back(static_cast<std::uint32_t>(g));
+    }
+    std::sort(sampled.begin(), sampled.end());
+  }
+
+  if (options.pool == nullptr) {
+    for (std::size_t i = 0; i < sampled.size(); ++i) {
+      for (std::size_t j = i + 1; j < sampled.size(); ++j) {
+        visit(sampled[i], sampled[j]);
+      }
+    }
+  } else {
+    // Shard over the first index; iterating i covers each unordered pair
+    // exactly once, so shards are disjoint.
+    options.pool->ParallelFor(sampled.size(), [&](std::size_t i) {
+      for (std::size_t j = i + 1; j < sampled.size(); ++j) {
+        visit(sampled[i], sampled[j]);
+      }
+    });
+  }
+  return sampled;
+}
+
+}  // namespace dcs

@@ -1,0 +1,53 @@
+#ifndef DCS_ANALYSIS_CORRELATION_H_
+#define DCS_ANALYSIS_CORRELATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace dcs {
+
+/// Pairwise row-correlation statistics between two groups of sketch rows.
+struct GroupPairCorrelation {
+  /// Max over all (row of A) x (row of B) of the number of common 1s.
+  std::uint32_t max_common = 0;
+  /// The row pair achieving it (indices within each group).
+  std::uint32_t row_a = 0;
+  std::uint32_t row_b = 0;
+};
+
+/// Scans all |a| x |b| row pairs; the dominant cost of the unaligned
+/// analysis (Section IV-D: "the vast majority of the computational
+/// complexity ... comes from computing, for any two rows, the number of
+/// indices in which both rows have value 1").
+GroupPairCorrelation CorrelateGroups(std::span<const BitVector> rows_a,
+                                     std::span<const BitVector> rows_b);
+
+/// Drives a function over all unordered group pairs (g1 < g2), optionally
+/// parallel over g1 (Section IV-D possibility 3) and optionally restricted
+/// to a sampled subset of groups (possibility 2: "sample 10% of the vertices
+/// and find a core only in this subset").
+struct PairScanOptions {
+  /// Parallelize with this pool when set. The callback must then be safe to
+  /// invoke concurrently for different g1.
+  ThreadPool* pool = nullptr;
+  /// Fraction of groups scanned; pairs outside the sample are skipped.
+  double group_sample_rate = 1.0;
+  /// Seed for the sampling choice.
+  std::uint64_t sample_seed = 1;
+};
+
+/// Calls visit(g1, g2) for every retained unordered pair. Returns the list
+/// of sampled group ids (all groups when sample_rate == 1).
+std::vector<std::uint32_t> ForEachGroupPair(
+    std::size_t num_groups, const PairScanOptions& options,
+    const std::function<void(std::uint32_t, std::uint32_t)>& visit);
+
+}  // namespace dcs
+
+#endif  // DCS_ANALYSIS_CORRELATION_H_

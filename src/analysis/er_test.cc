@@ -1,0 +1,23 @@
+#include "analysis/er_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/connected_components.h"
+
+namespace dcs {
+
+ErTestResult RunErTest(const Graph& graph, std::size_t threshold) {
+  ErTestResult result;
+  result.largest_component = LargestComponentSize(graph);
+  result.pattern_detected = result.largest_component > threshold;
+  return result;
+}
+
+std::size_t DefaultErTestThreshold(std::size_t num_vertices) {
+  if (num_vertices < 2) return 1;
+  return static_cast<std::size_t>(
+      std::max(8.0, 8.7 * std::log(static_cast<double>(num_vertices))));
+}
+
+}  // namespace dcs

@@ -1,0 +1,35 @@
+#ifndef DCS_ANALYSIS_ER_TEST_H_
+#define DCS_ANALYSIS_ER_TEST_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+
+namespace dcs {
+
+/// Result of the Erdős–Rényi statistical test (Section IV-B).
+struct ErTestResult {
+  /// Size of the largest connected component — the test statistic.
+  std::size_t largest_component = 0;
+  /// Whether the null hypothesis (pure G(n, p1)) is rejected, i.e. common
+  /// content is declared present.
+  bool pattern_detected = false;
+};
+
+/// \brief The paper's phase-transition test.
+///
+/// With the null edge probability tuned below 1/n, a pure random graph's
+/// largest component is O(log n); correlated groups ("preferential
+/// attachment") merge components into one far larger than that. The test
+/// simply compares the largest component against `threshold` (the paper uses
+/// 100 at n = 102,400).
+ErTestResult RunErTest(const Graph& graph, std::size_t threshold);
+
+/// A conservative default threshold c * ln(n): well above the O(log n) null
+/// components yet far below the pattern-merged component. c = 10 reproduces
+/// the paper's choice of 100 at n = 102,400 (ln n ≈ 11.5).
+std::size_t DefaultErTestThreshold(std::size_t num_vertices);
+
+}  // namespace dcs
+
+#endif  // DCS_ANALYSIS_ER_TEST_H_

@@ -1,0 +1,43 @@
+#include "analysis/lambda_table.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats_math.h"
+
+namespace dcs {
+
+LambdaTable::LambdaTable(std::size_t array_bits, double p_star)
+    : array_bits_(array_bits),
+      p_star_(p_star),
+      cache_((array_bits + 1) * (array_bits + 1)) {
+  DCS_CHECK(p_star > 0.0 && p_star < 1.0);
+  for (auto& entry : cache_) {
+    entry.store(-1, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t LambdaTable::Threshold(std::uint32_t i, std::uint32_t j) const {
+  DCS_CHECK(i <= array_bits_ && j <= array_bits_);
+  if (i > j) std::swap(i, j);
+  auto& slot = cache_[static_cast<std::size_t>(i) * (array_bits_ + 1) + j];
+  const std::int32_t cached = slot.load(std::memory_order_relaxed);
+  if (cached >= 0) return cached;
+  const std::int64_t lambda = HypergeomUpperThreshold(
+      p_star_, static_cast<std::int64_t>(array_bits_), i, j);
+  slot.store(static_cast<std::int32_t>(lambda), std::memory_order_relaxed);
+  return lambda;
+}
+
+double LambdaTable::EdgeProbFromPStar(double p_star, std::size_t arrays) {
+  const double pairs = static_cast<double>(arrays) * arrays;
+  return 1.0 - std::exp(pairs * std::log1p(-p_star));
+}
+
+double LambdaTable::PStarFromEdgeProb(double p1, std::size_t arrays) {
+  DCS_CHECK(p1 > 0.0 && p1 < 1.0);
+  const double pairs = static_cast<double>(arrays) * arrays;
+  return -std::expm1(std::log1p(-p1) / pairs);
+}
+
+}  // namespace dcs

@@ -1,0 +1,50 @@
+#ifndef DCS_ANALYSIS_LAMBDA_TABLE_H_
+#define DCS_ANALYSIS_LAMBDA_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dcs {
+
+/// \brief The paper's threshold table Lambda = {lambda_{i,j}} (Section IV-B).
+///
+/// For two sketch rows with i and j ones out of N bits, the number of common
+/// 1s under the null (no matching content) is hypergeometric; lambda_{i,j}
+/// is the smallest threshold with P[X(i,j) > lambda_{i,j}] <= p_star, making
+/// the per-row-pair false-alarm probability uniform regardless of row fill.
+/// Entries are computed lazily and cached (the scan touches only the narrow
+/// band of observed fills); the cache is lock-free and safe for concurrent
+/// readers.
+class LambdaTable {
+ public:
+  /// Table for rows of `array_bits` bits at per-pair false-alarm level
+  /// `p_star`.
+  LambdaTable(std::size_t array_bits, double p_star);
+
+  /// lambda_{i,j}; symmetric in (i, j). i, j must be <= array_bits.
+  std::int64_t Threshold(std::uint32_t i, std::uint32_t j) const;
+
+  std::size_t array_bits() const { return array_bits_; }
+  double p_star() const { return p_star_; }
+
+  /// The edge probability between two null groups when each group
+  /// contributes `arrays` rows and any of the arrays^2 row pairs can fire:
+  /// p1 = 1 - (1 - p_star)^(arrays^2) (Section IV-B).
+  static double EdgeProbFromPStar(double p_star, std::size_t arrays);
+
+  /// Inverse of the above: the p_star achieving a target null edge
+  /// probability p1.
+  static double PStarFromEdgeProb(double p1, std::size_t arrays);
+
+ private:
+  std::size_t array_bits_;
+  double p_star_;
+  // -1 = not yet computed. Benign duplicated computation on races.
+  mutable std::vector<std::atomic<std::int32_t>> cache_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_ANALYSIS_LAMBDA_TABLE_H_

@@ -1,0 +1,223 @@
+#include "analysis/synthetic_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/distributions.h"
+#include "common/logging.h"
+#include "common/stats_math.h"
+
+namespace dcs {
+namespace {
+
+// Uniform k-subset of `pool` (by value) via partial Fisher-Yates; O(|pool|).
+// `pool` is used as scratch and restored to ascending order afterwards is
+// NOT guaranteed — callers pass a fresh copy or don't care about order.
+void SampleSubsetInto(std::vector<std::uint32_t>* pool, std::size_t k,
+                      Rng* rng, BitVector* out) {
+  DCS_CHECK(k <= pool->size());
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng->UniformInt(pool->size() - i);
+    std::swap((*pool)[i], (*pool)[j]);
+    out->Set((*pool)[i]);
+  }
+}
+
+struct WeightedColumn {
+  std::uint32_t weight;
+  bool is_pattern;
+};
+
+}  // namespace
+
+SyntheticScreened SampleScreenedAligned(const SyntheticAlignedOptions& options,
+                                        Rng* rng) {
+  DCS_CHECK(rng != nullptr);
+  const std::size_t m = options.m;
+  const std::size_t n = options.n;
+  const std::size_t a = options.pattern_rows;
+  const std::size_t b = options.pattern_cols;
+  DCS_CHECK(a <= m);
+  DCS_CHECK(b <= n);
+  const std::size_t n_prime = std::min(options.n_prime, n);
+
+  SyntheticScreened result;
+
+  // Ground-truth pattern rows.
+  if (a > 0) {
+    for (std::uint64_t v : SampleWithoutReplacement(rng, m, a)) {
+      result.pattern_rows.push_back(static_cast<std::uint32_t>(v));
+    }
+    std::sort(result.pattern_rows.begin(), result.pattern_rows.end());
+  }
+
+  // Planted column weights: a forced 1s plus Bernoulli(1/2) noise elsewhere.
+  std::vector<std::uint32_t> pattern_weights(b);
+  for (std::size_t j = 0; j < b; ++j) {
+    pattern_weights[j] = static_cast<std::uint32_t>(
+        a + SampleBinomial(rng, static_cast<std::int64_t>(m - a), 0.5));
+  }
+  std::sort(pattern_weights.rbegin(), pattern_weights.rend());
+
+  // Noise weight pmf/cdf table for Binomial(m, 1/2), linear domain.
+  std::vector<double> pmf(m + 1);
+  std::vector<double> cdf(m + 1);
+  double acc = 0.0;
+  for (std::size_t w = 0; w <= m; ++w) {
+    pmf[w] = std::exp(LogBinomPmf(static_cast<std::int64_t>(w),
+                                  static_cast<std::int64_t>(m), 0.5));
+    acc += pmf[w];
+    cdf[w] = acc;
+  }
+
+  // Sequential multinomial: noise-column counts per weight, heaviest first,
+  // stopping once the screen is guaranteed full.
+  std::vector<WeightedColumn> selected;  // Descending weight.
+  selected.reserve(n_prime + m);
+  std::int64_t noise_remaining = static_cast<std::int64_t>(n - b);
+  std::size_t pattern_cursor = 0;  // Into pattern_weights (descending).
+  std::size_t taken = 0;
+  std::uint32_t cutoff_weight = 0;
+  std::size_t need_at_cutoff = 0;
+  std::size_t noise_at_cutoff = 0;
+  std::size_t pattern_at_cutoff = 0;
+
+  for (std::int64_t w = static_cast<std::int64_t>(m); w >= 0; --w) {
+    std::int64_t noise_count = 0;
+    if (noise_remaining > 0 && pmf[w] > 0.0) {
+      const double cond_p = cdf[w] > 0.0 ? std::min(1.0, pmf[w] / cdf[w])
+                                         : 1.0;
+      noise_count = SampleBinomial(rng, noise_remaining, cond_p);
+      noise_remaining -= noise_count;
+    }
+    std::size_t pattern_count = 0;
+    while (pattern_cursor < pattern_weights.size() &&
+           pattern_weights[pattern_cursor] == static_cast<std::uint32_t>(w)) {
+      ++pattern_count;
+      ++pattern_cursor;
+    }
+    const std::size_t here = static_cast<std::size_t>(noise_count) +
+                             pattern_count;
+    if (here == 0) continue;
+    if (taken + here <= n_prime) {
+      for (std::size_t i = 0; i < pattern_count; ++i) {
+        selected.push_back({static_cast<std::uint32_t>(w), true});
+      }
+      for (std::int64_t i = 0; i < noise_count; ++i) {
+        selected.push_back({static_cast<std::uint32_t>(w), false});
+      }
+      taken += here;
+      if (taken == n_prime) break;
+    } else {
+      // Tie-break at the cutoff weight: the real screen breaks ties by
+      // column id, and ids are exchangeable, so a uniform choice among the
+      // tied columns is exact. Number of pattern columns among the chosen
+      // ties is hypergeometric.
+      cutoff_weight = static_cast<std::uint32_t>(w);
+      need_at_cutoff = n_prime - taken;
+      noise_at_cutoff = static_cast<std::size_t>(noise_count);
+      pattern_at_cutoff = pattern_count;
+      const std::int64_t pattern_chosen = SampleHypergeometric(
+          rng, static_cast<std::int64_t>(noise_at_cutoff + pattern_at_cutoff),
+          static_cast<std::int64_t>(pattern_at_cutoff),
+          static_cast<std::int64_t>(need_at_cutoff));
+      for (std::int64_t i = 0; i < pattern_chosen; ++i) {
+        selected.push_back({cutoff_weight, true});
+      }
+      for (std::size_t i = 0;
+           i < need_at_cutoff - static_cast<std::size_t>(pattern_chosen);
+           ++i) {
+        selected.push_back({cutoff_weight, false});
+      }
+      taken = n_prime;
+      break;
+    }
+  }
+
+  // Materialize bits for the selected columns only.
+  std::vector<std::uint32_t> all_rows(m);
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  std::vector<std::uint32_t> non_pattern_rows;
+  if (a > 0) {
+    non_pattern_rows.reserve(m - a);
+    std::size_t pat_idx = 0;
+    for (std::uint32_t r = 0; r < m; ++r) {
+      if (pat_idx < result.pattern_rows.size() &&
+          result.pattern_rows[pat_idx] == r) {
+        ++pat_idx;
+      } else {
+        non_pattern_rows.push_back(r);
+      }
+    }
+  }
+
+  ScreenedColumns& screened = result.screened;
+  screened.num_rows = m;
+  screened.num_source_columns = n;
+  screened.columns.reserve(selected.size());
+  screened.weights.reserve(selected.size());
+  screened.original_ids.reserve(selected.size());
+  result.is_pattern_column.reserve(selected.size());
+
+  std::vector<std::uint32_t> scratch;
+  std::size_t next_pattern_id = 0;  // Synthetic ids: pattern cols get [0,b).
+  std::size_t next_noise_id = b;
+  for (const WeightedColumn& col : selected) {
+    BitVector bits(m);
+    if (col.is_pattern) {
+      for (std::uint32_t r : result.pattern_rows) bits.Set(r);
+      scratch = non_pattern_rows;
+      SampleSubsetInto(&scratch, col.weight - a, rng, &bits);
+      screened.original_ids.push_back(next_pattern_id++);
+      ++result.pattern_columns_in_screen;
+    } else {
+      scratch = all_rows;
+      SampleSubsetInto(&scratch, col.weight, rng, &bits);
+      screened.original_ids.push_back(next_noise_id++);
+    }
+    screened.columns.push_back(std::move(bits));
+    screened.weights.push_back(col.weight);
+    result.is_pattern_column.push_back(col.is_pattern ? 1 : 0);
+  }
+  return result;
+}
+
+BitMatrix SampleLiteralAligned(const SyntheticAlignedOptions& options,
+                               Rng* rng,
+                               std::vector<std::uint32_t>* pattern_rows,
+                               std::vector<std::size_t>* pattern_cols) {
+  DCS_CHECK(rng != nullptr);
+  DCS_CHECK(pattern_rows != nullptr && pattern_cols != nullptr);
+  pattern_rows->clear();
+  pattern_cols->clear();
+  BitMatrix matrix(options.m, options.n);
+  for (std::size_t r = 0; r < options.m; ++r) {
+    std::uint64_t* words = matrix.row(r).mutable_words();
+    const std::size_t num_words = matrix.row(r).num_words();
+    for (std::size_t w = 0; w < num_words; ++w) words[w] = rng->Next();
+    // Zero padding bits past n so weights are exact.
+    const std::size_t tail_bits = options.n & 63;
+    if (tail_bits != 0) {
+      words[num_words - 1] &= (1ULL << tail_bits) - 1;
+    }
+  }
+  if (options.pattern_rows > 0 && options.pattern_cols > 0) {
+    for (std::uint64_t v :
+         SampleWithoutReplacement(rng, options.m, options.pattern_rows)) {
+      pattern_rows->push_back(static_cast<std::uint32_t>(v));
+    }
+    std::sort(pattern_rows->begin(), pattern_rows->end());
+    for (std::uint64_t c :
+         SampleWithoutReplacement(rng, options.n, options.pattern_cols)) {
+      pattern_cols->push_back(static_cast<std::size_t>(c));
+    }
+    std::sort(pattern_cols->begin(), pattern_cols->end());
+    for (std::uint32_t r : *pattern_rows) {
+      for (std::size_t c : *pattern_cols) matrix.Set(r, c);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace dcs

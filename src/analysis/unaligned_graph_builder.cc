@@ -1,0 +1,58 @@
+#include "analysis/unaligned_graph_builder.h"
+
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace dcs {
+
+Graph BuildCorrelationGraph(const BitMatrix& matrix,
+                            const LambdaTable& lambda,
+                            const GraphBuilderOptions& options) {
+  const std::size_t arrays = options.arrays_per_group;
+  DCS_CHECK(arrays > 0);
+  DCS_CHECK(matrix.rows() % arrays == 0);
+  const std::size_t num_groups = matrix.rows() / arrays;
+
+  // Row weights once; the lambda lookup needs them per pair.
+  std::vector<std::uint32_t> row_ones(matrix.rows());
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    row_ones[r] = static_cast<std::uint32_t>(matrix.row(r).CountOnes());
+  }
+
+  Graph graph(num_groups);
+  std::mutex edge_mu;  // Only contended in the parallel path.
+  const bool parallel = options.scan.pool != nullptr;
+
+  ForEachGroupPair(
+      num_groups, options.scan,
+      [&](std::uint32_t g1, std::uint32_t g2) {
+        const std::size_t base1 = g1 * arrays;
+        const std::size_t base2 = g2 * arrays;
+        for (std::size_t i = 0; i < arrays; ++i) {
+          const BitVector& row1 = matrix.row(base1 + i);
+          const std::uint32_t ones1 = row_ones[base1 + i];
+          if (ones1 == 0) continue;
+          for (std::size_t j = 0; j < arrays; ++j) {
+            const std::uint32_t ones2 = row_ones[base2 + j];
+            if (ones2 == 0) continue;
+            const auto common = static_cast<std::int64_t>(
+                row1.CommonOnes(matrix.row(base2 + j)));
+            if (common > lambda.Threshold(ones1, ones2)) {
+              if (parallel) {
+                std::scoped_lock lock(edge_mu);
+                graph.AddEdge(g1, g2);
+              } else {
+                graph.AddEdge(g1, g2);
+              }
+              return;  // At most one edge per group pair.
+            }
+          }
+        }
+      });
+
+  graph.Finalize();
+  return graph;
+}
+
+}  // namespace dcs

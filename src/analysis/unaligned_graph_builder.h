@@ -1,0 +1,37 @@
+#ifndef DCS_ANALYSIS_UNALIGNED_GRAPH_BUILDER_H_
+#define DCS_ANALYSIS_UNALIGNED_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "analysis/correlation.h"
+#include "analysis/lambda_table.h"
+#include "graph/graph.h"
+
+namespace dcs {
+
+/// Parameters for converting the stacked sketch matrix into a correlation
+/// graph (Section IV-B).
+struct GraphBuilderOptions {
+  /// Rows per group (the paper's 10 offset arrays).
+  std::size_t arrays_per_group = 10;
+  /// Scan controls (parallelism, vertex sampling) — Section IV-D.
+  PairScanOptions scan;
+};
+
+/// \brief Induces the group graph: vertices are groups, and an edge joins
+/// two groups iff some pair of their rows shares more common 1s than
+/// lambda_{i,j}.
+///
+/// `matrix` is group-major: rows [g * arrays_per_group, (g+1) *
+/// arrays_per_group) belong to group g, exactly how FlowSplitSketch and the
+/// analysis center's vertical merge lay them out. Row weights are
+/// precomputed once; the hypergeometric thresholds come from `lambda`.
+Graph BuildCorrelationGraph(const BitMatrix& matrix,
+                            const LambdaTable& lambda,
+                            const GraphBuilderOptions& options);
+
+}  // namespace dcs
+
+#endif  // DCS_ANALYSIS_UNALIGNED_GRAPH_BUILDER_H_

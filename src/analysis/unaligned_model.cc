@@ -1,0 +1,66 @@
+#include "analysis/unaligned_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats_math.h"
+
+namespace dcs {
+
+UnalignedSignalModel::UnalignedSignalModel(
+    const UnalignedModelOptions& options)
+    : options_(options) {
+  DCS_CHECK(options.array_bits > 0);
+  DCS_CHECK(options.num_offsets > 0);
+  DCS_CHECK(options.offset_period > 0);
+  const double k = static_cast<double>(options.num_offsets);
+  p_offset_match_ =
+      -std::expm1(-k * k / static_cast<double>(options.offset_period));
+  const double n_bits = static_cast<double>(options.array_bits);
+  background_row_ones_ =
+      n_bits * -std::expm1(-options.background_insertions / n_bits);
+}
+
+double UnalignedSignalModel::distinct_content_indices(std::size_t g) const {
+  const double n_bits = static_cast<double>(options_.array_bits);
+  return n_bits * -std::expm1(-static_cast<double>(g) / n_bits);
+}
+
+double UnalignedSignalModel::pattern_row_ones(std::size_t g) const {
+  // Content marks ~g' distinct indices; background insertions land uniformly
+  // and only add 1s where the content didn't.
+  const double n_bits = static_cast<double>(options_.array_bits);
+  const double g_distinct = distinct_content_indices(g);
+  const double background_free = n_bits - g_distinct;
+  return g_distinct +
+         background_free *
+             -std::expm1(-options_.background_insertions / n_bits);
+}
+
+double UnalignedSignalModel::MatchExceedProb(std::size_t g,
+                                             double p_star) const {
+  const auto n_bits = static_cast<std::int64_t>(options_.array_bits);
+  const auto i = static_cast<std::int64_t>(
+      std::llround(pattern_row_ones(g)));
+  const auto g_distinct =
+      static_cast<std::int64_t>(std::llround(distinct_content_indices(g)));
+  // Threshold calibrated for rows of this fill under the null.
+  const std::int64_t lambda = HypergeomUpperThreshold(p_star, n_bits, i, i);
+  // Matched pair: g' shared content indices are common for sure; the two
+  // backgrounds overlap hypergeometrically on the remaining bits.
+  const std::int64_t rest_bits = n_bits - g_distinct;
+  const std::int64_t rest_ones = std::max<std::int64_t>(0, i - g_distinct);
+  const std::int64_t needed = lambda - g_distinct;  // X > lambda.
+  if (needed < 0) return 1.0;
+  return std::exp(LogHypergeomSf(needed, rest_bits, rest_ones, rest_ones));
+}
+
+double UnalignedSignalModel::PatternEdgeProb(std::size_t g, double p_star,
+                                             double p1) const {
+  const double p2 =
+      p_offset_match_ * MatchExceedProb(g, p_star) + p1;
+  return std::min(1.0, p2);
+}
+
+}  // namespace dcs

@@ -1,0 +1,74 @@
+#ifndef DCS_ANALYSIS_UNALIGNED_MODEL_H_
+#define DCS_ANALYSIS_UNALIGNED_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcs {
+
+/// Physical parameters of the unaligned sketch deployment (Section IV-A /
+/// V-B defaults: 10 arrays of 1,024 bits, offsets modulo 536, arrays filled
+/// to ~50% by ~710 background insertions).
+struct UnalignedModelOptions {
+  std::size_t array_bits = 1024;          ///< N.
+  std::size_t num_offsets = 10;           ///< k (arrays per group).
+  std::size_t offset_period = 536;        ///< MSS; offsets live mod this.
+  /// Background packet insertions per array per epoch. The paper's stated
+  /// workload (75,000 packets per link over 128 groups) gives ~586
+  /// insertions (~44% fill); q(g) is extremely sensitive to this fill, and
+  /// 500 insertions (~39% fill) calibrates our first-principles model to
+  /// the magnitudes of the paper's Tables I-III. The stress bench sweeps
+  /// this axis explicitly.
+  double background_insertions = 500.0;
+};
+
+/// \brief First-principles signal model for the unaligned case.
+///
+/// Derives, from the sketch geometry, the quantities the paper's
+/// Monte-Carlo experiments are parameterized by:
+///  * p_offset_match = 1 - e^{-k^2/536}: probability that two routers'
+///    offset sets align for a shared content (Section IV-A);
+///  * q(g): probability that an offset-matched row pair crosses its
+///    lambda threshold, given the content spans g packets — the weak-signal
+///    exceedance that makes required cluster sizes fall steeply with g;
+///  * p2(g) = p_offset_match * q(g) + p1: the pattern-pair edge
+///    probability driving Fig 13 and Tables I-III.
+class UnalignedSignalModel {
+ public:
+  explicit UnalignedSignalModel(const UnalignedModelOptions& options);
+
+  /// 1 - e^{-k^2/period}.
+  double p_offset_match() const { return p_offset_match_; }
+
+  /// Expected number of 1s in a background-only row.
+  double background_row_ones() const { return background_row_ones_; }
+
+  /// Expected number of 1s in a row that also carries a g-packet content
+  /// instance (hash collisions included).
+  double pattern_row_ones(std::size_t g) const;
+
+  /// Number of distinct indices a g-packet content marks in an N-bit array:
+  /// N (1 - e^{-g/N}).
+  double distinct_content_indices(std::size_t g) const;
+
+  /// q(g): P[common 1s of an offset-matched row pair > lambda_{i,j}], with
+  /// i = j = round(pattern_row_ones(g)) and lambda from `p_star`. The
+  /// matched pair shares the content's g' indices plus hypergeometric
+  /// background overlap.
+  double MatchExceedProb(std::size_t g, double p_star) const;
+
+  /// Pattern-pair edge probability p2(g) for a lambda table at `p_star`,
+  /// with null edge probability `p1` folded in.
+  double PatternEdgeProb(std::size_t g, double p_star, double p1) const;
+
+  const UnalignedModelOptions& options() const { return options_; }
+
+ private:
+  UnalignedModelOptions options_;
+  double p_offset_match_;
+  double background_row_ones_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_ANALYSIS_UNALIGNED_MODEL_H_

@@ -1,0 +1,114 @@
+#include "analysis/unaligned_thresholds.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats_math.h"
+#include "analysis/lambda_table.h"
+#include "analysis/unaligned_model.h"
+
+namespace dcs {
+namespace {
+
+std::vector<double> DefaultP1Grid() {
+  // Logarithmic sweep around the interesting region (1e-7 .. 1e-3); the
+  // sweet spot the paper mentions always lands inside it at n ~ 1e5.
+  std::vector<double> grid;
+  for (double p1 = 1e-7; p1 <= 1.1e-3; p1 *= 1.7782794100389228) {
+    grid.push_back(p1);  // 4 points per decade.
+  }
+  return grid;
+}
+
+}  // namespace
+
+bool ClusterSizeIsSignificant(std::int64_t m, const UnalignedNnoOptions& opts,
+                              UnalignedNnoResult* best) {
+  DCS_CHECK(best != nullptr);
+  if (m < 2) return false;
+  const std::int64_t pairs = m * (m - 1) / 2;
+  const double log_choose_nm = LogChoose(
+      static_cast<double>(opts.num_vertices), static_cast<double>(m));
+  const double log_fp_budget = std::log(opts.max_false_positive);
+  const std::vector<double> grid =
+      opts.p1_grid.empty() ? DefaultP1Grid() : opts.p1_grid;
+
+  for (double p1 : grid) {
+    // Smallest d with C(n,m) P[Bin(pairs, p1) > d] <= budget; the survival
+    // function is decreasing in d, so binary search.
+    std::int64_t lo = -1;
+    std::int64_t hi = pairs;
+    if (log_choose_nm + LogBinomSf(hi, pairs, p1) > log_fp_budget) continue;
+    while (lo + 1 < hi) {
+      const std::int64_t mid = lo + (hi - lo) / 2;
+      if (log_choose_nm + LogBinomSf(mid, pairs, p1) <= log_fp_budget) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    const std::int64_t d = hi;
+    const double true_positive = std::exp(LogBinomSf(d, pairs, opts.p2));
+    if (true_positive >= opts.min_true_positive) {
+      best->min_cluster_size = m;
+      best->best_p1 = p1;
+      best->best_d = d;
+      best->achieved_false_positive =
+          std::exp(log_choose_nm + LogBinomSf(d, pairs, p1));
+      best->achieved_true_positive = true_positive;
+      return true;
+    }
+  }
+  return false;
+}
+
+UnalignedNnoResult MinNonNaturallyOccurringClusterSize(
+    const UnalignedNnoOptions& opts) {
+  UnalignedNnoResult result;
+  // Exponential search for a feasible m, then binary search the frontier.
+  std::int64_t hi = 2;
+  UnalignedNnoResult scratch;
+  while (hi <= opts.max_m && !ClusterSizeIsSignificant(hi, opts, &scratch)) {
+    hi *= 2;
+  }
+  if (hi > opts.max_m) return result;  // Infeasible below max_m.
+  std::int64_t lo = hi / 2;  // Infeasible (or 1).
+  while (lo + 1 < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (ClusterSizeIsSignificant(mid, opts, &scratch)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  DCS_CHECK(ClusterSizeIsSignificant(hi, opts, &result));
+  return result;
+}
+
+UnalignedNnoResult MinClusterSizeForContent(const UnalignedSignalModel& model,
+                                            std::size_t content_packets,
+                                            std::size_t arrays,
+                                            const UnalignedNnoOptions& opts) {
+  // For each p1 the lambda table changes, which changes the matched-pair
+  // exceedance and hence p2 — so run the frontier search once per candidate
+  // p1 with a single-entry grid and take the best frontier.
+  const std::vector<double> grid =
+      opts.p1_grid.empty() ? DefaultP1Grid() : opts.p1_grid;
+  UnalignedNnoResult best;
+  for (double p1 : grid) {
+    const double p_star = LambdaTable::PStarFromEdgeProb(p1, arrays);
+    UnalignedNnoOptions single = opts;
+    single.p1_grid = {p1};
+    single.p2 = model.PatternEdgeProb(content_packets, p_star, p1);
+    const UnalignedNnoResult result =
+        MinNonNaturallyOccurringClusterSize(single);
+    if (result.min_cluster_size < 0) continue;
+    if (best.min_cluster_size < 0 ||
+        result.min_cluster_size < best.min_cluster_size) {
+      best = result;
+    }
+  }
+  return best;
+}
+
+}  // namespace dcs

@@ -1,0 +1,67 @@
+#ifndef DCS_ANALYSIS_UNALIGNED_THRESHOLDS_H_
+#define DCS_ANALYSIS_UNALIGNED_THRESHOLDS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dcs {
+
+/// Parameters of the unaligned non-naturally-occurring analysis
+/// (Section IV-C, Eqs 2 and 3).
+struct UnalignedNnoOptions {
+  /// Number of graph vertices n (102,400 at paper scale).
+  std::int64_t num_vertices = 102'400;
+  /// Pattern-pair edge probability p2 (from UnalignedSignalModel, depends on
+  /// the content's packet count g).
+  double p2 = 0.1;
+  /// Type-I bound: C(n,m) P[Binomial(m(m-1)/2, p1) > d] must be below this
+  /// (the paper uses "very small (e.g. 10^-10)").
+  double max_false_positive = 1e-10;
+  /// Type-II requirement: P[Binomial(m(m-1)/2, p2) > d] must be at least
+  /// this ("large enough (e.g. > 0.95)").
+  double min_true_positive = 0.95;
+  /// Candidate null edge probabilities p1 to co-tune with d. The paper found
+  /// no analytical co-tuning and searches brute-force; an empty list uses a
+  /// built-in logarithmic grid.
+  std::vector<double> p1_grid;
+  /// Upper bound on the m search.
+  std::int64_t max_m = 4096;
+};
+
+/// Result of the co-tuning search at one m (or the overall minimum).
+struct UnalignedNnoResult {
+  /// Smallest cluster size m that satisfies both error bounds; -1 if none
+  /// up to max_m.
+  std::int64_t min_cluster_size = -1;
+  /// The (p1, d) pair achieving it.
+  double best_p1 = 0.0;
+  std::int64_t best_d = 0;
+  /// Achieved error levels at the optimum.
+  double achieved_false_positive = 1.0;
+  double achieved_true_positive = 0.0;
+};
+
+/// True when some (p1 in grid, d) makes a size-m cluster satisfy both
+/// bounds; fills the best parameters found.
+bool ClusterSizeIsSignificant(std::int64_t m, const UnalignedNnoOptions& opts,
+                              UnalignedNnoResult* best);
+
+/// Smallest significant m — one entry of Table II. Exponential + binary
+/// search over m (feasibility is monotone in m).
+UnalignedNnoResult MinNonNaturallyOccurringClusterSize(
+    const UnalignedNnoOptions& opts);
+
+/// Model-coupled variant: the lambda table's p_star determines *both* the
+/// null edge probability p1 and the matched-pair exceedance q(g), so
+/// co-tuning must recompute p2 for every candidate p1 (the paper's
+/// brute-force search over the (p1, d) plane, Section IV-C). `opts.p2` is
+/// ignored. `arrays` is the per-group array count (k = 10 in the paper).
+class UnalignedSignalModel;
+UnalignedNnoResult MinClusterSizeForContent(const UnalignedSignalModel& model,
+                                            std::size_t content_packets,
+                                            std::size_t arrays,
+                                            const UnalignedNnoOptions& opts);
+
+}  // namespace dcs
+
+#endif  // DCS_ANALYSIS_UNALIGNED_THRESHOLDS_H_

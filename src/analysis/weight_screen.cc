@@ -1,0 +1,55 @@
+#include "analysis/weight_screen.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace dcs {
+
+std::vector<std::size_t> TopKIndices(const std::vector<std::uint32_t>& values,
+                                     std::size_t k) {
+  k = std::min(k, values.size());
+  if (k == 0) return {};
+  // Min-heap of the best k (value, negated index for tie order).
+  using Entry = std::pair<std::uint32_t, std::size_t>;
+  auto better = [](const Entry& a, const Entry& b) {
+    // a "better" than b: larger value, or equal value and smaller index.
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  };
+  std::vector<Entry> heap;
+  heap.reserve(k);
+  auto cmp = [&](const Entry& a, const Entry& b) { return better(a, b); };
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const Entry entry{values[i], i};
+    if (heap.size() < k) {
+      heap.push_back(entry);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (better(entry, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = entry;
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), better);
+  std::vector<std::size_t> result;
+  result.reserve(heap.size());
+  for (const Entry& e : heap) result.push_back(e.second);
+  return result;
+}
+
+ScreenedColumns ScreenHeaviestColumns(const BitMatrix& matrix,
+                                      std::size_t n_prime) {
+  ScreenedColumns screened;
+  screened.num_rows = matrix.rows();
+  screened.num_source_columns = matrix.cols();
+  const std::vector<std::uint32_t> weights = matrix.ColumnWeights();
+  screened.original_ids = TopKIndices(weights, n_prime);
+  screened.columns = matrix.ExtractColumns(screened.original_ids);
+  screened.weights.reserve(screened.original_ids.size());
+  for (std::size_t id : screened.original_ids) {
+    screened.weights.push_back(weights[id]);
+  }
+  return screened;
+}
+
+}  // namespace dcs

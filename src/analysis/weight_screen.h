@@ -1,0 +1,42 @@
+#ifndef DCS_ANALYSIS_WEIGHT_SCREEN_H_
+#define DCS_ANALYSIS_WEIGHT_SCREEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "common/bit_vector.h"
+
+namespace dcs {
+
+/// Screened view of a matrix: the n' heaviest columns plus their identities,
+/// the input to the refined detector (Fig 6, line "S1 := the set of heaviest
+/// n' columns").
+struct ScreenedColumns {
+  /// The selected columns as bit vectors of length rows().
+  std::vector<BitVector> columns;
+  /// Original matrix column index of each selected column.
+  std::vector<std::size_t> original_ids;
+  /// Weight of each selected column.
+  std::vector<std::uint32_t> weights;
+  /// Number of rows in the source matrix.
+  std::size_t num_rows = 0;
+  /// Number of columns in the source matrix (before screening).
+  std::size_t num_source_columns = 0;
+};
+
+/// Selects the `n_prime` heaviest columns of `matrix` (ties broken by lower
+/// column id). One pass for the weights plus one pass to extract the chosen
+/// columns — no transpose of the full matrix.
+ScreenedColumns ScreenHeaviestColumns(const BitMatrix& matrix,
+                                      std::size_t n_prime);
+
+/// Selects the indices of the `k` largest values (ties by lower index),
+/// returned in descending value order. Helper shared by the screening paths.
+std::vector<std::size_t> TopKIndices(const std::vector<std::uint32_t>& values,
+                                     std::size_t k);
+
+}  // namespace dcs
+
+#endif  // DCS_ANALYSIS_WEIGHT_SCREEN_H_

@@ -1,0 +1,37 @@
+#include "baseline/local_detector.h"
+
+#include <algorithm>
+
+namespace dcs {
+
+LocalPrevalenceDetector::LocalPrevalenceDetector(
+    const LocalDetectorOptions& options)
+    : options_(options), fingerprinter_(options.window_bytes) {}
+
+void LocalPrevalenceDetector::Update(const Packet& packet) {
+  if (packet.payload.size() < options_.min_payload_bytes) return;
+  std::vector<std::uint64_t> fps = fingerprinter_.SampledWindowFingerprints(
+      packet.payload, options_.sample_bits);
+  // Count each fingerprint once per packet (packets can repeat a window).
+  std::sort(fps.begin(), fps.end());
+  fps.erase(std::unique(fps.begin(), fps.end()), fps.end());
+  for (std::uint64_t fp : fps) ++counts_[fp];
+}
+
+std::vector<std::uint64_t> LocalPrevalenceDetector::PrevalentFingerprints()
+    const {
+  std::vector<std::uint64_t> result;
+  for (const auto& [fp, count] : counts_) {
+    if (count >= options_.prevalence_threshold) result.push_back(fp);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::uint32_t LocalPrevalenceDetector::CountOf(
+    std::uint64_t fingerprint) const {
+  const auto it = counts_.find(fingerprint);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace dcs

@@ -1,0 +1,59 @@
+#ifndef DCS_BASELINE_LOCAL_DETECTOR_H_
+#define DCS_BASELINE_LOCAL_DETECTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "baseline/rabin.h"
+
+namespace dcs {
+
+/// Configuration of the single-vantage baseline.
+struct LocalDetectorOptions {
+  /// Window size of the sampled substring fingerprints.
+  std::size_t window_bytes = 40;
+  /// Keep fingerprints whose low `sample_bits` bits are zero (1/2^bits of
+  /// windows).
+  unsigned sample_bits = 6;
+  /// A fingerprint is reported when seen in at least this many distinct
+  /// packets at this one vantage point.
+  std::uint32_t prevalence_threshold = 3;
+  /// Packets shorter than this are ignored.
+  std::size_t min_payload_bytes = 64;
+};
+
+/// \brief EarlyBird-style single-vantage content-prevalence detector [17].
+///
+/// Maintains a table fingerprint -> packet count over one link's traffic.
+/// This is the "traditional per-link monitoring" the paper argues is blind
+/// to distributed common content: content that crosses each link only once
+/// never reaches the prevalence threshold locally, however many links it
+/// crosses in aggregate. Implemented as the contrast baseline for that
+/// claim.
+class LocalPrevalenceDetector {
+ public:
+  explicit LocalPrevalenceDetector(const LocalDetectorOptions& options);
+
+  /// Processes one packet.
+  void Update(const Packet& packet);
+
+  /// Fingerprints whose packet count reached the threshold.
+  std::vector<std::uint64_t> PrevalentFingerprints() const;
+
+  /// Count for one fingerprint (0 when absent).
+  std::uint32_t CountOf(std::uint64_t fingerprint) const;
+
+  /// Memory-ish footprint: number of tracked fingerprints.
+  std::size_t table_size() const { return counts_.size(); }
+
+ private:
+  LocalDetectorOptions options_;
+  RabinFingerprinter fingerprinter_;
+  std::unordered_map<std::uint64_t, std::uint32_t> counts_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_BASELINE_LOCAL_DETECTOR_H_

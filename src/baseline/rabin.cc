@@ -1,0 +1,81 @@
+#include "baseline/rabin.h"
+
+#include "common/logging.h"
+
+namespace dcs {
+namespace {
+
+// Degree-64 modulus over GF(2) (the CRC-64/ECMA-182 generator): fingerprints
+// are residues mod x^64 + kPoly.
+constexpr std::uint64_t kPoly = 0x42F0E1EBA9EA3693ULL;
+
+// Reduction of b * x^64 mod P for each byte value b.
+std::uint64_t ReduceTopByte(std::uint8_t b) {
+  std::uint64_t r = static_cast<std::uint64_t>(b) << 56;
+  for (int bit = 0; bit < 8; ++bit) {
+    const bool carry = (r >> 63) & 1;
+    r <<= 1;
+    if (carry) r ^= kPoly;
+  }
+  return r;
+}
+
+}  // namespace
+
+RabinFingerprinter::RabinFingerprinter(std::size_t window_bytes)
+    : window_bytes_(window_bytes) {
+  DCS_CHECK(window_bytes >= 1);
+  for (int b = 0; b < 256; ++b) {
+    append_table_[b] = ReduceTopByte(static_cast<std::uint8_t>(b));
+  }
+  // remove_table_[b] = b * x^{8w + 64} mod P: append b, then w zero bytes.
+  for (int b = 0; b < 256; ++b) {
+    std::uint64_t fp = AppendByte(0, static_cast<std::uint8_t>(b));
+    for (std::size_t i = 0; i < window_bytes_; ++i) fp = AppendByte(fp, 0);
+    remove_table_[b] = fp;
+  }
+}
+
+std::uint64_t RabinFingerprinter::AppendByte(std::uint64_t fp,
+                                             std::uint8_t byte) const {
+  // fp * x^8 + byte * x^64, reduced.
+  return (fp << 8) ^ append_table_[(fp >> 56) & 0xFF] ^
+         append_table_[byte] ^ 0;  // byte * x^64 is exactly T[byte].
+}
+
+std::uint64_t RabinFingerprinter::Fingerprint(std::string_view bytes) const {
+  std::uint64_t fp = 0;
+  for (char c : bytes) fp = AppendByte(fp, static_cast<std::uint8_t>(c));
+  return fp;
+}
+
+std::vector<std::uint64_t> RabinFingerprinter::WindowFingerprints(
+    std::string_view bytes) const {
+  std::vector<std::uint64_t> result;
+  if (bytes.size() < window_bytes_) return result;
+  result.reserve(bytes.size() - window_bytes_ + 1);
+  std::uint64_t fp = 0;
+  for (std::size_t i = 0; i < window_bytes_; ++i) {
+    fp = AppendByte(fp, static_cast<std::uint8_t>(bytes[i]));
+  }
+  result.push_back(fp);
+  for (std::size_t i = window_bytes_; i < bytes.size(); ++i) {
+    fp = AppendByte(fp, static_cast<std::uint8_t>(bytes[i])) ^
+         remove_table_[static_cast<std::uint8_t>(bytes[i - window_bytes_])];
+    result.push_back(fp);
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> RabinFingerprinter::SampledWindowFingerprints(
+    std::string_view bytes, unsigned sample_bits) const {
+  DCS_CHECK(sample_bits < 64);
+  const std::uint64_t mask = (1ULL << sample_bits) - 1;
+  std::vector<std::uint64_t> sampled;
+  for (std::uint64_t fp : WindowFingerprints(bytes)) {
+    if ((fp & mask) == 0) sampled.push_back(fp);
+  }
+  return sampled;
+}
+
+}  // namespace dcs

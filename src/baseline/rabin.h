@@ -1,0 +1,50 @@
+#ifndef DCS_BASELINE_RABIN_H_
+#define DCS_BASELINE_RABIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace dcs {
+
+/// \brief Rabin fingerprinting over GF(2) [22], as used by the
+/// raw-aggregation baseline and the EarlyBird-style local detector [17].
+///
+/// Fingerprints are residues of the data polynomial modulo a fixed
+/// irreducible degree-63 polynomial, computed byte-at-a-time with
+/// precomputed tables; the rolling form slides a fixed window one byte at a
+/// time in O(1).
+class RabinFingerprinter {
+ public:
+  /// Fingerprinter for windows of `window_bytes` bytes.
+  explicit RabinFingerprinter(std::size_t window_bytes);
+
+  /// Fingerprint of a whole buffer (not windowed).
+  std::uint64_t Fingerprint(std::string_view bytes) const;
+
+  /// All rolling-window fingerprints of `bytes` (empty when the buffer is
+  /// shorter than the window). Result[i] covers bytes [i, i + window).
+  std::vector<std::uint64_t> WindowFingerprints(std::string_view bytes) const;
+
+  /// Value-sampled window fingerprints: keeps fingerprints whose low
+  /// `sample_bits` bits are zero (EarlyBird samples substrings this way so
+  /// all observers pick the same positions of the same content).
+  std::vector<std::uint64_t> SampledWindowFingerprints(
+      std::string_view bytes, unsigned sample_bits) const;
+
+  std::size_t window_bytes() const { return window_bytes_; }
+
+ private:
+  std::uint64_t AppendByte(std::uint64_t fp, std::uint8_t byte) const;
+
+  std::size_t window_bytes_;
+  // T[b]: reduction of b * x^63.. for the incoming top byte.
+  std::uint64_t append_table_[256];
+  // U[b]: b * x^{8*window} mod P, to cancel the outgoing byte.
+  std::uint64_t remove_table_[256];
+};
+
+}  // namespace dcs
+
+#endif  // DCS_BASELINE_RABIN_H_

@@ -1,0 +1,49 @@
+#include "baseline/raw_aggregation.h"
+
+#include <algorithm>
+
+namespace dcs {
+
+RawAggregationDetector::RawAggregationDetector(
+    const RawAggregationOptions& options)
+    : options_(options), fingerprinter_(options.window_bytes) {}
+
+void RawAggregationDetector::AddRouterTrace(std::uint32_t router_id,
+                                            const PacketTrace& trace) {
+  for (const Packet& packet : trace) {
+    bytes_shipped_ += packet.wire_bytes();
+    if (packet.payload.size() < options_.min_payload_bytes) continue;
+    std::vector<std::uint64_t> fps =
+        fingerprinter_.SampledWindowFingerprints(packet.payload,
+                                                 options_.sample_bits);
+    std::sort(fps.begin(), fps.end());
+    fps.erase(std::unique(fps.begin(), fps.end()), fps.end());
+    for (std::uint64_t fp : fps) {
+      std::vector<std::uint32_t>& routers = routers_by_fp_[fp];
+      if (routers.empty() || routers.back() != router_id) {
+        // Traces are added router-by-router, so a per-fp router list stays
+        // sorted and deduplicated by checking the tail.
+        routers.push_back(router_id);
+      }
+    }
+  }
+}
+
+std::vector<CommonContentFinding> RawAggregationDetector::Findings() const {
+  std::vector<CommonContentFinding> findings;
+  for (const auto& [fp, routers] : routers_by_fp_) {
+    if (routers.size() >= options_.min_routers) {
+      findings.push_back(CommonContentFinding{fp, routers});
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const CommonContentFinding& a, const CommonContentFinding& b) {
+              if (a.routers.size() != b.routers.size()) {
+                return a.routers.size() > b.routers.size();
+              }
+              return a.fingerprint < b.fingerprint;
+            });
+  return findings;
+}
+
+}  // namespace dcs

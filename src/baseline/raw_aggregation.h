@@ -1,0 +1,62 @@
+#ifndef DCS_BASELINE_RAW_AGGREGATION_H_
+#define DCS_BASELINE_RAW_AGGREGATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/trace.h"
+#include "baseline/rabin.h"
+
+namespace dcs {
+
+/// Configuration of the centralized baseline.
+struct RawAggregationOptions {
+  std::size_t window_bytes = 40;
+  unsigned sample_bits = 6;
+  /// Report content seen at at least this many distinct routers.
+  std::uint32_t min_routers = 3;
+  std::size_t min_payload_bytes = 64;
+};
+
+/// One detected piece of common content.
+struct CommonContentFinding {
+  std::uint64_t fingerprint = 0;
+  std::vector<std::uint32_t> routers;
+};
+
+/// \brief The "raw aggregation" strawman the paper rules out (Section II-B):
+/// ship every packet to one place and string-match.
+///
+/// Exact and offset-insensitive (value-sampled Rabin windows), so it serves
+/// as ground truth for integration tests — and its resource accounting
+/// (bytes shipped, table size) quantifies why it cannot scale: shipping
+/// 1,000 OC-192 links would require 10 Tbps of extra backbone capacity.
+class RawAggregationDetector {
+ public:
+  explicit RawAggregationDetector(const RawAggregationOptions& options);
+
+  /// Ingests one router's full raw trace (the "shipping").
+  void AddRouterTrace(std::uint32_t router_id, const PacketTrace& trace);
+
+  /// Contents seen at >= min_routers distinct routers, most-widespread
+  /// first.
+  std::vector<CommonContentFinding> Findings() const;
+
+  /// Raw bytes that had to be shipped to the center.
+  std::uint64_t bytes_shipped() const { return bytes_shipped_; }
+
+  /// Number of tracked fingerprints (memory proxy).
+  std::size_t table_size() const { return routers_by_fp_.size(); }
+
+ private:
+  RawAggregationOptions options_;
+  RabinFingerprinter fingerprinter_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
+      routers_by_fp_;
+  std::uint64_t bytes_shipped_ = 0;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_BASELINE_RAW_AGGREGATION_H_

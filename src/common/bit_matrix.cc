@@ -1,0 +1,58 @@
+#include "common/bit_matrix.h"
+
+#include <bit>
+
+namespace dcs {
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols) : cols_(cols) {
+  rows_.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) rows_.emplace_back(cols);
+}
+
+void BitMatrix::AppendRow(BitVector row) {
+  if (rows_.empty()) {
+    cols_ = row.size();
+  } else {
+    DCS_CHECK(row.size() == cols_);
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::vector<std::uint32_t> BitMatrix::ColumnWeights() const {
+  std::vector<std::uint32_t> weights(cols_, 0);
+  for (const BitVector& r : rows_) {
+    const std::uint64_t* words = r.words();
+    for (std::size_t w = 0; w < r.num_words(); ++w) {
+      std::uint64_t word = words[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        ++weights[(w << 6) + static_cast<std::size_t>(bit)];
+        word &= word - 1;
+      }
+    }
+  }
+  return weights;
+}
+
+BitVector BitMatrix::ExtractColumn(std::size_t c) const {
+  DCS_CHECK(c < cols_);
+  BitVector column(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (rows_[r].Test(c)) column.Set(r);
+  }
+  return column;
+}
+
+std::vector<BitVector> BitMatrix::ExtractColumns(
+    const std::vector<std::size_t>& cols_to_take) const {
+  std::vector<BitVector> result(cols_to_take.size(), BitVector(rows_.size()));
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const BitVector& row_bits = rows_[r];
+    for (std::size_t i = 0; i < cols_to_take.size(); ++i) {
+      if (row_bits.Test(cols_to_take[i])) result[i].Set(r);
+    }
+  }
+  return result;
+}
+
+}  // namespace dcs

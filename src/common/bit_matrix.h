@@ -1,0 +1,71 @@
+#ifndef DCS_COMMON_BIT_MATRIX_H_
+#define DCS_COMMON_BIT_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_vector.h"
+
+namespace dcs {
+
+/// \brief Row-major 0/1 matrix backed by BitVector rows.
+///
+/// This is the analysis center's view of the aggregated digests: one row per
+/// router bitmap (aligned case) or per sketch array (unaligned case), one
+/// column per hash index. Provides the column-oriented helpers the ASID
+/// detectors need (column weights, column extraction) without materializing a
+/// transpose.
+class BitMatrix {
+ public:
+  /// An empty matrix.
+  BitMatrix() = default;
+
+  /// `rows` x `cols` matrix of zeroes.
+  BitMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return cols_; }
+
+  /// Mutable row access.
+  BitVector& row(std::size_t r) {
+    DCS_CHECK(r < rows_.size());
+    return rows_[r];
+  }
+
+  /// Read-only row access.
+  const BitVector& row(std::size_t r) const {
+    DCS_CHECK(r < rows_.size());
+    return rows_[r];
+  }
+
+  /// Sets entry (r, c) to 1.
+  void Set(std::size_t r, std::size_t c) { row(r).Set(c); }
+
+  /// Returns entry (r, c).
+  bool Test(std::size_t r, std::size_t c) const { return row(r).Test(c); }
+
+  /// Appends a row (takes ownership). The first appended row fixes the column
+  /// count; later rows must match it.
+  void AppendRow(BitVector row);
+
+  /// Weight (number of 1s) of every column. Cost O(rows * set bits); columns
+  /// are counted by scanning rows word-wise.
+  std::vector<std::uint32_t> ColumnWeights() const;
+
+  /// Extracts column `c` as a BitVector of length rows().
+  BitVector ExtractColumn(std::size_t c) const;
+
+  /// Extracts the listed columns; result[i] is column cols_to_take[i].
+  /// One pass over the matrix regardless of how many columns are taken.
+  std::vector<BitVector> ExtractColumns(
+      const std::vector<std::size_t>& cols_to_take) const;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<BitVector> rows_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_COMMON_BIT_MATRIX_H_

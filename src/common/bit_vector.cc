@@ -1,0 +1,59 @@
+#include "common/bit_vector.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace dcs {
+
+void BitVector::Reset() {
+  std::fill(words_.begin(), words_.end(), 0ULL);
+}
+
+std::size_t BitVector::CountOnes() const {
+  std::size_t count = 0;
+  for (std::uint64_t w : words_) count += std::popcount(w);
+  return count;
+}
+
+std::size_t BitVector::CommonOnes(const BitVector& other) const {
+  DCS_CHECK(num_bits_ == other.num_bits_);
+  std::size_t count = 0;
+  const std::uint64_t* a = words_.data();
+  const std::uint64_t* b = other.words_.data();
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    count += std::popcount(a[i] & b[i]);
+  }
+  return count;
+}
+
+void BitVector::InPlaceAnd(const BitVector& other) {
+  DCS_CHECK(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+  }
+}
+
+void BitVector::InPlaceOr(const BitVector& other) {
+  DCS_CHECK(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+double BitVector::FillRatio() const {
+  if (num_bits_ == 0) return 0.0;
+  return static_cast<double>(CountOnes()) / static_cast<double>(num_bits_);
+}
+
+void BitVector::AppendSetBits(std::vector<std::size_t>* out) const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      out->push_back((w << 6) + static_cast<std::size_t>(bit));
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace dcs

@@ -1,0 +1,38 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dcs {
+
+BenchScale BenchScaleFromEnv() {
+  const char* env = std::getenv("DCS_SCALE");
+  if (env != nullptr && std::strcmp(env, "paper") == 0) {
+    return BenchScale::kPaper;
+  }
+  return BenchScale::kSmall;
+}
+
+std::int64_t EnvInt64(const char* name, std::int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;
+  return value;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(env, &end);
+  if (end == env || *end != '\0') return fallback;
+  return value;
+}
+
+std::string BenchScaleName(BenchScale scale) {
+  return scale == BenchScale::kPaper ? "paper" : "small";
+}
+
+}  // namespace dcs

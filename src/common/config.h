@@ -1,0 +1,31 @@
+#ifndef DCS_COMMON_CONFIG_H_
+#define DCS_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dcs {
+
+/// Scale regimes shared by the benchmark harnesses.
+enum class BenchScale {
+  kSmall,  ///< Laptop-safe defaults; each binary finishes in ~a minute.
+  kPaper,  ///< Full paper-scale parameters (can take much longer).
+};
+
+/// Reads DCS_SCALE from the environment ("small" default, "paper").
+BenchScale BenchScaleFromEnv();
+
+/// Reads an integer environment variable, returning `fallback` when unset or
+/// unparsable.
+std::int64_t EnvInt64(const char* name, std::int64_t fallback);
+
+/// Reads a double environment variable, returning `fallback` when unset or
+/// unparsable.
+double EnvDouble(const char* name, double fallback);
+
+/// Human-readable label ("small" / "paper") for bench headers.
+std::string BenchScaleName(BenchScale scale);
+
+}  // namespace dcs
+
+#endif  // DCS_COMMON_CONFIG_H_

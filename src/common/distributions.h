@@ -1,0 +1,52 @@
+#ifndef DCS_COMMON_DISTRIBUTIONS_H_
+#define DCS_COMMON_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dcs {
+
+/// Exact Binomial(n, p) draw. Mode-centered inversion with the pmf
+/// recurrence, so cost is O(sqrt(n p (1-p))) per draw; reproducible across
+/// platforms (unlike std::binomial_distribution).
+std::int64_t SampleBinomial(Rng* rng, std::int64_t n, double p);
+
+/// Exact hypergeometric draw: number of marked items when drawing j from a
+/// population of big_n with i marked (the paper's X(i,j), N = 1024).
+std::int64_t SampleHypergeometric(Rng* rng, std::int64_t big_n, std::int64_t i,
+                                  std::int64_t j);
+
+/// Poisson(mean) draw; inversion for small means, mode-centered otherwise.
+std::int64_t SamplePoisson(Rng* rng, double mean);
+
+/// k distinct values uniform in [0, n), in unspecified order (Floyd's
+/// algorithm). Requires k <= n.
+std::vector<std::uint64_t> SampleWithoutReplacement(Rng* rng, std::uint64_t n,
+                                                    std::uint64_t k);
+
+/// \brief Bounded Zipf(alpha) sampler over ranks {1..n}.
+///
+/// Used by the traffic substrate: the paper leans on the "Zipfian nature of
+/// the traffic" [10] for flow sizes, which makes flow splitting bursty
+/// (Section V-B.4). Precomputes the normalized CDF once; draws are a binary
+/// search.
+class ZipfSampler {
+ public:
+  /// Distribution over {1..n} with P[r] proportional to r^-alpha.
+  ZipfSampler(std::uint64_t n, double alpha);
+
+  /// Draws a rank in [1, n].
+  std::uint64_t Sample(Rng* rng) const;
+
+  /// Probability of rank r (1-based).
+  double Pmf(std::uint64_t r) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_COMMON_DISTRIBUTIONS_H_

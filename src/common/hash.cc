@@ -1,0 +1,38 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace dcs {
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t Hash64(const void* data, std::size_t len, std::uint64_t seed) {
+  constexpr std::uint64_t kMul = 0x9DDFEA08EB382D69ULL;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed ^ (len * kMul);
+
+  while (len >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes, 8);
+    h ^= Mix64(word);
+    h *= kMul;
+    bytes += 8;
+    len -= 8;
+  }
+  if (len > 0) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, bytes, len);
+    h ^= Mix64(tail ^ (static_cast<std::uint64_t>(len) << 56));
+    h *= kMul;
+  }
+  return Mix64(h);
+}
+
+}  // namespace dcs

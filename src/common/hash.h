@@ -1,0 +1,34 @@
+#ifndef DCS_COMMON_HASH_H_
+#define DCS_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dcs {
+
+/// \brief Hashes `len` bytes starting at `data` with the given seed.
+///
+/// 64-bit MurmurHash3-style mixer over 8-byte words with a strong finalizer;
+/// stand-in for the hardware hash of Ramakrishna et al. [9] that the paper
+/// assumes at line speed. Different seeds give (empirically) independent hash
+/// functions, which the sketches use as their hash families.
+std::uint64_t Hash64(const void* data, std::size_t len, std::uint64_t seed);
+
+/// Convenience overload for string-like payloads.
+inline std::uint64_t Hash64(std::string_view bytes, std::uint64_t seed) {
+  return Hash64(bytes.data(), bytes.size(), seed);
+}
+
+/// Mixes a single 64-bit value (used to derive per-array seeds and to hash
+/// flow labels).
+std::uint64_t Mix64(std::uint64_t x);
+
+/// Combines two 64-bit hashes into one.
+inline std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  return Mix64(a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace dcs
+
+#endif  // DCS_COMMON_HASH_H_

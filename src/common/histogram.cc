@@ -1,0 +1,63 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dcs {
+
+void Histogram::Add(std::int64_t value) {
+  samples_.push_back(value);
+  sorted_ = false;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    auto* self = const_cast<Histogram*>(this);
+    std::sort(self->samples_.begin(), self->samples_.end());
+    self->sorted_ = true;
+  }
+}
+
+double Histogram::CdfAt(std::int64_t x) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::int64_t Histogram::Quantile(double q) const {
+  DCS_CHECK(!samples_.empty());
+  DCS_CHECK(q > 0.0 && q <= 1.0);
+  EnsureSorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size()))) - 1;
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::int64_t v : samples_) sum += static_cast<double>(v);
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::int64_t Histogram::Min() const {
+  DCS_CHECK(!samples_.empty());
+  EnsureSorted();
+  return samples_.front();
+}
+
+std::int64_t Histogram::Max() const {
+  DCS_CHECK(!samples_.empty());
+  EnsureSorted();
+  return samples_.back();
+}
+
+double Histogram::FractionAbove(std::int64_t x) const {
+  return samples_.empty() ? 0.0 : 1.0 - CdfAt(x);
+}
+
+}  // namespace dcs

@@ -1,0 +1,50 @@
+#ifndef DCS_COMMON_HISTOGRAM_H_
+#define DCS_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dcs {
+
+/// \brief Accumulates integer samples and reports empirical CDF points.
+///
+/// Used to report the Fig 13 largest-connected-component distributions and
+/// similar Monte-Carlo outputs.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Records one sample.
+  void Add(std::int64_t value);
+
+  /// Number of samples recorded.
+  std::size_t count() const { return samples_.size(); }
+
+  /// Empirical P[X <= x]. Returns 0 when empty.
+  double CdfAt(std::int64_t x) const;
+
+  /// Smallest sample v such that P[X <= v] >= q (q in (0,1]); requires
+  /// non-empty.
+  std::int64_t Quantile(double q) const;
+
+  /// Mean of the samples; 0 when empty.
+  double Mean() const;
+
+  /// Minimum / maximum sample; requires non-empty.
+  std::int64_t Min() const;
+  std::int64_t Max() const;
+
+  /// Fraction of samples strictly greater than x.
+  double FractionAbove(std::int64_t x) const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<std::int64_t> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_COMMON_HISTOGRAM_H_

@@ -1,0 +1,84 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+namespace dcs {
+namespace internal_logging {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::once_flag g_env_once;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void InitFromEnv() {
+  const char* env = std::getenv("DCS_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) {
+    g_min_level = static_cast<int>(LogLevel::kDebug);
+  } else if (std::strcmp(env, "info") == 0) {
+    g_min_level = static_cast<int>(LogLevel::kInfo);
+  } else if (std::strcmp(env, "warning") == 0) {
+    g_min_level = static_cast<int>(LogLevel::kWarning);
+  } else if (std::strcmp(env, "error") == 0) {
+    g_min_level = static_cast<int>(LogLevel::kError);
+  }
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() {
+  std::call_once(g_env_once, InitFromEnv);
+  return static_cast<LogLevel>(g_min_level.load());
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level = static_cast<int>(level);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= MinLogLevel()) {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+  }
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition) {
+  stream_ << "[FATAL " << Basename(file) << ":" << line << "] Check failed: "
+          << condition << " ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace dcs

@@ -1,0 +1,76 @@
+#ifndef DCS_COMMON_LOGGING_H_
+#define DCS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace dcs {
+
+/// Severity levels for the minimal logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_logging {
+
+/// Returns the process-wide minimum severity that is actually printed.
+LogLevel MinLogLevel();
+
+/// Sets the process-wide minimum severity (also settable via DCS_LOG_LEVEL).
+void SetMinLogLevel(LogLevel level);
+
+/// One log statement; streams into itself and emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process in its destructor (for DCS_CHECK).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define DCS_LOG(level)                                                  \
+  ::dcs::internal_logging::LogMessage(::dcs::LogLevel::k##level,        \
+                                      __FILE__, __LINE__)               \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Used for programmer
+/// errors (precondition violations), never for recoverable conditions.
+#define DCS_CHECK(condition)                                            \
+  if (condition) {                                                      \
+  } else                                                                \
+    ::dcs::internal_logging::FatalLogMessage(__FILE__, __LINE__,        \
+                                             #condition)                \
+        .stream()
+
+#define DCS_CHECK_OK(expr)                                   \
+  do {                                                       \
+    ::dcs::Status _dcs_st = (expr);                          \
+    DCS_CHECK(_dcs_st.ok()) << _dcs_st.ToString();           \
+  } while (false)
+
+}  // namespace dcs
+
+#endif  // DCS_COMMON_LOGGING_H_

@@ -1,0 +1,51 @@
+#ifndef DCS_COMMON_RNG_H_
+#define DCS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace dcs {
+
+/// \brief Fast, reproducible pseudo-random generator (xoshiro256**).
+///
+/// Satisfies the UniformRandomBitGenerator concept so it interoperates with
+/// <random>, but the library's own distributions (see distributions.h) are
+/// preferred because libstdc++ distributions are not reproducible across
+/// platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit lanes from `seed` via SplitMix64, so nearby seeds
+  /// yield uncorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next 64 uniform random bits.
+  std::uint64_t Next();
+
+  /// Alias for Next() to satisfy UniformRandomBitGenerator.
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// nearly-divisionless method; the modulo bias is rejected exactly.
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double UniformDouble();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Forks an independent generator; the child stream is a hash of this
+  /// stream's next output, so forked streams do not overlap in practice.
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dcs
+
+#endif  // DCS_COMMON_RNG_H_

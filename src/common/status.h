@@ -1,0 +1,90 @@
+#ifndef DCS_COMMON_STATUS_H_
+#define DCS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dcs {
+
+/// \brief Result of a fallible operation (RocksDB-style; the library does not
+/// throw exceptions).
+///
+/// A default-constructed Status is OK. Non-OK statuses carry a code and a
+/// human-readable message. Statuses are cheap to copy.
+class Status {
+ public:
+  /// Error categories used across the library.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kCorruption,
+    kIoError,
+    kFailedPrecondition,
+    kOutOfRange,
+    kInternal,
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == Code::kOk; }
+
+  /// The error category (Code::kOk for success).
+  Code code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<category>: <message>", for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define DCS_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::dcs::Status _dcs_status = (expr);            \
+    if (!_dcs_status.ok()) return _dcs_status;     \
+  } while (false)
+
+}  // namespace dcs
+
+#endif  // DCS_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef DCS_COMMON_TABLE_PRINTER_H_
+#define DCS_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dcs {
+
+/// \brief Column-aligned console tables for the benchmark harnesses.
+///
+/// Every experiment binary reports the paper's rows/series through this so
+/// that test_output/bench_output transcripts are readable and diffable.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string Fmt(double value, int precision = 3);
+
+  /// Renders the table with padded columns.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dcs {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  DCS_CHECK(num_threads >= 1);
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    DCS_CHECK(!shutting_down_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t shards = std::min(count, threads_.size() * 4);
+  const std::size_t chunk = (count + shards - 1) / shards;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t begin = s * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    Schedule([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting_down_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace dcs

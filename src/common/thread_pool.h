@@ -1,0 +1,58 @@
+#ifndef DCS_COMMON_THREAD_POOL_H_
+#define DCS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dcs {
+
+/// \brief Fixed-size worker pool.
+///
+/// The paper notes (Section IV-D) that the analysis center's pairwise row
+/// correlation is embarrassingly parallel and suggests spreading it over many
+/// CPUs; the correlation engine uses this pool for that.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains pending work and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until every scheduled task has finished.
+  void Wait();
+
+  /// Number of worker threads.
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, count) across the pool, partitioned into
+  /// contiguous shards, and blocks until all complete.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_COMMON_THREAD_POOL_H_

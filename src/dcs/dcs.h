@@ -1,0 +1,26 @@
+#ifndef DCS_DCS_DCS_H_
+#define DCS_DCS_DCS_H_
+
+/// \file
+/// Umbrella header for libdcs — Distributed Collaborative Streaming
+/// detection of common content in Internet traffic (Sung, Kumar, Li, Wang,
+/// Xu; ICDE 2006).
+///
+/// Typical use:
+///   1. at each router, run an AlignedCollector / UnalignedCollector over
+///      every measurement epoch and ship the Digest;
+///   2. at the analysis center, feed the epoch's digests to a DcsMonitor
+///      and call AnalyzeAligned() / AnalyzeUnaligned().
+/// See examples/quickstart.cc.
+
+#include "dcs/epoch_tracker.h"     // IWYU pragma: export
+#include "dcs/monitor.h"           // IWYU pragma: export
+#include "dcs/options.h"           // IWYU pragma: export
+#include "dcs/report.h"            // IWYU pragma: export
+#include "dcs/signature_filter.h"  // IWYU pragma: export
+#include "net/packetizer.h" // IWYU pragma: export
+#include "net/trace.h"      // IWYU pragma: export
+#include "sketch/collector.h"  // IWYU pragma: export
+#include "sketch/digest.h"     // IWYU pragma: export
+
+#endif  // DCS_DCS_DCS_H_

@@ -1,0 +1,62 @@
+#include "dcs/epoch_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+
+namespace dcs {
+
+EpochTracker::EpochTracker(const EpochTrackerOptions& options)
+    : options_(options) {
+  DCS_CHECK(options.window_epochs >= 1);
+  DCS_CHECK(options.min_detections >= 1);
+  DCS_CHECK(options.min_router_fraction > 0.0 &&
+            options.min_router_fraction <= 1.0);
+}
+
+void EpochTracker::RecordEpoch(bool detected,
+                               const std::vector<std::uint32_t>& routers) {
+  EpochRecord record;
+  record.detected = detected;
+  if (detected) {
+    record.routers = routers;
+    std::sort(record.routers.begin(), record.routers.end());
+    record.routers.erase(
+        std::unique(record.routers.begin(), record.routers.end()),
+        record.routers.end());
+  }
+  window_.push_back(std::move(record));
+  if (window_.size() > options_.window_epochs) window_.pop_front();
+  ++epochs_seen_;
+}
+
+std::size_t EpochTracker::detections_in_window() const {
+  std::size_t count = 0;
+  for (const EpochRecord& record : window_) count += record.detected;
+  return count;
+}
+
+bool EpochTracker::PersistentDetection() const {
+  return detections_in_window() >= options_.min_detections;
+}
+
+std::vector<std::uint32_t> EpochTracker::StableRouters() const {
+  const std::size_t detecting = detections_in_window();
+  std::vector<std::uint32_t> stable;
+  if (detecting == 0) return stable;
+  std::map<std::uint32_t, std::size_t> counts;
+  for (const EpochRecord& record : window_) {
+    if (!record.detected) continue;
+    for (std::uint32_t r : record.routers) ++counts[r];
+  }
+  const auto needed = static_cast<std::size_t>(std::ceil(
+      options_.min_router_fraction * static_cast<double>(detecting)));
+  for (const auto& [router, count] : counts) {
+    if (count >= std::max<std::size_t>(needed, 1)) stable.push_back(router);
+  }
+  return stable;
+}
+
+}  // namespace dcs

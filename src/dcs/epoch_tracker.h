@@ -1,0 +1,62 @@
+#ifndef DCS_DCS_EPOCH_TRACKER_H_
+#define DCS_DCS_EPOCH_TRACKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace dcs {
+
+/// Configuration of cross-epoch detection smoothing.
+struct EpochTrackerOptions {
+  /// Sliding window length, in epochs.
+  std::size_t window_epochs = 5;
+  /// Alarm after at least this many detecting epochs inside the window.
+  std::size_t min_detections = 2;
+  /// A router is reported as stable when it appears in at least this
+  /// fraction of the window's detecting epochs.
+  double min_router_fraction = 0.5;
+};
+
+/// \brief Aggregates per-epoch verdicts across time (Section V-B.1).
+///
+/// The paper runs detection every second and tolerates per-epoch false
+/// negatives because a real pattern spans epochs: "even if the pattern is
+/// missed in one second, it may be caught in the following seconds".
+/// Requiring k-of-w epochs before alarming also collapses the residual
+/// false positive rate (independent epoch FPs multiply). This tracker keeps
+/// the sliding window and the per-router detection counts.
+class EpochTracker {
+ public:
+  explicit EpochTracker(const EpochTrackerOptions& options);
+
+  /// Records one epoch's verdict and (if detected) the implicated routers.
+  void RecordEpoch(bool detected, const std::vector<std::uint32_t>& routers);
+
+  /// True when the window holds at least min_detections detecting epochs.
+  bool PersistentDetection() const;
+
+  /// Number of detecting epochs currently in the window.
+  std::size_t detections_in_window() const;
+
+  /// Routers implicated in at least min_router_fraction of the window's
+  /// detecting epochs, ascending. Empty when nothing detected.
+  std::vector<std::uint32_t> StableRouters() const;
+
+  /// Total epochs ever recorded.
+  std::uint64_t epochs_seen() const { return epochs_seen_; }
+
+ private:
+  struct EpochRecord {
+    bool detected = false;
+    std::vector<std::uint32_t> routers;
+  };
+
+  EpochTrackerOptions options_;
+  std::deque<EpochRecord> window_;
+  std::uint64_t epochs_seen_ = 0;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_DCS_EPOCH_TRACKER_H_

@@ -1,0 +1,228 @@
+#include "dcs/monitor.h"
+
+#include <algorithm>
+
+#include "common/bit_matrix.h"
+#include "common/logging.h"
+#include "analysis/cluster_separation.h"
+#include "analysis/er_test.h"
+#include "analysis/lambda_table.h"
+
+namespace dcs {
+
+DcsMonitor::DcsMonitor(const AlignedPipelineOptions& aligned_options,
+                       const UnalignedPipelineOptions& unaligned_options)
+    : aligned_options_(aligned_options),
+      unaligned_options_(unaligned_options) {}
+
+Status DcsMonitor::AddDigest(const Digest& digest) {
+  if (digest.rows.empty()) {
+    return Status::InvalidArgument("digest has no rows");
+  }
+  std::vector<Digest>* bucket =
+      digest.kind == DigestKind::kAligned ? &aligned_ : &unaligned_;
+  if (!bucket->empty()) {
+    const Digest& first = bucket->front();
+    if (digest.rows.front().size() != first.rows.front().size() ||
+        digest.num_groups != first.num_groups ||
+        digest.arrays_per_group != first.arrays_per_group) {
+      return Status::InvalidArgument(
+          "digest shape disagrees with earlier digests of this epoch");
+    }
+  }
+  digest_bytes_ += digest.EncodedSizeBytes();
+  raw_bytes_ += digest.raw_bytes_covered;
+  bucket->push_back(digest);
+  return Status::Ok();
+}
+
+Status DcsMonitor::AddEncodedDigest(const std::vector<std::uint8_t>& bytes) {
+  Digest digest;
+  DCS_RETURN_IF_ERROR(Digest::Decode(bytes, &digest));
+  return AddDigest(digest);
+}
+
+std::vector<AlignedReport> DcsMonitor::AnalyzeAlignedAll(
+    std::size_t max_patterns) const {
+  std::vector<AlignedReport> reports;
+  if (aligned_.size() < 2) return reports;
+  BitMatrix matrix;
+  for (const Digest& digest : aligned_) {
+    matrix.AppendRow(digest.rows.front());
+  }
+  AlignedDetector detector(aligned_options_.detector);
+  for (const AlignedDetection& detection : detector.DetectMultipleInMatrix(
+           matrix, aligned_options_.n_prime, max_patterns)) {
+    AlignedReport report;
+    report.matrix_rows = matrix.rows();
+    report.matrix_cols = matrix.cols();
+    report.common_content_detected = true;
+    for (std::uint32_t row : detection.rows) {
+      report.routers.push_back(aligned_[row].router_id);
+    }
+    std::sort(report.routers.begin(), report.routers.end());
+    report.signature_columns = detection.columns;
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+AlignedReport DcsMonitor::AnalyzeAligned() const {
+  AlignedReport report;
+  if (aligned_.size() < 2) return report;
+
+  // Stack one row per router bitmap.
+  BitMatrix matrix;
+  for (const Digest& digest : aligned_) {
+    matrix.AppendRow(digest.rows.front());
+  }
+  report.matrix_rows = matrix.rows();
+  report.matrix_cols = matrix.cols();
+
+  AlignedDetector detector(aligned_options_.detector);
+  const AlignedDetection detection =
+      detector.DetectInMatrix(matrix, aligned_options_.n_prime);
+  report.common_content_detected = detection.pattern_found;
+  if (detection.pattern_found) {
+    report.routers.reserve(detection.rows.size());
+    for (std::uint32_t row : detection.rows) {
+      report.routers.push_back(aligned_[row].router_id);
+    }
+    std::sort(report.routers.begin(), report.routers.end());
+    report.signature_columns = detection.columns;
+  }
+  return report;
+}
+
+void DcsMonitor::BuildUnalignedMatrix(
+    BitMatrix* matrix, std::vector<GroupRef>* group_refs) const {
+  // Merge digests vertically (Section IV-B): all rows, group-major, with a
+  // global group id per (router, group).
+  const std::size_t arrays = unaligned_.front().arrays_per_group;
+  for (const Digest& digest : unaligned_) {
+    DCS_CHECK(digest.rows.size() ==
+              static_cast<std::size_t>(digest.num_groups) * arrays);
+    for (std::uint32_t g = 0; g < digest.num_groups; ++g) {
+      group_refs->push_back(GroupRef{digest.router_id, g});
+    }
+    for (const BitVector& row : digest.rows) {
+      matrix->AppendRow(row);
+    }
+  }
+}
+
+std::vector<UnalignedReport> DcsMonitor::AnalyzeUnalignedAll(
+    std::size_t max_patterns) const {
+  std::vector<UnalignedReport> reports;
+  const UnalignedReport epoch = AnalyzeUnaligned();
+  if (!epoch.common_content_detected) return reports;
+
+  BitMatrix matrix;
+  std::vector<GroupRef> group_refs;
+  BuildUnalignedMatrix(&matrix, &group_refs);
+  const std::size_t n = group_refs.size();
+  const std::size_t arrays = unaligned_.front().arrays_per_group;
+  const double core_p1 =
+      unaligned_options_.core_p1_times_n / static_cast<double>(n);
+  LambdaTable lambda_core(matrix.cols(),
+                          LambdaTable::PStarFromEdgeProb(core_p1, arrays));
+  GraphBuilderOptions builder = unaligned_options_.builder;
+  builder.arrays_per_group = arrays;
+  const Graph core_graph =
+      BuildCorrelationGraph(matrix, lambda_core, builder);
+
+  MultiPatternOptions multi;
+  multi.detector = unaligned_options_.detector;
+  multi.max_patterns = max_patterns;
+  multi.p_background = core_p1;
+  for (const UnalignedDetection& detection :
+       DetectMultipleUnalignedPatterns(core_graph, multi)) {
+    UnalignedReport report = epoch;  // Shared ER statistics.
+    report.groups.clear();
+    report.routers.clear();
+    report.clusters.clear();
+    report.num_edges = core_graph.num_edges();
+    for (Graph::VertexId v : detection.detected) {
+      report.groups.push_back(group_refs[v]);
+      report.routers.push_back(group_refs[v].router_id);
+    }
+    std::sort(report.routers.begin(), report.routers.end());
+    report.routers.erase(
+        std::unique(report.routers.begin(), report.routers.end()),
+        report.routers.end());
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+UnalignedReport DcsMonitor::AnalyzeUnaligned() const {
+  UnalignedReport report;
+  if (unaligned_.empty()) return report;
+
+  BitMatrix matrix;
+  std::vector<GroupRef> group_refs;
+  BuildUnalignedMatrix(&matrix, &group_refs);
+  const std::size_t arrays = unaligned_.front().arrays_per_group;
+  const std::size_t n = group_refs.size();
+  report.num_vertices = n;
+  if (n < 2) return report;
+
+  // ER test on the sparse graph (p1 below the 1/n phase transition).
+  const double er_p1 =
+      unaligned_options_.er_p1_times_n / static_cast<double>(n);
+  GraphBuilderOptions builder = unaligned_options_.builder;
+  {
+    LambdaTable lambda(matrix.cols(),
+                       LambdaTable::PStarFromEdgeProb(er_p1, arrays));
+    builder.arrays_per_group = arrays;
+    const Graph er_graph = BuildCorrelationGraph(matrix, lambda, builder);
+    const std::size_t threshold =
+        unaligned_options_.er_threshold > 0
+            ? unaligned_options_.er_threshold
+            : DefaultErTestThreshold(n);
+    const ErTestResult er = RunErTest(er_graph, threshold);
+    report.largest_component = er.largest_component;
+    report.er_threshold = threshold;
+    report.common_content_detected = er.pattern_detected;
+  }
+  if (!report.common_content_detected) return report;
+
+  // Core finding on the denser graph G' (lambda' from the larger p1).
+  const double core_p1 =
+      unaligned_options_.core_p1_times_n / static_cast<double>(n);
+  LambdaTable lambda_core(matrix.cols(),
+                          LambdaTable::PStarFromEdgeProb(core_p1, arrays));
+  const Graph core_graph =
+      BuildCorrelationGraph(matrix, lambda_core, builder);
+  report.num_edges = core_graph.num_edges();
+  const UnalignedDetection detection =
+      DetectUnalignedPattern(core_graph, unaligned_options_.detector);
+  report.groups.reserve(detection.detected.size());
+  for (Graph::VertexId v : detection.detected) {
+    report.groups.push_back(group_refs[v]);
+    report.routers.push_back(group_refs[v].router_id);
+  }
+  // Per-content breakdown of the detected set (Section II-D).
+  for (const std::vector<Graph::VertexId>& cluster :
+       SeparateClusters(core_graph, detection.detected,
+                        unaligned_options_.separation)) {
+    std::vector<GroupRef> refs;
+    refs.reserve(cluster.size());
+    for (Graph::VertexId v : cluster) refs.push_back(group_refs[v]);
+    report.clusters.push_back(std::move(refs));
+  }
+  std::sort(report.routers.begin(), report.routers.end());
+  report.routers.erase(
+      std::unique(report.routers.begin(), report.routers.end()),
+      report.routers.end());
+  return report;
+}
+
+void DcsMonitor::ClearEpoch() {
+  aligned_.clear();
+  unaligned_.clear();
+  digest_bytes_ = 0;
+  raw_bytes_ = 0;
+}
+
+}  // namespace dcs

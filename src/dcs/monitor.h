@@ -1,0 +1,85 @@
+#ifndef DCS_DCS_MONITOR_H_
+#define DCS_DCS_MONITOR_H_
+
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "common/status.h"
+#include "dcs/options.h"
+#include "dcs/report.h"
+#include "sketch/digest.h"
+
+namespace dcs {
+
+/// \brief The central analysis module of the DCS architecture (Fig 2).
+///
+/// Routers ship Digests; the monitor stacks them into the per-epoch analysis
+/// matrix and runs the appropriate detection pipeline:
+///  * aligned: screen the heaviest n' columns, greedy k-product core search,
+///    core scan across the remaining columns (Section III);
+///  * unaligned: induce the group correlation graph through the lambda
+///    table, run the Erdős–Rényi phase-transition test, then find the core
+///    and expand it (Section IV).
+///
+/// One monitor instance handles one epoch at a time: add the epoch's
+/// digests, Analyze*, then ClearEpoch().
+class DcsMonitor {
+ public:
+  DcsMonitor(const AlignedPipelineOptions& aligned_options,
+             const UnalignedPipelineOptions& unaligned_options);
+
+  /// Accepts one router's digest for the current epoch. Rejects digests
+  /// whose shape disagrees with previously added ones.
+  Status AddDigest(const Digest& digest);
+
+  /// Decodes an encoded digest (the wire form routers ship) and adds it.
+  Status AddEncodedDigest(const std::vector<std::uint8_t>& bytes);
+
+  /// Runs the aligned pipeline over all aligned digests received.
+  AlignedReport AnalyzeAligned() const;
+
+  /// Iterated aligned analysis for several common contents in one epoch
+  /// (Section II-D): one report per detected pattern, strongest first.
+  std::vector<AlignedReport> AnalyzeAlignedAll(
+      std::size_t max_patterns) const;
+
+  /// Runs the unaligned pipeline over all unaligned digests received.
+  UnalignedReport AnalyzeUnaligned() const;
+
+  /// Iterated unaligned analysis (Section II-D): detects up to max_patterns
+  /// distinct contents by detect-erase-repeat on the core graph, each gated
+  /// by the Eq-2 union bound. Returns one report per content, strongest
+  /// first; the ER test still gates the whole epoch (empty result when it
+  /// does not fire).
+  std::vector<UnalignedReport> AnalyzeUnalignedAll(
+      std::size_t max_patterns) const;
+
+  /// Drops all buffered digests.
+  void ClearEpoch();
+
+  /// Digests buffered so far.
+  std::size_t num_aligned_digests() const { return aligned_.size(); }
+  std::size_t num_unaligned_digests() const { return unaligned_.size(); }
+
+  /// Total encoded digest bytes received this epoch and the raw traffic
+  /// bytes they summarize (for the >=1000x reduction accounting).
+  std::uint64_t digest_bytes_received() const { return digest_bytes_; }
+  std::uint64_t raw_bytes_summarized() const { return raw_bytes_; }
+
+ private:
+  // Stacks the unaligned digests group-major and fills the (router, group)
+  // identity of every graph vertex.
+  void BuildUnalignedMatrix(BitMatrix* matrix,
+                            std::vector<GroupRef>* group_refs) const;
+
+  AlignedPipelineOptions aligned_options_;
+  UnalignedPipelineOptions unaligned_options_;
+  std::vector<Digest> aligned_;
+  std::vector<Digest> unaligned_;
+  std::uint64_t digest_bytes_ = 0;
+  std::uint64_t raw_bytes_ = 0;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_DCS_MONITOR_H_

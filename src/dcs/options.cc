@@ -1,0 +1,15 @@
+#include "dcs/options.h"
+
+namespace dcs {
+
+UnalignedPipelineOptions SmallUnalignedDefaults(std::size_t num_groups) {
+  UnalignedPipelineOptions options;
+  options.sketch.num_groups = num_groups;
+  // Small deployments have proportionally fewer vertices, so the core can
+  // be smaller while staying significant.
+  options.detector.beta = 12;
+  options.detector.expand_min_edges = 2;
+  return options;
+}
+
+}  // namespace dcs

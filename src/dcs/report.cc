@@ -1,0 +1,78 @@
+#include "dcs/report.h"
+
+#include <sstream>
+
+namespace dcs {
+
+std::string AlignedReport::ToString() const {
+  std::ostringstream os;
+  os << "AlignedReport{" << (common_content_detected ? "DETECTED" : "clear")
+     << ", routers=" << routers.size()
+     << ", signature_columns=" << signature_columns.size() << ", matrix="
+     << matrix_rows << "x" << matrix_cols << "}";
+  return os.str();
+}
+
+namespace {
+
+void AppendUintArray(std::ostringstream* os,
+                     const std::vector<std::uint32_t>& values) {
+  *os << "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) *os << ",";
+    *os << values[i];
+  }
+  *os << "]";
+}
+
+}  // namespace
+
+std::string AlignedReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"detected\":" << (common_content_detected ? "true" : "false")
+     << ",\"matrix_rows\":" << matrix_rows
+     << ",\"matrix_cols\":" << matrix_cols << ",\"routers\":";
+  AppendUintArray(&os, routers);
+  os << ",\"signature_columns\":[";
+  for (std::size_t i = 0; i < signature_columns.size(); ++i) {
+    if (i > 0) os << ",";
+    os << signature_columns[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string UnalignedReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"detected\":" << (common_content_detected ? "true" : "false")
+     << ",\"largest_component\":" << largest_component
+     << ",\"er_threshold\":" << er_threshold
+     << ",\"num_vertices\":" << num_vertices
+     << ",\"num_edges\":" << num_edges << ",\"routers\":";
+  AppendUintArray(&os, routers);
+  os << ",\"clusters\":[";
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    if (c > 0) os << ",";
+    os << "[";
+    for (std::size_t i = 0; i < clusters[c].size(); ++i) {
+      if (i > 0) os << ",";
+      os << "{\"router\":" << clusters[c][i].router_id
+         << ",\"group\":" << clusters[c][i].group_index << "}";
+    }
+    os << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string UnalignedReport::ToString() const {
+  std::ostringstream os;
+  os << "UnalignedReport{" << (common_content_detected ? "DETECTED" : "clear")
+     << ", largest_cc=" << largest_component << " (threshold "
+     << er_threshold << "), groups=" << groups.size()
+     << ", routers=" << routers.size() << ", graph=" << num_vertices
+     << "v/" << num_edges << "e}";
+  return os.str();
+}
+
+}  // namespace dcs

@@ -1,0 +1,63 @@
+#ifndef DCS_DCS_REPORT_H_
+#define DCS_DCS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcs {
+
+/// Identity of one sketch group at the analysis center.
+struct GroupRef {
+  std::uint32_t router_id = 0;
+  std::uint32_t group_index = 0;
+
+  friend bool operator==(const GroupRef&, const GroupRef&) = default;
+};
+
+/// Analysis-center verdict for the aligned pipeline.
+struct AlignedReport {
+  /// Whether a non-naturally-occurring all-1 submatrix was found.
+  bool common_content_detected = false;
+  /// Routers whose bitmaps form the pattern rows.
+  std::vector<std::uint32_t> routers;
+  /// Bitmap indices (columns) of the pattern — the hashed signature of the
+  /// common content's packets.
+  std::vector<std::size_t> signature_columns;
+  /// Matrix shape analyzed.
+  std::size_t matrix_rows = 0;
+  std::size_t matrix_cols = 0;
+
+  std::string ToString() const;
+
+  /// Machine-readable form for downstream alerting systems.
+  std::string ToJson() const;
+};
+
+/// Analysis-center verdict for the unaligned pipeline.
+struct UnalignedReport {
+  /// ER-test outcome: largest connected component vs threshold.
+  std::size_t largest_component = 0;
+  std::size_t er_threshold = 0;
+  bool common_content_detected = false;
+  /// Groups identified by core finding (only meaningful when detected).
+  std::vector<GroupRef> groups;
+  /// The detected groups split into per-content clusters (Section II-D);
+  /// one cluster per distinct common content, largest first.
+  std::vector<std::vector<GroupRef>> clusters;
+  /// Distinct routers among those groups — who to contact for packet logs
+  /// (the paper's "external means").
+  std::vector<std::uint32_t> routers;
+  /// Graph shape analyzed.
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+
+  std::string ToString() const;
+
+  /// Machine-readable form for downstream alerting systems.
+  std::string ToJson() const;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_DCS_REPORT_H_

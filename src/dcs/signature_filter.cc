@@ -1,0 +1,33 @@
+#include "dcs/signature_filter.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dcs {
+
+SignatureFilter::SignatureFilter(
+    const std::vector<std::size_t>& signature_columns,
+    const BitmapSketchOptions& sketch_options)
+    : options_(sketch_options),
+      signature_bits_(sketch_options.num_bits),
+      signature_size_(signature_columns.size()) {
+  for (std::size_t c : signature_columns) {
+    DCS_CHECK(c < options_.num_bits);
+    signature_bits_.Set(c);
+  }
+}
+
+bool SignatureFilter::Matches(const Packet& packet) const {
+  if (packet.payload.size() < options_.min_payload_bytes) return false;
+  const std::uint64_t index =
+      Hash64(packet.PayloadPrefix(options_.prefix_len), options_.hash_seed) %
+      options_.num_bits;
+  return signature_bits_.Test(index);
+}
+
+double SignatureFilter::FalseMatchProbability() const {
+  return static_cast<double>(signature_size_) /
+         static_cast<double>(options_.num_bits);
+}
+
+}  // namespace dcs

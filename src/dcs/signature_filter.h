@@ -1,0 +1,49 @@
+#ifndef DCS_DCS_SIGNATURE_FILTER_H_
+#define DCS_DCS_SIGNATURE_FILTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "net/packet.h"
+#include "sketch/bitmap_sketch.h"
+
+namespace dcs {
+
+/// \brief Turns an aligned detection into a per-router packet filter.
+///
+/// The aligned pipeline's output includes the pattern's bitmap columns —
+/// the hashed signature of the common content's packets (Section III-B:
+/// "a 1 in the i-th row j-th column corresponds to the i-th router seeing a
+/// packet that hashed to index j"). A router can re-apply the shared sketch
+/// hash to live traffic and log/divert exactly the packets whose hash lands
+/// in the signature — the paper's "external means such as packet logging"
+/// made concrete. False-match probability for background packets is
+/// |signature| / num_bits.
+class SignatureFilter {
+ public:
+  /// Builds a filter from the report's signature columns. `sketch_options`
+  /// must be the deployment's shared sketch configuration (same hash seed,
+  /// width and prefix length).
+  SignatureFilter(const std::vector<std::size_t>& signature_columns,
+                  const BitmapSketchOptions& sketch_options);
+
+  /// True when this packet hashes into the signature (and carries enough
+  /// payload to have been sketched at all).
+  bool Matches(const Packet& packet) const;
+
+  /// Number of signature columns.
+  std::size_t signature_size() const { return signature_size_; }
+
+  /// Expected false-match probability for a random background packet.
+  double FalseMatchProbability() const;
+
+ private:
+  BitmapSketchOptions options_;
+  BitVector signature_bits_;
+  std::size_t signature_size_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_DCS_SIGNATURE_FILTER_H_

@@ -1,0 +1,54 @@
+#include "graph/connected_components.h"
+
+#include <algorithm>
+
+#include "graph/union_find.h"
+
+namespace dcs {
+
+ComponentStats ConnectedComponents(const Graph& graph) {
+  const std::size_t n = graph.num_vertices();
+  UnionFind uf(n);
+  for (const auto& [u, v] : graph.edges()) uf.Union(u, v);
+
+  ComponentStats stats;
+  stats.component_of.assign(n, 0);
+  std::vector<std::uint32_t> root_to_component(n, UINT32_MAX);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint32_t root = uf.Find(static_cast<std::uint32_t>(v));
+    if (root_to_component[root] == UINT32_MAX) {
+      root_to_component[root] =
+          static_cast<std::uint32_t>(stats.component_sizes.size());
+      stats.component_sizes.push_back(0);
+    }
+    stats.component_of[v] = root_to_component[root];
+    ++stats.component_sizes[stats.component_of[v]];
+  }
+  if (!stats.component_sizes.empty()) {
+    stats.largest = *std::max_element(stats.component_sizes.begin(),
+                                      stats.component_sizes.end());
+  }
+  return stats;
+}
+
+std::size_t LargestComponentSize(const Graph& graph) {
+  return ConnectedComponents(graph).largest;
+}
+
+std::vector<Graph::VertexId> LargestComponentVertices(const Graph& graph) {
+  const ComponentStats stats = ConnectedComponents(graph);
+  std::vector<Graph::VertexId> result;
+  if (stats.component_sizes.empty()) return result;
+  const auto it = std::max_element(stats.component_sizes.begin(),
+                                   stats.component_sizes.end());
+  const auto target =
+      static_cast<std::uint32_t>(it - stats.component_sizes.begin());
+  for (std::size_t v = 0; v < stats.component_of.size(); ++v) {
+    if (stats.component_of[v] == target) {
+      result.push_back(static_cast<Graph::VertexId>(v));
+    }
+  }
+  return result;
+}
+
+}  // namespace dcs

@@ -1,0 +1,35 @@
+#ifndef DCS_GRAPH_CONNECTED_COMPONENTS_H_
+#define DCS_GRAPH_CONNECTED_COMPONENTS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcs {
+
+/// Connected-component structure of a graph.
+struct ComponentStats {
+  /// Component id of every vertex (dense, arbitrary order).
+  std::vector<std::uint32_t> component_of;
+  /// Size of each component, indexed by component id.
+  std::vector<std::size_t> component_sizes;
+  /// Size of the largest component (0 for an empty graph).
+  std::size_t largest = 0;
+};
+
+/// Computes connected components via union-find over the edge list. The
+/// graph does not need to be finalized.
+ComponentStats ConnectedComponents(const Graph& graph);
+
+/// Just the largest component size — the Erdős–Rényi test statistic
+/// (Section IV-B).
+std::size_t LargestComponentSize(const Graph& graph);
+
+/// The vertex ids of the largest component (smallest such component id on
+/// ties).
+std::vector<Graph::VertexId> LargestComponentVertices(const Graph& graph);
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_CONNECTED_COMPONENTS_H_

@@ -1,0 +1,156 @@
+#include "graph/core_decomposition.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace dcs {
+namespace {
+
+// Bucket-queue min-degree peeling (Batagelj–Zaveršnik): vertices live in an
+// array sorted by current degree with per-degree bucket starts; deleting a
+// vertex decrements each live neighbor's degree by swapping it one bucket
+// down. O(V + E) total. Within a degree bucket, the vertex that has sat
+// there longest is taken first; for a fixed input the result is
+// deterministic.
+PeelResult PeelMinDegreeBucket(const Graph& graph, std::size_t beta) {
+  const std::size_t n = graph.num_vertices();
+  PeelResult result;
+  if (n == 0) return result;
+
+  std::vector<std::size_t> degree(n);
+  std::size_t max_degree = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    degree[v] = graph.degree(static_cast<Graph::VertexId>(v));
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Counting sort of vertices by degree.
+  std::vector<std::size_t> bucket_start(max_degree + 2, 0);
+  for (std::size_t v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (std::size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<Graph::VertexId> order(n);   // Vertices sorted by degree.
+  std::vector<std::size_t> position(n);    // Index of v in `order`.
+  {
+    std::vector<std::size_t> cursor(bucket_start.begin(),
+                                    bucket_start.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]]++;
+      order[position[v]] = static_cast<Graph::VertexId>(v);
+    }
+  }
+
+  std::vector<char> removed(n, 0);
+  result.removal_order.reserve(n > beta ? n - beta : 0);
+  std::size_t remaining = n;
+  for (std::size_t i = 0; i < n && remaining > beta; ++i) {
+    const Graph::VertexId v = order[i];
+    removed[v] = 1;
+    --remaining;
+    result.removal_order.push_back(v);
+    const std::size_t dv = degree[v];
+    for (Graph::VertexId w : graph.neighbors(v)) {
+      // Classic BZ guard: only neighbors in strictly higher buckets move
+      // down (their bucket fronts provably lie past position i, keeping
+      // the processed prefix intact). A live neighbor at degree <= dv is
+      // about to be processed at this level anyway.
+      if (removed[w] || degree[w] <= dv) continue;
+      const std::size_t dw = degree[w];
+      const std::size_t front = bucket_start[dw];
+      const Graph::VertexId other = order[front];
+      if (other != w) {
+        std::swap(order[position[w]], order[front]);
+        std::swap(position[w], position[other]);
+      }
+      ++bucket_start[dw];
+      --degree[w];
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!removed[v]) result.core.push_back(static_cast<Graph::VertexId>(v));
+  }
+  return result;
+}
+
+// Lazy-deletion heap peeling for the max-degree ablation baseline.
+// Entries are (key, vertex); stale entries (key != current degree) are
+// skipped on pop. Total pushes are O(V + E), so cost is O((V+E) log V).
+PeelResult PeelMaxDegreeHeap(const Graph& graph, std::size_t beta) {
+  constexpr bool min_side = false;
+  const std::size_t n = graph.num_vertices();
+  std::vector<std::int64_t> degree(n);
+  std::vector<char> removed(n, 0);
+
+  using Entry = std::pair<std::int64_t, Graph::VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (std::size_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::int64_t>(graph.degree(
+        static_cast<Graph::VertexId>(v)));
+    const std::int64_t key = min_side ? degree[v] : -degree[v];
+    heap.emplace(key, static_cast<Graph::VertexId>(v));
+  }
+
+  PeelResult result;
+  result.removal_order.reserve(n > beta ? n - beta : 0);
+  std::size_t remaining = n;
+  while (remaining > beta && !heap.empty()) {
+    const auto [key, v] = heap.top();
+    heap.pop();
+    const std::int64_t current = min_side ? degree[v] : -degree[v];
+    if (removed[v] || key != current) continue;  // Stale entry.
+    removed[v] = 1;
+    --remaining;
+    result.removal_order.push_back(v);
+    for (Graph::VertexId w : graph.neighbors(v)) {
+      if (removed[w]) continue;
+      --degree[w];
+      heap.emplace(min_side ? degree[w] : -degree[w], w);
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!removed[v]) result.core.push_back(static_cast<Graph::VertexId>(v));
+  }
+  return result;
+}
+
+PeelResult PeelRandom(const Graph& graph, std::size_t beta, Rng* rng) {
+  DCS_CHECK(rng != nullptr);
+  const std::size_t n = graph.num_vertices();
+  std::vector<Graph::VertexId> remaining(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    remaining[v] = static_cast<Graph::VertexId>(v);
+  }
+  PeelResult result;
+  while (remaining.size() > beta) {
+    const std::size_t pick = rng->UniformInt(remaining.size());
+    result.removal_order.push_back(remaining[pick]);
+    remaining[pick] = remaining.back();
+    remaining.pop_back();
+  }
+  std::sort(remaining.begin(), remaining.end());
+  result.core = std::move(remaining);
+  return result;
+}
+
+}  // namespace
+
+PeelResult PeelToSize(const Graph& graph, std::size_t beta,
+                      PeelStrategy strategy, Rng* rng) {
+  DCS_CHECK(graph.finalized());
+  switch (strategy) {
+    case PeelStrategy::kMinDegree:
+      return PeelMinDegreeBucket(graph, beta);
+    case PeelStrategy::kMaxDegree:
+      return PeelMaxDegreeHeap(graph, beta);
+    case PeelStrategy::kRandom:
+      return PeelRandom(graph, beta, rng);
+  }
+  DCS_CHECK(false) << "unknown strategy";
+  return {};
+}
+
+}  // namespace dcs

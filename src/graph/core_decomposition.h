@@ -1,0 +1,46 @@
+#ifndef DCS_GRAPH_CORE_DECOMPOSITION_H_
+#define DCS_GRAPH_CORE_DECOMPOSITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace dcs {
+
+/// Vertex-removal policies for the peeling game of the paper's Appendix.
+/// kMinDegree is the paper's FindCore (Fig 10) and is stochastically optimal
+/// under its computation model; the others are ablation baselines.
+enum class PeelStrategy {
+  kMinDegree,  ///< Always delete a vertex of smallest residual degree.
+  kMaxDegree,  ///< Adversarial baseline: delete a largest-degree vertex.
+  kRandom,     ///< Neutral baseline: delete a uniformly random vertex.
+};
+
+/// Result of peeling a graph down to `beta` vertices.
+struct PeelResult {
+  /// The surviving vertices (the paper's V_core), ascending.
+  std::vector<Graph::VertexId> core;
+  /// Deleted vertices in deletion order (length n - beta).
+  std::vector<Graph::VertexId> removal_order;
+};
+
+/// \brief The paper's FindCore (Fig 10) generalized over PeelStrategy.
+///
+/// Repeatedly deletes one vertex (and its incident edges) according to the
+/// strategy until `beta` vertices remain. Requires a finalized graph; cost
+/// O(V + E) for kMinDegree (bucket queue), O(V log V + E) otherwise.
+/// `rng` is only used by kRandom and may be null for the other strategies;
+/// kMinDegree/kMaxDegree break ties by smallest vertex id (deterministic).
+PeelResult PeelToSize(const Graph& graph, std::size_t beta,
+                      PeelStrategy strategy, Rng* rng);
+
+/// Convenience wrapper with the paper's semantics.
+inline PeelResult FindCore(const Graph& graph, std::size_t beta) {
+  return PeelToSize(graph, beta, PeelStrategy::kMinDegree, nullptr);
+}
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_CORE_DECOMPOSITION_H_

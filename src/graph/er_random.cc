@@ -1,0 +1,97 @@
+#include "graph/er_random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/distributions.h"
+#include "common/logging.h"
+
+namespace dcs {
+namespace {
+
+// Calls visit(pair_index) for each sampled pair in [0, num_pairs) where each
+// pair is included independently with probability p, via geometric skipping.
+template <typename Visitor>
+void GeometricSkip(std::uint64_t num_pairs, double p, Rng* rng,
+                   Visitor visit) {
+  if (p <= 0.0 || num_pairs == 0) return;
+  if (p >= 1.0) {
+    for (std::uint64_t i = 0; i < num_pairs; ++i) visit(i);
+    return;
+  }
+  const double log_q = std::log1p(-p);
+  double index = -1.0;
+  while (true) {
+    const double u = 1.0 - rng->UniformDouble();  // u in (0, 1].
+    const double skip = std::floor(std::log(u) / log_q);
+    index += skip + 1.0;
+    if (index >= static_cast<double>(num_pairs)) return;
+    visit(static_cast<std::uint64_t>(index));
+  }
+}
+
+// Maps a linear upper-triangle index to the (row, col) pair, row < col, for
+// an n-vertex graph. Row-major: pairs of row r occupy a contiguous block of
+// (n - 1 - r) indices.
+std::pair<std::uint32_t, std::uint32_t> PairFromIndex(std::uint64_t index,
+                                                      std::uint64_t n) {
+  // Solve the row via the quadratic formula, then fix up any floating-point
+  // off-by-one exactly.
+  const double dn = static_cast<double>(n);
+  const double di = static_cast<double>(index);
+  double guess =
+      std::floor(dn - 0.5 - std::sqrt((dn - 0.5) * (dn - 0.5) - 2.0 * di));
+  auto row = static_cast<std::uint64_t>(std::max(0.0, guess));
+  auto row_start = [n](std::uint64_t r) {
+    return r * (2 * n - r - 1) / 2;
+  };
+  while (row > 0 && row_start(row) > index) --row;
+  while (row_start(row + 1) <= index) ++row;
+  const std::uint64_t col = row + 1 + (index - row_start(row));
+  return {static_cast<std::uint32_t>(row), static_cast<std::uint32_t>(col)};
+}
+
+}  // namespace
+
+Graph SampleErGraph(std::size_t n, double p, Rng* rng) {
+  Graph graph(n);
+  const std::uint64_t num_pairs =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  GeometricSkip(num_pairs, p, rng, [&](std::uint64_t index) {
+    const auto [u, v] = PairFromIndex(index, n);
+    graph.AddEdge(u, v);
+  });
+  graph.Finalize();
+  return graph;
+}
+
+void AddPlantedClique(Graph* graph,
+                      const std::vector<Graph::VertexId>& vertices, double p,
+                      Rng* rng) {
+  DCS_CHECK(graph != nullptr);
+  const std::uint64_t k = vertices.size();
+  if (k < 2) return;
+  const std::uint64_t num_pairs = k * (k - 1) / 2;
+  GeometricSkip(num_pairs, p, rng, [&](std::uint64_t index) {
+    const auto [i, j] = PairFromIndex(index, k);
+    graph->AddEdge(vertices[i], vertices[j]);
+  });
+}
+
+PlantedGraph SamplePlantedGraph(std::size_t n, double p_background,
+                                std::size_t n1, double p_pattern, Rng* rng) {
+  DCS_CHECK(n1 <= n);
+  PlantedGraph result{SampleErGraph(n, p_background, rng), {}};
+  const std::vector<std::uint64_t> chosen =
+      SampleWithoutReplacement(rng, n, n1);
+  result.pattern_vertices.reserve(n1);
+  for (std::uint64_t v : chosen) {
+    result.pattern_vertices.push_back(static_cast<Graph::VertexId>(v));
+  }
+  std::sort(result.pattern_vertices.begin(), result.pattern_vertices.end());
+  AddPlantedClique(&result.graph, result.pattern_vertices, p_pattern, rng);
+  result.graph.Finalize();
+  return result;
+}
+
+}  // namespace dcs

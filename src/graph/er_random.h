@@ -1,0 +1,40 @@
+#ifndef DCS_GRAPH_ER_RANDOM_H_
+#define DCS_GRAPH_ER_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace dcs {
+
+/// Samples G(n, p): each of the n(n-1)/2 vertex pairs carries an edge
+/// independently with probability p. Uses geometric skipping, so cost is
+/// O(n + edges) rather than O(n^2) — essential at the paper's n = 102,400.
+/// The returned graph is finalized.
+Graph SampleErGraph(std::size_t n, double p, Rng* rng);
+
+/// Adds, in place, edges among `vertices` with independent probability p
+/// (geometric skipping over the pair indices of the subset). Caller must
+/// re-Finalize().
+void AddPlantedClique(Graph* graph,
+                      const std::vector<Graph::VertexId>& vertices, double p,
+                      Rng* rng);
+
+/// \brief The paper's unaligned-case Monte-Carlo graph model.
+///
+/// Background pairs connect with probability p_background; pairs within the
+/// planted pattern (the n1 groups that saw the common content) connect with
+/// probability p_pattern (Sections IV-B, V-B). Pattern vertices are chosen
+/// uniformly; they are returned so callers can score detection accuracy.
+struct PlantedGraph {
+  Graph graph;
+  std::vector<Graph::VertexId> pattern_vertices;
+};
+PlantedGraph SamplePlantedGraph(std::size_t n, double p_background,
+                                std::size_t n1, double p_pattern, Rng* rng);
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_ER_RANDOM_H_

@@ -1,0 +1,57 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dcs {
+
+Graph::Graph(std::size_t num_vertices) : num_vertices_(num_vertices) {}
+
+void Graph::AddEdge(VertexId u, VertexId v) {
+  DCS_CHECK(u < num_vertices_ && v < num_vertices_);
+  DCS_CHECK(u != v);
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  finalized_ = false;
+}
+
+void Graph::Finalize() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  adjacency_offsets_.assign(num_vertices_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++adjacency_offsets_[u + 1];
+    ++adjacency_offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= num_vertices_; ++i) {
+    adjacency_offsets_[i] += adjacency_offsets_[i - 1];
+  }
+  adjacency_.resize(2 * edges_.size());
+  std::vector<std::size_t> cursor(adjacency_offsets_.begin(),
+                                  adjacency_offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    adjacency_[cursor[u]++] = v;
+    adjacency_[cursor[v]++] = u;
+  }
+  // Edges are processed in sorted order, so each vertex's neighbor list is
+  // already ascending.
+  finalized_ = true;
+}
+
+std::size_t Graph::degree(VertexId v) const {
+  DCS_CHECK(finalized_);
+  DCS_CHECK(v < num_vertices_);
+  return adjacency_offsets_[v + 1] - adjacency_offsets_[v];
+}
+
+std::span<const Graph::VertexId> Graph::neighbors(VertexId v) const {
+  DCS_CHECK(finalized_);
+  DCS_CHECK(v < num_vertices_);
+  return std::span<const VertexId>(
+      adjacency_.data() + adjacency_offsets_[v],
+      adjacency_offsets_[v + 1] - adjacency_offsets_[v]);
+}
+
+}  // namespace dcs

@@ -1,0 +1,62 @@
+#ifndef DCS_GRAPH_GRAPH_H_
+#define DCS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dcs {
+
+/// \brief Undirected simple graph with CSR adjacency.
+///
+/// The unaligned-case analysis induces graphs whose vertices are traffic
+/// groups and whose edges mark suspiciously-correlated sketch rows
+/// (Section IV-B); the detectors need degrees, neighbor iteration and
+/// component queries, all provided here. Vertices are dense [0, n) ids.
+class Graph {
+ public:
+  using VertexId = std::uint32_t;
+
+  /// An edgeless graph on `num_vertices` vertices.
+  explicit Graph(std::size_t num_vertices);
+
+  /// Adds the undirected edge {u, v}. Self loops are rejected; duplicate
+  /// edges are deduplicated at Finalize(). Invalidates adjacency until the
+  /// next Finalize().
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Builds the CSR adjacency (sorting and deduplicating edges). Must be
+  /// called after the last AddEdge and before degree()/neighbors().
+  void Finalize();
+
+  std::size_t num_vertices() const { return num_vertices_; }
+
+  /// Number of distinct edges; requires Finalize().
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Degree of v; requires Finalize().
+  std::size_t degree(VertexId v) const;
+
+  /// Neighbors of v in ascending order; requires Finalize().
+  std::span<const VertexId> neighbors(VertexId v) const;
+
+  /// The deduplicated edge list (u < v per edge); requires Finalize().
+  const std::vector<std::pair<VertexId, VertexId>>& edges() const {
+    return edges_;
+  }
+
+  /// True once Finalize() has run with no AddEdge since.
+  bool finalized() const { return finalized_; }
+
+ private:
+  std::size_t num_vertices_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::vector<std::size_t> adjacency_offsets_;
+  std::vector<VertexId> adjacency_;
+  bool finalized_ = false;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_GRAPH_H_

@@ -1,0 +1,36 @@
+#include "graph/union_find.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace dcs {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+std::uint32_t UnionFind::Find(std::uint32_t x) {
+  DCS_CHECK(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // Path halving.
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(std::uint32_t a, std::uint32_t b) {
+  std::uint32_t ra = Find(a);
+  std::uint32_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+std::size_t UnionFind::SetSize(std::uint32_t x) { return size_[Find(x)]; }
+
+}  // namespace dcs

@@ -1,0 +1,37 @@
+#ifndef DCS_GRAPH_UNION_FIND_H_
+#define DCS_GRAPH_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dcs {
+
+/// Disjoint-set forest with union by size and path halving. Used for
+/// connected-component queries on the induced correlation graphs.
+class UnionFind {
+ public:
+  /// `n` singleton sets.
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of x's set.
+  std::uint32_t Find(std::uint32_t x);
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool Union(std::uint32_t a, std::uint32_t b);
+
+  /// Size of x's set.
+  std::size_t SetSize(std::uint32_t x);
+
+  /// Number of disjoint sets remaining.
+  std::size_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t num_sets_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_UNION_FIND_H_

@@ -1,0 +1,16 @@
+#include "net/packet.h"
+
+#include "common/hash.h"
+
+namespace dcs {
+
+std::uint64_t HashFlowLabel(const FlowLabel& flow, std::uint64_t seed) {
+  std::uint64_t packed_ips =
+      (static_cast<std::uint64_t>(flow.src_ip) << 32) | flow.dst_ip;
+  std::uint64_t packed_rest =
+      (static_cast<std::uint64_t>(flow.src_port) << 24) |
+      (static_cast<std::uint64_t>(flow.dst_port) << 8) | flow.protocol;
+  return HashCombine(Mix64(packed_ips ^ seed), Mix64(packed_rest + seed));
+}
+
+}  // namespace dcs

@@ -1,0 +1,59 @@
+#ifndef DCS_NET_PACKET_H_
+#define DCS_NET_PACKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dcs {
+
+/// \brief Transport-layer flow identity (the paper's "flow label").
+///
+/// The unaligned-case sketch splits traffic into groups by hashing this
+/// 5-tuple so that all packets of one content instance land in the same group
+/// (Fig 9); a flow is one transmission instance of an object.
+struct FlowLabel {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 6;  // TCP by default.
+
+  friend bool operator==(const FlowLabel&, const FlowLabel&) = default;
+};
+
+/// Seeded 64-bit hash of the flow 5-tuple.
+std::uint64_t HashFlowLabel(const FlowLabel& flow, std::uint64_t seed);
+
+/// \brief One captured packet: flow identity plus application-layer payload.
+///
+/// Network/transport headers are modelled only by their byte count so traces
+/// can account for raw traffic volume; the streaming modules operate on the
+/// payload (the paper strips headers before hashing, Fig 3).
+struct Packet {
+  FlowLabel flow;
+  std::uint32_t header_bytes = 40;  // IPv4 + TCP without options.
+  std::string payload;
+
+  /// Total on-the-wire size in bytes.
+  std::size_t wire_bytes() const { return header_bytes + payload.size(); }
+
+  /// First `len` payload bytes (clamped), the paper's
+  /// range(pkt.content, 0, len).
+  std::string_view PayloadPrefix(std::size_t len) const {
+    return std::string_view(payload).substr(0, len);
+  }
+
+  /// `len` payload bytes starting at `offset`; empty if offset is past the
+  /// end, clamped at the payload end otherwise. Used by offset sampling
+  /// (Fig 8).
+  std::string_view PayloadRange(std::size_t offset, std::size_t len) const {
+    std::string_view view(payload);
+    if (offset >= view.size()) return std::string_view();
+    return view.substr(offset, len);
+  }
+};
+
+}  // namespace dcs
+
+#endif  // DCS_NET_PACKET_H_

@@ -1,0 +1,31 @@
+#include "net/packetizer.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace dcs {
+
+std::vector<Packet> PacketizeObject(const FlowLabel& flow,
+                                    std::string_view prefix,
+                                    std::string_view content,
+                                    const PacketizerOptions& options) {
+  DCS_CHECK(options.mss > 0);
+  std::string stream;
+  stream.reserve(prefix.size() + content.size());
+  stream.append(prefix);
+  stream.append(content);
+
+  std::vector<Packet> packets;
+  packets.reserve((stream.size() + options.mss - 1) / options.mss);
+  for (std::size_t pos = 0; pos < stream.size(); pos += options.mss) {
+    Packet pkt;
+    pkt.flow = flow;
+    pkt.header_bytes = options.header_bytes;
+    pkt.payload = stream.substr(pos, options.mss);
+    packets.push_back(std::move(pkt));
+  }
+  return packets;
+}
+
+}  // namespace dcs

@@ -1,0 +1,39 @@
+#ifndef DCS_NET_PACKETIZER_H_
+#define DCS_NET_PACKETIZER_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace dcs {
+
+/// Packetization parameters.
+struct PacketizerOptions {
+  /// Maximum segment size: application bytes per packet. The paper targets
+  /// the popular sizes (536-byte MSS for 576-byte packets, 1460 for 1500).
+  std::size_t mss = 536;
+  /// Network+transport header bytes added to every segment.
+  std::uint32_t header_bytes = 40;
+};
+
+/// \brief Chops `prefix + content` into MSS-sized packets of one flow.
+///
+/// This models the paper's two cases exactly:
+/// * aligned: prefix is empty, so packet i of any instance of `content`
+///   carries the same payload;
+/// * unaligned: a variable-length prefix (e.g. the per-recipient SMTP header
+///   of an email worm) shifts the content by `prefix.size() mod mss`, so
+///   fragments at a fixed offset differ between instances (Section II-A).
+///
+/// The last packet may be short; every other packet carries exactly mss
+/// bytes.
+std::vector<Packet> PacketizeObject(const FlowLabel& flow,
+                                    std::string_view prefix,
+                                    std::string_view content,
+                                    const PacketizerOptions& options);
+
+}  // namespace dcs
+
+#endif  // DCS_NET_PACKETIZER_H_

@@ -1,0 +1,160 @@
+#include "net/trace.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dcs {
+namespace {
+
+constexpr std::uint32_t kTraceMagic = 0x44435354;  // "DCST"
+constexpr std::uint32_t kTraceVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU32(std::FILE* f, std::uint32_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool WriteU64(std::FILE* f, std::uint64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool ReadU32(std::FILE* f, std::uint32_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+bool ReadU64(std::FILE* f, std::uint64_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+std::uint64_t PacketChecksum(const Packet& pkt, std::uint64_t running) {
+  std::uint64_t h = HashFlowLabel(pkt.flow, /*seed=*/0xC0FFEE);
+  h = HashCombine(h, Hash64(pkt.payload, /*seed=*/0xF00D));
+  h = HashCombine(h, pkt.header_bytes);
+  return HashCombine(running, h);
+}
+
+}  // namespace
+
+std::size_t PacketTrace::TotalWireBytes() const {
+  std::size_t total = 0;
+  for (const Packet& pkt : packets_) total += pkt.wire_bytes();
+  return total;
+}
+
+std::vector<PacketTrace::EpochView> PacketTrace::SplitIntoEpochs(
+    std::size_t packets_per_epoch) const {
+  DCS_CHECK(packets_per_epoch > 0);
+  std::vector<EpochView> epochs;
+  for (std::size_t start = 0; start < packets_.size();
+       start += packets_per_epoch) {
+    EpochView view;
+    view.data = packets_.data() + start;
+    view.count = std::min(packets_per_epoch, packets_.size() - start);
+    epochs.push_back(view);
+  }
+  return epochs;
+}
+
+Status PacketTrace::WriteToFile(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IoError("cannot open for write: " + path);
+  }
+  if (!WriteU32(f.get(), kTraceMagic) || !WriteU32(f.get(), kTraceVersion) ||
+      !WriteU64(f.get(), packets_.size())) {
+    return Status::IoError("header write failed: " + path);
+  }
+  std::uint64_t checksum = 0;
+  for (const Packet& pkt : packets_) {
+    checksum = PacketChecksum(pkt, checksum);
+    if (!WriteU32(f.get(), pkt.flow.src_ip) ||
+        !WriteU32(f.get(), pkt.flow.dst_ip) ||
+        !WriteU32(f.get(), (static_cast<std::uint32_t>(pkt.flow.src_port)
+                            << 16) |
+                               pkt.flow.dst_port) ||
+        !WriteU32(f.get(), (static_cast<std::uint32_t>(pkt.flow.protocol)
+                            << 24) |
+                               (pkt.header_bytes & 0xFFFFFF)) ||
+        !WriteU64(f.get(), pkt.payload.size())) {
+      return Status::IoError("packet header write failed: " + path);
+    }
+    if (!pkt.payload.empty() &&
+        std::fwrite(pkt.payload.data(), 1, pkt.payload.size(), f.get()) !=
+            pkt.payload.size()) {
+      return Status::IoError("payload write failed: " + path);
+    }
+  }
+  if (!WriteU64(f.get(), checksum)) {
+    return Status::IoError("checksum write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status PacketTrace::ReadFromFile(const std::string& path, PacketTrace* out) {
+  DCS_CHECK(out != nullptr);
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for read: " + path);
+  }
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (!ReadU32(f.get(), &magic) || !ReadU32(f.get(), &version) ||
+      !ReadU64(f.get(), &count)) {
+    return Status::Corruption("truncated trace header: " + path);
+  }
+  if (magic != kTraceMagic) {
+    return Status::Corruption("bad magic in trace file: " + path);
+  }
+  if (version != kTraceVersion) {
+    return Status::Corruption("unsupported trace version: " + path);
+  }
+  PacketTrace trace;
+  trace.packets_.reserve(count);
+  std::uint64_t checksum = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Packet pkt;
+    std::uint32_t ports = 0;
+    std::uint32_t proto_header = 0;
+    std::uint64_t payload_size = 0;
+    if (!ReadU32(f.get(), &pkt.flow.src_ip) ||
+        !ReadU32(f.get(), &pkt.flow.dst_ip) || !ReadU32(f.get(), &ports) ||
+        !ReadU32(f.get(), &proto_header) ||
+        !ReadU64(f.get(), &payload_size)) {
+      return Status::Corruption("truncated packet record: " + path);
+    }
+    pkt.flow.src_port = static_cast<std::uint16_t>(ports >> 16);
+    pkt.flow.dst_port = static_cast<std::uint16_t>(ports & 0xFFFF);
+    pkt.flow.protocol = static_cast<std::uint8_t>(proto_header >> 24);
+    pkt.header_bytes = proto_header & 0xFFFFFF;
+    pkt.payload.resize(payload_size);
+    if (payload_size > 0 &&
+        std::fread(pkt.payload.data(), 1, payload_size, f.get()) !=
+            payload_size) {
+      return Status::Corruption("truncated payload: " + path);
+    }
+    checksum = PacketChecksum(pkt, checksum);
+    trace.packets_.push_back(std::move(pkt));
+  }
+  std::uint64_t stored_checksum = 0;
+  if (!ReadU64(f.get(), &stored_checksum)) {
+    return Status::Corruption("missing checksum: " + path);
+  }
+  if (stored_checksum != checksum) {
+    return Status::Corruption("checksum mismatch: " + path);
+  }
+  *out = std::move(trace);
+  return Status::Ok();
+}
+
+}  // namespace dcs

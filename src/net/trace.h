@@ -1,0 +1,65 @@
+#ifndef DCS_NET_TRACE_H_
+#define DCS_NET_TRACE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/packet.h"
+
+namespace dcs {
+
+/// \brief In-memory packet trace for one monitored link.
+///
+/// Stand-in for the pcap-style header traces the paper collected from a
+/// tier-1 ISP; provides epoch segmentation (the paper cuts its 150M-packet
+/// trace into one-second-equivalent segments) and a compact binary file
+/// format so synthesized workloads can be reused across runs.
+class PacketTrace {
+ public:
+  PacketTrace() = default;
+
+  /// Appends one packet.
+  void Add(Packet packet) { packets_.push_back(std::move(packet)); }
+
+  /// Number of packets.
+  std::size_t size() const { return packets_.size(); }
+  bool empty() const { return packets_.empty(); }
+
+  const Packet& operator[](std::size_t i) const { return packets_[i]; }
+
+  std::vector<Packet>::const_iterator begin() const {
+    return packets_.begin();
+  }
+  std::vector<Packet>::const_iterator end() const { return packets_.end(); }
+
+  /// Total on-the-wire bytes across all packets.
+  std::size_t TotalWireBytes() const;
+
+  /// Splits the trace into consecutive segments of `packets_per_epoch`
+  /// packets (the last may be short). Views index into this trace; the trace
+  /// must outlive them.
+  struct EpochView {
+    const Packet* data = nullptr;
+    std::size_t count = 0;
+
+    const Packet* begin() const { return data; }
+    const Packet* end() const { return data + count; }
+    std::size_t size() const { return count; }
+  };
+  std::vector<EpochView> SplitIntoEpochs(std::size_t packets_per_epoch) const;
+
+  /// Writes the trace to `path` (binary, versioned, checksummed).
+  Status WriteToFile(const std::string& path) const;
+
+  /// Reads a trace previously written by WriteToFile.
+  static Status ReadFromFile(const std::string& path, PacketTrace* out);
+
+ private:
+  std::vector<Packet> packets_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_NET_TRACE_H_

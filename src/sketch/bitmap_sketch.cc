@@ -1,0 +1,34 @@
+#include "sketch/bitmap_sketch.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dcs {
+
+BitmapSketch::BitmapSketch(const BitmapSketchOptions& options)
+    : options_(options), bits_(options.num_bits) {
+  DCS_CHECK(options.num_bits > 0);
+  DCS_CHECK(options.prefix_len > 0);
+}
+
+bool BitmapSketch::Update(const Packet& packet) {
+  if (packet.payload.size() < options_.min_payload_bytes) return false;
+  const std::string_view fragment =
+      packet.PayloadPrefix(options_.prefix_len);
+  const std::uint64_t index =
+      Hash64(fragment, options_.hash_seed) % bits_.size();
+  if (!bits_.Test(index)) {
+    bits_.Set(index);
+    ++ones_;
+  }
+  ++packets_recorded_;
+  return true;
+}
+
+void BitmapSketch::Reset() {
+  bits_.Reset();
+  packets_recorded_ = 0;
+  ones_ = 0;
+}
+
+}  // namespace dcs

@@ -1,0 +1,68 @@
+#ifndef DCS_SKETCH_BITMAP_SKETCH_H_
+#define DCS_SKETCH_BITMAP_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bit_vector.h"
+#include "net/packet.h"
+
+namespace dcs {
+
+/// Configuration of the aligned-case online streaming module (Fig 3).
+struct BitmapSketchOptions {
+  /// Bitmap width. The paper sizes it at 4 Mbit so one OC-48 second
+  /// (~2.4M packets) fills it to about half (Bloom-filter property [4]).
+  std::size_t num_bits = 4u << 20;
+  /// Number of leading payload bytes hashed — the paper's
+  /// range(pkt.content, 0, len).
+  std::size_t prefix_len = 64;
+  /// Hash seed; all routers in a deployment must share it, otherwise their
+  /// bitmaps are uncorrelated and no pattern can form.
+  std::uint64_t hash_seed = 0x5EED5EED;
+  /// Packets with an empty payload (pure ACKs) are skipped, per the paper.
+  std::size_t min_payload_bytes = 1;
+};
+
+/// \brief Aligned-case streaming module: a hashed bitmap of payload prefixes.
+///
+/// Update cost is one hash plus one bit set per packet, matching the paper's
+/// line-speed requirement. When the bitmap reaches half 1s the measurement
+/// epoch ends and the bitmap ships to the analysis center as one matrix row.
+class BitmapSketch {
+ public:
+  explicit BitmapSketch(const BitmapSketchOptions& options);
+
+  /// Processes one packet (lines 4-6 of Fig 3). Returns true if the packet
+  /// was recorded (had enough payload).
+  bool Update(const Packet& packet);
+
+  /// Number of packets recorded since the last Reset.
+  std::uint64_t packets_recorded() const { return packets_recorded_; }
+
+  /// Current fraction of 1 bits. NOTE: O(num_bits/64); intended for epoch
+  /// boundaries, not per packet.
+  double FillRatio() const { return bits_.FillRatio(); }
+
+  /// True once the bitmap is at least half full — the paper's epoch-end
+  /// condition. Tracked incrementally (O(1)).
+  bool IsHalfFull() const { return ones_ * 2 >= bits_.size(); }
+
+  /// The bitmap (one matrix row for the analysis center).
+  const BitVector& bits() const { return bits_; }
+
+  /// Clears the bitmap for the next measurement epoch.
+  void Reset();
+
+  const BitmapSketchOptions& options() const { return options_; }
+
+ private:
+  BitmapSketchOptions options_;
+  BitVector bits_;
+  std::uint64_t packets_recorded_ = 0;
+  std::size_t ones_ = 0;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_SKETCH_BITMAP_SKETCH_H_

@@ -1,0 +1,80 @@
+#include "sketch/collector.h"
+
+namespace dcs {
+
+AlignedCollector::AlignedCollector(std::uint32_t router_id,
+                                   const BitmapSketchOptions& options)
+    : router_id_(router_id), sketch_(options) {}
+
+Digest AlignedCollector::TakeDigest(std::uint64_t raw_bytes) {
+  Digest digest;
+  digest.router_id = router_id_;
+  digest.epoch_id = epoch_++;
+  digest.kind = DigestKind::kAligned;
+  digest.num_groups = 1;
+  digest.arrays_per_group = 1;
+  digest.rows.push_back(sketch_.bits());
+  digest.packets_covered = sketch_.packets_recorded();
+  digest.raw_bytes_covered = raw_bytes;
+  sketch_.Reset();
+  return digest;
+}
+
+Digest AlignedCollector::ProcessEpoch(const PacketTrace::EpochView& epoch) {
+  std::uint64_t raw_bytes = 0;
+  for (const Packet& pkt : epoch) {
+    sketch_.Update(pkt);
+    raw_bytes += pkt.wire_bytes();
+  }
+  return TakeDigest(raw_bytes);
+}
+
+std::vector<Digest> AlignedCollector::ProcessTraceAdaptive(
+    const PacketTrace& trace) {
+  std::vector<Digest> digests;
+  std::uint64_t raw_bytes = 0;
+  for (const Packet& pkt : trace) {
+    sketch_.Update(pkt);
+    raw_bytes += pkt.wire_bytes();
+    if (sketch_.IsHalfFull()) {
+      digests.push_back(TakeDigest(raw_bytes));
+      raw_bytes = 0;
+    }
+  }
+  if (sketch_.packets_recorded() > 0) {
+    digests.push_back(TakeDigest(raw_bytes));
+  }
+  return digests;
+}
+
+UnalignedCollector::UnalignedCollector(std::uint32_t router_id,
+                                       const FlowSplitOptions& options,
+                                       Rng* rng)
+    : router_id_(router_id), sketch_(options, rng) {}
+
+Digest UnalignedCollector::ProcessEpoch(
+    const PacketTrace::EpochView& epoch) {
+  std::uint64_t raw_bytes = 0;
+  for (const Packet& pkt : epoch) {
+    sketch_.Update(pkt);
+    raw_bytes += pkt.wire_bytes();
+  }
+  Digest digest;
+  digest.router_id = router_id_;
+  digest.epoch_id = epoch_++;
+  digest.kind = DigestKind::kUnaligned;
+  digest.num_groups = static_cast<std::uint32_t>(sketch_.num_groups());
+  digest.arrays_per_group = static_cast<std::uint32_t>(
+      sketch_.options().offset_options.num_arrays);
+  BitMatrix matrix = sketch_.ToMatrix();
+  digest.rows.reserve(matrix.rows());
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    digest.rows.push_back(matrix.row(r));
+  }
+  digest.packets_covered = sketch_.packets_recorded();
+  digest.raw_bytes_covered = raw_bytes;
+  sketch_.Reset();
+  return digest;
+}
+
+}  // namespace dcs

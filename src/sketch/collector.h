@@ -1,0 +1,72 @@
+#ifndef DCS_SKETCH_COLLECTOR_H_
+#define DCS_SKETCH_COLLECTOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "net/trace.h"
+#include "sketch/bitmap_sketch.h"
+#include "sketch/digest.h"
+#include "sketch/flow_split_sketch.h"
+
+namespace dcs {
+
+/// \brief Per-router data collection module for the aligned case.
+///
+/// Wraps a BitmapSketch with epoch/digest bookkeeping: feed it an epoch of
+/// packets, take the digest, repeat. This is the "data collection module" box
+/// of the paper's Fig 2.
+class AlignedCollector {
+ public:
+  AlignedCollector(std::uint32_t router_id,
+                   const BitmapSketchOptions& options);
+
+  /// Runs the sketch over one epoch of packets and returns the digest.
+  /// Resets the sketch afterwards and advances the epoch counter.
+  Digest ProcessEpoch(const PacketTrace::EpochView& epoch);
+
+  /// Adaptive epoching (Section III-B: "once about half of the n bits
+  /// become 1's, the measurement epoch ends and the bitmap is sent"): runs
+  /// over the whole trace, cutting a digest whenever the bitmap reaches
+  /// half full, plus one final digest for the remainder (if any packets
+  /// were recorded).
+  std::vector<Digest> ProcessTraceAdaptive(const PacketTrace& trace);
+
+  std::uint32_t router_id() const { return router_id_; }
+  std::uint64_t current_epoch() const { return epoch_; }
+
+ private:
+  Digest TakeDigest(std::uint64_t raw_bytes);
+
+  std::uint32_t router_id_;
+  std::uint64_t epoch_ = 0;
+  BitmapSketch sketch_;
+};
+
+/// \brief Per-router data collection module for the unaligned case
+/// (flow splitting over offset sampling).
+class UnalignedCollector {
+ public:
+  /// `rng` supplies the router's per-epoch offset randomness.
+  UnalignedCollector(std::uint32_t router_id, const FlowSplitOptions& options,
+                     Rng* rng);
+
+  /// Runs the sketch over one epoch and returns the digest (one row per
+  /// group array). Resets the sketch afterwards.
+  Digest ProcessEpoch(const PacketTrace::EpochView& epoch);
+
+  std::uint32_t router_id() const { return router_id_; }
+  std::uint64_t current_epoch() const { return epoch_; }
+
+  /// The underlying sketch (e.g. to inspect offsets in tests).
+  const FlowSplitSketch& sketch() const { return sketch_; }
+
+ private:
+  std::uint32_t router_id_;
+  std::uint64_t epoch_ = 0;
+  FlowSplitSketch sketch_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_SKETCH_COLLECTOR_H_

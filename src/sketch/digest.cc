@@ -1,0 +1,215 @@
+#include "sketch/digest.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dcs {
+namespace {
+
+constexpr std::uint32_t kDigestMagic = 0x44435345;  // "DCSE" (v2: adaptive).
+
+// Per-row encodings.
+constexpr std::uint8_t kRowDense = 0;
+constexpr std::uint8_t kRowSparse = 1;
+
+void AppendU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xFF);
+}
+
+void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xFF);
+}
+
+void AppendVarint(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(v));
+}
+
+bool TakeU32(const std::vector<std::uint8_t>& in, std::size_t* pos,
+             std::uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<std::uint32_t>(in[*pos + i]) << (8 * i);
+  }
+  *pos += 4;
+  return true;
+}
+
+bool TakeU64(const std::vector<std::uint8_t>& in, std::size_t* pos,
+             std::uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<std::uint64_t>(in[*pos + i]) << (8 * i);
+  }
+  *pos += 8;
+  return true;
+}
+
+bool TakeVarint(const std::vector<std::uint8_t>& in, std::size_t* pos,
+                std::uint64_t* v) {
+  *v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= in.size()) return false;
+    const std::uint8_t byte = in[(*pos)++];
+    *v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;  // Over-long varint.
+}
+
+// Appends one row, choosing the smaller of the dense and sparse forms.
+void EncodeRow(const BitVector& row, std::vector<std::uint8_t>* out) {
+  const std::size_t dense_bytes = row.num_words() * 8;
+
+  // Build the sparse candidate (varint count + varint gaps).
+  std::vector<std::uint8_t> sparse;
+  std::vector<std::size_t> indices;
+  row.AppendSetBits(&indices);
+  AppendVarint(&sparse, indices.size());
+  std::size_t prev = 0;
+  for (std::size_t idx : indices) {
+    AppendVarint(&sparse, idx - prev);  // First gap is the index itself.
+    prev = idx;
+  }
+
+  if (sparse.size() < dense_bytes) {
+    out->push_back(kRowSparse);
+    out->insert(out->end(), sparse.begin(), sparse.end());
+  } else {
+    out->push_back(kRowDense);
+    for (std::size_t w = 0; w < row.num_words(); ++w) {
+      AppendU64(out, row.words()[w]);
+    }
+  }
+}
+
+Status DecodeRow(const std::vector<std::uint8_t>& in, std::size_t* pos,
+                 BitVector* row) {
+  if (*pos >= in.size()) return Status::Corruption("missing row tag");
+  const std::uint8_t tag = in[(*pos)++];
+  if (tag == kRowDense) {
+    for (std::size_t w = 0; w < row->num_words(); ++w) {
+      std::uint64_t word = 0;
+      if (!TakeU64(in, pos, &word)) {
+        return Status::Corruption("truncated dense row");
+      }
+      row->mutable_words()[w] = word;
+    }
+    return Status::Ok();
+  }
+  if (tag != kRowSparse) return Status::Corruption("unknown row tag");
+  std::uint64_t count = 0;
+  if (!TakeVarint(in, pos, &count)) {
+    return Status::Corruption("truncated sparse count");
+  }
+  if (count > row->size()) return Status::Corruption("sparse count too big");
+  std::uint64_t index = 0;
+  bool first = true;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t gap = 0;
+    if (!TakeVarint(in, pos, &gap)) {
+      return Status::Corruption("truncated sparse row");
+    }
+    index = first ? gap : index + gap;
+    first = false;
+    if (index >= row->size()) {
+      return Status::Corruption("sparse index out of range");
+    }
+    row->Set(index);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Digest::Encode() const {
+  std::vector<std::uint8_t> out;
+  const std::size_t row_bytes =
+      rows.empty() ? 0 : rows.front().num_words() * 8;
+  out.reserve(64 + rows.size() * (row_bytes + 1) + 8);
+  AppendU32(&out, kDigestMagic);
+  AppendU32(&out, router_id);
+  AppendU64(&out, epoch_id);
+  AppendU32(&out, static_cast<std::uint32_t>(kind));
+  AppendU32(&out, num_groups);
+  AppendU32(&out, arrays_per_group);
+  AppendU64(&out, rows.size());
+  AppendU64(&out, rows.empty() ? 0 : rows.front().size());
+  AppendU64(&out, packets_covered);
+  AppendU64(&out, raw_bytes_covered);
+  for (const BitVector& row : rows) {
+    EncodeRow(row, &out);
+  }
+  AppendU64(&out, Hash64(out.data(), out.size(), /*seed=*/kDigestMagic));
+  return out;
+}
+
+std::size_t Digest::EncodedSizeBytes() const { return Encode().size(); }
+
+double Digest::CompressionFactor() const {
+  const std::size_t encoded = EncodedSizeBytes();
+  if (encoded == 0) return 0.0;
+  return static_cast<double>(raw_bytes_covered) /
+         static_cast<double>(encoded);
+}
+
+Status Digest::Decode(const std::vector<std::uint8_t>& bytes, Digest* out) {
+  DCS_CHECK(out != nullptr);
+  if (bytes.size() < 8) return Status::Corruption("digest too short");
+  const std::uint64_t stored_checksum =
+      [&] {
+        std::uint64_t v = 0;
+        std::memcpy(&v, bytes.data() + bytes.size() - 8, 8);
+        return v;
+      }();
+  const std::uint64_t computed =
+      Hash64(bytes.data(), bytes.size() - 8, /*seed=*/kDigestMagic);
+  if (stored_checksum != computed) {
+    return Status::Corruption("digest checksum mismatch");
+  }
+
+  std::size_t pos = 0;
+  std::uint32_t magic = 0;
+  std::uint32_t kind_raw = 0;
+  std::uint64_t num_rows = 0;
+  std::uint64_t row_bits = 0;
+  Digest digest;
+  if (!TakeU32(bytes, &pos, &magic) ||
+      !TakeU32(bytes, &pos, &digest.router_id) ||
+      !TakeU64(bytes, &pos, &digest.epoch_id) ||
+      !TakeU32(bytes, &pos, &kind_raw) ||
+      !TakeU32(bytes, &pos, &digest.num_groups) ||
+      !TakeU32(bytes, &pos, &digest.arrays_per_group) ||
+      !TakeU64(bytes, &pos, &num_rows) || !TakeU64(bytes, &pos, &row_bits) ||
+      !TakeU64(bytes, &pos, &digest.packets_covered) ||
+      !TakeU64(bytes, &pos, &digest.raw_bytes_covered)) {
+    return Status::Corruption("truncated digest header");
+  }
+  if (magic != kDigestMagic) return Status::Corruption("bad digest magic");
+  if (kind_raw != static_cast<std::uint32_t>(DigestKind::kAligned) &&
+      kind_raw != static_cast<std::uint32_t>(DigestKind::kUnaligned)) {
+    return Status::Corruption("unknown digest kind");
+  }
+  digest.kind = static_cast<DigestKind>(kind_raw);
+
+  digest.rows.reserve(num_rows);
+  for (std::uint64_t r = 0; r < num_rows; ++r) {
+    BitVector row(row_bits);
+    DCS_RETURN_IF_ERROR(DecodeRow(bytes, &pos, &row));
+    digest.rows.push_back(std::move(row));
+  }
+  if (pos + 8 != bytes.size()) {
+    return Status::Corruption("digest trailing bytes");
+  }
+  *out = std::move(digest);
+  return Status::Ok();
+}
+
+}  // namespace dcs

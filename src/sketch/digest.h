@@ -1,0 +1,57 @@
+#ifndef DCS_SKETCH_DIGEST_H_
+#define DCS_SKETCH_DIGEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "common/status.h"
+
+namespace dcs {
+
+/// Which streaming module produced a digest.
+enum class DigestKind : std::uint8_t {
+  kAligned = 1,    ///< One hashed-bitmap row (Section III).
+  kUnaligned = 2,  ///< num_groups * arrays_per_group rows (Section IV).
+};
+
+/// \brief The message a router ships to the analysis center each epoch.
+///
+/// Carries the bitmap rows plus enough metadata for the center to stack them
+/// into the analysis matrix, and raw-traffic accounting to audit the paper's
+/// >=1000x reduction claim. Encoding is little-endian with a trailing
+/// checksum.
+struct Digest {
+  std::uint32_t router_id = 0;
+  std::uint64_t epoch_id = 0;
+  DigestKind kind = DigestKind::kAligned;
+  /// Unaligned layout; 1 x 1 for aligned digests.
+  std::uint32_t num_groups = 1;
+  std::uint32_t arrays_per_group = 1;
+  /// Rows, group-major for unaligned digests.
+  std::vector<BitVector> rows;
+  /// Number of packets the sketch recorded this epoch.
+  std::uint64_t packets_covered = 0;
+  /// On-the-wire bytes of the traffic the sketch observed this epoch.
+  std::uint64_t raw_bytes_covered = 0;
+
+  /// Serializes to bytes. Each row is stored either dense (raw words) or
+  /// sparse (varint-delta set-bit indices), whichever is smaller — a
+  /// quarter-full epoch's bitmap ships at a fraction of its dense size
+  /// while half-full rows stay dense.
+  std::vector<std::uint8_t> Encode() const;
+
+  /// Parses a digest previously produced by Encode. Validates structure and
+  /// checksum.
+  static Status Decode(const std::vector<std::uint8_t>& bytes, Digest* out);
+
+  /// Size of the encoded form (equals Encode().size()).
+  std::size_t EncodedSizeBytes() const;
+
+  /// raw_bytes_covered / encoded size — the paper's compression factor.
+  double CompressionFactor() const;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_SKETCH_DIGEST_H_

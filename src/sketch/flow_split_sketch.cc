@@ -1,0 +1,49 @@
+#include "sketch/flow_split_sketch.h"
+
+#include "common/logging.h"
+
+namespace dcs {
+
+FlowSplitSketch::FlowSplitSketch(const FlowSplitOptions& options, Rng* rng)
+    : options_(options) {
+  DCS_CHECK(options.num_groups > 0);
+  DCS_CHECK(rng != nullptr);
+  groups_.reserve(options.num_groups);
+  OffsetSamplingArrays prototype(options.offset_options, rng);
+  for (std::size_t g = 0; g + 1 < options.num_groups; ++g) {
+    groups_.push_back(prototype.CloneLayout());
+  }
+  groups_.push_back(std::move(prototype));
+}
+
+std::size_t FlowSplitSketch::GroupOf(const FlowLabel& flow) const {
+  return HashFlowLabel(flow, options_.flow_hash_seed) % groups_.size();
+}
+
+bool FlowSplitSketch::Update(const Packet& packet) {
+  const bool recorded = groups_[GroupOf(packet.flow)].Update(packet);
+  if (recorded) ++packets_recorded_;
+  return recorded;
+}
+
+const OffsetSamplingArrays& FlowSplitSketch::group(std::size_t g) const {
+  DCS_CHECK(g < groups_.size());
+  return groups_[g];
+}
+
+BitMatrix FlowSplitSketch::ToMatrix() const {
+  BitMatrix matrix;
+  for (const OffsetSamplingArrays& group : groups_) {
+    for (const BitVector& array : group.arrays()) {
+      matrix.AppendRow(array);
+    }
+  }
+  return matrix;
+}
+
+void FlowSplitSketch::Reset() {
+  for (OffsetSamplingArrays& group : groups_) group.Reset();
+  packets_recorded_ = 0;
+}
+
+}  // namespace dcs

@@ -1,0 +1,73 @@
+#ifndef DCS_SKETCH_FLOW_SPLIT_SKETCH_H_
+#define DCS_SKETCH_FLOW_SPLIT_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_matrix.h"
+#include "common/rng.h"
+#include "net/packet.h"
+#include "sketch/offset_sampling.h"
+
+namespace dcs {
+
+/// Configuration of the unaligned-case flow splitting (Fig 9).
+struct FlowSplitOptions {
+  /// Number of groups the traffic is hash-split into. The paper splits a
+  /// 131,072-bit budget into 128 groups of 10 arrays x 1,024 bits.
+  std::size_t num_groups = 128;
+  /// Hash seed for the flow-label split (can differ per router; grouping is
+  /// a local concern).
+  std::uint64_t flow_hash_seed = 0xF10757;
+  /// Per-group offset sampling configuration.
+  OffsetSamplingOptions offset_options;
+};
+
+/// \brief Unaligned-case streaming module: flow splitting over offset
+/// sampling (Fig 9).
+///
+/// Packets of one flow always land in the same group, so every packet of a
+/// content instance marks the same group's arrays — this is what
+/// concentrates the content's ~g common indices into one 1,024-bit array and
+/// magnifies the signal by an order of magnitude (Section IV-A). All groups
+/// share the router's per-epoch offsets.
+class FlowSplitSketch {
+ public:
+  /// Draws the router's offsets from `rng`.
+  FlowSplitSketch(const FlowSplitOptions& options, Rng* rng);
+
+  /// Routes one packet to its group (line 3 of Fig 9) and updates that
+  /// group's arrays. Returns true if recorded.
+  bool Update(const Packet& packet);
+
+  /// Group index a packet's flow maps to.
+  std::size_t GroupOf(const FlowLabel& flow) const;
+
+  std::size_t num_groups() const { return groups_.size(); }
+
+  /// Arrays of one group.
+  const OffsetSamplingArrays& group(std::size_t g) const;
+
+  /// Flattens all groups into a (num_groups * num_arrays) x array_bits
+  /// matrix — the digest rows shipped to the analysis center. Row ordering
+  /// is group-major: row g * num_arrays + a is array a of group g.
+  BitMatrix ToMatrix() const;
+
+  /// Packets recorded since construction/Reset.
+  std::uint64_t packets_recorded() const { return packets_recorded_; }
+
+  /// Clears every group for the next epoch (offsets kept).
+  void Reset();
+
+  const FlowSplitOptions& options() const { return options_; }
+
+ private:
+  FlowSplitOptions options_;
+  std::vector<OffsetSamplingArrays> groups_;
+  std::uint64_t packets_recorded_ = 0;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_SKETCH_FLOW_SPLIT_SKETCH_H_

@@ -1,0 +1,79 @@
+#include "sketch/offset_sampling.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dcs {
+
+OffsetSamplingArrays::OffsetSamplingArrays(
+    const OffsetSamplingOptions& options, Rng* rng)
+    : options_(options) {
+  DCS_CHECK(rng != nullptr);
+  DCS_CHECK(options.num_arrays > 0);
+  DCS_CHECK(options.array_bits > 0);
+  DCS_CHECK(options.offset_period > 0);
+  // Offsets leave room for a whole fragment before the MSS boundary;
+  // otherwise fragments near the payload end would be clamped short and two
+  // offset-matched routers would hash different byte counts, destroying the
+  // match (Section IV-A).
+  DCS_CHECK(options.fragment_len < options.offset_period);
+  DCS_CHECK(options.fragment_len < options.large_offset_period);
+  const std::uint64_t small_range =
+      options.offset_period - options.fragment_len + 1;
+  const std::uint64_t large_range =
+      options.large_offset_period - options.fragment_len + 1;
+  small_offsets_.reserve(options.num_arrays);
+  large_offsets_.reserve(2 * options.num_arrays);
+  for (std::size_t i = 0; i < options.num_arrays; ++i) {
+    small_offsets_.push_back(
+        static_cast<std::uint32_t>(rng->UniformInt(small_range)));
+    large_offsets_.push_back(
+        static_cast<std::uint32_t>(rng->UniformInt(large_range)));
+    large_offsets_.push_back(
+        static_cast<std::uint32_t>(rng->UniformInt(large_range)));
+  }
+  arrays_.assign(options.num_arrays, BitVector(options.array_bits));
+}
+
+OffsetSamplingArrays::OffsetSamplingArrays(
+    const OffsetSamplingOptions& options,
+    std::vector<std::uint32_t> small_offsets,
+    std::vector<std::uint32_t> large_offsets)
+    : options_(options),
+      small_offsets_(std::move(small_offsets)),
+      large_offsets_(std::move(large_offsets)),
+      arrays_(options.num_arrays, BitVector(options.array_bits)) {}
+
+OffsetSamplingArrays OffsetSamplingArrays::CloneLayout() const {
+  return OffsetSamplingArrays(options_, small_offsets_, large_offsets_);
+}
+
+bool OffsetSamplingArrays::Update(const Packet& packet) {
+  if (packet.payload.size() < options_.min_payload_bytes) return false;
+  const bool large = packet.payload.size() >= options_.large_payload_bytes;
+  for (std::size_t a = 0; a < arrays_.size(); ++a) {
+    const std::size_t offsets_per_array = large ? 2 : 1;
+    for (std::size_t k = 0; k < offsets_per_array; ++k) {
+      const std::uint32_t offset =
+          large ? large_offsets_[2 * a + k] : small_offsets_[a];
+      const std::string_view fragment =
+          packet.PayloadRange(offset, options_.fragment_len);
+      if (fragment.empty()) continue;
+      // One shared hash across all arrays and routers: array i of one router
+      // must collide with array j of another when their offsets align
+      // (Section IV-A), which a per-array seed would destroy.
+      const std::uint64_t index =
+          Hash64(fragment, options_.hash_seed) % options_.array_bits;
+      arrays_[a].Set(index);
+    }
+  }
+  ++packets_recorded_;
+  return true;
+}
+
+void OffsetSamplingArrays::Reset() {
+  for (BitVector& array : arrays_) array.Reset();
+  packets_recorded_ = 0;
+}
+
+}  // namespace dcs

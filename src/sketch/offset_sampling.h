@@ -1,0 +1,96 @@
+#ifndef DCS_SKETCH_OFFSET_SAMPLING_H_
+#define DCS_SKETCH_OFFSET_SAMPLING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "common/rng.h"
+#include "net/packet.h"
+
+namespace dcs {
+
+/// Configuration of the unaligned-case offset sampling (Fig 8).
+struct OffsetSamplingOptions {
+  /// Number of bit arrays (and offsets per size class per array). The paper
+  /// fixes 10 arrays targeting 536-byte payloads.
+  std::size_t num_arrays = 10;
+  /// Bits per array (1,024 after flow splitting in the paper).
+  std::size_t array_bits = 1024;
+  /// Payload period small-packet offsets are drawn from — the MSS (536).
+  /// Offsets are uniform in [0, offset_period - fragment_len].
+  std::size_t offset_period = 536;
+  /// Period for large packets (>= large_payload_bytes): content behind a
+  /// variable prefix shifts modulo the *large* MSS, so those offsets must
+  /// span it. The paper compensates the bigger modulus with ~sqrt(delta)
+  /// more offsets per array (two here, delta ~ 2.7).
+  std::size_t large_offset_period = 1460;
+  /// Bytes hashed per sampled fragment.
+  std::size_t fragment_len = 32;
+  /// Packets below this payload size are skipped (the paper skips < 500 B).
+  std::size_t min_payload_bytes = 500;
+  /// Payloads at or above this size use two offsets per array (the paper:
+  /// "for packets 1000 bytes and above, 20 different offsets").
+  std::size_t large_payload_bytes = 1000;
+  /// Hash seed shared across the deployment.
+  std::uint64_t hash_seed = 0x0FF5E75;
+};
+
+/// \brief One group's offset-sampling arrays.
+///
+/// Each router draws its offsets once per epoch; every qualifying packet
+/// contributes one fragment hash per (array, offset). Two routers that saw
+/// the same content with prefix lengths l1, l2 produce identical index
+/// sequences in arrays (i, j) whenever (l1 - l2) = (a_i - b_j) mod 536 —
+/// probability amplified ~k^2 by using k offsets (Section IV-A).
+class OffsetSamplingArrays {
+ public:
+  /// Draws offsets with `rng` (per-router randomness). All groups of one
+  /// router must share the same offsets; construct once and CloneLayout for
+  /// the other groups.
+  OffsetSamplingArrays(const OffsetSamplingOptions& options, Rng* rng);
+
+  /// A new instance with the same options and offsets but empty arrays.
+  OffsetSamplingArrays CloneLayout() const;
+
+  /// Processes one packet. Returns true if recorded (payload >= minimum).
+  bool Update(const Packet& packet);
+
+  /// The arrays; row i is the bit array of offset index i.
+  const std::vector<BitVector>& arrays() const { return arrays_; }
+
+  /// Offsets used for small packets (one per array).
+  const std::vector<std::uint32_t>& small_offsets() const {
+    return small_offsets_;
+  }
+
+  /// Offsets used for large packets (two per array).
+  const std::vector<std::uint32_t>& large_offsets() const {
+    return large_offsets_;
+  }
+
+  /// Packets recorded since construction/Reset.
+  std::uint64_t packets_recorded() const { return packets_recorded_; }
+
+  /// Clears the arrays for the next epoch (offsets are kept — the paper
+  /// fixes them for a measurement epoch).
+  void Reset();
+
+  const OffsetSamplingOptions& options() const { return options_; }
+
+ private:
+  OffsetSamplingArrays(const OffsetSamplingOptions& options,
+                       std::vector<std::uint32_t> small_offsets,
+                       std::vector<std::uint32_t> large_offsets);
+
+  OffsetSamplingOptions options_;
+  std::vector<std::uint32_t> small_offsets_;
+  std::vector<std::uint32_t> large_offsets_;
+  std::vector<BitVector> arrays_;
+  std::uint64_t packets_recorded_ = 0;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_SKETCH_OFFSET_SAMPLING_H_

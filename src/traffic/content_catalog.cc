@@ -1,0 +1,29 @@
+#include "traffic/content_catalog.h"
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace dcs {
+
+std::string ContentCatalog::ContentBytes(std::uint64_t content_id,
+                                         std::size_t num_bytes) const {
+  Rng rng(HashCombine(seed_, Mix64(content_id)));
+  std::string bytes;
+  bytes.resize(num_bytes);
+  std::size_t pos = 0;
+  while (pos < num_bytes) {
+    const std::uint64_t word = rng.Next();
+    for (int b = 0; b < 8 && pos < num_bytes; ++b, ++pos) {
+      bytes[pos] = static_cast<char>((word >> (8 * b)) & 0xFF);
+    }
+  }
+  return bytes;
+}
+
+std::string ContentCatalog::ContentForPackets(std::uint64_t content_id,
+                                              std::size_t num_packets,
+                                              std::size_t mss) const {
+  return ContentBytes(content_id, num_packets * mss);
+}
+
+}  // namespace dcs

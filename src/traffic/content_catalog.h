@@ -1,0 +1,38 @@
+#ifndef DCS_TRAFFIC_CONTENT_CATALOG_H_
+#define DCS_TRAFFIC_CONTENT_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dcs {
+
+/// \brief Deterministic factory for content objects (worm bodies, hot files,
+/// spam messages).
+///
+/// A content id always yields the same byte string, so independently
+/// synthesized router traces can carry instances of the same object — the
+/// "common content" the detectors look for. Bytes are pseudo-random, which
+/// matches the paper's observation that real payloads passed its randomness
+/// test.
+class ContentCatalog {
+ public:
+  /// Catalog keyed by `seed`; different seeds give disjoint object spaces.
+  explicit ContentCatalog(std::uint64_t seed) : seed_(seed) {}
+
+  /// The object with this id, `num_bytes` long.
+  std::string ContentBytes(std::uint64_t content_id,
+                           std::size_t num_bytes) const;
+
+  /// Convenience: an object spanning exactly `num_packets` full MSS-sized
+  /// segments.
+  std::string ContentForPackets(std::uint64_t content_id,
+                                std::size_t num_packets,
+                                std::size_t mss) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_TRAFFIC_CONTENT_CATALOG_H_

@@ -1,0 +1,64 @@
+#include "traffic/flow_generator.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dcs {
+
+FlowGenerator::FlowGenerator(const BackgroundTrafficOptions& options,
+                             Rng* rng)
+    : options_(options),
+      rng_(rng),
+      flow_size_sampler_(options.max_flow_packets, options.zipf_alpha) {
+  DCS_CHECK(rng != nullptr);
+  DCS_CHECK(options.frac_small + options.frac_mss + options.frac_large <=
+            1.0 + 1e-9);
+}
+
+FlowLabel FlowGenerator::RandomFlow() {
+  FlowLabel flow;
+  flow.src_ip = static_cast<std::uint32_t>(rng_->Next());
+  flow.dst_ip = static_cast<std::uint32_t>(rng_->Next());
+  flow.src_port = static_cast<std::uint16_t>(rng_->UniformInt(64512) + 1024);
+  flow.dst_port = static_cast<std::uint16_t>(rng_->UniformInt(64512) + 1024);
+  flow.protocol = 6;
+  return flow;
+}
+
+void FlowGenerator::Generate(std::size_t num_packets, PacketTrace* trace) {
+  DCS_CHECK(trace != nullptr);
+  std::size_t produced = 0;
+  while (produced < num_packets) {
+    const FlowLabel flow = RandomFlow();
+    const std::uint64_t flow_packets = flow_size_sampler_.Sample(rng_);
+    // Unique per-flow payload source; packets within the flow differ too.
+    const std::uint64_t flow_seed =
+        HashCombine(rng_->Next(), next_flow_serial_++);
+    Rng payload_rng(flow_seed);
+    for (std::uint64_t p = 0; p < flow_packets; ++p) {
+      Packet pkt;
+      pkt.flow = flow;
+      const double u = rng_->UniformDouble();
+      std::size_t payload_bytes;
+      if (u < options_.frac_small) {
+        payload_bytes = 0;  // 40 B header-only packet.
+      } else if (u < options_.frac_small + options_.frac_large) {
+        payload_bytes = 1460;  // 1500 B packet.
+      } else {
+        payload_bytes = 536;  // 576 B packet (the MSS default bucket).
+      }
+      pkt.payload.resize(payload_bytes);
+      std::size_t pos = 0;
+      while (pos < payload_bytes) {
+        const std::uint64_t word = payload_rng.Next();
+        for (int b = 0; b < 8 && pos < payload_bytes; ++b, ++pos) {
+          pkt.payload[pos] = static_cast<char>((word >> (8 * b)) & 0xFF);
+        }
+      }
+      trace->Add(std::move(pkt));
+      ++produced;
+    }
+  }
+}
+
+}  // namespace dcs

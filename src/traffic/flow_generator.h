@@ -1,0 +1,57 @@
+#ifndef DCS_TRAFFIC_FLOW_GENERATOR_H_
+#define DCS_TRAFFIC_FLOW_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/distributions.h"
+#include "common/rng.h"
+#include "net/trace.h"
+
+namespace dcs {
+
+/// Background-traffic model parameters.
+struct BackgroundTrafficOptions {
+  /// Zipf exponent for flow sizes — the paper leans on the Zipfian nature of
+  /// Internet traffic [10].
+  double zipf_alpha = 1.1;
+  /// Flow sizes are Zipf over [1, max_flow_packets]. Raising this makes the
+  /// flow split burstier (Section V-B.4 stress axis).
+  std::uint64_t max_flow_packets = 2000;
+  /// Packet size mix, following the popular-sizes observation of [3]:
+  /// fractions of 40 B (header only, no payload), 576 B (536 B payload) and
+  /// 1500 B (1460 B payload) packets. Must sum to <= 1; the remainder is
+  /// 576 B.
+  double frac_small = 0.35;
+  double frac_mss = 0.40;
+  double frac_large = 0.25;
+  /// Background payload entropy source: each flow carries its own random
+  /// object, so cross-flow payload collisions have negligible probability.
+  std::size_t payload_hash_bytes = 64;
+};
+
+/// \brief Generates background (noise) traffic for one router.
+///
+/// Flows are drawn until the requested packet budget is met: each flow gets
+/// a random 5-tuple, a Zipf-distributed size in packets, and per-packet
+/// sizes from the configured mix. Payload bytes are unique per flow.
+class FlowGenerator {
+ public:
+  FlowGenerator(const BackgroundTrafficOptions& options, Rng* rng);
+
+  /// Appends approximately `num_packets` background packets to `trace`
+  /// (never fewer; the last flow may overshoot by its tail).
+  void Generate(std::size_t num_packets, PacketTrace* trace);
+
+  /// Draws a fresh random flow label.
+  FlowLabel RandomFlow();
+
+ private:
+  BackgroundTrafficOptions options_;
+  Rng* rng_;
+  ZipfSampler flow_size_sampler_;
+  std::uint64_t next_flow_serial_ = 0;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_TRAFFIC_FLOW_GENERATOR_H_

@@ -1,0 +1,78 @@
+#include "traffic/trace_synthesizer.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "net/packetizer.h"
+
+namespace dcs {
+
+std::vector<PacketTrace> SynthesizeScenario(const ScenarioOptions& options,
+                                            const ContentCatalog& catalog) {
+  std::vector<PacketTrace> traces(options.num_routers);
+  Rng scenario_rng(options.seed);
+
+  for (std::size_t r = 0; r < options.num_routers; ++r) {
+    Rng router_rng = scenario_rng.Fork();
+    FlowGenerator generator(options.background, &router_rng);
+    generator.Generate(options.background_packets_per_router, &traces[r]);
+  }
+
+  PacketizerOptions packetizer;
+  packetizer.mss = options.mss;
+
+  for (const PlantedContent& plant : options.planted) {
+    const std::string content =
+        catalog.ContentBytes(plant.content_id, plant.content_bytes);
+    for (std::uint32_t router : plant.router_ids) {
+      DCS_CHECK(router < options.num_routers);
+      for (std::size_t inst = 0; inst < plant.instances_per_router; ++inst) {
+        // Each instance is its own flow with its own (possibly empty)
+        // prefix.
+        FlowLabel flow;
+        flow.src_ip = static_cast<std::uint32_t>(scenario_rng.Next());
+        flow.dst_ip = static_cast<std::uint32_t>(scenario_rng.Next());
+        flow.src_port =
+            static_cast<std::uint16_t>(scenario_rng.UniformInt(64512) + 1024);
+        flow.dst_port =
+            static_cast<std::uint16_t>(scenario_rng.UniformInt(64512) + 1024);
+
+        std::string prefix;
+        if (!plant.aligned && plant.max_prefix_bytes > 0) {
+          const std::size_t prefix_len =
+              scenario_rng.UniformInt(plant.max_prefix_bytes + 1);
+          // Prefix bytes are instance-specific (e.g. per-recipient SMTP
+          // headers), so they never correlate across instances.
+          Rng prefix_rng(scenario_rng.Next());
+          prefix.resize(prefix_len);
+          for (std::size_t i = 0; i < prefix_len; ++i) {
+            prefix[i] = static_cast<char>(prefix_rng.UniformInt(256));
+          }
+        }
+
+        std::vector<Packet> packets =
+            PacketizeObject(flow, prefix, content, packetizer);
+        // Splice at a random position; sketches are order-insensitive.
+        PacketTrace& trace = traces[router];
+        PacketTrace merged;
+        const std::size_t insert_at =
+            trace.size() == 0 ? 0 : scenario_rng.UniformInt(trace.size());
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+          if (i == insert_at) {
+            for (Packet& pkt : packets) merged.Add(std::move(pkt));
+          }
+          merged.Add(trace[i]);
+        }
+        if (insert_at >= trace.size()) {
+          for (Packet& pkt : packets) merged.Add(std::move(pkt));
+        }
+        trace = std::move(merged);
+      }
+    }
+  }
+  return traces;
+}
+
+}  // namespace dcs

@@ -1,0 +1,234 @@
+#include "analysis/aligned_detector.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "analysis/synthetic_matrix.h"
+
+namespace dcs {
+namespace {
+
+AlignedDetectorOptions SmallDetectorOptions() {
+  AlignedDetectorOptions opts;
+  opts.first_iteration_hopefuls = 300;
+  opts.hopefuls = 150;
+  opts.max_iterations = 30;
+  return opts;
+}
+
+// A comfortable planted instance: 40 of 200 routers, 14 packets, screen of
+// 300 out of 20,000 columns.
+SyntheticAlignedOptions PlantedCase() {
+  SyntheticAlignedOptions opts;
+  opts.m = 200;
+  opts.n = 20000;
+  opts.n_prime = 300;
+  opts.pattern_rows = 40;
+  opts.pattern_cols = 14;
+  return opts;
+}
+
+TEST(AlignedDetectorTest, DetectsPlantedPattern) {
+  AlignedDetector detector(SmallDetectorOptions());
+  int detected = 0;
+  int trials = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    const SyntheticScreened s = SampleScreenedAligned(PlantedCase(), &rng);
+    ++trials;
+    const AlignedDetection detection = detector.Detect(s.screened);
+    if (!detection.pattern_found) continue;
+    ++detected;
+    // Reported rows must be mostly true pattern rows.
+    std::size_t true_rows = 0;
+    for (std::uint32_t r : detection.rows) {
+      if (std::binary_search(s.pattern_rows.begin(), s.pattern_rows.end(),
+                             r)) {
+        ++true_rows;
+      }
+    }
+    EXPECT_GE(true_rows * 10, detection.rows.size() * 9)
+        << "seed " << seed << ": rows are mostly genuine";
+    EXPECT_GE(detection.rows.size(), 30u);
+  }
+  EXPECT_GE(detected, 4) << "detected " << detected << "/" << trials;
+}
+
+TEST(AlignedDetectorTest, NoFalsePositiveOnPureNoise) {
+  SyntheticAlignedOptions opts = PlantedCase();
+  opts.pattern_rows = 0;
+  opts.pattern_cols = 0;
+  AlignedDetector detector(SmallDetectorOptions());
+  for (std::uint64_t seed = 10; seed < 15; ++seed) {
+    Rng rng(seed);
+    const SyntheticScreened s = SampleScreenedAligned(opts, &rng);
+    const AlignedDetection detection = detector.Detect(s.screened);
+    EXPECT_FALSE(detection.pattern_found) << "seed " << seed;
+  }
+}
+
+TEST(AlignedDetectorTest, WeightTrajectoryShowsFlattenThenDive) {
+  AlignedDetectorOptions opts = SmallDetectorOptions();
+  opts.record_full_trajectory = true;
+  AlignedDetector detector(opts);
+  Rng rng(3);
+  const SyntheticScreened s = SampleScreenedAligned(PlantedCase(), &rng);
+  const AlignedDetection detection = detector.Detect(s.screened);
+  const auto& w = detection.weight_trajectory;
+  ASSERT_GE(w.size(), 6u);
+  // Initial drop is steep (noise halving).
+  EXPECT_LT(static_cast<double>(w[1]),
+            0.8 * static_cast<double>(w[0]) + 1.0);
+  // Around the stop iteration the curve has flattened: the loss per
+  // iteration is small relative to the early halving.
+  const std::size_t stop = detection.stop_iteration;  // b' value.
+  ASSERT_GE(stop, 3u);
+  const std::size_t idx = stop - 2;  // Trajectory index of iteration b'.
+  ASSERT_GT(idx, 0u);
+  ASSERT_LT(idx, w.size());
+  EXPECT_GT(static_cast<double>(w[idx]),
+            0.8 * static_cast<double>(w[idx - 1]));
+}
+
+TEST(AlignedDetectorTest, StopIterationTracksPatternColumnsInScreen) {
+  // The termination procedure should stop within a couple of iterations of
+  // the number of planted columns that survived the screen (15 in the
+  // paper's Fig 7 example).
+  AlignedDetector detector(SmallDetectorOptions());
+  Rng rng(4);
+  const SyntheticScreened s = SampleScreenedAligned(PlantedCase(), &rng);
+  const AlignedDetection detection = detector.Detect(s.screened);
+  ASSERT_TRUE(detection.pattern_found);
+  const auto in_screen =
+      static_cast<std::int64_t>(s.pattern_columns_in_screen);
+  EXPECT_NEAR(static_cast<double>(detection.stop_iteration),
+              static_cast<double>(in_screen), 2.5);
+}
+
+TEST(AlignedDetectorTest, ReportedColumnsAreScreenedPatternColumns) {
+  AlignedDetector detector(SmallDetectorOptions());
+  Rng rng(5);
+  const SyntheticScreened s = SampleScreenedAligned(PlantedCase(), &rng);
+  const AlignedDetection detection = detector.Detect(s.screened);
+  ASSERT_TRUE(detection.pattern_found);
+  // Synthetic ids: pattern columns occupy [0, b).
+  std::size_t genuine = 0;
+  for (std::size_t c : detection.columns) {
+    if (c < PlantedCase().pattern_cols) ++genuine;
+  }
+  EXPECT_GE(genuine * 10, detection.columns.size() * 8);
+}
+
+TEST(AlignedDetectorTest, DegenerateInputsAreSafe) {
+  AlignedDetector detector(SmallDetectorOptions());
+  ScreenedColumns empty;
+  EXPECT_FALSE(detector.Detect(empty).pattern_found);
+  ScreenedColumns one;
+  one.num_rows = 10;
+  one.num_source_columns = 1;
+  one.columns.push_back(BitVector(10));
+  one.weights.push_back(0);
+  one.original_ids.push_back(0);
+  EXPECT_FALSE(detector.Detect(one).pattern_found);
+}
+
+TEST(AlignedDetectorTest, DetectInMatrixExpandsBeyondScreen) {
+  // Literal small matrix: pattern columns below the screen cutoff must be
+  // recovered by the final core scan (Fig 6 lines 10-14).
+  SyntheticAlignedOptions opts;
+  opts.m = 120;
+  opts.n = 3000;
+  opts.n_prime = 150;
+  opts.pattern_rows = 50;
+  opts.pattern_cols = 40;  // Plenty; many will miss the screen.
+  Rng rng(6);
+  std::vector<std::uint32_t> pattern_rows;
+  std::vector<std::size_t> pattern_cols;
+  const BitMatrix matrix =
+      SampleLiteralAligned(opts, &rng, &pattern_rows, &pattern_cols);
+
+  AlignedDetectorOptions detector_opts = SmallDetectorOptions();
+  AlignedDetector detector(detector_opts);
+  const AlignedDetection detection = detector.DetectInMatrix(matrix, 150);
+  ASSERT_TRUE(detection.pattern_found);
+  // The expansion should recover the large majority of all 40 planted
+  // columns, including those outside the 150-column screen.
+  std::size_t recovered = 0;
+  for (std::size_t c : pattern_cols) {
+    if (std::binary_search(detection.columns.begin(),
+                           detection.columns.end(), c)) {
+      ++recovered;
+    }
+  }
+  EXPECT_GE(recovered, 30u);
+}
+
+TEST(AlignedDetectorTest, GammaSlackTradesRecallForPrecision) {
+  // Fig 6 line 12: columns join the pattern when they share
+  // >= weight(core) - gamma ones with the core. Larger gamma recovers at
+  // least as many planted columns; tiny gamma keeps false columns near
+  // zero.
+  SyntheticAlignedOptions opts;
+  opts.m = 120;
+  opts.n = 3000;
+  opts.n_prime = 150;
+  opts.pattern_rows = 50;
+  opts.pattern_cols = 40;
+  Rng rng(13);
+  std::vector<std::uint32_t> pattern_rows;
+  std::vector<std::size_t> pattern_cols;
+  const BitMatrix matrix =
+      SampleLiteralAligned(opts, &rng, &pattern_rows, &pattern_cols);
+
+  auto run = [&](std::uint32_t gamma) {
+    AlignedDetectorOptions detector_opts = SmallDetectorOptions();
+    detector_opts.gamma = gamma;
+    AlignedDetector detector(detector_opts);
+    return detector.DetectInMatrix(matrix, 150);
+  };
+  auto count_true = [&](const AlignedDetection& d) {
+    std::size_t hits = 0;
+    for (std::size_t c : pattern_cols) {
+      if (std::binary_search(d.columns.begin(), d.columns.end(), c)) ++hits;
+    }
+    return hits;
+  };
+
+  const AlignedDetection strict = run(0);
+  const AlignedDetection loose = run(3);
+  ASSERT_TRUE(strict.pattern_found);
+  ASSERT_TRUE(loose.pattern_found);
+  const std::size_t strict_true = count_true(strict);
+  const std::size_t loose_true = count_true(loose);
+  EXPECT_GE(loose_true, strict_true);
+  EXPECT_GE(loose_true, 30u);
+  // Precision: false columns are a small fraction even with slack 3
+  // (P[noise column matches] ~ binocdf tail at core weight - 3).
+  EXPECT_LE(loose.columns.size() - loose_true, loose_true / 4);
+}
+
+TEST(AlignedDetectorTest, NaivePathOnTinyMatrixMatches) {
+  // Screen width == matrix width turns the refined search into the naive
+  // algorithm; on a tiny matrix both must find the planted block.
+  SyntheticAlignedOptions opts;
+  opts.m = 60;
+  opts.n = 400;
+  opts.n_prime = 400;
+  opts.pattern_rows = 25;
+  opts.pattern_cols = 10;
+  Rng rng(7);
+  std::vector<std::uint32_t> pattern_rows;
+  std::vector<std::size_t> pattern_cols;
+  const BitMatrix matrix =
+      SampleLiteralAligned(opts, &rng, &pattern_rows, &pattern_cols);
+  AlignedDetectorOptions detector_opts;
+  detector_opts.first_iteration_hopefuls = 400;
+  detector_opts.hopefuls = 200;
+  AlignedDetector detector(detector_opts);
+  const AlignedDetection detection = detector.DetectInMatrix(matrix, 400);
+  EXPECT_TRUE(detection.pattern_found);
+}
+
+}  // namespace
+}  // namespace dcs

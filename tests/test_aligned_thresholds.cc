@@ -1,0 +1,113 @@
+#include "analysis/aligned_thresholds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+constexpr std::int64_t kM = 1000;       // Routers.
+constexpr std::int64_t kN = 4'000'000;  // Bitmap bits.
+
+TEST(NnoBoundTest, MatchesHandComputedSmallCase) {
+  // 2x2 all-1s in a 4x4 matrix: C(4,2)^2 * 2^-4 = 36/16.
+  EXPECT_NEAR(std::exp(LogNaturalOccurrenceBound(4, 4, 2, 2)), 36.0 / 16.0,
+              1e-9);
+}
+
+TEST(NnoBoundTest, MonotoneDecreasingInPatternArea) {
+  const double base = LogNaturalOccurrenceBound(kM, kN, 30, 20);
+  EXPECT_LT(LogNaturalOccurrenceBound(kM, kN, 30, 25), base);
+  EXPECT_LT(LogNaturalOccurrenceBound(kM, kN, 40, 20), base);
+}
+
+TEST(NnoBoundTest, PaperFig12LowerCurvePoints) {
+  // "when a is 28, b has to be at least 21": our epsilon choice shifts the
+  // frontier by a column or two, so assert the +-2 band.
+  const std::int64_t b28 = MinNonNaturallyOccurringB(kM, kN, 28, 1e-3);
+  EXPECT_GE(b28, 19);
+  EXPECT_LE(b28, 23);
+  // "when a becomes 70, b only needs to be no less than 10" — the Markov
+  // bound alone gives ~8-10 depending on epsilon.
+  const std::int64_t b70 = MinNonNaturallyOccurringB(kM, kN, 70, 1e-3);
+  EXPECT_GE(b70, 7);
+  EXPECT_LE(b70, 11);
+  // The tradeoff direction is the paper's headline: larger a => smaller b.
+  EXPECT_LT(b70, b28);
+}
+
+TEST(NnoBoundTest, IsNonNaturallyOccurringConsistentWithMinB) {
+  const std::int64_t b = MinNonNaturallyOccurringB(kM, kN, 50, 1e-3);
+  ASSERT_GT(b, 1);
+  EXPECT_TRUE(IsNonNaturallyOccurring(kM, kN, 50, b, 1e-3));
+  EXPECT_FALSE(IsNonNaturallyOccurring(kM, kN, 50, b - 1, 1e-3));
+}
+
+TEST(DetectabilityTest, PaperWorkedExampleAt100x30) {
+  // Section V-A.2: t = 550, ~2900 surviving noise columns, pattern column
+  // survival ~0.55, core width 8, detection probability ~0.988+.
+  DetectabilityOptions opts;
+  const DetectabilityAnalysis analysis =
+      AnalyzeDetectability(kM, kN, 100, 30, opts);
+  EXPECT_EQ(analysis.weight_threshold, 550);
+  EXPECT_NEAR(analysis.expected_noise_columns, 2900.0, 300.0);
+  // P[100 + Binomial(900, 1/2) > 550] is exactly 0.4867; the paper rounds
+  // its intermediate to "about 0.55".
+  EXPECT_NEAR(analysis.pattern_survival_prob, 0.487, 0.01);
+  EXPECT_GE(analysis.min_core_columns, 5);
+  EXPECT_LE(analysis.min_core_columns, 9);
+  EXPECT_GT(analysis.detection_prob, 0.95);
+}
+
+TEST(DetectabilityTest, DetectionProbMonotoneInB) {
+  DetectabilityOptions opts;
+  double prev = 0.0;
+  for (std::int64_t b : {10, 20, 30, 60}) {
+    const double p = AnalyzeDetectability(kM, kN, 100, b, opts).detection_prob;
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(DetectabilityTest, Fig12UpperCurveShape) {
+  DetectabilityOptions opts;
+  // a = 100 -> b ~ 30 (the paper's headline point).
+  const std::int64_t b100 = DetectableThresholdB(kM, kN, 100, 0.95, kN, opts);
+  EXPECT_GE(b100, 15);
+  EXPECT_LE(b100, 40);
+  // a = 70 -> b ~ 99 in the paper; same order here.
+  const std::int64_t b70 = DetectableThresholdB(kM, kN, 70, 0.95, kN, opts);
+  EXPECT_GE(b70, 60);
+  EXPECT_LE(b70, 200);
+  // a = 25: detectability blows up by two orders of magnitude (paper: 3029).
+  const std::int64_t b25 = DetectableThresholdB(kM, kN, 25, 0.95, kN, opts);
+  EXPECT_GT(b25, 1000);
+  EXPECT_LT(b25, 20000);
+  // Monotone: more routers => fewer packets needed.
+  EXPECT_LT(b100, b70);
+  EXPECT_LT(b70, b25);
+}
+
+TEST(DetectabilityTest, DetectableAlwaysAboveNno) {
+  // The paper's Fig 12 observation: the detectable curve lies strictly
+  // above the non-naturally-occurring curve.
+  DetectabilityOptions opts;
+  for (std::int64_t a : {30, 50, 70, 100}) {
+    const std::int64_t nno = MinNonNaturallyOccurringB(kM, kN, a, opts.epsilon);
+    const std::int64_t detectable =
+        DetectableThresholdB(kM, kN, a, 0.95, kN, opts);
+    ASSERT_GT(nno, 0);
+    ASSERT_GT(detectable, 0);
+    EXPECT_GT(detectable, nno) << "a=" << a;
+  }
+}
+
+TEST(DetectabilityTest, InfeasibleReturnsMinusOne) {
+  DetectabilityOptions opts;
+  // One router can never make an all-1 submatrix significant at 95%.
+  EXPECT_EQ(DetectableThresholdB(kM, kN, 1, 0.95, 100000, opts), -1);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,89 @@
+#include "common/bit_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcs {
+namespace {
+
+TEST(BitMatrixTest, ConstructedShape) {
+  BitMatrix m(3, 100);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 100u);
+  EXPECT_FALSE(m.Test(2, 99));
+}
+
+TEST(BitMatrixTest, SetAndTest) {
+  BitMatrix m(2, 10);
+  m.Set(0, 3);
+  m.Set(1, 9);
+  EXPECT_TRUE(m.Test(0, 3));
+  EXPECT_TRUE(m.Test(1, 9));
+  EXPECT_FALSE(m.Test(1, 3));
+}
+
+TEST(BitMatrixTest, AppendRowFixesColumnCount) {
+  BitMatrix m;
+  BitVector row(50);
+  row.Set(7);
+  m.AppendRow(row);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 50u);
+  EXPECT_TRUE(m.Test(0, 7));
+  m.AppendRow(BitVector(50));
+  EXPECT_EQ(m.rows(), 2u);
+}
+
+TEST(BitMatrixTest, ColumnWeightsCountPerColumn) {
+  BitMatrix m(3, 70);
+  m.Set(0, 0);
+  m.Set(1, 0);
+  m.Set(2, 0);
+  m.Set(0, 69);
+  const std::vector<std::uint32_t> weights = m.ColumnWeights();
+  ASSERT_EQ(weights.size(), 70u);
+  EXPECT_EQ(weights[0], 3u);
+  EXPECT_EQ(weights[69], 1u);
+  EXPECT_EQ(weights[1], 0u);
+}
+
+TEST(BitMatrixTest, ExtractColumnMatchesEntries) {
+  BitMatrix m(4, 20);
+  m.Set(1, 5);
+  m.Set(3, 5);
+  const BitVector col = m.ExtractColumn(5);
+  ASSERT_EQ(col.size(), 4u);
+  EXPECT_FALSE(col.Test(0));
+  EXPECT_TRUE(col.Test(1));
+  EXPECT_FALSE(col.Test(2));
+  EXPECT_TRUE(col.Test(3));
+}
+
+TEST(BitMatrixTest, ExtractColumnsOrderFollowsRequest) {
+  BitMatrix m(2, 8);
+  m.Set(0, 1);
+  m.Set(1, 6);
+  const std::vector<BitVector> cols = m.ExtractColumns({6, 1});
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_TRUE(cols[0].Test(1));   // Column 6.
+  EXPECT_FALSE(cols[0].Test(0));
+  EXPECT_TRUE(cols[1].Test(0));   // Column 1.
+}
+
+TEST(BitMatrixTest, ColumnWeightsMatchExtractedColumnsRandomized) {
+  Rng rng(11);
+  BitMatrix m(17, 200);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (rng.Bernoulli(0.3)) m.Set(r, c);
+    }
+  }
+  const std::vector<std::uint32_t> weights = m.ColumnWeights();
+  for (std::size_t c = 0; c < m.cols(); c += 13) {
+    EXPECT_EQ(weights[c], m.ExtractColumn(c).CountOnes()) << "col " << c;
+  }
+}
+
+}  // namespace
+}  // namespace dcs

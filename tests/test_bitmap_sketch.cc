@@ -1,0 +1,121 @@
+#include "sketch/bitmap_sketch.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcs {
+namespace {
+
+Packet MakePacket(std::string payload) {
+  Packet pkt;
+  pkt.flow = FlowLabel{1, 2, 3, 4, 6};
+  pkt.payload = std::move(payload);
+  return pkt;
+}
+
+BitmapSketchOptions SmallOptions() {
+  BitmapSketchOptions opts;
+  opts.num_bits = 1 << 12;
+  return opts;
+}
+
+TEST(BitmapSketchTest, EmptyPayloadSkipped) {
+  BitmapSketch sketch(SmallOptions());
+  EXPECT_FALSE(sketch.Update(MakePacket("")));
+  EXPECT_EQ(sketch.packets_recorded(), 0u);
+  EXPECT_EQ(sketch.bits().CountOnes(), 0u);
+}
+
+TEST(BitmapSketchTest, SetsExactlyOneBitPerDistinctPacket) {
+  BitmapSketch sketch(SmallOptions());
+  EXPECT_TRUE(sketch.Update(MakePacket("payload-a")));
+  EXPECT_EQ(sketch.bits().CountOnes(), 1u);
+  EXPECT_TRUE(sketch.Update(MakePacket("payload-b")));
+  EXPECT_EQ(sketch.bits().CountOnes(), 2u);
+}
+
+TEST(BitmapSketchTest, SamePayloadSameBit) {
+  BitmapSketch sketch(SmallOptions());
+  sketch.Update(MakePacket("identical"));
+  sketch.Update(MakePacket("identical"));
+  EXPECT_EQ(sketch.bits().CountOnes(), 1u);
+  EXPECT_EQ(sketch.packets_recorded(), 2u);
+}
+
+TEST(BitmapSketchTest, TwoSketchesAgreeOnSharedContent) {
+  // The whole aligned design rests on this: the same payload sets the same
+  // index at every router.
+  BitmapSketch a(SmallOptions());
+  BitmapSketch b(SmallOptions());
+  a.Update(MakePacket("common content segment"));
+  b.Update(MakePacket("common content segment"));
+  EXPECT_EQ(a.bits().CommonOnes(b.bits()), 1u);
+}
+
+TEST(BitmapSketchTest, OnlyPrefixLenBytesMatter) {
+  BitmapSketchOptions opts = SmallOptions();
+  opts.prefix_len = 8;
+  BitmapSketch sketch(opts);
+  sketch.Update(MakePacket("12345678_tail_one"));
+  sketch.Update(MakePacket("12345678_other_tail"));
+  EXPECT_EQ(sketch.bits().CountOnes(), 1u);  // Same 8-byte prefix.
+}
+
+TEST(BitmapSketchTest, ResetClearsState) {
+  BitmapSketch sketch(SmallOptions());
+  sketch.Update(MakePacket("x"));
+  sketch.Reset();
+  EXPECT_EQ(sketch.bits().CountOnes(), 0u);
+  EXPECT_EQ(sketch.packets_recorded(), 0u);
+  EXPECT_FALSE(sketch.IsHalfFull());
+}
+
+TEST(BitmapSketchTest, HalfFullEpochCondition) {
+  BitmapSketchOptions opts;
+  opts.num_bits = 256;
+  BitmapSketch sketch(opts);
+  Rng rng(5);
+  int packets = 0;
+  while (!sketch.IsHalfFull() && packets < 10000) {
+    std::string payload(16, '\0');
+    for (char& c : payload) c = static_cast<char>(rng.UniformInt(256));
+    sketch.Update(MakePacket(payload));
+    ++packets;
+  }
+  EXPECT_TRUE(sketch.IsHalfFull());
+  // Bloom-filter arithmetic: ~(ln 2) * 256 ~ 177 distinct packets reach
+  // half-full; allow generous slack.
+  EXPECT_GT(packets, 100);
+  EXPECT_LT(packets, 400);
+  EXPECT_GE(sketch.FillRatio(), 0.5);
+}
+
+TEST(BitmapSketchTest, FillRatioTracksLoad) {
+  BitmapSketch sketch(SmallOptions());
+  Rng rng(6);
+  for (int i = 0; i < 1 << 11; ++i) {  // Insertions = num_bits / 2.
+    std::string payload(12, '\0');
+    for (char& c : payload) c = static_cast<char>(rng.UniformInt(256));
+    sketch.Update(MakePacket(payload));
+  }
+  // Expected fill 1 - e^{-1/2} ~ 0.394.
+  EXPECT_NEAR(sketch.FillRatio(), 0.394, 0.04);
+}
+
+TEST(BitmapSketchTest, DifferentSeedsDecorrelate) {
+  BitmapSketchOptions opts_a = SmallOptions();
+  BitmapSketchOptions opts_b = SmallOptions();
+  opts_b.hash_seed = opts_a.hash_seed + 1;
+  BitmapSketch a(opts_a);
+  BitmapSketch b(opts_b);
+  a.Update(MakePacket("same content"));
+  b.Update(MakePacket("same content"));
+  // With 4096 bits the chance of accidental agreement is ~1/4096.
+  EXPECT_EQ(a.bits().CommonOnes(b.bits()), 0u);
+}
+
+}  // namespace
+}  // namespace dcs

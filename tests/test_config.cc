@@ -1,0 +1,55 @@
+#include "common/config.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(ConfigTest, EnvInt64FallbackWhenUnset) {
+  unsetenv("DCS_TEST_INT");
+  EXPECT_EQ(EnvInt64("DCS_TEST_INT", 42), 42);
+}
+
+TEST(ConfigTest, EnvInt64ParsesValue) {
+  setenv("DCS_TEST_INT", "123", 1);
+  EXPECT_EQ(EnvInt64("DCS_TEST_INT", 42), 123);
+  setenv("DCS_TEST_INT", "-7", 1);
+  EXPECT_EQ(EnvInt64("DCS_TEST_INT", 42), -7);
+  unsetenv("DCS_TEST_INT");
+}
+
+TEST(ConfigTest, EnvInt64RejectsGarbage) {
+  setenv("DCS_TEST_INT", "12abc", 1);
+  EXPECT_EQ(EnvInt64("DCS_TEST_INT", 42), 42);
+  setenv("DCS_TEST_INT", "", 1);
+  EXPECT_EQ(EnvInt64("DCS_TEST_INT", 42), 42);
+  unsetenv("DCS_TEST_INT");
+}
+
+TEST(ConfigTest, EnvDoubleParsesAndFallsBack) {
+  setenv("DCS_TEST_DBL", "0.25", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("DCS_TEST_DBL", 1.0), 0.25);
+  setenv("DCS_TEST_DBL", "zzz", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("DCS_TEST_DBL", 1.0), 1.0);
+  unsetenv("DCS_TEST_DBL");
+}
+
+TEST(ConfigTest, BenchScaleFromEnv) {
+  unsetenv("DCS_SCALE");
+  EXPECT_EQ(BenchScaleFromEnv(), BenchScale::kSmall);
+  setenv("DCS_SCALE", "paper", 1);
+  EXPECT_EQ(BenchScaleFromEnv(), BenchScale::kPaper);
+  setenv("DCS_SCALE", "other", 1);
+  EXPECT_EQ(BenchScaleFromEnv(), BenchScale::kSmall);
+  unsetenv("DCS_SCALE");
+}
+
+TEST(ConfigTest, ScaleNames) {
+  EXPECT_EQ(BenchScaleName(BenchScale::kSmall), "small");
+  EXPECT_EQ(BenchScaleName(BenchScale::kPaper), "paper");
+}
+
+}  // namespace
+}  // namespace dcs

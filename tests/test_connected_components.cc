@@ -1,0 +1,65 @@
+#include "graph/connected_components.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(ConnectedComponentsTest, AllSingletons) {
+  Graph g(4);
+  const ComponentStats stats = ConnectedComponents(g);
+  EXPECT_EQ(stats.component_sizes.size(), 4u);
+  EXPECT_EQ(stats.largest, 1u);
+}
+
+TEST(ConnectedComponentsTest, TwoComponents) {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  const ComponentStats stats = ConnectedComponents(g);
+  EXPECT_EQ(stats.component_sizes.size(), 3u);  // {0,1,2}, {3,4}, {5}.
+  EXPECT_EQ(stats.largest, 3u);
+  EXPECT_EQ(stats.component_of[0], stats.component_of[2]);
+  EXPECT_NE(stats.component_of[0], stats.component_of[3]);
+}
+
+TEST(ConnectedComponentsTest, LargestComponentSizeShortcut) {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  EXPECT_EQ(LargestComponentSize(g), 3u);
+}
+
+TEST(ConnectedComponentsTest, LargestComponentVertices) {
+  Graph g(7);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 5);
+  g.AddEdge(0, 6);
+  const auto vertices = LargestComponentVertices(g);
+  EXPECT_EQ(vertices, (std::vector<Graph::VertexId>{1, 2, 5}));
+}
+
+TEST(ConnectedComponentsTest, EmptyGraphIsSafe) {
+  Graph g(0);
+  const ComponentStats stats = ConnectedComponents(g);
+  EXPECT_EQ(stats.largest, 0u);
+  EXPECT_TRUE(LargestComponentVertices(g).empty());
+}
+
+TEST(ConnectedComponentsTest, SizesSumToVertexCount) {
+  Graph g(20);
+  g.AddEdge(0, 5);
+  g.AddEdge(5, 9);
+  g.AddEdge(10, 11);
+  const ComponentStats stats = ConnectedComponents(g);
+  std::size_t total = 0;
+  for (std::size_t s : stats.component_sizes) total += s;
+  EXPECT_EQ(total, 20u);
+}
+
+}  // namespace
+}  // namespace dcs

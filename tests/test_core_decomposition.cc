@@ -1,0 +1,141 @@
+#include "graph/core_decomposition.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/er_random.h"
+
+namespace dcs {
+namespace {
+
+Graph CliquePlusTail(std::size_t clique, std::size_t tail) {
+  // Vertices [0, clique) form a clique; [clique, clique+tail) a path
+  // hanging off vertex 0.
+  Graph g(clique + tail);
+  for (std::uint32_t i = 0; i < clique; ++i) {
+    for (std::uint32_t j = i + 1; j < clique; ++j) g.AddEdge(i, j);
+  }
+  std::uint32_t prev = 0;
+  for (std::uint32_t t = 0; t < tail; ++t) {
+    const auto v = static_cast<std::uint32_t>(clique + t);
+    g.AddEdge(prev, v);
+    prev = v;
+  }
+  g.Finalize();
+  return g;
+}
+
+TEST(FindCoreTest, MinDegreePeelingKeepsTheClique) {
+  const Graph g = CliquePlusTail(8, 30);
+  const PeelResult result = FindCore(g, 8);
+  ASSERT_EQ(result.core.size(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(result.core[i], i);
+  }
+  EXPECT_EQ(result.removal_order.size(), 30u);
+}
+
+TEST(FindCoreTest, BetaLargerThanGraphReturnsEverything) {
+  const Graph g = CliquePlusTail(4, 2);
+  const PeelResult result = FindCore(g, 100);
+  EXPECT_EQ(result.core.size(), 6u);
+  EXPECT_TRUE(result.removal_order.empty());
+}
+
+TEST(FindCoreTest, BetaZeroRemovesEverything) {
+  const Graph g = CliquePlusTail(3, 3);
+  const PeelResult result = FindCore(g, 0);
+  EXPECT_TRUE(result.core.empty());
+  EXPECT_EQ(result.removal_order.size(), 6u);
+}
+
+TEST(FindCoreTest, RemovalOrderPlusCoreIsAPartition) {
+  const Graph g = CliquePlusTail(6, 10);
+  const PeelResult result = FindCore(g, 5);
+  std::vector<Graph::VertexId> all = result.core;
+  all.insert(all.end(), result.removal_order.begin(),
+             result.removal_order.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(all[v], v);
+  }
+}
+
+TEST(FindCoreTest, TailPeeledBeforeCliqueEverStarts) {
+  const Graph g = CliquePlusTail(5, 20);
+  const PeelResult result = FindCore(g, 5);
+  // All removed vertices are tail vertices (ids >= 5).
+  for (Graph::VertexId v : result.removal_order) {
+    EXPECT_GE(v, 5u);
+  }
+}
+
+TEST(PeelStrategyTest, MaxDegreeDestroysTheClique) {
+  const Graph g = CliquePlusTail(8, 30);
+  const PeelResult result =
+      PeelToSize(g, 8, PeelStrategy::kMaxDegree, nullptr);
+  // Max-degree peeling eats the clique first; the survivors are mostly
+  // tail vertices.
+  std::size_t clique_survivors = 0;
+  for (Graph::VertexId v : result.core) {
+    if (v < 8) ++clique_survivors;
+  }
+  EXPECT_LT(clique_survivors, 4u);
+}
+
+TEST(PeelStrategyTest, RandomPeelingIsBetweenTheTwo) {
+  Rng rng(42);
+  const Graph g = CliquePlusTail(10, 90);
+  int survivors_total = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const PeelResult result =
+        PeelToSize(g, 10, PeelStrategy::kRandom, &rng);
+    for (Graph::VertexId v : result.core) {
+      if (v < 10) ++survivors_total;
+    }
+  }
+  // Random keeps ~10% of clique vertices per slot on average: far fewer
+  // than min-degree (all 10) but typically more than max-degree (~0).
+  EXPECT_GT(survivors_total, 10);
+  EXPECT_LT(survivors_total, 400);
+}
+
+TEST(PeelStrategyTest, MinDegreeBeatsBaselinesOnPlantedPattern) {
+  // The stochastic-optimality claim, checked empirically: min-degree
+  // peeling retains more pattern vertices than random or max-degree.
+  Rng rng(7);
+  std::size_t kept_min = 0;
+  std::size_t kept_rand = 0;
+  std::size_t kept_max = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const PlantedGraph planted = SamplePlantedGraph(
+        2000, 1.0 / 2000.0, 60, 0.25, &rng);
+    std::vector<char> in_pattern(2000, 0);
+    for (Graph::VertexId v : planted.pattern_vertices) in_pattern[v] = 1;
+    auto count_kept = [&](PeelStrategy strategy) {
+      const PeelResult r = PeelToSize(planted.graph, 40, strategy, &rng);
+      std::size_t kept = 0;
+      for (Graph::VertexId v : r.core) kept += in_pattern[v];
+      return kept;
+    };
+    kept_min += count_kept(PeelStrategy::kMinDegree);
+    kept_rand += count_kept(PeelStrategy::kRandom);
+    kept_max += count_kept(PeelStrategy::kMaxDegree);
+  }
+  EXPECT_GT(kept_min, kept_rand);
+  EXPECT_GE(kept_rand, kept_max);
+  // And min-degree actually finds most of the pattern.
+  EXPECT_GT(kept_min, 10u * 30);
+}
+
+TEST(PeelStrategyTest, DeterministicForDegreeStrategies) {
+  const Graph g = CliquePlusTail(6, 12);
+  const PeelResult a = PeelToSize(g, 6, PeelStrategy::kMinDegree, nullptr);
+  const PeelResult b = PeelToSize(g, 6, PeelStrategy::kMinDegree, nullptr);
+  EXPECT_EQ(a.core, b.core);
+  EXPECT_EQ(a.removal_order, b.removal_order);
+}
+
+}  // namespace
+}  // namespace dcs

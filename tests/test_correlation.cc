@@ -1,0 +1,92 @@
+#include "analysis/correlation.h"
+
+#include <mutex>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(CorrelateGroupsTest, FindsMaxPairExactly) {
+  std::vector<BitVector> a(3, BitVector(64));
+  std::vector<BitVector> b(2, BitVector(64));
+  // a[1] and b[0] share 5 positions; everything else shares fewer.
+  for (std::size_t i = 0; i < 5; ++i) {
+    a[1].Set(i);
+    b[0].Set(i);
+  }
+  a[0].Set(60);
+  b[1].Set(60);
+  const GroupPairCorrelation best = CorrelateGroups(a, b);
+  EXPECT_EQ(best.max_common, 5u);
+  EXPECT_EQ(best.row_a, 1u);
+  EXPECT_EQ(best.row_b, 0u);
+}
+
+TEST(CorrelateGroupsTest, DisjointRowsGiveZero) {
+  std::vector<BitVector> a(2, BitVector(32));
+  std::vector<BitVector> b(2, BitVector(32));
+  a[0].Set(1);
+  b[0].Set(2);
+  EXPECT_EQ(CorrelateGroups(a, b).max_common, 0u);
+}
+
+TEST(ForEachGroupPairTest, SerialCoversAllPairsOnce) {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  PairScanOptions opts;
+  const auto sampled = ForEachGroupPair(
+      6, opts, [&](std::uint32_t a, std::uint32_t b) {
+        EXPECT_LT(a, b);
+        EXPECT_TRUE(seen.emplace(a, b).second);
+      });
+  EXPECT_EQ(seen.size(), 15u);
+  EXPECT_EQ(sampled.size(), 6u);
+}
+
+TEST(ForEachGroupPairTest, ParallelCoversSamePairs) {
+  ThreadPool pool(3);
+  PairScanOptions opts;
+  opts.pool = &pool;
+  std::mutex mu;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  ForEachGroupPair(10, opts, [&](std::uint32_t a, std::uint32_t b) {
+    std::scoped_lock lock(mu);
+    EXPECT_TRUE(seen.emplace(a, b).second);
+  });
+  EXPECT_EQ(seen.size(), 45u);
+}
+
+TEST(ForEachGroupPairTest, SamplingRestrictsPairs) {
+  PairScanOptions opts;
+  opts.group_sample_rate = 0.4;
+  opts.sample_seed = 3;
+  std::set<std::uint32_t> groups_seen;
+  std::size_t pairs = 0;
+  const auto sampled =
+      ForEachGroupPair(100, opts, [&](std::uint32_t a, std::uint32_t b) {
+        groups_seen.insert(a);
+        groups_seen.insert(b);
+        ++pairs;
+      });
+  EXPECT_EQ(sampled.size(), 40u);
+  EXPECT_EQ(pairs, 40u * 39 / 2);
+  for (std::uint32_t g : groups_seen) {
+    EXPECT_TRUE(std::binary_search(sampled.begin(), sampled.end(), g));
+  }
+}
+
+TEST(ForEachGroupPairTest, SamplingIsDeterministicBySeed) {
+  PairScanOptions opts;
+  opts.group_sample_rate = 0.3;
+  opts.sample_seed = 5;
+  const auto a = ForEachGroupPair(50, opts, [](std::uint32_t, std::uint32_t) {});
+  const auto b = ForEachGroupPair(50, opts, [](std::uint32_t, std::uint32_t) {});
+  EXPECT_EQ(a, b);
+  opts.sample_seed = 6;
+  const auto c = ForEachGroupPair(50, opts, [](std::uint32_t, std::uint32_t) {});
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,134 @@
+#include "sketch/digest.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+Digest MakeUnalignedDigest() {
+  Digest digest;
+  digest.router_id = 42;
+  digest.epoch_id = 7;
+  digest.kind = DigestKind::kUnaligned;
+  digest.num_groups = 2;
+  digest.arrays_per_group = 3;
+  for (int r = 0; r < 6; ++r) {
+    BitVector row(128);
+    row.Set(r);
+    row.Set(100 + r);
+    digest.rows.push_back(row);
+  }
+  digest.packets_covered = 1234;
+  digest.raw_bytes_covered = 1000000;
+  return digest;
+}
+
+TEST(DigestTest, EncodeDecodeRoundTrip) {
+  const Digest original = MakeUnalignedDigest();
+  const std::vector<std::uint8_t> bytes = original.Encode();
+  EXPECT_EQ(bytes.size(), original.EncodedSizeBytes());
+
+  Digest decoded;
+  ASSERT_TRUE(Digest::Decode(bytes, &decoded).ok());
+  EXPECT_EQ(decoded.router_id, original.router_id);
+  EXPECT_EQ(decoded.epoch_id, original.epoch_id);
+  EXPECT_EQ(decoded.kind, original.kind);
+  EXPECT_EQ(decoded.num_groups, original.num_groups);
+  EXPECT_EQ(decoded.arrays_per_group, original.arrays_per_group);
+  EXPECT_EQ(decoded.packets_covered, original.packets_covered);
+  EXPECT_EQ(decoded.raw_bytes_covered, original.raw_bytes_covered);
+  ASSERT_EQ(decoded.rows.size(), original.rows.size());
+  for (std::size_t r = 0; r < decoded.rows.size(); ++r) {
+    EXPECT_TRUE(decoded.rows[r] == original.rows[r]) << "row " << r;
+  }
+}
+
+TEST(DigestTest, ChecksumCatchesBitFlip) {
+  std::vector<std::uint8_t> bytes = MakeUnalignedDigest().Encode();
+  bytes[bytes.size() / 2] ^= 0x20;
+  Digest decoded;
+  EXPECT_EQ(Digest::Decode(bytes, &decoded).code(),
+            Status::Code::kCorruption);
+}
+
+TEST(DigestTest, TruncationRejected) {
+  std::vector<std::uint8_t> bytes = MakeUnalignedDigest().Encode();
+  bytes.resize(bytes.size() - 9);
+  Digest decoded;
+  EXPECT_FALSE(Digest::Decode(bytes, &decoded).ok());
+}
+
+TEST(DigestTest, TooShortBufferRejected) {
+  Digest decoded;
+  EXPECT_FALSE(Digest::Decode({1, 2, 3}, &decoded).ok());
+}
+
+TEST(DigestTest, CompressionFactorAccounting) {
+  Digest digest = MakeUnalignedDigest();
+  // Rows hold 2 bits each, so they encode sparse (~5 bytes/row) and the
+  // whole digest is ~90 bytes against 1e6 raw bytes.
+  const double factor = digest.CompressionFactor();
+  EXPECT_GT(factor, 5000.0);
+  EXPECT_LT(factor, 20000.0);
+}
+
+TEST(DigestTest, SparseRowsShrinkTheEncoding) {
+  // A nearly-empty 4096-bit row must encode far below its 512-byte dense
+  // size; a half-full row must stay dense.
+  Digest sparse;
+  sparse.kind = DigestKind::kAligned;
+  BitVector light(4096);
+  for (std::size_t i = 0; i < 20; ++i) light.Set(i * 200);
+  sparse.rows.push_back(light);
+  EXPECT_LT(sparse.EncodedSizeBytes(), 64u + 120u);
+
+  Digest dense;
+  dense.kind = DigestKind::kAligned;
+  BitVector heavy(4096);
+  for (std::size_t i = 0; i < 4096; i += 2) heavy.Set(i);
+  dense.rows.push_back(heavy);
+  EXPECT_GE(dense.EncodedSizeBytes(), 512u);
+  EXPECT_LE(dense.EncodedSizeBytes(), 512u + 80u);
+
+  // Both round-trip exactly.
+  for (const Digest* d : {&sparse, &dense}) {
+    Digest decoded;
+    ASSERT_TRUE(Digest::Decode(d->Encode(), &decoded).ok());
+    EXPECT_TRUE(decoded.rows[0] == d->rows[0]);
+  }
+}
+
+TEST(DigestTest, MixedSparseAndDenseRowsRoundTrip) {
+  Digest digest;
+  digest.kind = DigestKind::kUnaligned;
+  digest.num_groups = 1;
+  digest.arrays_per_group = 3;
+  BitVector empty(1024);
+  BitVector full(1024);
+  for (std::size_t i = 0; i < 1024; ++i) full.Set(i);
+  BitVector half(1024);
+  for (std::size_t i = 0; i < 1024; i += 2) half.Set(i);
+  digest.rows = {empty, full, half};
+  Digest decoded;
+  ASSERT_TRUE(Digest::Decode(digest.Encode(), &decoded).ok());
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(decoded.rows[r] == digest.rows[r]) << r;
+  }
+}
+
+TEST(DigestTest, AlignedSingleRowDigest) {
+  Digest digest;
+  digest.kind = DigestKind::kAligned;
+  BitVector row(4096);
+  row.Set(17);
+  digest.rows.push_back(row);
+  const auto bytes = digest.Encode();
+  Digest decoded;
+  ASSERT_TRUE(Digest::Decode(bytes, &decoded).ok());
+  EXPECT_EQ(decoded.kind, DigestKind::kAligned);
+  ASSERT_EQ(decoded.rows.size(), 1u);
+  EXPECT_TRUE(decoded.rows[0].Test(17));
+}
+
+}  // namespace
+}  // namespace dcs

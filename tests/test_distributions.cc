@@ -1,0 +1,178 @@
+#include "common/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/stats_math.h"
+
+namespace dcs {
+namespace {
+
+TEST(BinomialTest, EdgeCases) {
+  Rng rng(1);
+  EXPECT_EQ(SampleBinomial(&rng, 0, 0.5), 0);
+  EXPECT_EQ(SampleBinomial(&rng, 100, 0.0), 0);
+  EXPECT_EQ(SampleBinomial(&rng, 100, 1.0), 100);
+  EXPECT_EQ(SampleBinomial(&rng, 100, -0.5), 0);
+}
+
+TEST(BinomialTest, StaysInSupport) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t x = SampleBinomial(&rng, 50, 0.3);
+    ASSERT_GE(x, 0);
+    ASSERT_LE(x, 50);
+  }
+}
+
+// Moment checks across regimes (small-np inversion, mode-centered, and the
+// symmetric p > 1/2 reflection).
+struct BinomCase {
+  std::int64_t n;
+  double p;
+};
+
+class BinomialMomentsTest : public ::testing::TestWithParam<BinomCase> {};
+
+TEST_P(BinomialMomentsTest, MeanAndVarianceMatch) {
+  const auto [n, p] = GetParam();
+  Rng rng(1234);
+  constexpr int kDraws = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = static_cast<double>(SampleBinomial(&rng, n, p));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  const double true_mean = static_cast<double>(n) * p;
+  const double true_var = true_mean * (1.0 - p);
+  const double mean_tol = 6.0 * std::sqrt(true_var / kDraws) + 1e-9;
+  EXPECT_NEAR(mean, true_mean, mean_tol);
+  EXPECT_NEAR(var, true_var, 0.1 * true_var + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BinomialMomentsTest,
+    ::testing::Values(BinomCase{20, 0.5}, BinomCase{1000, 0.5},
+                      BinomCase{1000, 0.02}, BinomCase{1000, 0.98},
+                      BinomCase{4000000, 0.0007}, BinomCase{7, 0.9}));
+
+TEST(HypergeometricTest, DegenerateSupport) {
+  Rng rng(3);
+  // Drawing everything returns all marked items.
+  EXPECT_EQ(SampleHypergeometric(&rng, 10, 4, 10), 4);
+  // Drawing nothing returns none.
+  EXPECT_EQ(SampleHypergeometric(&rng, 10, 4, 0), 0);
+  // No marked items.
+  EXPECT_EQ(SampleHypergeometric(&rng, 10, 0, 5), 0);
+}
+
+TEST(HypergeometricTest, StaysInSupportAndMatchesMean) {
+  Rng rng(4);
+  const std::int64_t big_n = 1024;
+  const std::int64_t i = 500;
+  const std::int64_t j = 480;
+  constexpr int kDraws = 20000;
+  double sum = 0.0;
+  for (int d = 0; d < kDraws; ++d) {
+    const std::int64_t x = SampleHypergeometric(&rng, big_n, i, j);
+    ASSERT_GE(x, 0);
+    ASSERT_LE(x, std::min(i, j));
+    sum += static_cast<double>(x);
+  }
+  const double true_mean =
+      static_cast<double>(i) * static_cast<double>(j) / big_n;
+  EXPECT_NEAR(sum / kDraws, true_mean, 0.5);
+}
+
+TEST(PoissonTest, MeanMatches) {
+  Rng rng(5);
+  for (double mean : {0.5, 8.0, 120.0}) {
+    double sum = 0.0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i) {
+      sum += static_cast<double>(SamplePoisson(&rng, mean));
+    }
+    EXPECT_NEAR(sum / kDraws, mean, 6.0 * std::sqrt(mean / kDraws) + 1e-6);
+  }
+}
+
+TEST(SampleWithoutReplacementTest, ProducesDistinctValuesInRange) {
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t n = 1 + rng.UniformInt(200);
+    const std::uint64_t k = rng.UniformInt(n + 1);
+    const std::vector<std::uint64_t> sample =
+        SampleWithoutReplacement(&rng, n, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<std::uint64_t> distinct(sample.begin(), sample.end());
+    EXPECT_EQ(distinct.size(), k);
+    for (std::uint64_t v : sample) EXPECT_LT(v, n);
+  }
+}
+
+TEST(SampleWithoutReplacementTest, FullDrawIsPermutationOfRange) {
+  Rng rng(7);
+  std::vector<std::uint64_t> sample = SampleWithoutReplacement(&rng, 20, 20);
+  std::sort(sample.begin(), sample.end());
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(SampleWithoutReplacementTest, MarginalsAreUniform) {
+  Rng rng(8);
+  constexpr int kTrials = 30000;
+  int count_zero = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    for (std::uint64_t v : SampleWithoutReplacement(&rng, 10, 3)) {
+      if (v == 0) ++count_zero;
+    }
+  }
+  // P[0 in sample] = 3/10.
+  EXPECT_NEAR(static_cast<double>(count_zero) / kTrials, 0.3, 0.02);
+}
+
+TEST(ZipfTest, PmfSumsToOneAndIsMonotone) {
+  ZipfSampler zipf(100, 1.1);
+  double total = 0.0;
+  double prev = 1.0;
+  for (std::uint64_t r = 1; r <= 100; ++r) {
+    const double p = zipf.Pmf(r);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesTrackPmf) {
+  ZipfSampler zipf(50, 1.0);
+  Rng rng(9);
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(51, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t r = zipf.Sample(&rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 50u);
+    ++counts[r];
+  }
+  for (std::uint64_t r : {1ULL, 2ULL, 10ULL, 50ULL}) {
+    const double expected = zipf.Pmf(r) * kDraws;
+    EXPECT_NEAR(counts[r], expected, 6.0 * std::sqrt(expected) + 3.0)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, HigherAlphaConcentratesOnRankOne) {
+  ZipfSampler flat(100, 0.5);
+  ZipfSampler steep(100, 2.0);
+  EXPECT_GT(steep.Pmf(1), flat.Pmf(1));
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,91 @@
+#include "dcs/epoch_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+EpochTrackerOptions DefaultOptions() {
+  EpochTrackerOptions opts;
+  opts.window_epochs = 5;
+  opts.min_detections = 2;
+  opts.min_router_fraction = 0.5;
+  return opts;
+}
+
+TEST(EpochTrackerTest, NoAlarmOnSingleDetection) {
+  EpochTracker tracker(DefaultOptions());
+  tracker.RecordEpoch(false, {});
+  tracker.RecordEpoch(true, {1, 2});
+  EXPECT_FALSE(tracker.PersistentDetection());
+  EXPECT_EQ(tracker.detections_in_window(), 1u);
+}
+
+TEST(EpochTrackerTest, AlarmsOnSecondDetectionInWindow) {
+  EpochTracker tracker(DefaultOptions());
+  tracker.RecordEpoch(true, {1, 2});
+  tracker.RecordEpoch(false, {});
+  tracker.RecordEpoch(true, {2, 3});
+  EXPECT_TRUE(tracker.PersistentDetection());
+}
+
+TEST(EpochTrackerTest, OldDetectionsAgeOut) {
+  EpochTracker tracker(DefaultOptions());
+  tracker.RecordEpoch(true, {1});
+  for (int i = 0; i < 5; ++i) tracker.RecordEpoch(false, {});
+  tracker.RecordEpoch(true, {1});
+  // The first detection slid out of the 5-epoch window.
+  EXPECT_FALSE(tracker.PersistentDetection());
+  EXPECT_EQ(tracker.epochs_seen(), 7u);
+}
+
+TEST(EpochTrackerTest, StableRoutersRequireFraction) {
+  EpochTracker tracker(DefaultOptions());
+  tracker.RecordEpoch(true, {1, 2, 9});
+  tracker.RecordEpoch(true, {1, 2});
+  tracker.RecordEpoch(true, {1, 7});
+  // Router 1: 3/3; router 2: 2/3; routers 7, 9: 1/3 < 0.5 -> dropped.
+  EXPECT_EQ(tracker.StableRouters(), (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(EpochTrackerTest, StableRoutersEmptyWithoutDetections) {
+  EpochTracker tracker(DefaultOptions());
+  tracker.RecordEpoch(false, {});
+  EXPECT_TRUE(tracker.StableRouters().empty());
+}
+
+TEST(EpochTrackerTest, DuplicateRoutersInOneEpochCountOnce) {
+  EpochTracker tracker(DefaultOptions());
+  tracker.RecordEpoch(true, {4, 4, 4});
+  tracker.RecordEpoch(true, {4});
+  EXPECT_EQ(tracker.StableRouters(), (std::vector<std::uint32_t>{4}));
+}
+
+TEST(EpochTrackerTest, MissedEpochInBetweenStillCatches) {
+  // The paper's point: per-epoch false negatives are tolerable because the
+  // pattern spans epochs.
+  EpochTrackerOptions opts = DefaultOptions();
+  opts.window_epochs = 4;
+  opts.min_router_fraction = 0.6;  // 1-of-2 appearances is not enough.
+  EpochTracker tracker(opts);
+  tracker.RecordEpoch(true, {5, 6});
+  tracker.RecordEpoch(false, {});  // Missed epoch (FN).
+  tracker.RecordEpoch(true, {5, 6, 7});
+  EXPECT_TRUE(tracker.PersistentDetection());
+  const auto stable = tracker.StableRouters();
+  EXPECT_EQ(stable, (std::vector<std::uint32_t>{5, 6}));
+}
+
+TEST(EpochTrackerTest, WindowOfOneDegeneratesToPerEpoch) {
+  EpochTrackerOptions opts;
+  opts.window_epochs = 1;
+  opts.min_detections = 1;
+  EpochTracker tracker(opts);
+  tracker.RecordEpoch(true, {1});
+  EXPECT_TRUE(tracker.PersistentDetection());
+  tracker.RecordEpoch(false, {});
+  EXPECT_FALSE(tracker.PersistentDetection());
+}
+
+}  // namespace
+}  // namespace dcs

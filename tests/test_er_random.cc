@@ -1,0 +1,112 @@
+#include "graph/er_random.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/connected_components.h"
+
+namespace dcs {
+namespace {
+
+TEST(ErRandomTest, ZeroProbabilityYieldsNoEdges) {
+  Rng rng(1);
+  const Graph g = SampleErGraph(100, 0.0, &rng);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(ErRandomTest, ProbabilityOneYieldsCompleteGraph) {
+  Rng rng(2);
+  const Graph g = SampleErGraph(30, 1.0, &rng);
+  EXPECT_EQ(g.num_edges(), 30u * 29 / 2);
+  EXPECT_EQ(g.degree(7), 29u);
+}
+
+TEST(ErRandomTest, EdgeCountMatchesExpectation) {
+  Rng rng(3);
+  const std::size_t n = 2000;
+  const double p = 0.002;
+  const double expected = p * n * (n - 1) / 2.0;  // ~4000.
+  double total = 0.0;
+  constexpr int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    total += static_cast<double>(SampleErGraph(n, p, &rng).num_edges());
+  }
+  const double mean = total / kTrials;
+  EXPECT_NEAR(mean, expected, 6.0 * std::sqrt(expected / kTrials));
+}
+
+TEST(ErRandomTest, DegreesConcentrateAroundNp) {
+  Rng rng(4);
+  const std::size_t n = 3000;
+  const double p = 0.01;  // Mean degree 30.
+  const Graph g = SampleErGraph(n, p, &rng);
+  double sum = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    sum += static_cast<double>(g.degree(static_cast<Graph::VertexId>(v)));
+  }
+  EXPECT_NEAR(sum / static_cast<double>(n), 30.0, 1.5);
+}
+
+TEST(ErRandomTest, SubcriticalRegimeHasSmallComponents) {
+  // p = 0.5/n: all components should be O(log n).
+  Rng rng(5);
+  const std::size_t n = 20000;
+  const Graph g = SampleErGraph(n, 0.5 / static_cast<double>(n), &rng);
+  EXPECT_LT(LargestComponentSize(g), 60u);
+}
+
+TEST(ErRandomTest, SupercriticalRegimeHasGiantComponent) {
+  // p = 2/n: a giant component of Theta(n) emerges — the phase transition
+  // the ER test leans on.
+  Rng rng(6);
+  const std::size_t n = 20000;
+  const Graph g = SampleErGraph(n, 2.0 / static_cast<double>(n), &rng);
+  EXPECT_GT(LargestComponentSize(g), n / 2);
+}
+
+TEST(PlantedGraphTest, PatternVerticesAreDistinctAndSorted) {
+  Rng rng(7);
+  const PlantedGraph planted = SamplePlantedGraph(1000, 0.0005, 50, 0.3,
+                                                  &rng);
+  EXPECT_EQ(planted.pattern_vertices.size(), 50u);
+  for (std::size_t i = 1; i < planted.pattern_vertices.size(); ++i) {
+    EXPECT_LT(planted.pattern_vertices[i - 1], planted.pattern_vertices[i]);
+  }
+}
+
+TEST(PlantedGraphTest, PatternRaisesInternalDegree) {
+  Rng rng(8);
+  const std::size_t n = 5000;
+  const std::size_t n1 = 100;
+  const PlantedGraph planted =
+      SamplePlantedGraph(n, 0.2 / static_cast<double>(n), n1, 0.3, &rng);
+  std::vector<char> in_pattern(n, 0);
+  for (Graph::VertexId v : planted.pattern_vertices) in_pattern[v] = 1;
+  // Mean internal degree of pattern vertices ~ 0.3 * 99 ~ 30, while
+  // background vertices have ~0.2 mean degree.
+  double pattern_degree = 0.0;
+  double background_degree = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const double d = static_cast<double>(
+        planted.graph.degree(static_cast<Graph::VertexId>(v)));
+    if (in_pattern[v]) {
+      pattern_degree += d;
+    } else {
+      background_degree += d;
+    }
+  }
+  pattern_degree /= static_cast<double>(n1);
+  background_degree /= static_cast<double>(n - n1);
+  EXPECT_GT(pattern_degree, 20.0);
+  EXPECT_LT(background_degree, 2.0);
+}
+
+TEST(PlantedGraphTest, ZeroPatternIsJustEr) {
+  Rng rng(9);
+  const PlantedGraph planted = SamplePlantedGraph(500, 0.001, 0, 0.9, &rng);
+  EXPECT_TRUE(planted.pattern_vertices.empty());
+}
+
+}  // namespace
+}  // namespace dcs

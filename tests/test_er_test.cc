@@ -1,0 +1,81 @@
+#include "analysis/er_test.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/er_random.h"
+
+namespace dcs {
+namespace {
+
+TEST(ErTestTest, NullGraphPassesBelowThreshold) {
+  Rng rng(1);
+  int false_positives = 0;
+  const std::size_t n = 20000;
+  const std::size_t threshold = DefaultErTestThreshold(n);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = SampleErGraph(n, 0.665 / static_cast<double>(n), &rng);
+    if (RunErTest(g, threshold).pattern_detected) ++false_positives;
+  }
+  EXPECT_EQ(false_positives, 0);
+}
+
+TEST(ErTestTest, PlantedPatternTripsTheTest) {
+  Rng rng(2);
+  const std::size_t n = 20000;
+  const std::size_t threshold = DefaultErTestThreshold(n);
+  int detected = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    // A pattern comfortably above threshold: 150 vertices at p2 = 0.17.
+    const PlantedGraph planted = SamplePlantedGraph(
+        n, 0.665 / static_cast<double>(n), 150, 0.17, &rng);
+    if (RunErTest(planted.graph, threshold).pattern_detected) ++detected;
+  }
+  EXPECT_GE(detected, 9);
+}
+
+TEST(ErTestTest, LargestComponentReported) {
+  Graph g(10);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.Finalize();
+  const ErTestResult result = RunErTest(g, 3);
+  EXPECT_EQ(result.largest_component, 4u);
+  EXPECT_TRUE(result.pattern_detected);
+  EXPECT_FALSE(RunErTest(g, 4).pattern_detected);
+}
+
+TEST(ErTestTest, DefaultThresholdMatchesPaperAtScale) {
+  // ~100 at the paper's n = 102,400.
+  const std::size_t t = DefaultErTestThreshold(102400);
+  EXPECT_GE(t, 95u);
+  EXPECT_LE(t, 105u);
+  // And sane at small n.
+  EXPECT_GE(DefaultErTestThreshold(100), 8u);
+  EXPECT_EQ(DefaultErTestThreshold(1), 1u);
+}
+
+TEST(ErTestTest, SensitivityGrowsWithPatternSize) {
+  Rng rng(3);
+  const std::size_t n = 20000;
+  const std::size_t threshold = DefaultErTestThreshold(n);
+  auto detection_rate = [&](std::size_t n1) {
+    int detected = 0;
+    for (int trial = 0; trial < 12; ++trial) {
+      const PlantedGraph planted = SamplePlantedGraph(
+          n, 0.665 / static_cast<double>(n), n1, 0.17, &rng);
+      if (RunErTest(planted.graph, threshold).pattern_detected) ++detected;
+    }
+    return detected;
+  };
+  // Mirrors Fig 13: larger n1 => lower false negatives. A tiny pattern is
+  // mostly missed; a large one is almost always caught.
+  const int small = detection_rate(40);
+  const int large = detection_rate(160);
+  EXPECT_GE(large, 11);
+  EXPECT_LT(small, large);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,137 @@
+#include "sketch/flow_split_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packetizer.h"
+#include "traffic/content_catalog.h"
+
+namespace dcs {
+namespace {
+
+FlowSplitOptions SmallOptions() {
+  FlowSplitOptions opts;
+  opts.num_groups = 8;
+  opts.offset_options.num_arrays = 4;
+  opts.offset_options.array_bits = 512;
+  return opts;
+}
+
+Packet PayloadPacket(const FlowLabel& flow, std::string payload) {
+  Packet pkt;
+  pkt.flow = flow;
+  pkt.payload = std::move(payload);
+  return pkt;
+}
+
+TEST(FlowSplitTest, AllGroupsShareOffsets) {
+  Rng rng(1);
+  FlowSplitSketch sketch(SmallOptions(), &rng);
+  const auto& offsets = sketch.group(0).small_offsets();
+  for (std::size_t g = 1; g < sketch.num_groups(); ++g) {
+    EXPECT_EQ(sketch.group(g).small_offsets(), offsets) << "group " << g;
+  }
+}
+
+TEST(FlowSplitTest, SameFlowAlwaysSameGroup) {
+  Rng rng(2);
+  FlowSplitSketch sketch(SmallOptions(), &rng);
+  const FlowLabel flow{5, 6, 7, 8, 6};
+  const std::size_t group = sketch.GroupOf(flow);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sketch.GroupOf(flow), group);
+  }
+}
+
+TEST(FlowSplitTest, PacketsLandOnlyInTheirGroup) {
+  Rng rng(3);
+  FlowSplitSketch sketch(SmallOptions(), &rng);
+  ContentCatalog catalog(1);
+  const FlowLabel flow{5, 6, 7, 8, 6};
+  const std::size_t group = sketch.GroupOf(flow);
+  sketch.Update(PayloadPacket(flow, catalog.ContentBytes(1, 536)));
+  for (std::size_t g = 0; g < sketch.num_groups(); ++g) {
+    std::size_t ones = 0;
+    for (const BitVector& array : sketch.group(g).arrays()) {
+      ones += array.CountOnes();
+    }
+    if (g == group) {
+      EXPECT_GT(ones, 0u);
+    } else {
+      EXPECT_EQ(ones, 0u) << "group " << g;
+    }
+  }
+}
+
+TEST(FlowSplitTest, WholeFlowConcentratesInOneGroupArray) {
+  // The signal-magnification property: all g packets of one instance mark
+  // the same group's arrays.
+  Rng rng(4);
+  FlowSplitSketch sketch(SmallOptions(), &rng);
+  ContentCatalog catalog(2);
+  const FlowLabel flow{9, 9, 9, 9, 6};
+  PacketizerOptions packetizer;
+  packetizer.mss = 536;
+  const auto packets = PacketizeObject(
+      flow, "", catalog.ContentBytes(7, 536 * 30), packetizer);
+  for (const Packet& pkt : packets) sketch.Update(pkt);
+  const std::size_t group = sketch.GroupOf(flow);
+  // Each of the group's arrays saw all 30 fragments (maybe minus hash
+  // collisions within 512 bits).
+  for (const BitVector& array : sketch.group(group).arrays()) {
+    EXPECT_GE(array.CountOnes(), 28u);
+    EXPECT_LE(array.CountOnes(), 30u);
+  }
+}
+
+TEST(FlowSplitTest, GroupsRoughlyBalancedOverManyFlows) {
+  Rng rng(5);
+  FlowSplitSketch sketch(SmallOptions(), &rng);
+  ContentCatalog catalog(3);
+  std::vector<int> per_group(sketch.num_groups(), 0);
+  for (std::uint32_t f = 0; f < 4000; ++f) {
+    FlowLabel flow{f, f * 7 + 1, static_cast<std::uint16_t>(f % 60000),
+                   80, 6};
+    ++per_group[sketch.GroupOf(flow)];
+  }
+  for (std::size_t g = 0; g < per_group.size(); ++g) {
+    EXPECT_GT(per_group[g], 350) << "group " << g;  // 500 expected.
+    EXPECT_LT(per_group[g], 650) << "group " << g;
+  }
+}
+
+TEST(FlowSplitTest, ToMatrixLayoutIsGroupMajor) {
+  Rng rng(6);
+  FlowSplitOptions opts = SmallOptions();
+  FlowSplitSketch sketch(opts, &rng);
+  ContentCatalog catalog(4);
+  const FlowLabel flow{1, 2, 3, 4, 6};
+  sketch.Update(PayloadPacket(flow, catalog.ContentBytes(9, 536)));
+  const std::size_t group = sketch.GroupOf(flow);
+
+  const BitMatrix matrix = sketch.ToMatrix();
+  EXPECT_EQ(matrix.rows(),
+            opts.num_groups * opts.offset_options.num_arrays);
+  EXPECT_EQ(matrix.cols(), opts.offset_options.array_bits);
+  for (std::size_t a = 0; a < opts.offset_options.num_arrays; ++a) {
+    EXPECT_EQ(matrix.row(group * opts.offset_options.num_arrays + a),
+              sketch.group(group).arrays()[a]);
+  }
+}
+
+TEST(FlowSplitTest, ResetClearsAllGroups) {
+  Rng rng(7);
+  FlowSplitSketch sketch(SmallOptions(), &rng);
+  ContentCatalog catalog(5);
+  sketch.Update(PayloadPacket(FlowLabel{1, 2, 3, 4, 6},
+                              catalog.ContentBytes(1, 536)));
+  sketch.Reset();
+  EXPECT_EQ(sketch.packets_recorded(), 0u);
+  for (std::size_t g = 0; g < sketch.num_groups(); ++g) {
+    for (const BitVector& array : sketch.group(g).arrays()) {
+      EXPECT_EQ(array.CountOnes(), 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,78 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g(5);
+  g.Finalize();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(GraphTest, DegreesAndNeighbors) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.degree(3), 1u);
+  const auto n0 = g.neighbors(0);
+  EXPECT_EQ(std::vector<Graph::VertexId>(n0.begin(), n0.end()),
+            (std::vector<Graph::VertexId>{1, 2}));
+}
+
+TEST(GraphTest, DuplicateEdgesCollapse) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(0, 1);
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(GraphTest, EdgesNormalizedLowHigh) {
+  Graph g(3);
+  g.AddEdge(2, 0);
+  g.Finalize();
+  ASSERT_EQ(g.edges().size(), 1u);
+  EXPECT_EQ(g.edges()[0].first, 0u);
+  EXPECT_EQ(g.edges()[0].second, 2u);
+}
+
+TEST(GraphTest, RefinalizeAfterMoreEdges) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.Finalize();
+  EXPECT_TRUE(g.finalized());
+  g.AddEdge(2, 3);
+  EXPECT_FALSE(g.finalized());
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(GraphTest, NeighborsSortedAscending) {
+  Graph g(6);
+  g.AddEdge(3, 5);
+  g.AddEdge(3, 1);
+  g.AddEdge(3, 4);
+  g.AddEdge(3, 0);
+  g.Finalize();
+  const auto n = g.neighbors(3);
+  EXPECT_EQ(std::vector<Graph::VertexId>(n.begin(), n.end()),
+            (std::vector<Graph::VertexId>{0, 1, 4, 5}));
+}
+
+}  // namespace
+}  // namespace dcs

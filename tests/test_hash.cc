@@ -1,0 +1,77 @@
+#include "common/hash.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(HashTest, DeterministicForSameInput) {
+  const std::string data = "the same payload bytes";
+  EXPECT_EQ(Hash64(data, 1), Hash64(data, 1));
+}
+
+TEST(HashTest, SeedChangesOutput) {
+  const std::string data = "payload";
+  EXPECT_NE(Hash64(data, 1), Hash64(data, 2));
+}
+
+TEST(HashTest, SensitiveToEveryByte) {
+  std::string data(64, 'a');
+  const std::uint64_t base = Hash64(data, 7);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] = 'b';
+    EXPECT_NE(Hash64(mutated, 7), base) << "byte " << i;
+  }
+}
+
+TEST(HashTest, LengthMatters) {
+  const std::string data(32, 'x');
+  EXPECT_NE(Hash64(data.substr(0, 8), 1), Hash64(data.substr(0, 9), 1));
+  EXPECT_NE(Hash64(std::string_view(), 1), Hash64(std::string_view("a"), 1));
+}
+
+TEST(HashTest, EmptyInputIsStable) {
+  EXPECT_EQ(Hash64(std::string_view(), 5), Hash64(std::string_view(), 5));
+}
+
+TEST(HashTest, OutputBitsAreBalanced) {
+  // Over many inputs, each output bit should be set about half the time.
+  constexpr int kSamples = 4096;
+  int bit_counts[64] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t h = Hash64(&i, sizeof(i), 42);
+    for (int b = 0; b < 64; ++b) bit_counts[b] += (h >> b) & 1;
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(bit_counts[b], kSamples / 2, 6 * 32) << "bit " << b;
+  }
+}
+
+TEST(HashTest, NoCollisionsOnSmallDenseInputs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t i = 0; i < 100000; ++i) {
+    seen.insert(Hash64(&i, sizeof(i), 9));
+  }
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(Mix64Test, BijectionSmokeAndAvalanche) {
+  EXPECT_NE(Mix64(0), Mix64(1));
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t a = Mix64(0x1234567890ABCDEFULL);
+  const std::uint64_t b = Mix64(0x1234567890ABCDEEULL);
+  const int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(HashCombineTest, OrderMatters) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+}  // namespace
+}  // namespace dcs

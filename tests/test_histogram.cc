@@ -1,0 +1,55 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(HistogramTest, EmptyBehaviour) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.CdfAt(10), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionAbove(0), 0.0);
+}
+
+TEST(HistogramTest, CdfSteps) {
+  Histogram h;
+  for (std::int64_t v : {1, 2, 2, 5}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.CdfAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.CdfAt(2), 0.75);
+  EXPECT_DOUBLE_EQ(h.CdfAt(4), 0.75);
+  EXPECT_DOUBLE_EQ(h.CdfAt(5), 1.0);
+}
+
+TEST(HistogramTest, QuantileAndExtremes) {
+  Histogram h;
+  for (std::int64_t v = 1; v <= 100; ++v) h.Add(v);
+  EXPECT_EQ(h.Quantile(0.01), 1);
+  EXPECT_EQ(h.Quantile(0.5), 50);
+  EXPECT_EQ(h.Quantile(1.0), 100);
+  EXPECT_EQ(h.Min(), 1);
+  EXPECT_EQ(h.Max(), 100);
+}
+
+TEST(HistogramTest, MeanAndFractionAbove) {
+  Histogram h;
+  for (std::int64_t v : {10, 20, 30, 40}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Mean(), 25.0);
+  EXPECT_DOUBLE_EQ(h.FractionAbove(20), 0.5);
+  EXPECT_DOUBLE_EQ(h.FractionAbove(40), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionAbove(-1), 1.0);
+}
+
+TEST(HistogramTest, InterleavedAddAndQuery) {
+  Histogram h;
+  h.Add(5);
+  EXPECT_DOUBLE_EQ(h.CdfAt(5), 1.0);
+  h.Add(1);  // Invalidates sort; next query must re-sort.
+  EXPECT_EQ(h.Min(), 1);
+  EXPECT_EQ(h.Max(), 5);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,67 @@
+#include "common/logging.h"
+
+#include "common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+// Captures std::cerr for the duration of a scope.
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+TEST(LoggingTest, MessagesCarryLevelFileAndLine) {
+  internal_logging::SetMinLogLevel(LogLevel::kInfo);
+  CerrCapture capture;
+  DCS_LOG(Info) << "hello " << 42;
+  const std::string out = capture.str();
+  EXPECT_NE(out.find("[INFO"), std::string::npos);
+  EXPECT_NE(out.find("test_logging.cc"), std::string::npos);
+  EXPECT_NE(out.find("hello 42"), std::string::npos);
+}
+
+TEST(LoggingTest, LevelFilterSuppressesBelowMin) {
+  internal_logging::SetMinLogLevel(LogLevel::kWarning);
+  CerrCapture capture;
+  DCS_LOG(Info) << "should not appear";
+  DCS_LOG(Warning) << "should appear";
+  const std::string out = capture.str();
+  EXPECT_EQ(out.find("should not appear"), std::string::npos);
+  EXPECT_NE(out.find("should appear"), std::string::npos);
+  internal_logging::SetMinLogLevel(LogLevel::kInfo);
+}
+
+TEST(LoggingTest, ErrorAlwaysAboveDefault) {
+  internal_logging::SetMinLogLevel(LogLevel::kInfo);
+  CerrCapture capture;
+  DCS_LOG(Error) << "boom";
+  EXPECT_NE(capture.str().find("[ERROR"), std::string::npos);
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  CerrCapture capture;
+  DCS_CHECK(1 + 1 == 2) << "never evaluated";
+  EXPECT_TRUE(capture.str().empty());
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ DCS_CHECK(false) << "fatal detail"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(DCS_CHECK_OK(Status::Internal("bad state")), "bad state");
+}
+
+}  // namespace
+}  // namespace dcs

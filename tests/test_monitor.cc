@@ -1,0 +1,88 @@
+#include "dcs/monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+Digest SmallAlignedDigest(std::uint32_t router, std::size_t bits) {
+  Digest digest;
+  digest.router_id = router;
+  digest.kind = DigestKind::kAligned;
+  digest.rows.push_back(BitVector(bits));
+  digest.packets_covered = 10;
+  digest.raw_bytes_covered = 10000;
+  return digest;
+}
+
+DcsMonitor MakeMonitor() {
+  AlignedPipelineOptions aligned;
+  aligned.n_prime = 64;
+  UnalignedPipelineOptions unaligned;
+  return DcsMonitor(aligned, unaligned);
+}
+
+TEST(MonitorTest, RejectsEmptyDigest) {
+  DcsMonitor monitor = MakeMonitor();
+  Digest empty;
+  EXPECT_EQ(monitor.AddDigest(empty).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(MonitorTest, RejectsShapeMismatch) {
+  DcsMonitor monitor = MakeMonitor();
+  ASSERT_TRUE(monitor.AddDigest(SmallAlignedDigest(0, 1024)).ok());
+  EXPECT_FALSE(monitor.AddDigest(SmallAlignedDigest(1, 2048)).ok());
+  EXPECT_TRUE(monitor.AddDigest(SmallAlignedDigest(1, 1024)).ok());
+  EXPECT_EQ(monitor.num_aligned_digests(), 2u);
+}
+
+TEST(MonitorTest, TracksByteAccounting) {
+  DcsMonitor monitor = MakeMonitor();
+  const Digest d = SmallAlignedDigest(0, 1024);
+  ASSERT_TRUE(monitor.AddDigest(d).ok());
+  EXPECT_EQ(monitor.raw_bytes_summarized(), 10000u);
+  EXPECT_EQ(monitor.digest_bytes_received(), d.EncodedSizeBytes());
+}
+
+TEST(MonitorTest, ClearEpochResets) {
+  DcsMonitor monitor = MakeMonitor();
+  ASSERT_TRUE(monitor.AddDigest(SmallAlignedDigest(0, 1024)).ok());
+  monitor.ClearEpoch();
+  EXPECT_EQ(monitor.num_aligned_digests(), 0u);
+  EXPECT_EQ(monitor.raw_bytes_summarized(), 0u);
+  // A different shape is fine after clearing.
+  EXPECT_TRUE(monitor.AddDigest(SmallAlignedDigest(0, 2048)).ok());
+}
+
+TEST(MonitorTest, AlignedAnalysisNeedsTwoDigests) {
+  DcsMonitor monitor = MakeMonitor();
+  ASSERT_TRUE(monitor.AddDigest(SmallAlignedDigest(0, 1024)).ok());
+  const AlignedReport report = monitor.AnalyzeAligned();
+  EXPECT_FALSE(report.common_content_detected);
+  EXPECT_EQ(report.matrix_rows, 0u);
+}
+
+TEST(MonitorTest, EmptyBitmapsDetectNothing) {
+  DcsMonitor monitor = MakeMonitor();
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    ASSERT_TRUE(monitor.AddDigest(SmallAlignedDigest(r, 1024)).ok());
+  }
+  const AlignedReport report = monitor.AnalyzeAligned();
+  EXPECT_FALSE(report.common_content_detected);
+  EXPECT_EQ(report.matrix_rows, 5u);
+  EXPECT_EQ(report.matrix_cols, 1024u);
+}
+
+TEST(MonitorTest, ReportToStringSmoke) {
+  AlignedReport a;
+  EXPECT_NE(a.ToString().find("clear"), std::string::npos);
+  a.common_content_detected = true;
+  EXPECT_NE(a.ToString().find("DETECTED"), std::string::npos);
+  UnalignedReport u;
+  u.largest_component = 7;
+  EXPECT_NE(u.ToString().find("largest_cc=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcs

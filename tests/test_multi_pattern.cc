@@ -1,0 +1,126 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "analysis/aligned_detector.h"
+#include "analysis/synthetic_matrix.h"
+#include "common/rng.h"
+
+namespace dcs {
+namespace {
+
+AlignedDetectorOptions DetectorOptions() {
+  AlignedDetectorOptions opts;
+  opts.first_iteration_hopefuls = 200;
+  opts.hopefuls = 100;
+  return opts;
+}
+
+// Builds a literal matrix with two disjoint planted patterns.
+BitMatrix TwoPatternMatrix(Rng* rng, std::vector<std::size_t>* cols_a,
+                           std::vector<std::size_t>* cols_b) {
+  SyntheticAlignedOptions opts;
+  opts.m = 150;
+  opts.n = 3000;
+  opts.pattern_rows = 45;
+  opts.pattern_cols = 16;
+  std::vector<std::uint32_t> rows_a;
+  BitMatrix matrix = SampleLiteralAligned(opts, rng, &rows_a, cols_a);
+
+  // Second pattern: different rows and columns.
+  std::vector<std::uint32_t> rows_b;
+  for (std::uint32_t r = 0; rows_b.size() < 40; ++r) {
+    if (!std::binary_search(rows_a.begin(), rows_a.end(), r)) {
+      rows_b.push_back(r);
+    }
+  }
+  cols_b->clear();
+  for (std::size_t c = 0; cols_b->size() < 14; ++c) {
+    if (!std::binary_search(cols_a->begin(), cols_a->end(), c)) {
+      cols_b->push_back(c);
+    }
+  }
+  for (std::uint32_t r : rows_b) {
+    for (std::size_t c : *cols_b) matrix.Set(r, c);
+  }
+  return matrix;
+}
+
+TEST(MultiPatternTest, FindsBothPlantedPatterns) {
+  Rng rng(5);
+  std::vector<std::size_t> cols_a;
+  std::vector<std::size_t> cols_b;
+  const BitMatrix matrix = TwoPatternMatrix(&rng, &cols_a, &cols_b);
+
+  AlignedDetector detector(DetectorOptions());
+  const auto detections = detector.DetectMultipleInMatrix(matrix, 200, 4);
+  ASSERT_GE(detections.size(), 2u);
+
+  auto covers = [](const AlignedDetection& d,
+                   const std::vector<std::size_t>& cols) {
+    std::size_t hit = 0;
+    for (std::size_t c : cols) {
+      if (std::binary_search(d.columns.begin(), d.columns.end(), c)) ++hit;
+    }
+    return hit >= cols.size() * 3 / 4;
+  };
+  bool found_a = false;
+  bool found_b = false;
+  for (const AlignedDetection& d : detections) {
+    found_a = found_a || covers(d, cols_a);
+    found_b = found_b || covers(d, cols_b);
+  }
+  EXPECT_TRUE(found_a);
+  EXPECT_TRUE(found_b);
+}
+
+TEST(MultiPatternTest, StopsAfterSinglePattern) {
+  SyntheticAlignedOptions opts;
+  opts.m = 150;
+  opts.n = 3000;
+  opts.pattern_rows = 45;
+  opts.pattern_cols = 16;
+  Rng rng(6);
+  std::vector<std::uint32_t> rows;
+  std::vector<std::size_t> cols;
+  const BitMatrix matrix = SampleLiteralAligned(opts, &rng, &rows, &cols);
+  AlignedDetector detector(DetectorOptions());
+  const auto detections = detector.DetectMultipleInMatrix(matrix, 200, 4);
+  EXPECT_EQ(detections.size(), 1u);
+}
+
+TEST(MultiPatternTest, NoPatternsOnNoise) {
+  SyntheticAlignedOptions opts;
+  opts.m = 150;
+  opts.n = 3000;
+  Rng rng(7);
+  std::vector<std::uint32_t> rows;
+  std::vector<std::size_t> cols;
+  const BitMatrix matrix = SampleLiteralAligned(opts, &rng, &rows, &cols);
+  AlignedDetector detector(DetectorOptions());
+  EXPECT_TRUE(detector.DetectMultipleInMatrix(matrix, 200, 4).empty());
+}
+
+TEST(MultiPatternTest, MaxPatternsCapRespected) {
+  Rng rng(8);
+  std::vector<std::size_t> cols_a;
+  std::vector<std::size_t> cols_b;
+  const BitMatrix matrix = TwoPatternMatrix(&rng, &cols_a, &cols_b);
+  AlignedDetector detector(DetectorOptions());
+  const auto detections = detector.DetectMultipleInMatrix(matrix, 200, 1);
+  EXPECT_EQ(detections.size(), 1u);
+}
+
+TEST(MultiPatternTest, InputMatrixUntouched) {
+  Rng rng(9);
+  std::vector<std::size_t> cols_a;
+  std::vector<std::size_t> cols_b;
+  const BitMatrix matrix = TwoPatternMatrix(&rng, &cols_a, &cols_b);
+  const BitVector row0_before = matrix.row(0);
+  AlignedDetector detector(DetectorOptions());
+  (void)detector.DetectMultipleInMatrix(matrix, 200, 4);
+  EXPECT_TRUE(matrix.row(0) == row0_before);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,206 @@
+#include "sketch/offset_sampling.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "net/packetizer.h"
+#include "traffic/content_catalog.h"
+
+namespace dcs {
+namespace {
+
+OffsetSamplingOptions SmallOptions() {
+  OffsetSamplingOptions opts;
+  opts.num_arrays = 10;
+  opts.array_bits = 1024;
+  opts.offset_period = 536;
+  opts.fragment_len = 32;
+  return opts;
+}
+
+Packet MakePacket(std::string payload) {
+  Packet pkt;
+  pkt.flow = FlowLabel{1, 2, 3, 4, 6};
+  pkt.payload = std::move(payload);
+  return pkt;
+}
+
+TEST(OffsetSamplingTest, DrawsOffsetsWithinPeriod) {
+  Rng rng(1);
+  OffsetSamplingArrays arrays(SmallOptions(), &rng);
+  EXPECT_EQ(arrays.small_offsets().size(), 10u);
+  EXPECT_EQ(arrays.large_offsets().size(), 20u);
+  // Offsets leave room for a full fragment before their MSS boundary:
+  // small offsets span the 536-byte period, large ones the 1460-byte one.
+  for (std::uint32_t o : arrays.small_offsets()) EXPECT_LE(o, 536u - 32u);
+  for (std::uint32_t o : arrays.large_offsets()) EXPECT_LE(o, 1460u - 32u);
+}
+
+TEST(OffsetSamplingTest, ShortPacketsSkipped) {
+  Rng rng(2);
+  OffsetSamplingArrays arrays(SmallOptions(), &rng);
+  EXPECT_FALSE(arrays.Update(MakePacket(std::string(499, 'x'))));
+  EXPECT_EQ(arrays.packets_recorded(), 0u);
+  EXPECT_TRUE(arrays.Update(MakePacket(std::string(536, 'x'))));
+  EXPECT_EQ(arrays.packets_recorded(), 1u);
+}
+
+TEST(OffsetSamplingTest, SmallPacketSetsOneBitPerArray) {
+  Rng rng(3);
+  OffsetSamplingArrays arrays(SmallOptions(), &rng);
+  ContentCatalog catalog(5);
+  arrays.Update(MakePacket(catalog.ContentBytes(1, 536)));
+  for (const BitVector& array : arrays.arrays()) {
+    EXPECT_EQ(array.CountOnes(), 1u);
+  }
+}
+
+TEST(OffsetSamplingTest, LargePacketSetsUpToTwoBitsPerArray) {
+  Rng rng(4);
+  OffsetSamplingArrays arrays(SmallOptions(), &rng);
+  ContentCatalog catalog(5);
+  arrays.Update(MakePacket(catalog.ContentBytes(2, 1460)));
+  for (const BitVector& array : arrays.arrays()) {
+    EXPECT_GE(array.CountOnes(), 1u);
+    EXPECT_LE(array.CountOnes(), 2u);
+  }
+}
+
+TEST(OffsetSamplingTest, CloneLayoutSharesOffsetsNotBits) {
+  Rng rng(5);
+  OffsetSamplingArrays a(SmallOptions(), &rng);
+  OffsetSamplingArrays b = a.CloneLayout();
+  EXPECT_EQ(a.small_offsets(), b.small_offsets());
+  EXPECT_EQ(a.large_offsets(), b.large_offsets());
+  ContentCatalog catalog(5);
+  a.Update(MakePacket(catalog.ContentBytes(3, 536)));
+  EXPECT_EQ(b.arrays()[0].CountOnes(), 0u);
+}
+
+TEST(OffsetSamplingTest, ResetKeepsOffsets) {
+  Rng rng(6);
+  OffsetSamplingArrays arrays(SmallOptions(), &rng);
+  const auto offsets = arrays.small_offsets();
+  ContentCatalog catalog(5);
+  arrays.Update(MakePacket(catalog.ContentBytes(4, 536)));
+  arrays.Reset();
+  EXPECT_EQ(arrays.small_offsets(), offsets);
+  EXPECT_EQ(arrays.packets_recorded(), 0u);
+  for (const BitVector& array : arrays.arrays()) {
+    EXPECT_EQ(array.CountOnes(), 0u);
+  }
+}
+
+// The central matching property (Section IV-A): if two routers' offsets and
+// the two instances' prefix lengths satisfy (l1 - l2) = (a_i - b_j) mod 536,
+// then array i of router 1 and array j of router 2 share the content's
+// fragment hashes.
+TEST(OffsetSamplingTest, AlignedOffsetsProduceMatchingArrays) {
+  OffsetSamplingOptions opts = SmallOptions();
+  opts.num_arrays = 1;
+
+  ContentCatalog catalog(11);
+  const std::string content = catalog.ContentBytes(99, 536 * 40);
+  PacketizerOptions packetizer;
+  packetizer.mss = 536;
+  const FlowLabel flow{1, 2, 3, 4, 6};
+
+  // Same offsets (CloneLayout) and prefix lengths congruent mod 536
+  // (l1 - l2 = 536 ≡ 0 = a - a): every content-carrying packet fragment
+  // matches between the two routers.
+  Rng rng(7);
+  OffsetSamplingArrays router1(opts, &rng);
+  OffsetSamplingArrays router2 = router1.CloneLayout();
+  const std::string prefix1(536 + 64, 'P');
+  const std::string prefix2(64, 'Q');
+  for (const Packet& pkt :
+       PacketizeObject(flow, prefix1, content, packetizer)) {
+    router1.Update(pkt);
+  }
+  for (const Packet& pkt :
+       PacketizeObject(flow, prefix2, content, packetizer)) {
+    router2.Update(pkt);
+  }
+
+  // The two arrays must share most fragment hashes (~40 common indices; a
+  // couple lost at object boundaries).
+  const std::size_t common =
+      router1.arrays()[0].CommonOnes(router2.arrays()[0]);
+  EXPECT_GE(common, 35u);
+}
+
+// Counter-property: with non-matching offsets the arrays share essentially
+// nothing beyond chance.
+TEST(OffsetSamplingTest, MisalignedOffsetsDoNotMatch) {
+  OffsetSamplingOptions opts = SmallOptions();
+  opts.num_arrays = 1;
+  ContentCatalog catalog(11);
+  const std::string content = catalog.ContentBytes(99, 536 * 40);
+  PacketizerOptions packetizer;
+  packetizer.mss = 536;
+  const FlowLabel flow{1, 2, 3, 4, 6};
+
+  Rng rng(8);
+  OffsetSamplingArrays router1(opts, &rng);
+  OffsetSamplingArrays router2 = router1.CloneLayout();
+  // Same offsets but prefix lengths differing by 7 (not 0 mod 536).
+  for (const Packet& pkt :
+       PacketizeObject(flow, std::string(100, 'P'), content, packetizer)) {
+    router1.Update(pkt);
+  }
+  for (const Packet& pkt :
+       PacketizeObject(flow, std::string(107, 'Q'), content, packetizer)) {
+    router2.Update(pkt);
+  }
+  const std::size_t common =
+      router1.arrays()[0].CommonOnes(router2.arrays()[0]);
+  EXPECT_LE(common, 4u);  // ~40*40/1024 ~ 1.6 expected by chance.
+}
+
+// Large-packet path (Section II-D extension): content transmitted in
+// 1460-byte segments matches across routers when prefix lengths align
+// modulo the large MSS, using the large-offset set.
+TEST(OffsetSamplingTest, LargePacketsMatchModuloLargeMss) {
+  OffsetSamplingOptions opts = SmallOptions();
+  opts.num_arrays = 1;
+  ContentCatalog catalog(13);
+  const std::string content = catalog.ContentBytes(55, 1460 * 40);
+  PacketizerOptions packetizer;
+  packetizer.mss = 1460;
+  const FlowLabel flow{1, 2, 3, 4, 6};
+
+  Rng rng(9);
+  OffsetSamplingArrays router1(opts, &rng);
+  OffsetSamplingArrays router2 = router1.CloneLayout();
+  // Same offsets, prefixes congruent mod 1460 (1460 + 100 vs 100).
+  for (const Packet& pkt : PacketizeObject(
+           flow, std::string(1460 + 100, 'P'), content, packetizer)) {
+    router1.Update(pkt);
+  }
+  for (const Packet& pkt : PacketizeObject(
+           flow, std::string(100, 'Q'), content, packetizer)) {
+    router2.Update(pkt);
+  }
+  const std::size_t common =
+      router1.arrays()[0].CommonOnes(router2.arrays()[0]);
+  EXPECT_GE(common, 35u);
+}
+
+TEST(OffsetSamplingTest, LargeOffsetsSpanTheLargePeriod) {
+  // With offsets confined to [0, 536) the matching above would only work
+  // for ~1/3 of prefix alignments; the large set must span [0, 1460).
+  OffsetSamplingOptions opts = SmallOptions();
+  opts.num_arrays = 32;
+  Rng rng(10);
+  OffsetSamplingArrays arrays(opts, &rng);
+  std::uint32_t max_large = 0;
+  for (std::uint32_t o : arrays.large_offsets()) {
+    max_large = std::max(max_large, o);
+    EXPECT_LE(o, 1460u - 32u);
+  }
+  EXPECT_GT(max_large, 536u);  // 64 draws: beyond 536 w.h.p.
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,46 @@
+#include "dcs/options.h"
+
+#include "dcs/report.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(OptionsTest, AlignedDefaultsMatchPaper) {
+  const AlignedPipelineOptions opts;
+  EXPECT_EQ(opts.sketch.num_bits, 4u << 20);  // 4 Mbit for OC-48.
+  EXPECT_EQ(opts.n_prime, 4000u);             // Theorem 2 screen.
+}
+
+TEST(OptionsTest, UnalignedDefaultsMatchPaper) {
+  const UnalignedPipelineOptions opts;
+  EXPECT_EQ(opts.sketch.num_groups, 128u);
+  EXPECT_EQ(opts.sketch.offset_options.num_arrays, 10u);
+  EXPECT_EQ(opts.sketch.offset_options.array_bits, 1024u);
+  EXPECT_EQ(opts.sketch.offset_options.offset_period, 536u);
+  // ER-test p1 below the phase transition, core p1 well above: at the
+  // paper's n = 102,400 these give 0.65e-5 and 0.8e-4.
+  EXPECT_NEAR(opts.er_p1_times_n / 102400.0, 0.65e-5, 0.05e-5);
+  EXPECT_NEAR(opts.core_p1_times_n / 102400.0, 0.8e-4, 0.05e-4);
+  EXPECT_LT(opts.er_p1_times_n, 1.0);   // Subcritical.
+  EXPECT_GT(opts.core_p1_times_n, 1.0); // Supercritical.
+}
+
+TEST(OptionsTest, SmallUnalignedDefaultsScaleDown) {
+  const UnalignedPipelineOptions opts = SmallUnalignedDefaults(16);
+  EXPECT_EQ(opts.sketch.num_groups, 16u);
+  EXPECT_LT(opts.detector.beta, UnalignedPipelineOptions{}.detector.beta);
+  EXPECT_GE(opts.detector.expand_min_edges, 1u);
+}
+
+TEST(OptionsTest, GroupRefEquality) {
+  const GroupRef a{1, 2};
+  GroupRef b = a;
+  EXPECT_EQ(a, b);
+  b.group_index = 3;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace dcs

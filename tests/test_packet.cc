@@ -1,0 +1,70 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+Packet MakePacket(std::string payload) {
+  Packet pkt;
+  pkt.flow = FlowLabel{0x0A000001, 0x0A000002, 1234, 80, 6};
+  pkt.payload = std::move(payload);
+  return pkt;
+}
+
+TEST(FlowLabelTest, EqualityIsFieldwise) {
+  FlowLabel a{1, 2, 3, 4, 6};
+  FlowLabel b = a;
+  EXPECT_EQ(a, b);
+  b.dst_port = 5;
+  EXPECT_NE(a, b);
+}
+
+TEST(FlowLabelTest, HashDeterministicAndSeeded) {
+  FlowLabel flow{1, 2, 3, 4, 6};
+  EXPECT_EQ(HashFlowLabel(flow, 9), HashFlowLabel(flow, 9));
+  EXPECT_NE(HashFlowLabel(flow, 9), HashFlowLabel(flow, 10));
+}
+
+TEST(FlowLabelTest, HashSensitiveToEveryField) {
+  const FlowLabel base{1, 2, 3, 4, 6};
+  const std::uint64_t h = HashFlowLabel(base, 1);
+  FlowLabel mutated = base;
+  mutated.src_ip = 99;
+  EXPECT_NE(HashFlowLabel(mutated, 1), h);
+  mutated = base;
+  mutated.dst_ip = 99;
+  EXPECT_NE(HashFlowLabel(mutated, 1), h);
+  mutated = base;
+  mutated.src_port = 99;
+  EXPECT_NE(HashFlowLabel(mutated, 1), h);
+  mutated = base;
+  mutated.dst_port = 99;
+  EXPECT_NE(HashFlowLabel(mutated, 1), h);
+  mutated = base;
+  mutated.protocol = 17;
+  EXPECT_NE(HashFlowLabel(mutated, 1), h);
+}
+
+TEST(PacketTest, WireBytesIncludesHeader) {
+  Packet pkt = MakePacket(std::string(536, 'x'));
+  EXPECT_EQ(pkt.wire_bytes(), 536u + 40u);
+}
+
+TEST(PacketTest, PayloadPrefixClamps) {
+  Packet pkt = MakePacket("abcdef");
+  EXPECT_EQ(pkt.PayloadPrefix(3), "abc");
+  EXPECT_EQ(pkt.PayloadPrefix(100), "abcdef");
+  EXPECT_EQ(pkt.PayloadPrefix(0), "");
+}
+
+TEST(PacketTest, PayloadRangeOffsets) {
+  Packet pkt = MakePacket("0123456789");
+  EXPECT_EQ(pkt.PayloadRange(2, 3), "234");
+  EXPECT_EQ(pkt.PayloadRange(8, 5), "89");   // Clamped at end.
+  EXPECT_EQ(pkt.PayloadRange(10, 3), "");    // Past the end.
+  EXPECT_EQ(pkt.PayloadRange(0, 10), "0123456789");
+}
+
+}  // namespace
+}  // namespace dcs

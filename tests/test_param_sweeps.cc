@@ -1,0 +1,290 @@
+// Parameterized sweeps: the same invariants checked across the
+// configuration space a deployment would actually explore.
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "analysis/aligned_thresholds.h"
+#include "analysis/lambda_table.h"
+#include "analysis/unaligned_graph_builder.h"
+#include "analysis/unaligned_thresholds.h"
+#include "baseline/rabin.h"
+#include "common/rng.h"
+#include "common/stats_math.h"
+#include "dcs/epoch_tracker.h"
+#include "graph/core_decomposition.h"
+#include "graph/er_random.h"
+#include "sketch/digest.h"
+
+namespace dcs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Digest wire format across shapes.
+// ---------------------------------------------------------------------------
+
+using DigestShape = std::tuple<std::uint32_t /*groups*/,
+                               std::uint32_t /*arrays*/,
+                               std::size_t /*bits*/>;
+
+class DigestShapeTest : public ::testing::TestWithParam<DigestShape> {};
+
+TEST_P(DigestShapeTest, EncodeDecodeRoundTrip) {
+  const auto [groups, arrays, bits] = GetParam();
+  Digest digest;
+  digest.router_id = 7;
+  digest.epoch_id = 3;
+  digest.kind = groups == 1 && arrays == 1 ? DigestKind::kAligned
+                                           : DigestKind::kUnaligned;
+  digest.num_groups = groups;
+  digest.arrays_per_group = arrays;
+  Rng rng(groups * 131 + arrays * 17 + bits);
+  for (std::uint32_t r = 0; r < groups * arrays; ++r) {
+    BitVector row(bits);
+    for (std::size_t i = 0; i < bits; i += 1 + rng.UniformInt(7)) {
+      row.Set(i);
+    }
+    digest.rows.push_back(std::move(row));
+  }
+  digest.packets_covered = 999;
+  digest.raw_bytes_covered = 123456;
+
+  Digest decoded;
+  ASSERT_TRUE(Digest::Decode(digest.Encode(), &decoded).ok());
+  ASSERT_EQ(decoded.rows.size(), digest.rows.size());
+  for (std::size_t r = 0; r < decoded.rows.size(); ++r) {
+    EXPECT_TRUE(decoded.rows[r] == digest.rows[r]) << "row " << r;
+  }
+  EXPECT_EQ(decoded.num_groups, groups);
+  EXPECT_EQ(decoded.arrays_per_group, arrays);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DigestShapeTest,
+    ::testing::Values(DigestShape{1, 1, 64}, DigestShape{1, 1, 4096},
+                      DigestShape{4, 3, 256}, DigestShape{16, 10, 1024},
+                      DigestShape{2, 10, 127} /* non-word-aligned width */));
+
+// ---------------------------------------------------------------------------
+// FindCore retains a planted clique for every beta <= clique size.
+// ---------------------------------------------------------------------------
+
+class FindCoreBetaTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FindCoreBetaTest, CliqueSurvivesPeeling) {
+  const std::size_t beta = GetParam();
+  Rng rng(beta);
+  const std::size_t n = 2000;
+  constexpr std::size_t kClique = 24;
+  PlantedGraph planted = SamplePlantedGraph(n, 1.0 / n, kClique, 1.0, &rng);
+  const PeelResult result = FindCore(planted.graph, beta);
+  if (beta <= kClique) {
+    // Every survivor is a clique member.
+    for (Graph::VertexId v : result.core) {
+      EXPECT_TRUE(std::binary_search(planted.pattern_vertices.begin(),
+                                     planted.pattern_vertices.end(), v))
+          << "beta=" << beta;
+    }
+    EXPECT_EQ(result.core.size(), beta);
+  } else {
+    // The clique is contained in the (larger) core.
+    for (Graph::VertexId v : planted.pattern_vertices) {
+      EXPECT_TRUE(std::binary_search(result.core.begin(), result.core.end(),
+                                     v))
+          << "beta=" << beta;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, FindCoreBetaTest,
+                         ::testing::Values(4, 12, 24, 40, 100));
+
+// ---------------------------------------------------------------------------
+// Graph builder: injected correlation detected across group geometries.
+// ---------------------------------------------------------------------------
+
+using BuilderGeometry = std::tuple<std::size_t /*arrays*/, std::size_t /*bits*/>;
+
+class GraphBuilderGeometryTest
+    : public ::testing::TestWithParam<BuilderGeometry> {};
+
+TEST_P(GraphBuilderGeometryTest, SignalEdgeSurvivesGeometry) {
+  const auto [arrays, bits] = GetParam();
+  Rng rng(arrays * 1000 + bits);
+  const std::size_t groups = 12;
+  BitMatrix matrix(groups * arrays, bits);
+  // ~20% background fill.
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    for (std::size_t c = 0; c < bits; ++c) {
+      if (rng.Bernoulli(0.2)) matrix.Set(r, c);
+    }
+  }
+  // Signal: bits/5 shared indices in the first row of groups 2 and 9.
+  for (std::size_t i = 0; i < bits / 5; ++i) {
+    const std::size_t c = rng.UniformInt(bits);
+    matrix.Set(2 * arrays, c);
+    matrix.Set(9 * arrays, c);
+  }
+  LambdaTable lambda(bits, 1e-6);
+  GraphBuilderOptions opts;
+  opts.arrays_per_group = arrays;
+  const Graph graph = BuildCorrelationGraph(matrix, lambda, opts);
+  bool found = false;
+  for (const auto& [u, v] : graph.edges()) {
+    if (u == 2 && v == 9) found = true;
+  }
+  EXPECT_TRUE(found) << "arrays=" << arrays << " bits=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, GraphBuilderGeometryTest,
+                         ::testing::Values(BuilderGeometry{1, 512},
+                                           BuilderGeometry{4, 1024},
+                                           BuilderGeometry{10, 1024},
+                                           BuilderGeometry{10, 256}));
+
+// ---------------------------------------------------------------------------
+// Monotonicity of the aligned thresholds in every argument.
+// ---------------------------------------------------------------------------
+
+TEST(ThresholdMonotonicityTest, NnoBInAllArguments) {
+  // More routers seeing it -> fewer packets needed.
+  EXPECT_GE(MinNonNaturallyOccurringB(1000, 1 << 22, 30, 1e-3),
+            MinNonNaturallyOccurringB(1000, 1 << 22, 60, 1e-3));
+  // Wider matrix (more columns of noise) -> more packets needed.
+  EXPECT_LE(MinNonNaturallyOccurringB(1000, 1 << 18, 30, 1e-3),
+            MinNonNaturallyOccurringB(1000, 1 << 22, 30, 1e-3));
+  // More rows of noise -> more packets needed.
+  EXPECT_LE(MinNonNaturallyOccurringB(500, 1 << 22, 30, 1e-3),
+            MinNonNaturallyOccurringB(2000, 1 << 22, 30, 1e-3));
+  // Stricter epsilon -> more packets needed.
+  EXPECT_LE(MinNonNaturallyOccurringB(1000, 1 << 22, 30, 1e-2),
+            MinNonNaturallyOccurringB(1000, 1 << 22, 30, 1e-6));
+}
+
+TEST(ThresholdMonotonicityTest, UnalignedMInVertexCount) {
+  UnalignedNnoOptions small;
+  small.num_vertices = 10'000;
+  small.p2 = 0.08;
+  UnalignedNnoOptions large = small;
+  large.num_vertices = 1'000'000;
+  const auto m_small = MinNonNaturallyOccurringClusterSize(small);
+  const auto m_large = MinNonNaturallyOccurringClusterSize(large);
+  ASSERT_GT(m_small.min_cluster_size, 0);
+  ASSERT_GT(m_large.min_cluster_size, 0);
+  // More vertices -> larger union bound -> larger minimum cluster.
+  EXPECT_LE(m_small.min_cluster_size, m_large.min_cluster_size);
+}
+
+// ---------------------------------------------------------------------------
+// Lambda tables across p_star levels and fills.
+// ---------------------------------------------------------------------------
+
+class LambdaSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaSweepTest, ThresholdAboveMeanAndTight) {
+  const double p_star = GetParam();
+  LambdaTable table(1024, p_star);
+  for (std::uint32_t fill : {128u, 400u, 512u, 800u}) {
+    const std::int64_t lambda = table.Threshold(fill, fill);
+    const double mean =
+        static_cast<double>(fill) * static_cast<double>(fill) / 1024.0;
+    EXPECT_GT(static_cast<double>(lambda), mean) << p_star << " " << fill;
+    // Tightness: lambda - 1 must exceed the level.
+    EXPECT_GT(std::exp(LogHypergeomSf(lambda - 1, 1024, fill, fill)), p_star);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, LambdaSweepTest,
+                         ::testing::Values(1e-3, 1e-5, 1e-7, 1e-9));
+
+// ---------------------------------------------------------------------------
+// Rabin rolling == direct across window sizes (full sweep).
+// ---------------------------------------------------------------------------
+
+class RabinWindowTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RabinWindowTest, RollingEqualsDirectEverywhere) {
+  const std::size_t window = GetParam();
+  Rng rng(window);
+  std::string data(window * 3 + 37, '\0');
+  for (char& c : data) c = static_cast<char>(rng.UniformInt(256));
+  RabinFingerprinter fp(window);
+  const auto rolled = fp.WindowFingerprints(data);
+  ASSERT_EQ(rolled.size(), data.size() - window + 1);
+  for (std::size_t i = 0; i < rolled.size(); ++i) {
+    ASSERT_EQ(rolled[i],
+              fp.Fingerprint(std::string_view(data).substr(i, window)))
+        << "window " << window << " pos " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, RabinWindowTest,
+                         ::testing::Values(1, 2, 7, 8, 9, 31, 32, 33, 40,
+                                           64, 100));
+
+// ---------------------------------------------------------------------------
+// Epoch tracker k-of-w combinatorics.
+// ---------------------------------------------------------------------------
+
+using TrackerConfig = std::tuple<std::size_t /*w*/, std::size_t /*k*/>;
+
+class EpochTrackerSweepTest
+    : public ::testing::TestWithParam<TrackerConfig> {};
+
+TEST_P(EpochTrackerSweepTest, AlarmExactlyAtKOfW) {
+  const auto [w, k] = GetParam();
+  EpochTrackerOptions opts;
+  opts.window_epochs = w;
+  opts.min_detections = k;
+  EpochTracker tracker(opts);
+  // k-1 detections at the tail of a full window: no alarm yet.
+  for (std::size_t i = 0; i < w; ++i) {
+    tracker.RecordEpoch(i >= w - (k - 1), {1});
+  }
+  EXPECT_FALSE(tracker.PersistentDetection()) << "w=" << w << " k=" << k;
+  // One more detection while those k-1 are still inside the window: alarm.
+  tracker.RecordEpoch(true, {1});
+  EXPECT_EQ(tracker.detections_in_window(), k);
+  EXPECT_TRUE(tracker.PersistentDetection()) << "w=" << w << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, EpochTrackerSweepTest,
+                         ::testing::Values(TrackerConfig{3, 2},
+                                           TrackerConfig{5, 2},
+                                           TrackerConfig{5, 4},
+                                           TrackerConfig{10, 3}));
+
+// ---------------------------------------------------------------------------
+// ER sampler edge-count law across (n, p).
+// ---------------------------------------------------------------------------
+
+using ErConfig = std::tuple<std::size_t, double>;
+
+class ErEdgeCountTest : public ::testing::TestWithParam<ErConfig> {};
+
+TEST_P(ErEdgeCountTest, EdgeCountWithinFiveSigma) {
+  const auto [n, p] = GetParam();
+  Rng rng(n + static_cast<std::uint64_t>(p * 1e9));
+  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  const double expected = pairs * p;
+  const double sigma = std::sqrt(expected * (1 - p));
+  double total = 0.0;
+  constexpr int kTrials = 5;
+  for (int t = 0; t < kTrials; ++t) {
+    total += static_cast<double>(SampleErGraph(n, p, &rng).num_edges());
+  }
+  EXPECT_NEAR(total / kTrials, expected,
+              5.0 * sigma / std::sqrt(kTrials) + 1.0)
+      << "n=" << n << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ErEdgeCountTest,
+    ::testing::Values(ErConfig{100, 0.5}, ErConfig{1000, 0.01},
+                      ErConfig{20000, 1e-4}, ErConfig{100000, 1e-5}));
+
+}  // namespace
+}  // namespace dcs

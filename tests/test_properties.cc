@@ -1,0 +1,308 @@
+// Cross-module property tests: each checks that an implemented mechanism
+// agrees with the closed-form law the paper derives for it.
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/aligned_detector.h"
+#include "analysis/aligned_thresholds.h"
+#include "analysis/synthetic_matrix.h"
+#include "common/rng.h"
+#include "common/stats_math.h"
+#include "graph/connected_components.h"
+#include "graph/er_random.h"
+#include "net/packetizer.h"
+#include "sketch/bitmap_sketch.h"
+#include "sketch/digest.h"
+#include "sketch/offset_sampling.h"
+#include "traffic/content_catalog.h"
+
+namespace dcs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Section IV-A: using k offsets amplifies the probability that two routers'
+// sketches match on a shared content to ~1 - e^{-k^2/536}.
+// ---------------------------------------------------------------------------
+
+class OffsetAmplificationTest : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(OffsetAmplificationTest, MatchProbabilityFollowsKSquaredLaw) {
+  const std::size_t k = GetParam();
+  OffsetSamplingOptions opts;
+  opts.num_arrays = k;
+  opts.array_bits = 4096;  // Large arrays: chance overlaps stay tiny.
+  const std::size_t g = 40;
+
+  ContentCatalog catalog(77);
+  const std::string content = catalog.ContentBytes(5, g * 536);
+  PacketizerOptions packetizer;
+  packetizer.mss = 536;
+  const FlowLabel flow{1, 2, 3, 4, 6};
+
+  Rng rng(1000 + k);
+  const int trials = 300;
+  int matches = 0;
+  for (int t = 0; t < trials; ++t) {
+    OffsetSamplingArrays router1(opts, &rng);
+    OffsetSamplingArrays router2(opts, &rng);  // Independent offsets.
+    const std::size_t l1 = rng.UniformInt(536);
+    const std::size_t l2 = rng.UniformInt(536);
+    for (const Packet& pkt : PacketizeObject(
+             flow, std::string(l1, 'A'), content, packetizer)) {
+      router1.Update(pkt);
+    }
+    for (const Packet& pkt : PacketizeObject(
+             flow, std::string(l2, 'B'), content, packetizer)) {
+      router2.Update(pkt);
+    }
+    // A matched array pair shares ~g fragment hashes; chance pairs share
+    // ~g^2/4096 < 1. Threshold halfway.
+    bool matched = false;
+    for (const BitVector& a : router1.arrays()) {
+      for (const BitVector& b : router2.arrays()) {
+        if (a.CommonOnes(b) >= g / 2) {
+          matched = true;
+          break;
+        }
+      }
+      if (matched) break;
+    }
+    matches += matched;
+  }
+  const double empirical = static_cast<double>(matches) / trials;
+  const double k2 = static_cast<double>(k) * static_cast<double>(k);
+  const double predicted = 1.0 - std::exp(-k2 / 536.0);
+  // Binomial noise plus the slight offset-range restriction (offsets leave
+  // room for a fragment): allow 4 sigma + 15% of the prediction.
+  const double tolerance =
+      4.0 * std::sqrt(predicted * (1 - predicted) / trials) +
+      0.15 * predicted + 0.01;
+  EXPECT_NEAR(empirical, predicted, tolerance) << "k = " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, OffsetAmplificationTest,
+                         ::testing::Values(3, 6, 10, 16));
+
+// ---------------------------------------------------------------------------
+// Bloom-filter arithmetic (Section III-A): after d distinct insertions an
+// l-bit array holds ~l(1 - e^{-d/l}) ones.
+// ---------------------------------------------------------------------------
+
+struct FillCase {
+  std::size_t bits;
+  std::size_t insertions;
+};
+
+class BloomFillTest : public ::testing::TestWithParam<FillCase> {};
+
+TEST_P(BloomFillTest, FillMatchesExpectation) {
+  const auto [bits, insertions] = GetParam();
+  BitmapSketchOptions opts;
+  opts.num_bits = bits;
+  BitmapSketch sketch(opts);
+  Rng rng(bits + insertions);
+  for (std::size_t i = 0; i < insertions; ++i) {
+    Packet pkt;
+    pkt.flow = FlowLabel{1, 2, 3, 4, 6};
+    pkt.payload.resize(16);
+    for (char& c : pkt.payload) {
+      c = static_cast<char>(rng.UniformInt(256));
+    }
+    sketch.Update(pkt);
+  }
+  const double expected =
+      1.0 - std::exp(-static_cast<double>(insertions) /
+                     static_cast<double>(bits));
+  EXPECT_NEAR(sketch.FillRatio(), expected,
+              4.0 * std::sqrt(expected / static_cast<double>(bits)) + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BloomFillTest,
+    ::testing::Values(FillCase{1 << 12, 1 << 11}, FillCase{1 << 12, 1 << 12},
+                      FillCase{1 << 14, 11355},  // (ln 2) l: half full.
+                      FillCase{1 << 16, 1 << 15}));
+
+// ---------------------------------------------------------------------------
+// Erdős–Rényi phase transition (Section IV-B): subcritical c < 1 gives
+// O(log n) components; supercritical c > 1 gives a Theta(n) giant.
+// ---------------------------------------------------------------------------
+
+struct PhaseCase {
+  std::size_t n;
+  double c;  // p = c / n.
+  bool giant_expected;
+};
+
+class PhaseTransitionTest : public ::testing::TestWithParam<PhaseCase> {};
+
+TEST_P(PhaseTransitionTest, LargestComponentRegime) {
+  const auto [n, c, giant_expected] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 31 + c * 100));
+  const Graph g = SampleErGraph(n, c / static_cast<double>(n), &rng);
+  const std::size_t largest = LargestComponentSize(g);
+  if (giant_expected) {
+    EXPECT_GT(largest, n / 5) << "n=" << n << " c=" << c;
+  } else {
+    EXPECT_LT(largest,
+              static_cast<std::size_t>(
+                  12.0 * std::log(static_cast<double>(n))))
+        << "n=" << n << " c=" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, PhaseTransitionTest,
+    ::testing::Values(PhaseCase{30000, 0.5, false},
+                      PhaseCase{30000, 0.67, false},  // The paper's margin.
+                      PhaseCase{30000, 1.5, true},
+                      PhaseCase{30000, 2.0, true},
+                      PhaseCase{100000, 0.67, false},
+                      PhaseCase{100000, 1.5, true}));
+
+// ---------------------------------------------------------------------------
+// Detector vs analytic detectability (Sections III-C / V-A.2): patterns
+// comfortably above the analytic frontier are detected; patterns that are
+// naturally occurring are not reported.
+// ---------------------------------------------------------------------------
+
+struct DetectCase {
+  std::size_t a;
+  std::size_t b;
+  bool expect_detect;
+};
+
+class DetectorCalculatorTest : public ::testing::TestWithParam<DetectCase> {};
+
+TEST_P(DetectorCalculatorTest, AgreesWithAnalyticFrontier) {
+  const auto [a, b, expect_detect] = GetParam();
+  SyntheticAlignedOptions matrix_opts;
+  matrix_opts.m = 300;
+  matrix_opts.n = 100000;
+  matrix_opts.n_prime = 500;
+  matrix_opts.pattern_rows = a;
+  matrix_opts.pattern_cols = b;
+
+  DetectabilityOptions calc;
+  calc.n_prime = 500;
+  const DetectabilityAnalysis analysis = AnalyzeDetectability(
+      300, 100000, static_cast<std::int64_t>(a),
+      static_cast<std::int64_t>(b), calc);
+
+  AlignedDetectorOptions detector_opts;
+  detector_opts.first_iteration_hopefuls = 500;
+  detector_opts.hopefuls = 250;
+  AlignedDetector detector(detector_opts);
+
+  Rng rng(a * 1000 + b);
+  int detected = 0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    const SyntheticScreened instance =
+        SampleScreenedAligned(matrix_opts, &rng);
+    if (detector.Detect(instance.screened).pattern_found) ++detected;
+  }
+  if (expect_detect) {
+    // Only parameter points with analytic detection probability ~1 are in
+    // this bucket; allow one unlucky trial.
+    EXPECT_GE(analysis.detection_prob, 0.9);
+    EXPECT_GE(detected, trials - 1) << "a=" << a << " b=" << b;
+  } else {
+    EXPECT_EQ(detected, 0) << "a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Frontier, DetectorCalculatorTest,
+    ::testing::Values(DetectCase{60, 30, true}, DetectCase{80, 20, true},
+                      DetectCase{100, 15, true},
+                      // Far below the frontier: tiny patterns.
+                      DetectCase{6, 3, false}, DetectCase{4, 6, false}));
+
+// ---------------------------------------------------------------------------
+// Robustness: Decode never crashes and flags corruption, for arbitrary
+// buffers and for random single-byte mutations of a valid digest.
+// ---------------------------------------------------------------------------
+
+TEST(DigestFuzzTest, RandomBuffersAreRejectedCleanly) {
+  Rng rng(42);
+  for (int t = 0; t < 2000; ++t) {
+    std::vector<std::uint8_t> bytes(rng.UniformInt(200));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.UniformInt(256));
+    Digest out;
+    const Status status = Digest::Decode(bytes, &out);
+    EXPECT_FALSE(status.ok());
+  }
+}
+
+TEST(DigestFuzzTest, MutatedValidDigestsAreRejected) {
+  Digest digest;
+  digest.router_id = 1;
+  digest.kind = DigestKind::kUnaligned;
+  digest.num_groups = 2;
+  digest.arrays_per_group = 2;
+  for (int r = 0; r < 4; ++r) {
+    BitVector row(256);
+    row.Set(r * 10);
+    digest.rows.push_back(row);
+  }
+  const std::vector<std::uint8_t> valid = digest.Encode();
+  Rng rng(43);
+  for (int t = 0; t < 500; ++t) {
+    std::vector<std::uint8_t> mutated = valid;
+    const std::size_t pos = rng.UniformInt(mutated.size());
+    const auto flip = static_cast<std::uint8_t>(1 + rng.UniformInt(255));
+    mutated[pos] ^= flip;
+    Digest out;
+    const Status status = Digest::Decode(mutated, &out);
+    EXPECT_FALSE(status.ok()) << "mutation at byte " << pos;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Numeric cross-checks on random parameters.
+// ---------------------------------------------------------------------------
+
+TEST(StatsConsistencyTest, HypergeomSfComplementsCdfRandomSweep) {
+  Rng rng(44);
+  for (int t = 0; t < 200; ++t) {
+    const std::int64_t big_n = 16 + rng.UniformInt(2048);
+    const std::int64_t i = rng.UniformInt(big_n + 1);
+    const std::int64_t j = rng.UniformInt(big_n + 1);
+    const std::int64_t x = rng.UniformInt(std::min(i, j) + 1);
+    const double cdf = HypergeomCdf(x, big_n, i, j);
+    const double sf = std::exp(LogHypergeomSf(x, big_n, i, j));
+    EXPECT_NEAR(cdf + sf, 1.0, 1e-9)
+        << "N=" << big_n << " i=" << i << " j=" << j << " x=" << x;
+  }
+}
+
+TEST(StatsConsistencyTest, BinomSfComplementsCdfRandomSweep) {
+  Rng rng(45);
+  for (int t = 0; t < 200; ++t) {
+    const std::int64_t n = 1 + rng.UniformInt(5000);
+    const double p = rng.UniformDouble();
+    const std::int64_t x = rng.UniformInt(n + 1);
+    const double cdf = BinomCdf(x, n, p);
+    const double sf = std::exp(LogBinomSf(x, n, p));
+    EXPECT_NEAR(cdf + sf, 1.0, 1e-9) << "n=" << n << " p=" << p;
+  }
+}
+
+TEST(StatsConsistencyTest, BinomQuantileMonotoneInQ) {
+  for (std::int64_t n : {10, 1000}) {
+    std::int64_t prev = -1;
+    for (double q : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+      const std::int64_t x = BinomQuantile(q, n, 0.37);
+      EXPECT_GE(x, prev);
+      prev = x;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcs

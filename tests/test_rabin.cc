@@ -1,0 +1,99 @@
+#include "baseline/rabin.h"
+
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcs {
+namespace {
+
+std::string RandomBytes(Rng* rng, std::size_t n) {
+  std::string s(n, '\0');
+  for (char& c : s) c = static_cast<char>(rng->UniformInt(256));
+  return s;
+}
+
+TEST(RabinTest, FingerprintDeterministic) {
+  RabinFingerprinter fp(16);
+  EXPECT_EQ(fp.Fingerprint("hello world fingerprint"),
+            fp.Fingerprint("hello world fingerprint"));
+  EXPECT_NE(fp.Fingerprint("hello world fingerprint"),
+            fp.Fingerprint("hello world fingerprinT"));
+}
+
+TEST(RabinTest, RollingEqualsDirectPerWindow) {
+  // The load-bearing property: the O(1) roll must equal recomputing each
+  // window from scratch.
+  Rng rng(1);
+  const std::string data = RandomBytes(&rng, 300);
+  for (std::size_t window : {1u, 8u, 40u, 64u}) {
+    RabinFingerprinter fp(window);
+    const std::vector<std::uint64_t> rolled = fp.WindowFingerprints(data);
+    ASSERT_EQ(rolled.size(), data.size() - window + 1);
+    for (std::size_t i = 0; i < rolled.size(); i += 17) {
+      EXPECT_EQ(rolled[i],
+                fp.Fingerprint(std::string_view(data).substr(i, window)))
+          << "window " << window << " pos " << i;
+    }
+  }
+}
+
+TEST(RabinTest, ShortBufferYieldsNothing) {
+  RabinFingerprinter fp(32);
+  EXPECT_TRUE(fp.WindowFingerprints("tiny").empty());
+}
+
+TEST(RabinTest, ExactWindowSizeYieldsOne) {
+  RabinFingerprinter fp(4);
+  const auto fps = fp.WindowFingerprints("abcd");
+  ASSERT_EQ(fps.size(), 1u);
+  EXPECT_EQ(fps[0], fp.Fingerprint("abcd"));
+}
+
+TEST(RabinTest, SameSubstringSameFingerprintAnyPosition) {
+  // Position independence: the common substring fingerprints identically
+  // wherever it sits — the property that makes the baseline offset-proof.
+  Rng rng(2);
+  const std::string common = RandomBytes(&rng, 64);
+  const std::string a = RandomBytes(&rng, 50) + common + RandomBytes(&rng, 10);
+  const std::string b = RandomBytes(&rng, 7) + common + RandomBytes(&rng, 90);
+  RabinFingerprinter fp(64);
+  const auto fa = fp.WindowFingerprints(a);
+  const auto fb = fp.WindowFingerprints(b);
+  EXPECT_EQ(fa[50], fb[7]);
+}
+
+TEST(RabinTest, SampledFingerprintsAreSubset) {
+  Rng rng(3);
+  const std::string data = RandomBytes(&rng, 2000);
+  RabinFingerprinter fp(40);
+  const auto all = fp.WindowFingerprints(data);
+  const auto sampled = fp.SampledWindowFingerprints(data, 4);
+  // Every sampled fingerprint has its low 4 bits zero and appears in all.
+  for (std::uint64_t s : sampled) {
+    EXPECT_EQ(s & 0xF, 0u);
+  }
+  // Sampling rate ~ 1/16.
+  EXPECT_NEAR(static_cast<double>(sampled.size()),
+              static_cast<double>(all.size()) / 16.0,
+              6.0 * std::sqrt(all.size() / 16.0));
+}
+
+TEST(RabinTest, CollisionFreeOnDistinctShortInputs) {
+  RabinFingerprinter fp(8);
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t i = 0; i < 50000; ++i) {
+    std::string data(8, '\0');
+    std::memcpy(data.data(), &i, sizeof(i));
+    seen.insert(fp.Fingerprint(data));
+  }
+  EXPECT_EQ(seen.size(), 50000u);
+}
+
+}  // namespace
+}  // namespace dcs

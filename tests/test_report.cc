@@ -1,0 +1,52 @@
+#include "dcs/report.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(ReportJsonTest, AlignedJsonShape) {
+  AlignedReport report;
+  report.common_content_detected = true;
+  report.matrix_rows = 24;
+  report.matrix_cols = 8192;
+  report.routers = {0, 3, 7};
+  report.signature_columns = {11, 512};
+  EXPECT_EQ(report.ToJson(),
+            "{\"detected\":true,\"matrix_rows\":24,\"matrix_cols\":8192,"
+            "\"routers\":[0,3,7],\"signature_columns\":[11,512]}");
+}
+
+TEST(ReportJsonTest, AlignedEmptyClear) {
+  AlignedReport report;
+  EXPECT_EQ(report.ToJson(),
+            "{\"detected\":false,\"matrix_rows\":0,\"matrix_cols\":0,"
+            "\"routers\":[],\"signature_columns\":[]}");
+}
+
+TEST(ReportJsonTest, UnalignedJsonWithClusters) {
+  UnalignedReport report;
+  report.common_content_detected = true;
+  report.largest_component = 80;
+  report.er_threshold = 50;
+  report.num_vertices = 320;
+  report.num_edges = 900;
+  report.routers = {1, 2};
+  report.clusters = {{GroupRef{1, 4}, GroupRef{2, 9}}, {GroupRef{1, 0}}};
+  EXPECT_EQ(report.ToJson(),
+            "{\"detected\":true,\"largest_component\":80,"
+            "\"er_threshold\":50,\"num_vertices\":320,\"num_edges\":900,"
+            "\"routers\":[1,2],\"clusters\":[[{\"router\":1,\"group\":4},"
+            "{\"router\":2,\"group\":9}],[{\"router\":1,\"group\":0}]]}");
+}
+
+TEST(ReportJsonTest, UnalignedEmpty) {
+  UnalignedReport report;
+  EXPECT_EQ(report.ToJson(),
+            "{\"detected\":false,\"largest_component\":0,"
+            "\"er_threshold\":0,\"num_vertices\":0,\"num_edges\":0,"
+            "\"routers\":[],\"clusters\":[]}");
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,62 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoryOk) { EXPECT_TRUE(Status::Ok().ok()); }
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad width");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad width");
+}
+
+TEST(StatusTest, EachFactoryMapsToItsCode) {
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::Corruption("x").code(), Status::Code::kCorruption);
+  EXPECT_EQ(Status::IoError("x").code(), Status::Code::kIoError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("checksum");
+  Status t = s;
+  EXPECT_EQ(t.code(), Status::Code::kCorruption);
+  EXPECT_EQ(t.message(), "checksum");
+}
+
+Status FailsThenPropagates() {
+  DCS_RETURN_IF_ERROR(Status::IoError("disk gone"));
+  return Status::Ok();
+}
+
+Status SucceedsThrough() {
+  DCS_RETURN_IF_ERROR(Status::Ok());
+  return Status::Internal("reached");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagatesFailure) {
+  EXPECT_EQ(FailsThenPropagates().code(), Status::Code::kIoError);
+}
+
+TEST(StatusTest, ReturnIfErrorPassesOkThrough) {
+  EXPECT_EQ(SucceedsThrough().code(), Status::Code::kInternal);
+}
+
+}  // namespace
+}  // namespace dcs

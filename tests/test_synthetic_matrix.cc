@@ -1,0 +1,153 @@
+#include "analysis/synthetic_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/weight_screen.h"
+
+namespace dcs {
+namespace {
+
+SyntheticAlignedOptions SmallOptions() {
+  SyntheticAlignedOptions opts;
+  opts.m = 200;
+  opts.n = 20000;
+  opts.n_prime = 300;
+  opts.pattern_rows = 40;
+  opts.pattern_cols = 12;
+  return opts;
+}
+
+TEST(SyntheticScreenedTest, ShapeAndGroundTruth) {
+  Rng rng(1);
+  const SyntheticScreened s = SampleScreenedAligned(SmallOptions(), &rng);
+  EXPECT_EQ(s.screened.columns.size(), 300u);
+  EXPECT_EQ(s.screened.num_rows, 200u);
+  EXPECT_EQ(s.screened.num_source_columns, 20000u);
+  EXPECT_EQ(s.pattern_rows.size(), 40u);
+  EXPECT_TRUE(std::is_sorted(s.pattern_rows.begin(), s.pattern_rows.end()));
+  EXPECT_EQ(s.is_pattern_column.size(), 300u);
+}
+
+TEST(SyntheticScreenedTest, WeightsDescendAndMatchBits) {
+  Rng rng(2);
+  const SyntheticScreened s = SampleScreenedAligned(SmallOptions(), &rng);
+  for (std::size_t i = 0; i < s.screened.columns.size(); ++i) {
+    EXPECT_EQ(s.screened.columns[i].CountOnes(), s.screened.weights[i])
+        << "column " << i;
+    if (i > 0) EXPECT_GE(s.screened.weights[i - 1], s.screened.weights[i]);
+  }
+}
+
+TEST(SyntheticScreenedTest, PatternColumnsContainAllPatternRows) {
+  Rng rng(3);
+  const SyntheticScreened s = SampleScreenedAligned(SmallOptions(), &rng);
+  std::size_t pattern_cols = 0;
+  for (std::size_t i = 0; i < s.screened.columns.size(); ++i) {
+    if (!s.is_pattern_column[i]) continue;
+    ++pattern_cols;
+    for (std::uint32_t r : s.pattern_rows) {
+      EXPECT_TRUE(s.screened.columns[i].Test(r));
+    }
+  }
+  EXPECT_EQ(pattern_cols, s.pattern_columns_in_screen);
+  EXPECT_GT(pattern_cols, 0u);
+}
+
+TEST(SyntheticScreenedTest, NoPatternCaseHasBinomialWeights) {
+  SyntheticAlignedOptions opts = SmallOptions();
+  opts.pattern_rows = 0;
+  opts.pattern_cols = 0;
+  Rng rng(4);
+  const SyntheticScreened s = SampleScreenedAligned(opts, &rng);
+  EXPECT_TRUE(s.pattern_rows.empty());
+  EXPECT_EQ(s.pattern_columns_in_screen, 0u);
+  // Top columns of Binomial(200, 1/2): the cutoff should sit a few sigma
+  // above the mean 100 (sigma ~ 7.1). 300/20000 => ~2.4 sigma.
+  EXPECT_GT(s.screened.weights.back(), 110u);
+  EXPECT_LT(s.screened.weights.front(), 145u);
+}
+
+// Cross-validation of the sampler against the literal matrix: the number of
+// pattern columns surviving the screen must match in distribution. We
+// compare means over repeated trials.
+TEST(SyntheticScreenedTest, SamplerMatchesLiteralMatrixStatistics) {
+  SyntheticAlignedOptions opts;
+  opts.m = 100;
+  opts.n = 4000;
+  opts.n_prime = 120;
+  opts.pattern_rows = 25;
+  opts.pattern_cols = 10;
+  constexpr int kTrials = 60;
+
+  Rng rng_fast(5);
+  double fast_mean = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    fast_mean += static_cast<double>(
+        SampleScreenedAligned(opts, &rng_fast).pattern_columns_in_screen);
+  }
+  fast_mean /= kTrials;
+
+  Rng rng_lit(6);
+  double literal_mean = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<std::uint32_t> pattern_rows;
+    std::vector<std::size_t> pattern_cols;
+    const BitMatrix matrix =
+        SampleLiteralAligned(opts, &rng_lit, &pattern_rows, &pattern_cols);
+    const ScreenedColumns screened =
+        ScreenHeaviestColumns(matrix, opts.n_prime);
+    std::size_t survivors = 0;
+    for (std::size_t id : screened.original_ids) {
+      if (std::binary_search(pattern_cols.begin(), pattern_cols.end(), id)) {
+        ++survivors;
+      }
+    }
+    literal_mean += static_cast<double>(survivors);
+  }
+  literal_mean /= kTrials;
+
+  // Means agree within Monte-Carlo noise (sigma per trial ~ 1.5 columns).
+  EXPECT_NEAR(fast_mean, literal_mean, 3.0 * 1.5 / std::sqrt(kTrials) * 2);
+}
+
+TEST(SampleLiteralAlignedTest, PatternPlantedExactly) {
+  SyntheticAlignedOptions opts;
+  opts.m = 50;
+  opts.n = 500;
+  opts.pattern_rows = 10;
+  opts.pattern_cols = 6;
+  Rng rng(7);
+  std::vector<std::uint32_t> rows;
+  std::vector<std::size_t> cols;
+  const BitMatrix matrix = SampleLiteralAligned(opts, &rng, &rows, &cols);
+  ASSERT_EQ(rows.size(), 10u);
+  ASSERT_EQ(cols.size(), 6u);
+  for (std::uint32_t r : rows) {
+    for (std::size_t c : cols) {
+      EXPECT_TRUE(matrix.Test(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(SampleLiteralAlignedTest, NoiseDensityIsHalf) {
+  SyntheticAlignedOptions opts;
+  opts.m = 64;
+  opts.n = 1 << 12;
+  Rng rng(8);
+  std::vector<std::uint32_t> rows;
+  std::vector<std::size_t> cols;
+  const BitMatrix matrix = SampleLiteralAligned(opts, &rng, &rows, &cols);
+  double ones = 0.0;
+  for (std::size_t r = 0; r < opts.m; ++r) {
+    ones += static_cast<double>(matrix.row(r).CountOnes());
+  }
+  const double density =
+      ones / (static_cast<double>(opts.m) * static_cast<double>(opts.n));
+  EXPECT_NEAR(density, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace dcs

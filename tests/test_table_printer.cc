@@ -1,0 +1,38 @@
+#include "common/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"g", "value"});
+  table.AddRow({"100", "1.5"});
+  table.AddRow({"5", "12.25"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| g   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| 100 | 1.5   |"), std::string::npos);
+  EXPECT_NE(out.find("| 5   | 12.25 |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|-----|"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Fmt(1.0, 0), "1");
+  EXPECT_EQ(TablePrinter::Fmt(0.98765, 3), "0.988");
+}
+
+TEST(TablePrinterTest, HeaderOnlyTable) {
+  TablePrinter table({"a"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("| a |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,116 @@
+#include "net/trace.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+Packet MakePacket(std::uint32_t src, std::string payload) {
+  Packet pkt;
+  pkt.flow = FlowLabel{src, 2, 3, 4, 6};
+  pkt.payload = std::move(payload);
+  return pkt;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceTest, SizeAndIndexing) {
+  PacketTrace trace;
+  EXPECT_TRUE(trace.empty());
+  trace.Add(MakePacket(1, "aaa"));
+  trace.Add(MakePacket(2, "bb"));
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].flow.src_ip, 1u);
+  EXPECT_EQ(trace[1].payload, "bb");
+}
+
+TEST(TraceTest, TotalWireBytes) {
+  PacketTrace trace;
+  trace.Add(MakePacket(1, std::string(100, 'x')));
+  trace.Add(MakePacket(2, std::string(60, 'y')));
+  EXPECT_EQ(trace.TotalWireBytes(), 100u + 40u + 60u + 40u);
+}
+
+TEST(TraceTest, SplitIntoEpochs) {
+  PacketTrace trace;
+  for (int i = 0; i < 10; ++i) trace.Add(MakePacket(i, "p"));
+  const auto epochs = trace.SplitIntoEpochs(4);
+  ASSERT_EQ(epochs.size(), 3u);
+  EXPECT_EQ(epochs[0].size(), 4u);
+  EXPECT_EQ(epochs[1].size(), 4u);
+  EXPECT_EQ(epochs[2].size(), 2u);
+  EXPECT_EQ(epochs[1].begin()->flow.src_ip, 4u);
+}
+
+TEST(TraceTest, SplitExactMultiple) {
+  PacketTrace trace;
+  for (int i = 0; i < 8; ++i) trace.Add(MakePacket(i, "p"));
+  EXPECT_EQ(trace.SplitIntoEpochs(4).size(), 2u);
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  PacketTrace trace;
+  trace.Add(MakePacket(7, std::string(536, 'q')));
+  trace.Add(MakePacket(8, ""));
+  Packet odd;
+  odd.flow = FlowLabel{1, 2, 3, 4, 17};
+  odd.header_bytes = 28;
+  odd.payload = "udp-ish";
+  trace.Add(odd);
+
+  const std::string path = TempPath("trace_roundtrip.bin");
+  ASSERT_TRUE(trace.WriteToFile(path).ok());
+  PacketTrace loaded;
+  ASSERT_TRUE(PacketTrace::ReadFromFile(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].payload, trace[0].payload);
+  EXPECT_EQ(loaded[1].payload, "");
+  EXPECT_EQ(loaded[2].flow.protocol, 17);
+  EXPECT_EQ(loaded[2].header_bytes, 28u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ReadMissingFileIsNotFound) {
+  PacketTrace out;
+  const Status s = PacketTrace::ReadFromFile("/nonexistent/zzz.bin", &out);
+  EXPECT_EQ(s.code(), Status::Code::kNotFound);
+}
+
+TEST(TraceTest, CorruptionDetected) {
+  PacketTrace trace;
+  trace.Add(MakePacket(7, "payload-bytes"));
+  const std::string path = TempPath("trace_corrupt.bin");
+  ASSERT_TRUE(trace.WriteToFile(path).ok());
+
+  // Flip one payload byte in the middle of the file.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 45, SEEK_SET);
+  std::fputc('X', f);
+  std::fclose(f);
+
+  PacketTrace out;
+  const Status s = PacketTrace::ReadFromFile(path, &out);
+  EXPECT_EQ(s.code(), Status::Code::kCorruption) << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, TruncationDetected) {
+  PacketTrace trace;
+  trace.Add(MakePacket(7, std::string(100, 'z')));
+  const std::string path = TempPath("trace_trunc.bin");
+  ASSERT_TRUE(trace.WriteToFile(path).ok());
+  ASSERT_EQ(::truncate(path.c_str(), 30), 0);
+  PacketTrace out;
+  EXPECT_EQ(PacketTrace::ReadFromFile(path, &out).code(),
+            Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,159 @@
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "traffic/content_catalog.h"
+#include "traffic/flow_generator.h"
+#include "traffic/trace_synthesizer.h"
+
+namespace dcs {
+namespace {
+
+TEST(ContentCatalogTest, DeterministicById) {
+  ContentCatalog catalog(1);
+  EXPECT_EQ(catalog.ContentBytes(7, 100), catalog.ContentBytes(7, 100));
+  EXPECT_NE(catalog.ContentBytes(7, 100), catalog.ContentBytes(8, 100));
+}
+
+TEST(ContentCatalogTest, SeedSeparatesCatalogs) {
+  ContentCatalog a(1);
+  ContentCatalog b(2);
+  EXPECT_NE(a.ContentBytes(7, 64), b.ContentBytes(7, 64));
+}
+
+TEST(ContentCatalogTest, PrefixStability) {
+  // Longer requests extend, not reshuffle, the object.
+  ContentCatalog catalog(1);
+  const std::string small = catalog.ContentBytes(3, 50);
+  const std::string big = catalog.ContentBytes(3, 100);
+  EXPECT_EQ(big.substr(0, 50), small);
+}
+
+TEST(ContentCatalogTest, ContentForPacketsSizes) {
+  ContentCatalog catalog(1);
+  EXPECT_EQ(catalog.ContentForPackets(5, 10, 536).size(), 5360u);
+}
+
+TEST(FlowGeneratorTest, ProducesAtLeastRequestedPackets) {
+  Rng rng(3);
+  BackgroundTrafficOptions opts;
+  FlowGenerator gen(opts, &rng);
+  PacketTrace trace;
+  gen.Generate(5000, &trace);
+  EXPECT_GE(trace.size(), 5000u);
+  // Overshoot bounded by one flow's tail.
+  EXPECT_LT(trace.size(), 5000u + opts.max_flow_packets);
+}
+
+TEST(FlowGeneratorTest, PacketSizeMixRoughlyMatches) {
+  Rng rng(4);
+  BackgroundTrafficOptions opts;
+  FlowGenerator gen(opts, &rng);
+  PacketTrace trace;
+  gen.Generate(20000, &trace);
+  std::map<std::size_t, int> size_counts;
+  for (const Packet& pkt : trace) ++size_counts[pkt.payload.size()];
+  const double total = static_cast<double>(trace.size());
+  EXPECT_NEAR(size_counts[0] / total, opts.frac_small, 0.05);
+  EXPECT_NEAR(size_counts[536] / total, opts.frac_mss, 0.05);
+  EXPECT_NEAR(size_counts[1460] / total, opts.frac_large, 0.05);
+}
+
+TEST(FlowGeneratorTest, PayloadsDifferAcrossFlows) {
+  Rng rng(5);
+  BackgroundTrafficOptions opts;
+  opts.frac_small = 0.0;  // All packets carry payload.
+  FlowGenerator gen(opts, &rng);
+  PacketTrace trace;
+  gen.Generate(2000, &trace);
+  std::set<std::string> first_bytes;
+  for (const Packet& pkt : trace) {
+    first_bytes.insert(pkt.payload.substr(0, 16));
+  }
+  // Essentially all payload prefixes distinct (random 16-byte strings).
+  EXPECT_GT(first_bytes.size(), trace.size() * 95 / 100);
+}
+
+TEST(TraceSynthesizerTest, ProducesOneTracePerRouter) {
+  ScenarioOptions scenario;
+  scenario.num_routers = 4;
+  scenario.background_packets_per_router = 500;
+  ContentCatalog catalog(9);
+  const auto traces = SynthesizeScenario(scenario, catalog);
+  ASSERT_EQ(traces.size(), 4u);
+  for (const auto& trace : traces) EXPECT_GE(trace.size(), 500u);
+}
+
+TEST(TraceSynthesizerTest, AlignedPlantAppearsIdenticallyAtChosenRouters) {
+  ScenarioOptions scenario;
+  scenario.num_routers = 3;
+  scenario.background_packets_per_router = 200;
+  PlantedContent plant;
+  plant.content_id = 42;
+  plant.content_bytes = 536 * 5;
+  plant.router_ids = {0, 2};
+  plant.aligned = true;
+  scenario.planted = {plant};
+  ContentCatalog catalog(9);
+  const auto traces = SynthesizeScenario(scenario, catalog);
+
+  const std::string content = catalog.ContentBytes(42, 536 * 5);
+  const std::string first_segment = content.substr(0, 536);
+  auto contains_segment = [&](const PacketTrace& trace) {
+    return std::any_of(trace.begin(), trace.end(), [&](const Packet& pkt) {
+      return pkt.payload == first_segment;
+    });
+  };
+  EXPECT_TRUE(contains_segment(traces[0]));
+  EXPECT_FALSE(contains_segment(traces[1]));
+  EXPECT_TRUE(contains_segment(traces[2]));
+}
+
+TEST(TraceSynthesizerTest, UnalignedPlantUsesOneFlowPerInstance) {
+  ScenarioOptions scenario;
+  scenario.num_routers = 1;
+  scenario.background_packets_per_router = 100;
+  PlantedContent plant;
+  plant.content_id = 7;
+  plant.content_bytes = 536 * 8;
+  plant.router_ids = {0};
+  plant.aligned = false;
+  plant.instances_per_router = 3;
+  scenario.planted = {plant};
+  ContentCatalog catalog(1);
+  const auto traces = SynthesizeScenario(scenario, catalog);
+
+  // Count distinct flows that carry a known content byte sequence: the
+  // middle segment (unaffected by prefix boundaries) must appear in 3
+  // distinct flows only when shifts allow, but each instance must at least
+  // put >= 8 packets into a single flow.
+  std::map<std::uint64_t, int> packets_per_flow;
+  for (const Packet& pkt : traces[0]) {
+    ++packets_per_flow[HashFlowLabel(pkt.flow, 0)];
+  }
+  int big_flows = 0;
+  for (const auto& [flow, count] : packets_per_flow) {
+    if (count >= 8) ++big_flows;
+  }
+  EXPECT_GE(big_flows, 3);
+}
+
+TEST(TraceSynthesizerTest, DeterministicBySeed) {
+  ScenarioOptions scenario;
+  scenario.num_routers = 2;
+  scenario.background_packets_per_router = 300;
+  scenario.seed = 77;
+  ContentCatalog catalog(3);
+  const auto a = SynthesizeScenario(scenario, catalog);
+  const auto b = SynthesizeScenario(scenario, catalog);
+  ASSERT_EQ(a[0].size(), b[0].size());
+  for (std::size_t i = 0; i < a[0].size(); ++i) {
+    ASSERT_EQ(a[0][i].payload, b[0][i].payload) << "packet " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,94 @@
+#include "analysis/unaligned_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/lambda_table.h"
+
+namespace dcs {
+namespace {
+
+UnalignedModelOptions PaperOptions() { return UnalignedModelOptions{}; }
+
+TEST(UnalignedModelTest, OffsetMatchProbabilityMatchesFormula) {
+  const UnalignedSignalModel model(PaperOptions());
+  // 1 - e^{-100/536} ~ 0.1702 (Section IV-A).
+  EXPECT_NEAR(model.p_offset_match(), 1.0 - std::exp(-100.0 / 536.0), 1e-12);
+}
+
+TEST(UnalignedModelTest, MoreOffsetsIncreaseMatchProbability) {
+  UnalignedModelOptions few = PaperOptions();
+  few.num_offsets = 5;
+  UnalignedModelOptions many = PaperOptions();
+  many.num_offsets = 20;
+  EXPECT_LT(UnalignedSignalModel(few).p_offset_match(),
+            UnalignedSignalModel(many).p_offset_match());
+  // Quadratic amplification: k=20 vs k=5 is ~16x in the exponent.
+  EXPECT_NEAR(UnalignedSignalModel(many).p_offset_match(),
+              1.0 - std::exp(-400.0 / 536.0), 1e-12);
+}
+
+TEST(UnalignedModelTest, BackgroundFillMatchesBloomArithmetic) {
+  // Default 500 insertions: 1024 (1 - e^{-500/1024}) ~ 396 ones (~39% fill,
+  // the Table-calibrated default). The paper's stated 586-insertion
+  // workload lands near 44%.
+  const UnalignedSignalModel model(PaperOptions());
+  EXPECT_NEAR(model.background_row_ones(),
+              1024.0 * (1.0 - std::exp(-500.0 / 1024.0)), 1e-9);
+  UnalignedModelOptions paper_load = PaperOptions();
+  paper_load.background_insertions = 586.0;
+  EXPECT_NEAR(UnalignedSignalModel(paper_load).background_row_ones() / 1024.0,
+              0.436, 0.01);
+}
+
+TEST(UnalignedModelTest, DistinctContentIndicesAccountForCollisions) {
+  const UnalignedSignalModel model(PaperOptions());
+  EXPECT_NEAR(model.distinct_content_indices(100),
+              1024.0 * (1.0 - std::exp(-100.0 / 1024.0)), 1e-9);
+  EXPECT_LT(model.distinct_content_indices(100), 100.0);
+  EXPECT_GT(model.distinct_content_indices(100), 90.0);
+}
+
+TEST(UnalignedModelTest, PatternRowsAreFullerThanBackground) {
+  const UnalignedSignalModel model(PaperOptions());
+  EXPECT_GT(model.pattern_row_ones(100), model.background_row_ones());
+  EXPECT_LT(model.pattern_row_ones(100),
+            model.background_row_ones() + 100.0);
+}
+
+TEST(UnalignedModelTest, MatchExceedProbGrowsSteeplyWithContentSize) {
+  // This is the mechanism behind Table I/II: the matched-pair signal sits
+  // right at the threshold, so q(g) climbs steeply in g.
+  const UnalignedSignalModel model(PaperOptions());
+  const double p_star = LambdaTable::PStarFromEdgeProb(0.8e-4, 10);
+  const double q80 = model.MatchExceedProb(80, p_star);
+  const double q100 = model.MatchExceedProb(100, p_star);
+  const double q120 = model.MatchExceedProb(120, p_star);
+  const double q150 = model.MatchExceedProb(150, p_star);
+  EXPECT_LT(q80, q100);
+  EXPECT_LT(q100, q120);
+  EXPECT_LT(q120, q150);
+  EXPECT_GT(q150, 0.5);
+  EXPECT_LT(q80, 0.5);
+}
+
+TEST(UnalignedModelTest, PatternEdgeProbBounds) {
+  const UnalignedSignalModel model(PaperOptions());
+  const double p1 = 0.8e-4;
+  const double p_star = LambdaTable::PStarFromEdgeProb(p1, 10);
+  for (std::size_t g : {80u, 100u, 120u, 150u}) {
+    const double p2 = model.PatternEdgeProb(g, p_star, p1);
+    EXPECT_GE(p2, p1);
+    EXPECT_LE(p2, model.p_offset_match() + p1);
+  }
+}
+
+TEST(UnalignedModelTest, TighterPStarLowersExceedProb) {
+  const UnalignedSignalModel model(PaperOptions());
+  EXPECT_LE(model.MatchExceedProb(100, 1e-7),
+            model.MatchExceedProb(100, 1e-3));
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,102 @@
+#include "analysis/unaligned_thresholds.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/lambda_table.h"
+#include "analysis/unaligned_model.h"
+
+namespace dcs {
+namespace {
+
+UnalignedNnoOptions BaseOptions(double p2) {
+  UnalignedNnoOptions opts;
+  opts.num_vertices = 102400;
+  opts.p2 = p2;
+  return opts;
+}
+
+TEST(UnalignedNnoTest, FindsAFrontier) {
+  const UnalignedNnoResult result =
+      MinNonNaturallyOccurringClusterSize(BaseOptions(0.1));
+  ASSERT_GT(result.min_cluster_size, 2);
+  EXPECT_LT(result.min_cluster_size, 400);
+  EXPECT_GT(result.best_p1, 0.0);
+  EXPECT_GT(result.best_d, 0);
+  EXPECT_LE(result.achieved_false_positive, 1e-10);
+  EXPECT_GE(result.achieved_true_positive, 0.95);
+}
+
+TEST(UnalignedNnoTest, FrontierIsMinimal) {
+  const UnalignedNnoOptions opts = BaseOptions(0.1);
+  const UnalignedNnoResult result =
+      MinNonNaturallyOccurringClusterSize(opts);
+  UnalignedNnoResult scratch;
+  EXPECT_TRUE(
+      ClusterSizeIsSignificant(result.min_cluster_size, opts, &scratch));
+  EXPECT_FALSE(
+      ClusterSizeIsSignificant(result.min_cluster_size - 1, opts, &scratch));
+}
+
+TEST(UnalignedNnoTest, LargerP2NeedsFewerVertices) {
+  // Table II's trend: more packets (larger p2) => smaller minimum cluster.
+  const std::int64_t m_weak =
+      MinNonNaturallyOccurringClusterSize(BaseOptions(0.03)).min_cluster_size;
+  const std::int64_t m_strong =
+      MinNonNaturallyOccurringClusterSize(BaseOptions(0.15)).min_cluster_size;
+  ASSERT_GT(m_weak, 0);
+  ASSERT_GT(m_strong, 0);
+  EXPECT_GT(m_weak, m_strong);
+}
+
+TEST(UnalignedNnoTest, TinyClustersAreNeverSignificant) {
+  UnalignedNnoResult scratch;
+  EXPECT_FALSE(ClusterSizeIsSignificant(2, BaseOptions(0.1), &scratch));
+  EXPECT_FALSE(ClusterSizeIsSignificant(1, BaseOptions(0.1), &scratch));
+}
+
+TEST(UnalignedNnoTest, InfeasibleP2ReturnsMinusOne) {
+  UnalignedNnoOptions opts = BaseOptions(1e-7);  // Weaker than any p1 gap.
+  opts.max_m = 64;
+  const UnalignedNnoResult result =
+      MinNonNaturallyOccurringClusterSize(opts);
+  EXPECT_EQ(result.min_cluster_size, -1);
+}
+
+TEST(UnalignedNnoTest, EndToEndWithSignalModelReproducesTable2Shape) {
+  // Derive p2(g) from the physical model (co-tuned with p1, since the
+  // lambda table drives both) and check the Table II shape: m(g) falls
+  // steeply in g, with magnitudes in the paper's range (297 at g=80 down to
+  // 23 at g=150).
+  const UnalignedSignalModel model(UnalignedModelOptions{});
+  std::int64_t prev = 1 << 20;
+  for (std::size_t g : {100u, 120u, 150u}) {
+    const UnalignedNnoResult result =
+        MinClusterSizeForContent(model, g, 10, BaseOptions(0.0));
+    ASSERT_GT(result.min_cluster_size, 0) << "g=" << g;
+    EXPECT_LT(result.min_cluster_size, prev) << "g=" << g;
+    prev = result.min_cluster_size;
+    EXPECT_LT(result.min_cluster_size, 500) << "g=" << g;
+    EXPECT_GE(result.min_cluster_size, 5) << "g=" << g;
+  }
+}
+
+TEST(UnalignedNnoTest, ModelCoupledSearchBeatsOrMatchesFixedP1) {
+  // Co-tuning over p1 can only improve on any single fixed p1.
+  const UnalignedSignalModel model(UnalignedModelOptions{});
+  const double p1 = 0.8e-4;
+  const double p_star = LambdaTable::PStarFromEdgeProb(p1, 10);
+  UnalignedNnoOptions fixed = BaseOptions(
+      model.PatternEdgeProb(120, p_star, p1));
+  fixed.p1_grid = {p1};
+  const UnalignedNnoResult fixed_result =
+      MinNonNaturallyOccurringClusterSize(fixed);
+  const UnalignedNnoResult tuned =
+      MinClusterSizeForContent(model, 120, 10, BaseOptions(0.0));
+  ASSERT_GT(tuned.min_cluster_size, 0);
+  if (fixed_result.min_cluster_size > 0) {
+    EXPECT_LE(tuned.min_cluster_size, fixed_result.min_cluster_size);
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,84 @@
+#include "analysis/weight_screen.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcs {
+namespace {
+
+TEST(TopKIndicesTest, BasicDescendingSelection) {
+  const std::vector<std::uint32_t> values = {5, 9, 1, 7, 9, 3};
+  const auto top3 = TopKIndices(values, 3);
+  // Two nines (tie broken by lower index first), then the 7.
+  EXPECT_EQ(top3, (std::vector<std::size_t>{1, 4, 3}));
+}
+
+TEST(TopKIndicesTest, KLargerThanInput) {
+  const std::vector<std::uint32_t> values = {2, 1};
+  const auto all = TopKIndices(values, 10);
+  EXPECT_EQ(all, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(TopKIndicesTest, KZero) {
+  EXPECT_TRUE(TopKIndices({1, 2, 3}, 0).empty());
+}
+
+TEST(TopKIndicesTest, AllEqualTiesByIndex) {
+  const std::vector<std::uint32_t> values(6, 4);
+  EXPECT_EQ(TopKIndices(values, 3), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(TopKIndicesTest, MatchesSortOnRandomInput) {
+  Rng rng(3);
+  std::vector<std::uint32_t> values(500);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng.UniformInt(50));
+  const auto top = TopKIndices(values, 40);
+  ASSERT_EQ(top.size(), 40u);
+  // Verify: every selected value >= every unselected value.
+  std::vector<char> selected(values.size(), 0);
+  std::uint32_t min_selected = UINT32_MAX;
+  for (std::size_t i : top) {
+    selected[i] = 1;
+    min_selected = std::min(min_selected, values[i]);
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!selected[i]) EXPECT_LE(values[i], min_selected);
+  }
+  // And descending order.
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(values[top[i - 1]], values[top[i]]);
+  }
+}
+
+TEST(ScreenHeaviestColumnsTest, SelectsHeaviest) {
+  BitMatrix matrix(4, 6);
+  // Column weights: c0=4, c1=1, c2=3, c3=0, c4=2, c5=3.
+  for (std::size_t r = 0; r < 4; ++r) matrix.Set(r, 0);
+  matrix.Set(0, 1);
+  for (std::size_t r = 0; r < 3; ++r) matrix.Set(r, 2);
+  matrix.Set(1, 4);
+  matrix.Set(2, 4);
+  for (std::size_t r = 1; r < 4; ++r) matrix.Set(r, 5);
+
+  const ScreenedColumns screened = ScreenHeaviestColumns(matrix, 3);
+  EXPECT_EQ(screened.original_ids, (std::vector<std::size_t>{0, 2, 5}));
+  EXPECT_EQ(screened.weights, (std::vector<std::uint32_t>{4, 3, 3}));
+  EXPECT_EQ(screened.num_rows, 4u);
+  EXPECT_EQ(screened.num_source_columns, 6u);
+  // Extracted bits match the matrix columns.
+  for (std::size_t i = 0; i < screened.columns.size(); ++i) {
+    EXPECT_TRUE(screened.columns[i] ==
+                matrix.ExtractColumn(screened.original_ids[i]));
+  }
+}
+
+TEST(ScreenHeaviestColumnsTest, NPrimeBeyondWidthTakesAll) {
+  BitMatrix matrix(2, 3);
+  matrix.Set(0, 1);
+  const ScreenedColumns screened = ScreenHeaviestColumns(matrix, 10);
+  EXPECT_EQ(screened.columns.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dcs

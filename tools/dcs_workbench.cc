@@ -1,0 +1,328 @@
+// dcs_workbench — operational CLI for the DCS pipeline.
+//
+// Drives the three deployment stages through their on-disk formats:
+//
+//   dcs_workbench synthesize --out-dir /tmp/dcs [--routers 24] [--packets 5000]
+//       [--content-packets 15] [--content-routers 18] [--unaligned]
+//       [--instances 3] [--seed 42] [--no-content]
+//     Writes router_<i>.trace files with synthetic traffic and (optionally)
+//     a planted common content.
+//
+//   dcs_workbench collect --in-dir /tmp/dcs --out-dir /tmp/dcs
+//       [--mode aligned|unaligned] [--bitmap-bits 8192] [--groups 16]
+//     Runs the per-router streaming sketches over each trace and writes
+//     router_<i>.digest (the encoded wire format).
+//
+//   dcs_workbench analyze --in-dir /tmp/dcs [--mode aligned|unaligned]
+//       [--n-prime 128] [--er-threshold 0] [--beta 12]
+//     Stacks the digests at the analysis center and prints the report.
+//
+//   dcs_workbench demo
+//     Runs all three stages in a temporary directory.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dcs/dcs.h"
+#include "traffic/content_catalog.h"
+#include "traffic/trace_synthesizer.h"
+
+namespace dcs {
+namespace {
+
+// ----------------------------------------------------------------------
+// Minimal flag parsing: --name value pairs plus boolean --name switches.
+// ----------------------------------------------------------------------
+
+class Flags {
+ public:
+  Status Parse(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        return Status::InvalidArgument("unexpected argument: " + arg);
+      }
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "";  // Boolean switch.
+      }
+    }
+    return Status::Ok();
+  }
+
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    return std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::string TracePath(const std::string& dir, std::uint32_t router) {
+  return dir + "/router_" + std::to_string(router) + ".trace";
+}
+
+std::string DigestPath(const std::string& dir, std::uint32_t router) {
+  return dir + "/router_" + std::to_string(router) + ".digest";
+}
+
+Status WriteBytes(const std::string& path,
+                  const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot write " + path);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) return Status::IoError("short write " + path);
+  return Status::Ok();
+}
+
+Status ReadBytes(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot read " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<std::size_t>(size));
+  const std::size_t read = std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (read != out->size()) return Status::IoError("short read " + path);
+  return Status::Ok();
+}
+
+// ----------------------------------------------------------------------
+// Stage 1: synthesize traces.
+// ----------------------------------------------------------------------
+
+Status CmdSynthesize(const Flags& flags) {
+  const std::string out_dir = flags.Get("out-dir", "");
+  if (out_dir.empty()) return Status::InvalidArgument("--out-dir required");
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+
+  ScenarioOptions scenario;
+  scenario.num_routers =
+      static_cast<std::size_t>(flags.GetInt("routers", 24));
+  scenario.background_packets_per_router =
+      static_cast<std::size_t>(flags.GetInt("packets", 5000));
+  scenario.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  if (!flags.Has("no-content")) {
+    PlantedContent plant;
+    plant.content_id = static_cast<std::uint64_t>(
+        flags.GetInt("content-id", 1));
+    plant.content_bytes =
+        static_cast<std::size_t>(flags.GetInt("content-packets", 15)) * 536;
+    const auto content_routers = static_cast<std::uint32_t>(
+        flags.GetInt("content-routers",
+                     static_cast<std::int64_t>(scenario.num_routers * 3 / 4)));
+    for (std::uint32_t r = 0; r < content_routers; ++r) {
+      plant.router_ids.push_back(r);
+    }
+    plant.aligned = !flags.Has("unaligned");
+    plant.instances_per_router =
+        static_cast<std::size_t>(flags.GetInt("instances", plant.aligned
+                                                               ? 1
+                                                               : 3));
+    scenario.planted = {plant};
+  }
+
+  ContentCatalog catalog(static_cast<std::uint64_t>(
+      flags.GetInt("catalog-seed", 7)));
+  const std::vector<PacketTrace> traces =
+      SynthesizeScenario(scenario, catalog);
+  for (std::uint32_t r = 0; r < traces.size(); ++r) {
+    DCS_RETURN_IF_ERROR(traces[r].WriteToFile(TracePath(out_dir, r)));
+  }
+  std::printf("synthesize: wrote %zu traces (~%zu packets each) to %s\n",
+              traces.size(), traces[0].size(), out_dir.c_str());
+  return Status::Ok();
+}
+
+// ----------------------------------------------------------------------
+// Stage 2: per-router collection.
+// ----------------------------------------------------------------------
+
+Status CmdCollect(const Flags& flags) {
+  const std::string in_dir = flags.Get("in-dir", "");
+  const std::string out_dir = flags.Get("out-dir", in_dir);
+  if (in_dir.empty()) return Status::InvalidArgument("--in-dir required");
+  const bool unaligned = flags.Get("mode", "aligned") == "unaligned";
+
+  Rng offsets_rng(static_cast<std::uint64_t>(flags.GetInt("seed", 2026)));
+  std::uint32_t routers = 0;
+  std::uint64_t digest_bytes = 0;
+  std::uint64_t raw_bytes = 0;
+  for (std::uint32_t r = 0;; ++r) {
+    PacketTrace trace;
+    const Status status =
+        PacketTrace::ReadFromFile(TracePath(in_dir, r), &trace);
+    if (status.code() == Status::Code::kNotFound) break;
+    DCS_RETURN_IF_ERROR(status);
+    const auto epochs = trace.SplitIntoEpochs(trace.size());
+
+    Digest digest;
+    if (unaligned) {
+      FlowSplitOptions opts;
+      opts.num_groups =
+          static_cast<std::size_t>(flags.GetInt("groups", 16));
+      UnalignedCollector collector(r, opts, &offsets_rng);
+      digest = collector.ProcessEpoch(epochs[0]);
+    } else {
+      BitmapSketchOptions opts;
+      opts.num_bits =
+          static_cast<std::size_t>(flags.GetInt("bitmap-bits", 8192));
+      AlignedCollector collector(r, opts);
+      digest = collector.ProcessEpoch(epochs[0]);
+    }
+    const std::vector<std::uint8_t> encoded = digest.Encode();
+    DCS_RETURN_IF_ERROR(WriteBytes(DigestPath(out_dir, r), encoded));
+    digest_bytes += encoded.size();
+    raw_bytes += digest.raw_bytes_covered;
+    ++routers;
+  }
+  if (routers == 0) return Status::NotFound("no traces in " + in_dir);
+  std::printf("collect: %u digests (%s), %.1f MB traffic -> %.1f KB digests "
+              "(%.0fx)\n",
+              routers, unaligned ? "unaligned" : "aligned", raw_bytes / 1e6,
+              digest_bytes / 1e3,
+              static_cast<double>(raw_bytes) /
+                  static_cast<double>(digest_bytes));
+  return Status::Ok();
+}
+
+// ----------------------------------------------------------------------
+// Stage 3: central analysis.
+// ----------------------------------------------------------------------
+
+Status CmdAnalyze(const Flags& flags) {
+  const std::string in_dir = flags.Get("in-dir", "");
+  if (in_dir.empty()) return Status::InvalidArgument("--in-dir required");
+  const bool unaligned = flags.Get("mode", "aligned") == "unaligned";
+
+  AlignedPipelineOptions aligned;
+  aligned.sketch.num_bits =
+      static_cast<std::size_t>(flags.GetInt("bitmap-bits", 8192));
+  aligned.n_prime = static_cast<std::size_t>(flags.GetInt("n-prime", 128));
+  aligned.detector.first_iteration_hopefuls = aligned.n_prime;
+  aligned.detector.hopefuls = aligned.n_prime / 2;
+
+  UnalignedPipelineOptions unaligned_opts;
+  unaligned_opts.er_threshold =
+      static_cast<std::size_t>(flags.GetInt("er-threshold", 0));
+  unaligned_opts.detector.beta =
+      static_cast<std::size_t>(flags.GetInt("beta", 12));
+  unaligned_opts.detector.expand_min_edges =
+      static_cast<std::size_t>(flags.GetInt("expand-min-edges", 2));
+
+  DcsMonitor monitor(aligned, unaligned_opts);
+  std::uint32_t routers = 0;
+  for (std::uint32_t r = 0;; ++r) {
+    std::vector<std::uint8_t> bytes;
+    const Status status = ReadBytes(DigestPath(in_dir, r), &bytes);
+    if (status.code() == Status::Code::kNotFound) break;
+    DCS_RETURN_IF_ERROR(status);
+    DCS_RETURN_IF_ERROR(monitor.AddEncodedDigest(bytes));
+    ++routers;
+  }
+  if (routers == 0) return Status::NotFound("no digests in " + in_dir);
+  std::printf("analyze: %u digests loaded\n", routers);
+
+  if (unaligned) {
+    const UnalignedReport report = monitor.AnalyzeUnaligned();
+    std::printf("%s\n", report.ToString().c_str());
+    if (report.common_content_detected) {
+      std::printf("routers:");
+      for (std::uint32_t r : report.routers) std::printf(" %u", r);
+      std::printf("\nclusters: %zu\n", report.clusters.size());
+    }
+  } else {
+    const AlignedReport report = monitor.AnalyzeAligned();
+    std::printf("%s\n", report.ToString().c_str());
+    if (report.common_content_detected) {
+      std::printf("routers:");
+      for (std::uint32_t r : report.routers) std::printf(" %u", r);
+      std::printf("\nsignature columns: %zu\n",
+                  report.signature_columns.size());
+    }
+  }
+  return Status::Ok();
+}
+
+Status CmdDemo() {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "dcs_workbench_demo")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::printf("== demo in %s ==\n", dir.c_str());
+  Flags synth;
+  char arg_out[] = "--out-dir";
+  char* synth_argv[] = {arg_out, const_cast<char*>(dir.c_str())};
+  DCS_RETURN_IF_ERROR(synth.Parse(2, synth_argv, 0));
+  DCS_RETURN_IF_ERROR(CmdSynthesize(synth));
+  char arg_in[] = "--in-dir";
+  char* dir_argv[] = {arg_in, const_cast<char*>(dir.c_str())};
+  Flags collect;
+  DCS_RETURN_IF_ERROR(collect.Parse(2, dir_argv, 0));
+  DCS_RETURN_IF_ERROR(CmdCollect(collect));
+  Flags analyze;
+  DCS_RETURN_IF_ERROR(analyze.Parse(2, dir_argv, 0));
+  return CmdAnalyze(analyze);
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: dcs_workbench <synthesize|collect|analyze|demo> [--flags]\n"
+      "see the comment block at the top of tools/dcs_workbench.cc\n");
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  Flags flags;
+  const Status parse_status = flags.Parse(argc, argv, 2);
+  if (!parse_status.ok()) {
+    std::fprintf(stderr, "%s\n", parse_status.ToString().c_str());
+    return 1;
+  }
+  Status status;
+  if (command == "synthesize") {
+    status = CmdSynthesize(flags);
+  } else if (command == "collect") {
+    status = CmdCollect(flags);
+  } else if (command == "analyze") {
+    status = CmdAnalyze(flags);
+  } else if (command == "demo") {
+    status = CmdDemo();
+  } else {
+    PrintUsage();
+    return 1;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcs
+
+int main(int argc, char** argv) { return dcs::Main(argc, argv); }
