@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_asid"
+  "../bench/bench_ablation_asid.pdb"
+  "CMakeFiles/bench_ablation_asid.dir/bench_ablation_asid.cc.o"
+  "CMakeFiles/bench_ablation_asid.dir/bench_ablation_asid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_asid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

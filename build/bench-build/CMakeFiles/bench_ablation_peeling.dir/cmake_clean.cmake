@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_peeling"
+  "../bench/bench_ablation_peeling.pdb"
+  "CMakeFiles/bench_ablation_peeling.dir/bench_ablation_peeling.cc.o"
+  "CMakeFiles/bench_ablation_peeling.dir/bench_ablation_peeling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_peeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_correlation_scaling"
+  "../bench/bench_correlation_scaling.pdb"
+  "CMakeFiles/bench_correlation_scaling.dir/bench_correlation_scaling.cc.o"
+  "CMakeFiles/bench_correlation_scaling.dir/bench_correlation_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_correlation_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_weight_loss"
+  "../bench/bench_fig07_weight_loss.pdb"
+  "CMakeFiles/bench_fig07_weight_loss.dir/bench_fig07_weight_loss.cc.o"
+  "CMakeFiles/bench_fig07_weight_loss.dir/bench_fig07_weight_loss.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_weight_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

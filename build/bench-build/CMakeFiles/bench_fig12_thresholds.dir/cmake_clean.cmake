@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_thresholds"
+  "../bench/bench_fig12_thresholds.pdb"
+  "CMakeFiles/bench_fig12_thresholds.dir/bench_fig12_thresholds.cc.o"
+  "CMakeFiles/bench_fig12_thresholds.dir/bench_fig12_thresholds.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

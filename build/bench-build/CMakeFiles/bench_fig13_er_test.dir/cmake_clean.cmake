@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_er_test"
+  "../bench/bench_fig13_er_test.pdb"
+  "CMakeFiles/bench_fig13_er_test.dir/bench_fig13_er_test.cc.o"
+  "CMakeFiles/bench_fig13_er_test.dir/bench_fig13_er_test.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_er_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

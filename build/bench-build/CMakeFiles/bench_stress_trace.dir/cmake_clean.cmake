@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_stress_trace"
+  "../bench/bench_stress_trace.pdb"
+  "CMakeFiles/bench_stress_trace.dir/bench_stress_trace.cc.o"
+  "CMakeFiles/bench_stress_trace.dir/bench_stress_trace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stress_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_core_finding"
+  "../bench/bench_table1_core_finding.pdb"
+  "CMakeFiles/bench_table1_core_finding.dir/bench_table1_core_finding.cc.o"
+  "CMakeFiles/bench_table1_core_finding.dir/bench_table1_core_finding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_core_finding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_nno_unaligned"
+  "../bench/bench_table2_nno_unaligned.pdb"
+  "CMakeFiles/bench_table2_nno_unaligned.dir/bench_table2_nno_unaligned.cc.o"
+  "CMakeFiles/bench_table2_nno_unaligned.dir/bench_table2_nno_unaligned.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_nno_unaligned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_detectable"
+  "../bench/bench_table3_detectable.pdb"
+  "CMakeFiles/bench_table3_detectable.dir/bench_table3_detectable.cc.o"
+  "CMakeFiles/bench_table3_detectable.dir/bench_table3_detectable.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_detectable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_object.dir/hot_object.cpp.o"
+  "CMakeFiles/hot_object.dir/hot_object.cpp.o.d"
+  "hot_object"
+  "hot_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

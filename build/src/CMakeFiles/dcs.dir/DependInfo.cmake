@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/aligned_detector.cc" "src/CMakeFiles/dcs.dir/analysis/aligned_detector.cc.o" "gcc" "src/CMakeFiles/dcs.dir/analysis/aligned_detector.cc.o.d"
+  "/root/repo/src/analysis/aligned_thresholds.cc" "src/CMakeFiles/dcs.dir/analysis/aligned_thresholds.cc.o" "gcc" "src/CMakeFiles/dcs.dir/analysis/aligned_thresholds.cc.o.d"
+  "/root/repo/src/analysis/cluster_separation.cc" "src/CMakeFiles/dcs.dir/analysis/cluster_separation.cc.o" "gcc" "src/CMakeFiles/dcs.dir/analysis/cluster_separation.cc.o.d"
+  "/root/repo/src/analysis/correlation.cc" "src/CMakeFiles/dcs.dir/analysis/correlation.cc.o" "gcc" "src/CMakeFiles/dcs.dir/analysis/correlation.cc.o.d"
+  "/root/repo/src/analysis/er_test.cc" "src/CMakeFiles/dcs.dir/analysis/er_test.cc.o" "gcc" "src/CMakeFiles/dcs.dir/analysis/er_test.cc.o.d"
+  "/root/repo/src/analysis/lambda_table.cc" "src/CMakeFiles/dcs.dir/analysis/lambda_table.cc.o" "gcc" "src/CMakeFiles/dcs.dir/analysis/lambda_table.cc.o.d"
+  "/root/repo/src/analysis/synthetic_matrix.cc" "src/CMakeFiles/dcs.dir/analysis/synthetic_matrix.cc.o" "gcc" "src/CMakeFiles/dcs.dir/analysis/synthetic_matrix.cc.o.d"
+  "/root/repo/src/analysis/unaligned_detector.cc" "src/CMakeFiles/dcs.dir/analysis/unaligned_detector.cc.o" "gcc" "src/CMakeFiles/dcs.dir/analysis/unaligned_detector.cc.o.d"
+  "/root/repo/src/analysis/unaligned_graph_builder.cc" "src/CMakeFiles/dcs.dir/analysis/unaligned_graph_builder.cc.o" "gcc" "src/CMakeFiles/dcs.dir/analysis/unaligned_graph_builder.cc.o.d"
+  "/root/repo/src/analysis/unaligned_model.cc" "src/CMakeFiles/dcs.dir/analysis/unaligned_model.cc.o" "gcc" "src/CMakeFiles/dcs.dir/analysis/unaligned_model.cc.o.d"
+  "/root/repo/src/analysis/unaligned_thresholds.cc" "src/CMakeFiles/dcs.dir/analysis/unaligned_thresholds.cc.o" "gcc" "src/CMakeFiles/dcs.dir/analysis/unaligned_thresholds.cc.o.d"
+  "/root/repo/src/analysis/weight_screen.cc" "src/CMakeFiles/dcs.dir/analysis/weight_screen.cc.o" "gcc" "src/CMakeFiles/dcs.dir/analysis/weight_screen.cc.o.d"
+  "/root/repo/src/baseline/local_detector.cc" "src/CMakeFiles/dcs.dir/baseline/local_detector.cc.o" "gcc" "src/CMakeFiles/dcs.dir/baseline/local_detector.cc.o.d"
+  "/root/repo/src/baseline/rabin.cc" "src/CMakeFiles/dcs.dir/baseline/rabin.cc.o" "gcc" "src/CMakeFiles/dcs.dir/baseline/rabin.cc.o.d"
+  "/root/repo/src/baseline/raw_aggregation.cc" "src/CMakeFiles/dcs.dir/baseline/raw_aggregation.cc.o" "gcc" "src/CMakeFiles/dcs.dir/baseline/raw_aggregation.cc.o.d"
+  "/root/repo/src/common/bit_matrix.cc" "src/CMakeFiles/dcs.dir/common/bit_matrix.cc.o" "gcc" "src/CMakeFiles/dcs.dir/common/bit_matrix.cc.o.d"
+  "/root/repo/src/common/bit_vector.cc" "src/CMakeFiles/dcs.dir/common/bit_vector.cc.o" "gcc" "src/CMakeFiles/dcs.dir/common/bit_vector.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/dcs.dir/common/config.cc.o" "gcc" "src/CMakeFiles/dcs.dir/common/config.cc.o.d"
+  "/root/repo/src/common/distributions.cc" "src/CMakeFiles/dcs.dir/common/distributions.cc.o" "gcc" "src/CMakeFiles/dcs.dir/common/distributions.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/dcs.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/dcs.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/dcs.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/dcs.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/dcs.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/dcs.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/dcs.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/dcs.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats_math.cc" "src/CMakeFiles/dcs.dir/common/stats_math.cc.o" "gcc" "src/CMakeFiles/dcs.dir/common/stats_math.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dcs.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dcs.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/dcs.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/dcs.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/dcs.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/dcs.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/dcs/epoch_tracker.cc" "src/CMakeFiles/dcs.dir/dcs/epoch_tracker.cc.o" "gcc" "src/CMakeFiles/dcs.dir/dcs/epoch_tracker.cc.o.d"
+  "/root/repo/src/dcs/monitor.cc" "src/CMakeFiles/dcs.dir/dcs/monitor.cc.o" "gcc" "src/CMakeFiles/dcs.dir/dcs/monitor.cc.o.d"
+  "/root/repo/src/dcs/options.cc" "src/CMakeFiles/dcs.dir/dcs/options.cc.o" "gcc" "src/CMakeFiles/dcs.dir/dcs/options.cc.o.d"
+  "/root/repo/src/dcs/report.cc" "src/CMakeFiles/dcs.dir/dcs/report.cc.o" "gcc" "src/CMakeFiles/dcs.dir/dcs/report.cc.o.d"
+  "/root/repo/src/dcs/signature_filter.cc" "src/CMakeFiles/dcs.dir/dcs/signature_filter.cc.o" "gcc" "src/CMakeFiles/dcs.dir/dcs/signature_filter.cc.o.d"
+  "/root/repo/src/graph/connected_components.cc" "src/CMakeFiles/dcs.dir/graph/connected_components.cc.o" "gcc" "src/CMakeFiles/dcs.dir/graph/connected_components.cc.o.d"
+  "/root/repo/src/graph/core_decomposition.cc" "src/CMakeFiles/dcs.dir/graph/core_decomposition.cc.o" "gcc" "src/CMakeFiles/dcs.dir/graph/core_decomposition.cc.o.d"
+  "/root/repo/src/graph/er_random.cc" "src/CMakeFiles/dcs.dir/graph/er_random.cc.o" "gcc" "src/CMakeFiles/dcs.dir/graph/er_random.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/dcs.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/dcs.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/union_find.cc" "src/CMakeFiles/dcs.dir/graph/union_find.cc.o" "gcc" "src/CMakeFiles/dcs.dir/graph/union_find.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/dcs.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/dcs.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/packetizer.cc" "src/CMakeFiles/dcs.dir/net/packetizer.cc.o" "gcc" "src/CMakeFiles/dcs.dir/net/packetizer.cc.o.d"
+  "/root/repo/src/net/trace.cc" "src/CMakeFiles/dcs.dir/net/trace.cc.o" "gcc" "src/CMakeFiles/dcs.dir/net/trace.cc.o.d"
+  "/root/repo/src/sketch/bitmap_sketch.cc" "src/CMakeFiles/dcs.dir/sketch/bitmap_sketch.cc.o" "gcc" "src/CMakeFiles/dcs.dir/sketch/bitmap_sketch.cc.o.d"
+  "/root/repo/src/sketch/collector.cc" "src/CMakeFiles/dcs.dir/sketch/collector.cc.o" "gcc" "src/CMakeFiles/dcs.dir/sketch/collector.cc.o.d"
+  "/root/repo/src/sketch/digest.cc" "src/CMakeFiles/dcs.dir/sketch/digest.cc.o" "gcc" "src/CMakeFiles/dcs.dir/sketch/digest.cc.o.d"
+  "/root/repo/src/sketch/flow_split_sketch.cc" "src/CMakeFiles/dcs.dir/sketch/flow_split_sketch.cc.o" "gcc" "src/CMakeFiles/dcs.dir/sketch/flow_split_sketch.cc.o.d"
+  "/root/repo/src/sketch/offset_sampling.cc" "src/CMakeFiles/dcs.dir/sketch/offset_sampling.cc.o" "gcc" "src/CMakeFiles/dcs.dir/sketch/offset_sampling.cc.o.d"
+  "/root/repo/src/traffic/content_catalog.cc" "src/CMakeFiles/dcs.dir/traffic/content_catalog.cc.o" "gcc" "src/CMakeFiles/dcs.dir/traffic/content_catalog.cc.o.d"
+  "/root/repo/src/traffic/flow_generator.cc" "src/CMakeFiles/dcs.dir/traffic/flow_generator.cc.o" "gcc" "src/CMakeFiles/dcs.dir/traffic/flow_generator.cc.o.d"
+  "/root/repo/src/traffic/trace_synthesizer.cc" "src/CMakeFiles/dcs.dir/traffic/trace_synthesizer.cc.o" "gcc" "src/CMakeFiles/dcs.dir/traffic/trace_synthesizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aligned_detector.dir/test_aligned_detector.cc.o"
+  "CMakeFiles/test_aligned_detector.dir/test_aligned_detector.cc.o.d"
+  "test_aligned_detector"
+  "test_aligned_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aligned_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aligned_thresholds.dir/test_aligned_thresholds.cc.o"
+  "CMakeFiles/test_aligned_thresholds.dir/test_aligned_thresholds.cc.o.d"
+  "test_aligned_thresholds"
+  "test_aligned_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aligned_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bit_matrix.dir/test_bit_matrix.cc.o"
+  "CMakeFiles/test_bit_matrix.dir/test_bit_matrix.cc.o.d"
+  "test_bit_matrix"
+  "test_bit_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bit_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

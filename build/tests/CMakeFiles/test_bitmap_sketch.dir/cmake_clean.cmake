@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitmap_sketch.dir/test_bitmap_sketch.cc.o"
+  "CMakeFiles/test_bitmap_sketch.dir/test_bitmap_sketch.cc.o.d"
+  "test_bitmap_sketch"
+  "test_bitmap_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitmap_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_separation.dir/test_cluster_separation.cc.o"
+  "CMakeFiles/test_cluster_separation.dir/test_cluster_separation.cc.o.d"
+  "test_cluster_separation"
+  "test_cluster_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

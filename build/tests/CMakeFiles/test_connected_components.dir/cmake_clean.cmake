@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_connected_components.dir/test_connected_components.cc.o"
+  "CMakeFiles/test_connected_components.dir/test_connected_components.cc.o.d"
+  "test_connected_components"
+  "test_connected_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_connected_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

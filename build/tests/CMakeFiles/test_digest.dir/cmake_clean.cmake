@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_digest.dir/test_digest.cc.o"
+  "CMakeFiles/test_digest.dir/test_digest.cc.o.d"
+  "test_digest"
+  "test_digest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_digest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epoch_tracker.dir/test_epoch_tracker.cc.o"
+  "CMakeFiles/test_epoch_tracker.dir/test_epoch_tracker.cc.o.d"
+  "test_epoch_tracker"
+  "test_epoch_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epoch_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

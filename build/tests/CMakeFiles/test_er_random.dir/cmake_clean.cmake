@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_er_random.dir/test_er_random.cc.o"
+  "CMakeFiles/test_er_random.dir/test_er_random.cc.o.d"
+  "test_er_random"
+  "test_er_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_er_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_er_test.dir/test_er_test.cc.o"
+  "CMakeFiles/test_er_test.dir/test_er_test.cc.o.d"
+  "test_er_test"
+  "test_er_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_er_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_split.dir/test_flow_split.cc.o"
+  "CMakeFiles/test_flow_split.dir/test_flow_split.cc.o.d"
+  "test_flow_split"
+  "test_flow_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lambda_table.dir/test_lambda_table.cc.o"
+  "CMakeFiles/test_lambda_table.dir/test_lambda_table.cc.o.d"
+  "test_lambda_table"
+  "test_lambda_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lambda_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

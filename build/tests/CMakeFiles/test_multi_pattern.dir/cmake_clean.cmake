@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_pattern.dir/test_multi_pattern.cc.o"
+  "CMakeFiles/test_multi_pattern.dir/test_multi_pattern.cc.o.d"
+  "test_multi_pattern"
+  "test_multi_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

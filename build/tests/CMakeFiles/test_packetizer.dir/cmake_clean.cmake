@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packetizer.dir/test_packetizer.cc.o"
+  "CMakeFiles/test_packetizer.dir/test_packetizer.cc.o.d"
+  "test_packetizer"
+  "test_packetizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packetizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rabin.dir/test_rabin.cc.o"
+  "CMakeFiles/test_rabin.dir/test_rabin.cc.o.d"
+  "test_rabin"
+  "test_rabin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rabin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

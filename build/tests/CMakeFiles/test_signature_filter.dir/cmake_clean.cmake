@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signature_filter.dir/test_signature_filter.cc.o"
+  "CMakeFiles/test_signature_filter.dir/test_signature_filter.cc.o.d"
+  "test_signature_filter"
+  "test_signature_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signature_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_math.dir/test_stats_math.cc.o"
+  "CMakeFiles/test_stats_math.dir/test_stats_math.cc.o.d"
+  "test_stats_math"
+  "test_stats_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synthetic_matrix.dir/test_synthetic_matrix.cc.o"
+  "CMakeFiles/test_synthetic_matrix.dir/test_synthetic_matrix.cc.o.d"
+  "test_synthetic_matrix"
+  "test_synthetic_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synthetic_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

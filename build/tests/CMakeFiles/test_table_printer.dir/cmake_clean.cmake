@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_printer.dir/test_table_printer.cc.o"
+  "CMakeFiles/test_table_printer.dir/test_table_printer.cc.o.d"
+  "test_table_printer"
+  "test_table_printer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_printer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unaligned_detector.dir/test_unaligned_detector.cc.o"
+  "CMakeFiles/test_unaligned_detector.dir/test_unaligned_detector.cc.o.d"
+  "test_unaligned_detector"
+  "test_unaligned_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unaligned_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

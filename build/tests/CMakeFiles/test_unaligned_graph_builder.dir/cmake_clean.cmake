@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unaligned_graph_builder.dir/test_unaligned_graph_builder.cc.o"
+  "CMakeFiles/test_unaligned_graph_builder.dir/test_unaligned_graph_builder.cc.o.d"
+  "test_unaligned_graph_builder"
+  "test_unaligned_graph_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unaligned_graph_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

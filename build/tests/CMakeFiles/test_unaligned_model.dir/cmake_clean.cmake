@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unaligned_model.dir/test_unaligned_model.cc.o"
+  "CMakeFiles/test_unaligned_model.dir/test_unaligned_model.cc.o.d"
+  "test_unaligned_model"
+  "test_unaligned_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unaligned_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

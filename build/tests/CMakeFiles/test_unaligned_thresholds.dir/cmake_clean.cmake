@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unaligned_thresholds.dir/test_unaligned_thresholds.cc.o"
+  "CMakeFiles/test_unaligned_thresholds.dir/test_unaligned_thresholds.cc.o.d"
+  "test_unaligned_thresholds"
+  "test_unaligned_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unaligned_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

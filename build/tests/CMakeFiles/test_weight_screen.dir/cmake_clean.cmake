@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weight_screen.dir/test_weight_screen.cc.o"
+  "CMakeFiles/test_weight_screen.dir/test_weight_screen.cc.o.d"
+  "test_weight_screen"
+  "test_weight_screen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weight_screen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_workbench.dir/dcs_workbench.cc.o"
+  "CMakeFiles/dcs_workbench.dir/dcs_workbench.cc.o.d"
+  "dcs_workbench"
+  "dcs_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
