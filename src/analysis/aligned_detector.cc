@@ -9,6 +9,8 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "analysis/aligned_thresholds.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 
 namespace dcs {
 namespace {
@@ -74,10 +76,24 @@ AlignedDetector::AlignedDetector(const AlignedDetectorOptions& options)
 
 AlignedDetection AlignedDetector::Detect(
     const ScreenedColumns& screened) const {
+  ScopedStageTimer stage("aligned_detect");
+  ObsCounter("detector.aligned.runs").Increment();
+  // Why the search stopped iterating; flushed as a detector.aligned.stop.*
+  // counter on every exit path below.
+  const char* stop_reason = "exhausted";
   AlignedDetection detection;
+  const auto report_stop = [&detection](const char* reason) {
+    if (!ObsEnabled()) return;
+    ObsCounter(std::string("detector.aligned.stop.") + reason).Increment();
+    ObsGauge("detector.aligned.stop_iteration")
+        .Set(static_cast<double>(detection.stop_iteration));
+  };
   const std::size_t n_cols = screened.columns.size();
   const std::size_t m = screened.num_rows;
-  if (n_cols < 2 || m == 0) return detection;
+  if (n_cols < 2 || m == 0) {
+    report_stop("empty_input");
+    return detection;
+  }
 
   // --- Iteration b' = 2: all column pairs, keep the heaviest hopefuls.
   TopH<std::pair<std::uint32_t, std::uint32_t>> pair_heap(
@@ -107,9 +123,22 @@ AlignedDetection AlignedDetector::Detect(
     product.weight = weight;
     hopefuls.push_back(std::move(product));
   }
-  if (hopefuls.empty()) return detection;
+  if (hopefuls.empty()) {
+    report_stop("no_hopefuls");
+    return detection;
+  }
 
   detection.weight_trajectory.push_back(hopefuls.front().weight);
+  if (ObsEnabled()) {
+    static Counter& iters = ObsCounter("detector.aligned.iterations");
+    static LatencyHistogram& hop =
+        ObsHistogram("detector.aligned.hopefuls_per_iteration");
+    static LatencyHistogram& wt =
+        ObsHistogram("detector.aligned.iteration_weight");
+    iters.Increment();
+    hop.Record(hopefuls.size());
+    wt.Record(hopefuls.front().weight);
+  }
 
   // Mean density of the screened columns: the significance gate must use it
   // rather than 1/2, because the screen hands us columns that were selected
@@ -170,11 +199,24 @@ AlignedDetection AlignedDetector::Detect(
       product.weight = weight;
       next.push_back(std::move(product));
     }
-    if (next.empty()) break;
+    if (next.empty()) {
+      stop_reason = "no_extensions";
+      break;
+    }
     hopefuls = std::move(next);
 
     const double cur_weight = static_cast<double>(hopefuls.front().weight);
     detection.weight_trajectory.push_back(hopefuls.front().weight);
+    if (ObsEnabled()) {
+      static Counter& iters = ObsCounter("detector.aligned.iterations");
+      static LatencyHistogram& hop =
+          ObsHistogram("detector.aligned.hopefuls_per_iteration");
+      static LatencyHistogram& wt =
+          ObsHistogram("detector.aligned.iteration_weight");
+      iters.Increment();
+      hop.Record(hopefuls.size());
+      wt.Record(hopefuls.front().weight);
+    }
 
     const double log_bound = significance(hopefuls.front());
     if (log_bound < best_log_bound) {
@@ -193,28 +235,38 @@ AlignedDetection AlignedDetector::Detect(
       const double ratio = cur_weight / prev_weight;
       if (flattened && ratio <= options_.dive_ratio) {
         dive_detected = true;
+        stop_reason = "dive";
         if (!options_.record_full_trajectory) break;
       } else if (ratio >= options_.flatten_ratio && cur_weight >= 8.0) {
         flattened = true;
       }
     }
     prev_weight = cur_weight;
-    if (hopefuls.front().weight == 0) break;
+    if (hopefuls.front().weight == 0) {
+      stop_reason = "zero_weight";
+      break;
+    }
     // Pure-noise fast path: once the heaviest product is down to a handful
     // of rows without ever flattening, no later product can become
     // significant — products only lose weight.
     if (!options_.record_full_trajectory && !flattened &&
         hopefuls.front().weight < 4) {
+      stop_reason = "noise_floor";
       break;
     }
   }
 
   detection.stop_iteration = best_iteration;
+  report_stop(stop_reason);
 
   // Non-naturally-occurring gate (Fig 5 line 6) within the searched
   // submatrix, at the screened density.
-  if (best_log_bound > std::log(options_.nno_epsilon)) return detection;
+  if (best_log_bound > std::log(options_.nno_epsilon)) {
+    ObsCounter("detector.aligned.nno_rejected").Increment();
+    return detection;
+  }
 
+  ObsCounter("detector.aligned.detections").Increment();
   detection.pattern_found = true;
   std::vector<std::size_t> set_rows;
   best_product.bits.AppendSetBits(&set_rows);

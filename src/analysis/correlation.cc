@@ -4,6 +4,8 @@
 
 #include "common/distributions.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 
 namespace dcs {
 
@@ -46,6 +48,14 @@ std::vector<std::uint32_t> ForEachGroupPair(
     std::sort(sampled.begin(), sampled.end());
   }
 
+  // Hoisted so the hot loops touch only lock-free metric objects (the name
+  // lookup takes the registry mutex once per scan, not per task).
+  const bool obs = ObsEnabled();
+  LatencyHistogram* task_hist =
+      obs && options.pool != nullptr
+          ? &ObsHistogram("stage.pairscan_task.ns")
+          : nullptr;
+
   if (options.pool == nullptr) {
     for (std::size_t i = 0; i < sampled.size(); ++i) {
       for (std::size_t j = i + 1; j < sampled.size(); ++j) {
@@ -56,10 +66,20 @@ std::vector<std::uint32_t> ForEachGroupPair(
     // Shard over the first index; iterating i covers each unordered pair
     // exactly once, so shards are disjoint.
     options.pool->ParallelFor(sampled.size(), [&](std::size_t i) {
+      StageStopwatch watch;
+      if (task_hist != nullptr) watch.Start();
       for (std::size_t j = i + 1; j < sampled.size(); ++j) {
         visit(sampled[i], sampled[j]);
       }
+      if (task_hist != nullptr) task_hist->Record(watch.ElapsedNanos());
     });
+  }
+
+  if (obs) {
+    const std::uint64_t s = sampled.size();
+    ObsCounter("pairscan.scans").Increment();
+    ObsCounter("pairscan.groups_scanned").Add(s);
+    ObsCounter("pairscan.pairs_visited").Add(s * (s - 1) / 2);
   }
   return sampled;
 }

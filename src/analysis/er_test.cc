@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/connected_components.h"
+#include "obs/metrics.h"
 
 namespace dcs {
 
@@ -11,6 +12,12 @@ ErTestResult RunErTest(const Graph& graph, std::size_t threshold) {
   ErTestResult result;
   result.largest_component = LargestComponentSize(graph);
   result.pattern_detected = result.largest_component > threshold;
+  if (ObsEnabled()) {
+    ObsCounter("ertest.runs").Increment();
+    if (result.pattern_detected) ObsCounter("ertest.detections").Increment();
+    ObsGauge("ertest.largest_component")
+        .Set(static_cast<double>(result.largest_component));
+  }
   return result;
 }
 

@@ -23,6 +23,7 @@ std::int64_t LambdaTable::Threshold(std::uint32_t i, std::uint32_t j) const {
   auto& slot = cache_[static_cast<std::size_t>(i) * (array_bits_ + 1) + j];
   const std::int32_t cached = slot.load(std::memory_order_relaxed);
   if (cached >= 0) return cached;
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
   const std::int64_t lambda = HypergeomUpperThreshold(
       p_star_, static_cast<std::int64_t>(array_bits_), i, j);
   slot.store(static_cast<std::int32_t>(lambda), std::memory_order_relaxed);

@@ -26,6 +26,14 @@ class LambdaTable {
   /// lambda_{i,j}; symmetric in (i, j). i, j must be <= array_bits.
   std::int64_t Threshold(std::uint32_t i, std::uint32_t j) const;
 
+  /// Lookups that had to compute a fresh entry (cache misses). Hits are not
+  /// counted individually — the scan already counts row-pair compares, and
+  /// every compare is exactly one lookup, so hit rate = 1 - misses/lookups
+  /// without touching a shared counter on the hot path.
+  std::uint64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+
   std::size_t array_bits() const { return array_bits_; }
   double p_star() const { return p_star_; }
 
@@ -43,6 +51,7 @@ class LambdaTable {
   double p_star_;
   // -1 = not yet computed. Benign duplicated computation on races.
   mutable std::vector<std::atomic<std::int32_t>> cache_;
+  mutable std::atomic<std::uint64_t> cache_misses_{0};
 };
 
 }  // namespace dcs

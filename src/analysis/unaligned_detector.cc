@@ -7,6 +7,8 @@
 #include "common/logging.h"
 #include "common/stats_math.h"
 #include "graph/core_decomposition.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 
 namespace dcs {
 
@@ -16,7 +18,11 @@ UnalignedDetection DetectUnalignedPattern(
   UnalignedDetection detection;
 
   // Step 2: find the core by min-degree peeling.
-  PeelResult peel = FindCore(graph, options.beta);
+  PeelResult peel;
+  {
+    ScopedStageTimer peel_timer("find_core");
+    peel = FindCore(graph, options.beta);
+  }
   detection.core = peel.core;
 
   // Step 3: survivors are outside vertices with >= d edges into the core.
@@ -70,6 +76,18 @@ UnalignedDetection DetectUnalignedPattern(
   detection.detected.erase(
       std::unique(detection.detected.begin(), detection.detected.end()),
       detection.detected.end());
+  if (ObsEnabled()) {
+    ObsCounter("detector.unaligned.runs").Increment();
+    ObsCounter("detector.unaligned.vertices_peeled")
+        .Add(peel.removal_order.size());
+    ObsCounter("detector.unaligned.survivors").Add(survivors.size());
+    ObsCounter("detector.unaligned.second_core_vertices")
+        .Add(detection.second_core.size());
+    ObsCounter("detector.unaligned.detected_vertices")
+        .Add(detection.detected.size());
+    ObsGauge("detector.unaligned.core_size")
+        .Set(static_cast<double>(detection.core.size()));
+  }
   return detection;
 }
 

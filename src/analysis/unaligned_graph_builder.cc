@@ -1,18 +1,27 @@
 #include "analysis/unaligned_graph_builder.h"
 
+#include <atomic>
 #include <mutex>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 
 namespace dcs {
 
 Graph BuildCorrelationGraph(const BitMatrix& matrix,
                             const LambdaTable& lambda,
                             const GraphBuilderOptions& options) {
+  ScopedStageTimer stage("build_correlation_graph");
   const std::size_t arrays = options.arrays_per_group;
   DCS_CHECK(arrays > 0);
   DCS_CHECK(matrix.rows() % arrays == 0);
   const std::size_t num_groups = matrix.rows() / arrays;
+  const bool obs = ObsEnabled();
+  const std::uint64_t misses_before = lambda.cache_misses();
+  // Accumulated per group pair (one relaxed add amortized over up to
+  // arrays^2 row compares), flushed to the registry once per build.
+  std::atomic<std::uint64_t> row_pairs_compared{0};
 
   // Row weights once; the lambda lookup needs them per pair.
   std::vector<std::uint32_t> row_ones(matrix.rows());
@@ -29,6 +38,7 @@ Graph BuildCorrelationGraph(const BitMatrix& matrix,
       [&](std::uint32_t g1, std::uint32_t g2) {
         const std::size_t base1 = g1 * arrays;
         const std::size_t base2 = g2 * arrays;
+        std::uint64_t compares = 0;
         for (std::size_t i = 0; i < arrays; ++i) {
           const BitVector& row1 = matrix.row(base1 + i);
           const std::uint32_t ones1 = row_ones[base1 + i];
@@ -36,9 +46,14 @@ Graph BuildCorrelationGraph(const BitMatrix& matrix,
           for (std::size_t j = 0; j < arrays; ++j) {
             const std::uint32_t ones2 = row_ones[base2 + j];
             if (ones2 == 0) continue;
+            ++compares;
             const auto common = static_cast<std::int64_t>(
                 row1.CommonOnes(matrix.row(base2 + j)));
             if (common > lambda.Threshold(ones1, ones2)) {
+              if (obs) {
+                row_pairs_compared.fetch_add(compares,
+                                             std::memory_order_relaxed);
+              }
               if (parallel) {
                 std::scoped_lock lock(edge_mu);
                 graph.AddEdge(g1, g2);
@@ -49,9 +64,26 @@ Graph BuildCorrelationGraph(const BitMatrix& matrix,
             }
           }
         }
+        if (obs) {
+          row_pairs_compared.fetch_add(compares, std::memory_order_relaxed);
+        }
       });
 
   graph.Finalize();
+  if (obs) {
+    const std::uint64_t compares =
+        row_pairs_compared.load(std::memory_order_relaxed);
+    const std::uint64_t misses = lambda.cache_misses() - misses_before;
+    ObsCounter("pairscan.row_pairs_compared").Add(compares);
+    ObsCounter("pairscan.edges_emitted").Add(graph.num_edges());
+    ObsCounter("lambda.cache_misses").Add(misses);
+    ObsCounter("lambda.lookups").Add(compares);
+    if (compares > 0) {
+      ObsGauge("lambda.cache_hit_rate")
+          .Set(1.0 - static_cast<double>(misses) /
+                         static_cast<double>(compares));
+    }
+  }
   return graph;
 }
 

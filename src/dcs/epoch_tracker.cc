@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace dcs {
 
@@ -30,6 +31,15 @@ void EpochTracker::RecordEpoch(bool detected,
   window_.push_back(std::move(record));
   if (window_.size() > options_.window_epochs) window_.pop_front();
   ++epochs_seen_;
+  if (ObsEnabled()) {
+    ObsCounter("epoch.tracked").Increment();
+    if (detected) ObsCounter("epoch.detections").Increment();
+    ObsGauge("epoch.detections_in_window")
+        .Set(static_cast<double>(detections_in_window()));
+    if (PersistentDetection()) {
+      ObsCounter("epoch.persistent_alarms").Increment();
+    }
+  }
 }
 
 std::size_t EpochTracker::detections_in_window() const {

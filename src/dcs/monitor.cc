@@ -7,13 +7,21 @@
 #include "analysis/cluster_separation.h"
 #include "analysis/er_test.h"
 #include "analysis/lambda_table.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 
 namespace dcs {
 
 DcsMonitor::DcsMonitor(const AlignedPipelineOptions& aligned_options,
                        const UnalignedPipelineOptions& unaligned_options)
     : aligned_options_(aligned_options),
-      unaligned_options_(unaligned_options) {}
+      unaligned_options_(unaligned_options) {
+  // The options only ever switch observability on: another component (or
+  // the workbench --metrics flag) may have enabled the registry already.
+  if (aligned_options.obs.enabled || unaligned_options.obs.enabled) {
+    MetricsRegistry::Global().set_enabled(true);
+  }
+}
 
 Status DcsMonitor::AddDigest(const Digest& digest) {
   if (digest.rows.empty()) {
@@ -30,8 +38,15 @@ Status DcsMonitor::AddDigest(const Digest& digest) {
           "digest shape disagrees with earlier digests of this epoch");
     }
   }
-  digest_bytes_ += digest.EncodedSizeBytes();
+  const std::size_t encoded_bytes = digest.EncodedSizeBytes();
+  digest_bytes_ += encoded_bytes;
   raw_bytes_ += digest.raw_bytes_covered;
+  ObsCounter(digest.kind == DigestKind::kAligned
+                 ? "monitor.digests_received.aligned"
+                 : "monitor.digests_received.unaligned")
+      .Increment();
+  ObsCounter("monitor.digest_bytes_received").Add(encoded_bytes);
+  ObsCounter("monitor.raw_bytes_summarized").Add(digest.raw_bytes_covered);
   bucket->push_back(digest);
   return Status::Ok();
 }
@@ -68,13 +83,18 @@ std::vector<AlignedReport> DcsMonitor::AnalyzeAlignedAll(
 }
 
 AlignedReport DcsMonitor::AnalyzeAligned() const {
+  ScopedStageTimer epoch_timer("analyze_aligned");
+  ObsCounter("monitor.epochs_analyzed.aligned").Increment();
   AlignedReport report;
   if (aligned_.size() < 2) return report;
 
   // Stack one row per router bitmap.
   BitMatrix matrix;
-  for (const Digest& digest : aligned_) {
-    matrix.AppendRow(digest.rows.front());
+  {
+    ScopedStageTimer timer("stack_matrix");
+    for (const Digest& digest : aligned_) {
+      matrix.AppendRow(digest.rows.front());
+    }
   }
   report.matrix_rows = matrix.rows();
   report.matrix_cols = matrix.cols();
@@ -156,12 +176,17 @@ std::vector<UnalignedReport> DcsMonitor::AnalyzeUnalignedAll(
 }
 
 UnalignedReport DcsMonitor::AnalyzeUnaligned() const {
+  ScopedStageTimer epoch_timer("analyze_unaligned");
+  ObsCounter("monitor.epochs_analyzed.unaligned").Increment();
   UnalignedReport report;
   if (unaligned_.empty()) return report;
 
   BitMatrix matrix;
   std::vector<GroupRef> group_refs;
-  BuildUnalignedMatrix(&matrix, &group_refs);
+  {
+    ScopedStageTimer timer("stack_matrix");
+    BuildUnalignedMatrix(&matrix, &group_refs);
+  }
   const std::size_t arrays = unaligned_.front().arrays_per_group;
   const std::size_t n = group_refs.size();
   report.num_vertices = n;
@@ -175,11 +200,16 @@ UnalignedReport DcsMonitor::AnalyzeUnaligned() const {
     LambdaTable lambda(matrix.cols(),
                        LambdaTable::PStarFromEdgeProb(er_p1, arrays));
     builder.arrays_per_group = arrays;
-    const Graph er_graph = BuildCorrelationGraph(matrix, lambda, builder);
+    Graph er_graph(0);
+    {
+      ScopedStageTimer timer("er_graph");
+      er_graph = BuildCorrelationGraph(matrix, lambda, builder);
+    }
     const std::size_t threshold =
         unaligned_options_.er_threshold > 0
             ? unaligned_options_.er_threshold
             : DefaultErTestThreshold(n);
+    ScopedStageTimer timer("er_test");
     const ErTestResult er = RunErTest(er_graph, threshold);
     report.largest_component = er.largest_component;
     report.er_threshold = threshold;
@@ -192,8 +222,11 @@ UnalignedReport DcsMonitor::AnalyzeUnaligned() const {
       unaligned_options_.core_p1_times_n / static_cast<double>(n);
   LambdaTable lambda_core(matrix.cols(),
                           LambdaTable::PStarFromEdgeProb(core_p1, arrays));
-  const Graph core_graph =
-      BuildCorrelationGraph(matrix, lambda_core, builder);
+  Graph core_graph(0);
+  {
+    ScopedStageTimer timer("core_graph");
+    core_graph = BuildCorrelationGraph(matrix, lambda_core, builder);
+  }
   report.num_edges = core_graph.num_edges();
   const UnalignedDetection detection =
       DetectUnalignedPattern(core_graph, unaligned_options_.detector);
@@ -203,6 +236,7 @@ UnalignedReport DcsMonitor::AnalyzeUnaligned() const {
     report.routers.push_back(group_refs[v].router_id);
   }
   // Per-content breakdown of the detected set (Section II-D).
+  ScopedStageTimer separation_timer("cluster_separation");
   for (const std::vector<Graph::VertexId>& cluster :
        SeparateClusters(core_graph, detection.detected,
                         unaligned_options_.separation)) {

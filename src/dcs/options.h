@@ -7,6 +7,7 @@
 #include "analysis/cluster_separation.h"
 #include "analysis/unaligned_detector.h"
 #include "analysis/unaligned_graph_builder.h"
+#include "obs/metrics.h"
 #include "sketch/bitmap_sketch.h"
 #include "sketch/flow_split_sketch.h"
 
@@ -21,6 +22,8 @@ struct AlignedPipelineOptions {
   std::size_t n_prime = 4000;
   /// Greedy ASID search tuning.
   AlignedDetectorOptions detector;
+  /// Metrics/stage-timer switches (docs/OBSERVABILITY.md).
+  ObservabilityOptions obs;
 };
 
 /// End-to-end configuration of the unaligned DCS pipeline (Section IV).
@@ -44,6 +47,8 @@ struct UnalignedPipelineOptions {
   ClusterSeparationOptions separation;
   /// Correlation scan tuning (parallelism, vertex sampling).
   GraphBuilderOptions builder;
+  /// Metrics/stage-timer switches (docs/OBSERVABILITY.md).
+  ObservabilityOptions obs;
 };
 
 /// Returns defaults scaled for a small deployment (used by the examples and

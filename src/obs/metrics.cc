@@ -1,0 +1,177 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dcs {
+
+double LatencyHistogram::Mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::size_t LatencyHistogram::BucketIndex(std::uint64_t value) {
+  if (value == 0) return 0;
+  // Values >= 2^62 (top bucket would be 63 or 64) clamp into the last
+  // bucket, which therefore covers [2^62, 2^64).
+  return std::min<std::size_t>(64 - std::countl_zero(value),
+                               kNumBuckets - 1);
+}
+
+std::uint64_t LatencyHistogram::BucketLowerBound(std::size_t b) {
+  if (b == 0) return 0;
+  return std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t LatencyHistogram::BucketUpperBound(std::size_t b) {
+  if (b == 0) return 1;
+  return std::uint64_t{1} << b;
+}
+
+std::uint64_t LatencyHistogram::QuantileUpperBound(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile among the recorded samples, 1-based.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    seen += bucket_count(b);
+    if (seen >= rank) return BucketUpperBound(b) - 1;
+  }
+  return BucketUpperBound(kNumBuckets - 1) - 1;
+}
+
+void LatencyHistogram::ResetValue() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::Find(
+    std::string_view name) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const Entry& e, std::string_view n) { return e.name < n; });
+  if (it == entries.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    Slot slot;
+    slot.type = MetricType::kCounter;
+    slot.counter = std::unique_ptr<Counter>(new Counter(&enabled_));
+    it = slots_.emplace(std::string(name), std::move(slot)).first;
+  }
+  DCS_CHECK(it->second.type == MetricType::kCounter);
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    Slot slot;
+    slot.type = MetricType::kGauge;
+    slot.gauge = std::unique_ptr<Gauge>(new Gauge(&enabled_));
+    it = slots_.emplace(std::string(name), std::move(slot)).first;
+  }
+  DCS_CHECK(it->second.type == MetricType::kGauge);
+  return *it->second.gauge;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    Slot slot;
+    slot.type = MetricType::kHistogram;
+    slot.histogram =
+        std::unique_ptr<LatencyHistogram>(new LatencyHistogram(&enabled_));
+    it = slots_.emplace(std::string(name), std::move(slot)).first;
+  }
+  DCS_CHECK(it->second.type == MetricType::kHistogram);
+  return *it->second.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::scoped_lock lock(mu_);
+  snapshot.entries.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) {  // std::map: already sorted.
+    MetricsSnapshot::Entry entry;
+    entry.name = name;
+    entry.type = slot.type;
+    switch (slot.type) {
+      case MetricType::kCounter:
+        entry.counter_value = slot.counter->value();
+        break;
+      case MetricType::kGauge:
+        entry.gauge_value = slot.gauge->value();
+        break;
+      case MetricType::kHistogram: {
+        const LatencyHistogram& h = *slot.histogram;
+        entry.hist_count = h.count();
+        entry.hist_sum = h.sum();
+        for (std::size_t b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+          const std::uint64_t c = h.bucket_count(b);
+          if (c > 0) {
+            entry.hist_buckets.emplace_back(
+                LatencyHistogram::BucketLowerBound(b), c);
+          }
+        }
+        break;
+      }
+    }
+    snapshot.entries.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::scoped_lock lock(mu_);
+  for (auto& [name, slot] : slots_) {
+    switch (slot.type) {
+      case MetricType::kCounter:
+        slot.counter->ResetValue();
+        break;
+      case MetricType::kGauge:
+        slot.gauge->ResetValue();
+        break;
+      case MetricType::kHistogram:
+        slot.histogram->ResetValue();
+        break;
+    }
+  }
+}
+
+std::size_t MetricsRegistry::num_metrics() const {
+  std::scoped_lock lock(mu_);
+  return slots_.size();
+}
+
+Counter& ObsCounter(std::string_view name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+
+Gauge& ObsGauge(std::string_view name) {
+  return MetricsRegistry::Global().GetGauge(name);
+}
+
+LatencyHistogram& ObsHistogram(std::string_view name) {
+  return MetricsRegistry::Global().GetHistogram(name);
+}
+
+}  // namespace dcs

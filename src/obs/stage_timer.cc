@@ -1,0 +1,38 @@
+#include "obs/stage_timer.h"
+
+namespace dcs {
+namespace {
+
+// One '/'-joined path per thread; spans push on construction and truncate
+// back on destruction. A plain string keeps the common case (two or three
+// levels) allocation-free after the first epoch.
+thread_local std::string tls_stage_path;
+
+}  // namespace
+
+ScopedStageTimer::ScopedStageTimer(std::string_view stage) {
+  if (!ObsEnabled()) return;
+  active_ = true;
+  path_len_before_ = tls_stage_path.size();
+  if (!tls_stage_path.empty()) tls_stage_path += '/';
+  tls_stage_path += stage;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedStageTimer::~ScopedStageTimer() {
+  if (!active_) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const auto nanos = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  std::string name;
+  name.reserve(tls_stage_path.size() + 9);
+  name += "stage.";
+  name += tls_stage_path;
+  name += ".ns";
+  ObsHistogram(name).Record(nanos);
+  tls_stage_path.resize(path_len_before_);
+}
+
+std::string_view ScopedStageTimer::CurrentPath() { return tls_stage_path; }
+
+}  // namespace dcs

@@ -1,0 +1,74 @@
+#ifndef DCS_OBS_STAGE_TIMER_H_
+#define DCS_OBS_STAGE_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace dcs {
+
+/// \brief RAII span that attributes wall time to a named pipeline stage.
+///
+/// On destruction the elapsed nanoseconds are recorded into the global
+/// registry histogram "stage.<path>.ns", where <path> is the '/'-joined
+/// chain of the spans alive on this thread — nesting
+///   ScopedStageTimer outer("analyze_unaligned");
+///   ScopedStageTimer inner("er_graph");
+/// records under "stage.analyze_unaligned.ns" and
+/// "stage.analyze_unaligned/er_graph.ns", so an epoch snapshot reads as a
+/// flame graph.
+///
+/// When the registry is disabled at construction the span does nothing —
+/// no clock read, no string work — so timers can wrap hot stages
+/// unconditionally. Thread-safe: the path stack is thread-local, the
+/// histograms are shared.
+class ScopedStageTimer {
+ public:
+  explicit ScopedStageTimer(std::string_view stage);
+  ~ScopedStageTimer();
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+  /// This thread's current '/'-joined span path ("" outside any span).
+  static std::string_view CurrentPath();
+
+ private:
+  bool active_ = false;
+  std::size_t path_len_before_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Manual stopwatch for stages that are not lexically scoped
+/// (e.g. timing each thread-pool task of the pair scan).
+///
+/// Start() reads the clock only when the registry is enabled;
+/// ElapsedNanos() returns 0 when Start() was skipped, so
+/// `hist->Record(watch.ElapsedNanos())` stays a no-op in disabled mode.
+class StageStopwatch {
+ public:
+  void Start() {
+    if (!ObsEnabled()) return;
+    running_ = true;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  std::uint64_t ElapsedNanos() const {
+    if (!running_) return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  bool running_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_OBS_STAGE_TIMER_H_

@@ -2,6 +2,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace dcs {
 
@@ -12,7 +13,10 @@ BitmapSketch::BitmapSketch(const BitmapSketchOptions& options)
 }
 
 bool BitmapSketch::Update(const Packet& packet) {
-  if (packet.payload.size() < options_.min_payload_bytes) return false;
+  if (packet.payload.size() < options_.min_payload_bytes) {
+    ++packets_skipped_;
+    return false;
+  }
   const std::string_view fragment =
       packet.PayloadPrefix(options_.prefix_len);
   const std::uint64_t index =
@@ -28,7 +32,22 @@ bool BitmapSketch::Update(const Packet& packet) {
 void BitmapSketch::Reset() {
   bits_.Reset();
   packets_recorded_ = 0;
+  packets_skipped_ = 0;
   ones_ = 0;
+}
+
+void BitmapSketch::PublishEpochMetrics() const {
+  if (!ObsEnabled()) return;
+  static Counter& hashed = ObsCounter("sketch.aligned.packets_hashed");
+  static Counter& skipped = ObsCounter("sketch.aligned.packets_skipped");
+  static Counter& bits_set = ObsCounter("sketch.aligned.bits_set");
+  static Counter& epochs = ObsCounter("sketch.aligned.epochs");
+  static Gauge& fill = ObsGauge("sketch.aligned.fill_ratio");
+  hashed.Add(packets_recorded_);
+  skipped.Add(packets_skipped_);
+  bits_set.Add(ones_);
+  epochs.Increment();
+  fill.Set(static_cast<double>(ones_) / static_cast<double>(bits_.size()));
 }
 
 }  // namespace dcs

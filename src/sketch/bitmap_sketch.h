@@ -51,8 +51,16 @@ class BitmapSketch {
   /// The bitmap (one matrix row for the analysis center).
   const BitVector& bits() const { return bits_; }
 
+  /// Packets rejected for not carrying enough payload since the last Reset.
+  std::uint64_t packets_skipped() const { return packets_skipped_; }
+
   /// Clears the bitmap for the next measurement epoch.
   void Reset();
+
+  /// Flushes this epoch's counters (packets hashed/skipped, bits set, fill
+  /// ratio) to the global metrics registry under sketch.aligned.*. Intended
+  /// at epoch boundaries; a no-op while observability is disabled.
+  void PublishEpochMetrics() const;
 
   const BitmapSketchOptions& options() const { return options_; }
 
@@ -60,6 +68,7 @@ class BitmapSketch {
   BitmapSketchOptions options_;
   BitVector bits_;
   std::uint64_t packets_recorded_ = 0;
+  std::uint64_t packets_skipped_ = 0;
   std::size_t ones_ = 0;
 };
 

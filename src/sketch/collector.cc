@@ -1,5 +1,8 @@
 #include "sketch/collector.h"
 
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
+
 namespace dcs {
 
 AlignedCollector::AlignedCollector(std::uint32_t router_id,
@@ -7,6 +10,9 @@ AlignedCollector::AlignedCollector(std::uint32_t router_id,
     : router_id_(router_id), sketch_(options) {}
 
 Digest AlignedCollector::TakeDigest(std::uint64_t raw_bytes) {
+  sketch_.PublishEpochMetrics();
+  ObsCounter("collector.aligned.epochs").Increment();
+  ObsCounter("collector.aligned.raw_bytes").Add(raw_bytes);
   Digest digest;
   digest.router_id = router_id_;
   digest.epoch_id = epoch_++;
@@ -21,6 +27,7 @@ Digest AlignedCollector::TakeDigest(std::uint64_t raw_bytes) {
 }
 
 Digest AlignedCollector::ProcessEpoch(const PacketTrace::EpochView& epoch) {
+  ScopedStageTimer timer("collect_aligned");
   std::uint64_t raw_bytes = 0;
   for (const Packet& pkt : epoch) {
     sketch_.Update(pkt);
@@ -54,11 +61,15 @@ UnalignedCollector::UnalignedCollector(std::uint32_t router_id,
 
 Digest UnalignedCollector::ProcessEpoch(
     const PacketTrace::EpochView& epoch) {
+  ScopedStageTimer timer("collect_unaligned");
   std::uint64_t raw_bytes = 0;
   for (const Packet& pkt : epoch) {
     sketch_.Update(pkt);
     raw_bytes += pkt.wire_bytes();
   }
+  sketch_.PublishEpochMetrics();
+  ObsCounter("collector.unaligned.epochs").Increment();
+  ObsCounter("collector.unaligned.raw_bytes").Add(raw_bytes);
   Digest digest;
   digest.router_id = router_id_;
   digest.epoch_id = epoch_++;

@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace dcs {
 namespace {
@@ -148,6 +149,10 @@ std::vector<std::uint8_t> Digest::Encode() const {
     EncodeRow(row, &out);
   }
   AppendU64(&out, Hash64(out.data(), out.size(), /*seed=*/kDigestMagic));
+  // NOTE: EncodedSizeBytes() re-encodes, so these also count its calls —
+  // a visible hint that callers doing size accounting pay the full encode.
+  ObsCounter("digest.encode.calls").Increment();
+  ObsCounter("digest.encode.bytes").Add(out.size());
   return out;
 }
 
@@ -172,8 +177,11 @@ Status Digest::Decode(const std::vector<std::uint8_t>& bytes, Digest* out) {
   const std::uint64_t computed =
       Hash64(bytes.data(), bytes.size() - 8, /*seed=*/kDigestMagic);
   if (stored_checksum != computed) {
+    ObsCounter("digest.decode.checksum_failures").Increment();
     return Status::Corruption("digest checksum mismatch");
   }
+  ObsCounter("digest.decode.calls").Increment();
+  ObsCounter("digest.decode.bytes").Add(bytes.size());
 
   std::size_t pos = 0;
   std::uint32_t magic = 0;

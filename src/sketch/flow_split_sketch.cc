@@ -1,6 +1,7 @@
 #include "sketch/flow_split_sketch.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace dcs {
 
@@ -22,7 +23,11 @@ std::size_t FlowSplitSketch::GroupOf(const FlowLabel& flow) const {
 
 bool FlowSplitSketch::Update(const Packet& packet) {
   const bool recorded = groups_[GroupOf(packet.flow)].Update(packet);
-  if (recorded) ++packets_recorded_;
+  if (recorded) {
+    ++packets_recorded_;
+  } else {
+    ++packets_skipped_;
+  }
   return recorded;
 }
 
@@ -44,6 +49,31 @@ BitMatrix FlowSplitSketch::ToMatrix() const {
 void FlowSplitSketch::Reset() {
   for (OffsetSamplingArrays& group : groups_) group.Reset();
   packets_recorded_ = 0;
+  packets_skipped_ = 0;
+}
+
+void FlowSplitSketch::PublishEpochMetrics() const {
+  if (!ObsEnabled()) return;
+  static Counter& hashed = ObsCounter("sketch.unaligned.packets_hashed");
+  static Counter& skipped = ObsCounter("sketch.unaligned.packets_skipped");
+  static Counter& bits_set = ObsCounter("sketch.unaligned.bits_set");
+  static Counter& epochs = ObsCounter("sketch.unaligned.epochs");
+  static Gauge& fill = ObsGauge("sketch.unaligned.fill_ratio");
+  std::uint64_t ones = 0;
+  std::uint64_t total_bits = 0;
+  for (const OffsetSamplingArrays& group : groups_) {
+    for (const BitVector& array : group.arrays()) {
+      ones += array.CountOnes();
+      total_bits += array.size();
+    }
+  }
+  hashed.Add(packets_recorded_);
+  skipped.Add(packets_skipped_);
+  bits_set.Add(ones);
+  epochs.Increment();
+  fill.Set(total_bits == 0
+               ? 0.0
+               : static_cast<double>(ones) / static_cast<double>(total_bits));
 }
 
 }  // namespace dcs

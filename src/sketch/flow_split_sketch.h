@@ -57,8 +57,18 @@ class FlowSplitSketch {
   /// Packets recorded since construction/Reset.
   std::uint64_t packets_recorded() const { return packets_recorded_; }
 
+  /// Packets rejected (payload below the offset-sampling minimum) since
+  /// construction/Reset.
+  std::uint64_t packets_skipped() const { return packets_skipped_; }
+
   /// Clears every group for the next epoch (offsets kept).
   void Reset();
+
+  /// Flushes this epoch's counters (packets hashed/skipped, bits set, mean
+  /// array fill) to the global metrics registry under sketch.unaligned.*.
+  /// Costs one pass over the arrays, so call at epoch boundaries only;
+  /// a no-op while observability is disabled.
+  void PublishEpochMetrics() const;
 
   const FlowSplitOptions& options() const { return options_; }
 
@@ -66,6 +76,7 @@ class FlowSplitSketch {
   FlowSplitOptions options_;
   std::vector<OffsetSamplingArrays> groups_;
   std::uint64_t packets_recorded_ = 0;
+  std::uint64_t packets_skipped_ = 0;
 };
 
 }  // namespace dcs

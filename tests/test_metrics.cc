@@ -1,0 +1,254 @@
+#include "obs/metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/exporter.h"
+#include "obs/stage_timer.h"
+
+namespace dcs {
+namespace {
+
+// All tests share the process-global registry, so each starts from a known
+// state: enabled with zeroed values (registrations persist by design).
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().set_enabled(true);
+    MetricsRegistry::Global().ResetValues();
+  }
+  void TearDown() override { MetricsRegistry::Global().set_enabled(false); }
+};
+
+TEST_F(MetricsTest, CounterGaugeBasics) {
+  Counter& c = ObsCounter("test.counter");
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  Gauge& g = ObsGauge("test.gauge");
+  g.Set(0.25);
+  g.Set(0.75);  // Last write wins.
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+}
+
+TEST_F(MetricsTest, InterningReturnsSameObject) {
+  Counter& a = ObsCounter("test.interned");
+  Counter& b = ObsCounter("test.interned");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST_F(MetricsTest, ConcurrentCounterUpdatesAreLossless) {
+  Counter& c = ObsCounter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, ConcurrentRegistrationIsSafe) {
+  // Threads race to intern overlapping names while others snapshot;
+  // interned references must be stable and unique per name.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> first(kThreads, nullptr);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &first] {
+      for (int i = 0; i < 50; ++i) {
+        Counter& c =
+            ObsCounter("test.race." + std::to_string(i % 5));
+        c.Increment();
+        if (i == 0) first[t] = &c;
+        (void)MetricsRegistry::Global().Snapshot();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(first[t], first[0]);  // Same name -> same object everywhere.
+  }
+  std::uint64_t total = 0;
+  for (int i = 0; i < 5; ++i) {
+    total += ObsCounter("test.race." + std::to_string(i)).value();
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * 50);
+}
+
+TEST_F(MetricsTest, HistogramBucketBoundaries) {
+  // Bucket 0 holds exactly the value 0; bucket b holds [2^(b-1), 2^b).
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(2), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(3), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(4), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(~0ULL),
+            LatencyHistogram::kNumBuckets - 1);
+
+  for (std::size_t b = 1; b + 1 < LatencyHistogram::kNumBuckets; ++b) {
+    const std::uint64_t lo = LatencyHistogram::BucketLowerBound(b);
+    const std::uint64_t hi = LatencyHistogram::BucketUpperBound(b);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lo), b);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(hi - 1), b);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(hi), b + 1);
+  }
+
+  LatencyHistogram& h = ObsHistogram("test.hist.bounds");
+  h.Record(0);
+  h.Record(1);
+  h.Record(7);
+  h.Record(8);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 16u);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // 0
+  EXPECT_EQ(h.bucket_count(1), 1u);  // 1
+  EXPECT_EQ(h.bucket_count(3), 1u);  // 7 in [4,8)
+  EXPECT_EQ(h.bucket_count(4), 1u);  // 8 in [8,16)
+  EXPECT_DOUBLE_EQ(h.Mean(), 4.0);
+}
+
+TEST_F(MetricsTest, HistogramQuantiles) {
+  LatencyHistogram& h = ObsHistogram("test.hist.quantiles");
+  for (int i = 0; i < 99; ++i) h.Record(10);   // Bucket [8,16).
+  h.Record(1000);                              // Bucket [512,1024).
+  EXPECT_EQ(h.QuantileUpperBound(0.5), 15u);
+  EXPECT_EQ(h.QuantileUpperBound(0.99), 15u);
+  EXPECT_EQ(h.QuantileUpperBound(1.0), 1023u);
+}
+
+TEST_F(MetricsTest, DisabledModeIsANoOp) {
+  Counter& c = ObsCounter("test.disabled.counter");
+  Gauge& g = ObsGauge("test.disabled.gauge");
+  LatencyHistogram& h = ObsHistogram("test.disabled.hist");
+  MetricsRegistry::Global().set_enabled(false);
+  c.Add(5);
+  g.Set(1.0);
+  h.Record(123);
+  {
+    ScopedStageTimer timer("test_disabled_stage");
+    EXPECT_EQ(ScopedStageTimer::CurrentPath(), "");  // No path tracking.
+  }
+  MetricsRegistry::Global().set_enabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.Find("stage.test_disabled_stage.ns"), nullptr);
+}
+
+TEST_F(MetricsTest, ScopedTimerNesting) {
+  {
+    ScopedStageTimer outer("outer");
+    EXPECT_EQ(ScopedStageTimer::CurrentPath(), "outer");
+    {
+      ScopedStageTimer inner("inner");
+      EXPECT_EQ(ScopedStageTimer::CurrentPath(), "outer/inner");
+    }
+    EXPECT_EQ(ScopedStageTimer::CurrentPath(), "outer");
+  }
+  EXPECT_EQ(ScopedStageTimer::CurrentPath(), "");
+
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const MetricsSnapshot::Entry* outer = snapshot.Find("stage.outer.ns");
+  const MetricsSnapshot::Entry* inner = snapshot.Find("stage.outer/inner.ns");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->hist_count, 1u);
+  EXPECT_EQ(inner->hist_count, 1u);
+  EXPECT_GE(outer->hist_sum, inner->hist_sum);  // Outer contains inner.
+}
+
+TEST_F(MetricsTest, TimerPathIsPerThread) {
+  ScopedStageTimer outer("main_thread_stage");
+  std::thread other([] {
+    EXPECT_EQ(ScopedStageTimer::CurrentPath(), "");
+    ScopedStageTimer t("worker_stage");
+    EXPECT_EQ(ScopedStageTimer::CurrentPath(), "worker_stage");
+  });
+  other.join();
+  EXPECT_EQ(ScopedStageTimer::CurrentPath(), "main_thread_stage");
+}
+
+TEST_F(MetricsTest, ResetValuesKeepsRegistrations) {
+  Counter& c = ObsCounter("test.reset");
+  c.Add(7);
+  const std::size_t metrics_before = MetricsRegistry::Global().num_metrics();
+  MetricsRegistry::Global().ResetValues();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(MetricsRegistry::Global().num_metrics(), metrics_before);
+  c.Add(3);  // The interned reference stays live.
+  EXPECT_EQ(c.value(), 3u);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedAndTyped) {
+  ObsCounter("test.snap.b").Add(2);
+  ObsGauge("test.snap.a").Set(1.5);
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  ASSERT_GE(snapshot.entries.size(), 2u);
+  for (std::size_t i = 1; i < snapshot.entries.size(); ++i) {
+    EXPECT_LT(snapshot.entries[i - 1].name, snapshot.entries[i].name);
+  }
+  const MetricsSnapshot::Entry* a = snapshot.Find("test.snap.a");
+  const MetricsSnapshot::Entry* b = snapshot.Find("test.snap.b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->type, MetricType::kGauge);
+  EXPECT_DOUBLE_EQ(a->gauge_value, 1.5);
+  EXPECT_EQ(b->type, MetricType::kCounter);
+  EXPECT_EQ(b->counter_value, 2u);
+  EXPECT_EQ(snapshot.Find("test.snap.missing"), nullptr);
+}
+
+TEST_F(MetricsTest, ExporterRoundTrip) {
+  ObsCounter("test.rt.counter").Add(12);
+  ObsGauge("test.rt.gauge").Set(0.5132);
+  LatencyHistogram& h = ObsHistogram("test.rt.hist");
+  h.Record(0);
+  h.Record(9);
+  h.Record(9);
+  h.Record(900);
+
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  snapshot.epoch_id = 3;
+  const std::string text = SnapshotToJsonLines(snapshot);
+
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(ParseJsonLines(text, &parsed).ok()) << text;
+  EXPECT_EQ(parsed.epoch_id, 3u);
+  ASSERT_EQ(parsed.entries.size(), snapshot.entries.size());
+  for (std::size_t i = 0; i < parsed.entries.size(); ++i) {
+    const MetricsSnapshot::Entry& want = snapshot.entries[i];
+    const MetricsSnapshot::Entry& got = parsed.entries[i];
+    EXPECT_EQ(got.name, want.name);
+    EXPECT_EQ(got.type, want.type);
+    EXPECT_EQ(got.counter_value, want.counter_value);
+    EXPECT_DOUBLE_EQ(got.gauge_value, want.gauge_value);
+    EXPECT_EQ(got.hist_count, want.hist_count);
+    EXPECT_EQ(got.hist_sum, want.hist_sum);
+    EXPECT_EQ(got.hist_buckets, want.hist_buckets);
+  }
+}
+
+TEST_F(MetricsTest, ParseRejectsMixedEpochs) {
+  const std::string text =
+      "{\"epoch\":1,\"name\":\"a\",\"type\":\"counter\",\"value\":1}\n"
+      "{\"epoch\":2,\"name\":\"b\",\"type\":\"counter\",\"value\":1}\n";
+  MetricsSnapshot parsed;
+  EXPECT_FALSE(ParseJsonLines(text, &parsed).ok());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -19,15 +19,24 @@
 //
 //   dcs_workbench demo
 //     Runs all three stages in a temporary directory.
+//
+// Any command also accepts:
+//   --metrics             Enable the observability registry and print a
+//                         metric summary table after the command finishes.
+//   --metrics-out <path>  Like --metrics, but dump the snapshot as JSON
+//                         lines to <path> instead of a table.
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "dcs/dcs.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
 #include "traffic/content_catalog.h"
 #include "traffic/trace_synthesizer.h"
 
@@ -284,9 +293,31 @@ Status CmdDemo() {
   return CmdAnalyze(analyze);
 }
 
+// Writes the final registry snapshot: JSON lines to --metrics-out when
+// given, otherwise a summary table on stdout.
+Status DumpMetrics(const Flags& flags) {
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const std::string out = flags.Get("metrics-out", "");
+  if (out.empty()) {
+    std::printf("\n== metrics ==\n");
+    PrintSnapshotTable(snapshot, std::cout);
+    return Status::Ok();
+  }
+  const std::string text = SnapshotToJsonLines(snapshot);
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot write " + out);
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) return Status::IoError("short write " + out);
+  std::printf("metrics: wrote %zu metrics to %s\n", snapshot.entries.size(),
+              out.c_str());
+  return Status::Ok();
+}
+
 void PrintUsage() {
   std::printf(
       "usage: dcs_workbench <synthesize|collect|analyze|demo> [--flags]\n"
+      "       [--metrics] [--metrics-out <path>]\n"
       "see the comment block at the top of tools/dcs_workbench.cc\n");
 }
 
@@ -302,6 +333,8 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", parse_status.ToString().c_str());
     return 1;
   }
+  const bool metrics = flags.Has("metrics") || flags.Has("metrics-out");
+  if (metrics) MetricsRegistry::Global().set_enabled(true);
   Status status;
   if (command == "synthesize") {
     status = CmdSynthesize(flags);
@@ -315,6 +348,7 @@ int Main(int argc, char** argv) {
     PrintUsage();
     return 1;
   }
+  if (status.ok() && metrics) status = DumpMetrics(flags);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
