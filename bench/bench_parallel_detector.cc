@@ -1,0 +1,104 @@
+// Section IV-D: strong-scaling of the aligned analysis pipeline. Times
+// DetectInMatrix — weight screen, pair pass, hopefuls iterations, core
+// scan, all sharded on the ThreadPool — at 1/2/4/8 threads against the
+// serial engine, and asserts the detections are bit-identical before
+// reporting a speedup (a fast wrong answer would be worthless).
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "analysis/aligned_detector.h"
+#include "bench_util.h"
+#include "common/bit_matrix.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+
+namespace {
+
+// Bernoulli(1/2) noise with a planted 40-row x 30-column core, matching the
+// paper's aligned model at measurement scale.
+dcs::BitMatrix PlantedMatrix(std::size_t rows, std::size_t cols,
+                             dcs::Rng* rng) {
+  dcs::BitMatrix matrix(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    dcs::BitVector& row = matrix.row(r);
+    std::uint64_t* words = row.mutable_words();
+    for (std::size_t w = 0; w < row.num_words(); ++w) words[w] = rng->Next();
+    if (cols % 64 != 0) words[row.num_words() - 1] &= (1ULL << (cols % 64)) - 1;
+  }
+  for (std::size_t r = 20; r < 60; ++r) {
+    for (std::size_t c = 0; c < 30; ++c) {
+      matrix.Set(r, (c * 997 + 13) % cols);  // Scattered pattern columns.
+    }
+  }
+  return matrix;
+}
+
+bool SameDetection(const dcs::AlignedDetection& a,
+                   const dcs::AlignedDetection& b) {
+  return a.pattern_found == b.pattern_found && a.rows == b.rows &&
+         a.columns == b.columns &&
+         a.weight_trajectory == b.weight_trajectory &&
+         a.stop_iteration == b.stop_iteration;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dcs;
+  const BenchScale scale = BenchScaleFromEnv();
+  bench::Banner("Section IV-D", "aligned-analysis strong scaling", scale);
+
+  const std::size_t rows = 128;
+  const std::size_t n_prime = 2000;
+  const std::vector<std::size_t> sizes =
+      scale == BenchScale::kPaper
+          ? std::vector<std::size_t>{1u << 20, 4u << 20}
+          : std::vector<std::size_t>{1u << 18, 1u << 20};
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+
+  AlignedDetectorOptions options;
+  options.first_iteration_hopefuls = n_prime;
+
+  Rng rng(EnvInt64("DCS_SEED", 41));
+  TablePrinter table({"columns n", "threads", "detect s", "speedup"});
+  for (std::size_t n : sizes) {
+    const BitMatrix matrix = PlantedMatrix(rows, n, &rng);
+
+    const AlignedDetector serial(options);
+    double t = bench::NowSeconds();
+    const AlignedDetection reference = serial.DetectInMatrix(matrix, n_prime);
+    const double serial_s = bench::NowSeconds() - t;
+    table.AddRow({std::to_string(n), "serial",
+                  TablePrinter::Fmt(serial_s, 3), "1.00"});
+
+    for (std::size_t threads : thread_counts) {
+      ThreadPool pool(threads);
+      const AlignedDetector parallel(options, AnalysisContext{&pool});
+      t = bench::NowSeconds();
+      const AlignedDetection detection =
+          parallel.DetectInMatrix(matrix, n_prime);
+      const double pool_s = bench::NowSeconds() - t;
+      if (!SameDetection(reference, detection)) {
+        std::fprintf(stderr,
+                     "FATAL: detection diverged at %zu threads, n=%zu\n",
+                     threads, n);
+        return 1;
+      }
+      table.AddRow({std::to_string(n), std::to_string(threads),
+                    TablePrinter::Fmt(pool_s, 3),
+                    TablePrinter::Fmt(serial_s / pool_s, 2)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nAll detections bit-identical to the serial engine (rows, columns,\n"
+      "weight trajectory, stop iteration). Speedups are bounded by the\n"
+      "machine's core count: on a single-core container every row measures\n"
+      "scheduling overhead, not scaling.\n");
+  return 0;
+}

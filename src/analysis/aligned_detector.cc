@@ -22,42 +22,92 @@ struct Product {
   std::uint32_t weight = 0;
 };
 
-// Bounded min-heap of candidate (weight, payload) entries keeping the top H.
-template <typename Payload>
+// A candidate product extension: its weight plus the (a, b) pair that
+// identifies it — (column i, column j) in the pair pass, (hopeful h, column
+// c) in the extension passes.
+struct Cand {
+  std::uint32_t weight = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+// The engine's total order: heavier first, ties by smaller (a, b). Because
+// it is total, the top-H of a candidate set is a well-defined *set*, and the
+// union of per-shard top-H lists always contains it — which is what lets
+// the sharded passes merge to bit-identical results at any thread count.
+bool CandBetter(const Cand& x, const Cand& y) {
+  if (x.weight != y.weight) return x.weight > y.weight;
+  if (x.a != y.a) return x.a < y.a;
+  return x.b < y.b;
+}
+
+// Bounded heap keeping the H best candidates under CandBetter. Using
+// CandBetter as the heap's "less" keeps the worst retained candidate at the
+// front, where the next candidate challenges it.
 class TopH {
  public:
   explicit TopH(std::size_t capacity) : capacity_(capacity) {}
 
-  void Offer(std::uint32_t weight, const Payload& payload) {
+  void Offer(const Cand& cand) {
     if (heap_.size() < capacity_) {
-      heap_.emplace_back(weight, payload);
-      std::push_heap(heap_.begin(), heap_.end(), Greater);
-    } else if (weight > heap_.front().first) {
-      std::pop_heap(heap_.begin(), heap_.end(), Greater);
-      heap_.back() = {weight, payload};
-      std::push_heap(heap_.begin(), heap_.end(), Greater);
+      heap_.push_back(cand);
+      std::push_heap(heap_.begin(), heap_.end(), CandBetter);
+    } else if (CandBetter(cand, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), CandBetter);
+      heap_.back() = cand;
+      std::push_heap(heap_.begin(), heap_.end(), CandBetter);
     }
   }
 
+  /// Weight a candidate must reach to possibly be kept. Zero-weight products
+  /// are never hopefuls, hence the floor of 1 while filling; at exactly this
+  /// weight candidates still compete on column ids.
   std::uint32_t floor_weight() const {
-    return heap_.size() < capacity_ ? 0 : heap_.front().first;
+    return heap_.size() < capacity_ ? 1 : heap_.front().weight;
   }
 
-  /// Entries in descending weight order.
-  std::vector<std::pair<std::uint32_t, Payload>> TakeSorted() {
-    std::sort(heap_.begin(), heap_.end(), Greater);
+  /// Entries in the total order (best first).
+  std::vector<Cand> TakeSorted() {
+    std::sort(heap_.begin(), heap_.end(), CandBetter);
     return std::move(heap_);
   }
 
  private:
-  static bool Greater(const std::pair<std::uint32_t, Payload>& a,
-                      const std::pair<std::uint32_t, Payload>& b) {
-    return a.first > b.first;
-  }
-
   std::size_t capacity_;
-  std::vector<std::pair<std::uint32_t, Payload>> heap_;
+  std::vector<Cand> heap_;
 };
+
+// Concatenates per-shard top lists and keeps the global top `capacity`
+// under the total order. Exact regardless of shard boundaries (see
+// CandBetter).
+std::vector<Cand> MergeTopCands(std::vector<std::vector<Cand>>* shard_cands,
+                                std::size_t capacity) {
+  if (shard_cands->size() == 1) return std::move(shard_cands->front());
+  std::vector<Cand> merged;
+  std::size_t total = 0;
+  for (const std::vector<Cand>& cands : *shard_cands) total += cands.size();
+  merged.reserve(total);
+  for (const std::vector<Cand>& cands : *shard_cands) {
+    merged.insert(merged.end(), cands.begin(), cands.end());
+  }
+  std::sort(merged.begin(), merged.end(), CandBetter);
+  if (merged.size() > capacity) merged.resize(capacity);
+  return merged;
+}
+
+// One partition for the serial engine, the pool's partition otherwise.
+std::vector<ShardRange> ShardsOrWhole(ThreadPool* pool, std::size_t count) {
+  return pool != nullptr ? pool->ShardsFor(count) : MakeShards(count, 1);
+}
+
+void RunSharded(ThreadPool* pool, const std::vector<ShardRange>& shards,
+                const std::function<void(const ShardRange&)>& fn) {
+  if (pool != nullptr) {
+    pool->RunShards(shards, fn);
+    return;
+  }
+  for (const ShardRange& shard : shards) fn(shard);
+}
 
 std::uint64_t ColumnSetFingerprint(const std::vector<std::uint32_t>& cols) {
   std::uint64_t h = 0x5EAFC0DE;
@@ -68,7 +118,11 @@ std::uint64_t ColumnSetFingerprint(const std::vector<std::uint32_t>& cols) {
 }  // namespace
 
 AlignedDetector::AlignedDetector(const AlignedDetectorOptions& options)
-    : options_(options) {
+    : AlignedDetector(options, AnalysisContext{}) {}
+
+AlignedDetector::AlignedDetector(const AlignedDetectorOptions& options,
+                                 const AnalysisContext& context)
+    : options_(options), context_(context) {
   DCS_CHECK(options.first_iteration_hopefuls >= 1);
   DCS_CHECK(options.hopefuls >= 1);
   DCS_CHECK(options.max_iterations >= 2);
@@ -78,6 +132,16 @@ AlignedDetection AlignedDetector::Detect(
     const ScreenedColumns& screened) const {
   ScopedStageTimer stage("aligned_detect");
   ObsCounter("detector.aligned.runs").Increment();
+  ThreadPool* pool = context_.pool;
+  // Per-shard task timers, hoisted so hot loops touch only lock-free metric
+  // objects (the name lookup takes the registry mutex once per Detect).
+  const bool obs = ObsEnabled();
+  LatencyHistogram* pair_hist =
+      obs && pool != nullptr ? &ObsHistogram("stage.aligned_pair_task.ns")
+                             : nullptr;
+  LatencyHistogram* ext_hist =
+      obs && pool != nullptr ? &ObsHistogram("stage.aligned_extend_task.ns")
+                             : nullptr;
   // Why the search stopped iterating; flushed as a detector.aligned.stop.*
   // counter on every exit path below.
   const char* stop_reason = "exhausted";
@@ -96,31 +160,44 @@ AlignedDetection AlignedDetector::Detect(
   }
 
   // --- Iteration b' = 2: all column pairs, keep the heaviest hopefuls.
-  TopH<std::pair<std::uint32_t, std::uint32_t>> pair_heap(
-      options_.first_iteration_hopefuls);
-  for (std::uint32_t i = 0; i < n_cols; ++i) {
-    const BitVector& ci = screened.columns[i];
-    const std::uint32_t wi = screened.weights[i];
-    for (std::uint32_t j = i + 1; j < n_cols; ++j) {
-      // AND weight can't beat min(w_i, w_j); skip hopeless pairs cheaply.
-      if (std::min(wi, screened.weights[j]) <= pair_heap.floor_weight()) {
-        continue;
-      }
-      const auto weight = static_cast<std::uint32_t>(
-          ci.CommonOnes(screened.columns[j]));
-      if (weight > pair_heap.floor_weight()) {
-        pair_heap.Offer(weight, {i, j});
+  // Sharded over the first column; each shard keeps its own bounded heap
+  // and the merge recovers the exact global top list.
+  const std::vector<ShardRange> pair_shards = ShardsOrWhole(pool, n_cols);
+  std::vector<std::vector<Cand>> shard_pairs(pair_shards.size());
+  RunSharded(pool, pair_shards, [&](const ShardRange& shard) {
+    StageStopwatch watch;
+    if (pair_hist != nullptr) watch.Start();
+    TopH heap(options_.first_iteration_hopefuls);
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      const BitVector& ci = screened.columns[i];
+      const std::uint32_t wi = screened.weights[i];
+      for (std::size_t j = i + 1; j < n_cols; ++j) {
+        // AND weight can't beat min(w_i, w_j); skip hopeless pairs cheaply.
+        if (std::min(wi, screened.weights[j]) < heap.floor_weight()) {
+          continue;
+        }
+        const auto weight = static_cast<std::uint32_t>(
+            ci.CommonOnes(screened.columns[j]));
+        if (weight >= heap.floor_weight()) {
+          heap.Offer({weight, static_cast<std::uint32_t>(i),
+                      static_cast<std::uint32_t>(j)});
+        }
       }
     }
-  }
+    shard_pairs[shard.index] = heap.TakeSorted();
+    if (pair_hist != nullptr) pair_hist->Record(watch.ElapsedNanos());
+  });
+  const std::vector<Cand> pair_cands =
+      MergeTopCands(&shard_pairs, options_.first_iteration_hopefuls);
 
   std::vector<Product> hopefuls;
-  for (auto& [weight, pair] : pair_heap.TakeSorted()) {
+  hopefuls.reserve(pair_cands.size());
+  for (const Cand& cand : pair_cands) {
     Product product;
-    product.bits = screened.columns[pair.first];
-    product.bits.InPlaceAnd(screened.columns[pair.second]);
-    product.cols = {pair.first, pair.second};
-    product.weight = weight;
+    product.bits = screened.columns[cand.a];
+    product.bits.InPlaceAnd(screened.columns[cand.b]);
+    product.cols = {cand.a, cand.b};
+    product.weight = cand.weight;
     hopefuls.push_back(std::move(product));
   }
   if (hopefuls.empty()) {
@@ -129,7 +206,7 @@ AlignedDetection AlignedDetector::Detect(
   }
 
   detection.weight_trajectory.push_back(hopefuls.front().weight);
-  if (ObsEnabled()) {
+  if (obs) {
     static Counter& iters = ObsCounter("detector.aligned.iterations");
     static LatencyHistogram& hop =
         ObsHistogram("detector.aligned.hopefuls_per_iteration");
@@ -166,48 +243,76 @@ AlignedDetection AlignedDetector::Detect(
   double prev_weight = static_cast<double>(hopefuls.front().weight);
 
   // --- Iterations b' >= 3: extend each hopeful by one more column.
+  // Sharded over the hopefuls; every shard ranks its hopefuls' extensions
+  // against all columns into a bounded heap, merged like the pair pass.
   for (std::size_t iter = 3; iter <= options_.max_iterations; ++iter) {
-    TopH<std::pair<std::uint32_t, std::uint32_t>> heap(options_.hopefuls);
-    for (std::uint32_t h = 0;
-         h < static_cast<std::uint32_t>(hopefuls.size()); ++h) {
-      const Product& v = hopefuls[h];
-      if (v.weight <= heap.floor_weight()) continue;  // Can only shrink.
-      for (std::uint32_t c = 0; c < n_cols; ++c) {
-        if (std::binary_search(v.cols.begin(), v.cols.end(), c)) continue;
-        if (std::min(v.weight, screened.weights[c]) <= heap.floor_weight()) {
-          continue;
+    const std::vector<ShardRange> ext_shards =
+        ShardsOrWhole(pool, hopefuls.size());
+    std::vector<std::vector<Cand>> shard_exts(ext_shards.size());
+    RunSharded(pool, ext_shards, [&](const ShardRange& shard) {
+      StageStopwatch watch;
+      if (ext_hist != nullptr) watch.Start();
+      TopH heap(options_.hopefuls);
+      for (std::size_t h = shard.begin; h < shard.end; ++h) {
+        const Product& v = hopefuls[h];
+        if (v.weight < heap.floor_weight()) continue;  // Can only shrink.
+        for (std::uint32_t c = 0; c < n_cols; ++c) {
+          if (std::binary_search(v.cols.begin(), v.cols.end(), c)) continue;
+          if (std::min(v.weight, screened.weights[c]) < heap.floor_weight()) {
+            continue;
+          }
+          const auto weight =
+              static_cast<std::uint32_t>(v.bits.CommonOnes(
+                  screened.columns[c]));
+          if (weight >= heap.floor_weight()) {
+            heap.Offer({weight, static_cast<std::uint32_t>(h), c});
+          }
         }
-        const auto weight =
-            static_cast<std::uint32_t>(v.bits.CommonOnes(
-                screened.columns[c]));
-        if (weight > heap.floor_weight()) heap.Offer(weight, {h, c});
       }
-    }
+      shard_exts[shard.index] = heap.TakeSorted();
+      if (ext_hist != nullptr) ext_hist->Record(watch.ElapsedNanos());
+    });
+    const std::vector<Cand> ext_cands =
+        MergeTopCands(&shard_exts, options_.hopefuls);
 
+    // Dedup identical column sets in the canonical order, then materialize
+    // the surviving products' bits (in parallel when they carry enough
+    // rows to be worth the fan-out; each slot is written by one task).
     std::vector<Product> next;
-    std::unordered_set<std::uint64_t> seen;  // Dedup identical column sets.
-    for (auto& [weight, hc] : heap.TakeSorted()) {
-      const Product& parent = hopefuls[hc.first];
+    std::vector<Cand> kept;
+    next.reserve(ext_cands.size());
+    kept.reserve(ext_cands.size());
+    std::unordered_set<std::uint64_t> seen;
+    for (const Cand& cand : ext_cands) {
+      const Product& parent = hopefuls[cand.a];
       std::vector<std::uint32_t> cols = parent.cols;
-      cols.insert(std::lower_bound(cols.begin(), cols.end(), hc.second),
-                  hc.second);
+      cols.insert(std::lower_bound(cols.begin(), cols.end(), cand.b),
+                  cand.b);
       if (!seen.insert(ColumnSetFingerprint(cols)).second) continue;
       Product product;
-      product.bits = parent.bits;
-      product.bits.InPlaceAnd(screened.columns[hc.second]);
       product.cols = std::move(cols);
-      product.weight = weight;
+      product.weight = cand.weight;
       next.push_back(std::move(product));
+      kept.push_back(cand);
     }
     if (next.empty()) {
       stop_reason = "no_extensions";
       break;
     }
+    const auto materialize = [&](std::size_t idx) {
+      next[idx].bits = hopefuls[kept[idx].a].bits;
+      next[idx].bits.InPlaceAnd(screened.columns[kept[idx].b]);
+    };
+    if (pool != nullptr && next.size() >= 64) {
+      pool->ParallelFor(next.size(), materialize);
+    } else {
+      for (std::size_t idx = 0; idx < next.size(); ++idx) materialize(idx);
+    }
     hopefuls = std::move(next);
 
     const double cur_weight = static_cast<double>(hopefuls.front().weight);
     detection.weight_trajectory.push_back(hopefuls.front().weight);
-    if (ObsEnabled()) {
+    if (obs) {
       static Counter& iters = ObsCounter("detector.aligned.iterations");
       static LatencyHistogram& hop =
           ObsHistogram("detector.aligned.hopefuls_per_iteration");
@@ -282,17 +387,23 @@ AlignedDetection AlignedDetector::Detect(
 std::vector<AlignedDetection> AlignedDetector::DetectMultipleInMatrix(
     const BitMatrix& matrix, std::size_t n_prime,
     std::size_t max_patterns) const {
+  ThreadPool* pool = context_.pool;
   std::vector<AlignedDetection> detections;
   BitMatrix working = matrix;
   for (std::size_t round = 0; round < max_patterns; ++round) {
     AlignedDetection detection = DetectInMatrix(working, n_prime);
     if (!detection.pattern_found) break;
+    ObsCounter("detector.aligned.multi_rounds").Increment();
     // Erase the found pattern's columns so the next round sees only what
-    // remains.
-    for (std::size_t c : detection.columns) {
-      for (std::size_t r = 0; r < working.rows(); ++r) {
-        working.row(r).Clear(c);
-      }
+    // remains. Rows are independent, so the erase fans out per row.
+    const auto erase_row = [&working, &detection](std::size_t r) {
+      BitVector& row = working.row(r);
+      for (std::size_t c : detection.columns) row.Clear(c);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(working.rows(), erase_row);
+    } else {
+      for (std::size_t r = 0; r < working.rows(); ++r) erase_row(r);
     }
     detections.push_back(std::move(detection));
   }
@@ -301,36 +412,57 @@ std::vector<AlignedDetection> AlignedDetector::DetectMultipleInMatrix(
 
 AlignedDetection AlignedDetector::DetectInMatrix(const BitMatrix& matrix,
                                                  std::size_t n_prime) const {
-  const ScreenedColumns screened = ScreenHeaviestColumns(matrix, n_prime);
+  ThreadPool* pool = context_.pool;
+  const ScreenedColumns screened =
+      ScreenHeaviestColumns(matrix, n_prime, pool);
   AlignedDetection detection = Detect(screened);
   if (!detection.pattern_found) return detection;
 
   // Fig 6 lines 10-14: scan every column outside S1 against the core.
-  BitVector core_bits(matrix.rows());
-  for (std::uint32_t r : detection.rows) core_bits.Set(r);
+  // Sharded over word-aligned column slices: each shard accumulates the
+  // common-1s counts of its own columns across the core rows and collects
+  // its qualifying columns; shards concatenate in ascending column order.
+  ScopedStageTimer stage("aligned_core_scan");
+  const bool obs = ObsEnabled();
+  LatencyHistogram* task_hist =
+      obs && pool != nullptr
+          ? &ObsHistogram("stage.aligned_core_scan_task.ns")
+          : nullptr;
   const std::size_t core_weight = detection.rows.size();
   const std::size_t thresh =
       core_weight > options_.gamma ? core_weight - options_.gamma : 1;
 
-  std::unordered_set<std::size_t> in_screen(screened.original_ids.begin(),
-                                            screened.original_ids.end());
-  // Common-1s with the core for every column in one pass over core rows.
+  const std::unordered_set<std::size_t> in_screen(
+      screened.original_ids.begin(), screened.original_ids.end());
   std::vector<std::uint32_t> common(matrix.cols(), 0);
-  for (std::uint32_t r : detection.rows) {
-    const BitVector& row = matrix.row(r);
-    for (std::size_t w = 0; w < row.num_words(); ++w) {
-      std::uint64_t word = row.words()[w];
-      while (word != 0) {
-        const int bit = std::countr_zero(word);
-        ++common[(w << 6) + static_cast<std::size_t>(bit)];
-        word &= word - 1;
+  const std::size_t col_words = (matrix.cols() + 63) / 64;
+  const std::vector<ShardRange> shards = ShardsOrWhole(pool, col_words);
+  std::vector<std::vector<std::size_t>> shard_cols(shards.size());
+  RunSharded(pool, shards, [&](const ShardRange& shard) {
+    StageStopwatch watch;
+    if (task_hist != nullptr) watch.Start();
+    for (std::uint32_t r : detection.rows) {
+      const std::uint64_t* words = matrix.row(r).words();
+      for (std::size_t w = shard.begin; w < shard.end; ++w) {
+        std::uint64_t word = words[w];
+        while (word != 0) {
+          const int bit = std::countr_zero(word);
+          ++common[(w << 6) + static_cast<std::size_t>(bit)];
+          word &= word - 1;
+        }
       }
     }
-  }
-  for (std::size_t c = 0; c < matrix.cols(); ++c) {
-    if (common[c] >= thresh && !in_screen.contains(c)) {
-      detection.columns.push_back(c);
+    const std::size_t col_end = std::min(shard.end * 64, matrix.cols());
+    for (std::size_t c = shard.begin * 64; c < col_end; ++c) {
+      if (common[c] >= thresh && !in_screen.contains(c)) {
+        shard_cols[shard.index].push_back(c);
+      }
     }
+    if (task_hist != nullptr) task_hist->Record(watch.ElapsedNanos());
+  });
+  for (const std::vector<std::size_t>& cols : shard_cols) {
+    detection.columns.insert(detection.columns.end(), cols.begin(),
+                             cols.end());
   }
   std::sort(detection.columns.begin(), detection.columns.end());
   return detection;

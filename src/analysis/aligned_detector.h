@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/bit_matrix.h"
+#include "analysis/analysis_context.h"
 #include "analysis/weight_screen.h"
 
 namespace dcs {
@@ -64,9 +65,20 @@ struct AlignedDetection {
 /// Fig 7); the result passes the non-naturally-occurring gate before being
 /// reported. DetectInMatrix() adds the refined algorithm's final scan that
 /// grows the core across the unscreened columns (Fig 6 lines 10-14).
+///
+/// When constructed with an AnalysisContext carrying a pool, the hot passes
+/// run sharded on it (Section IV-D: spread the analysis over many CPUs):
+/// the pair pass and each hopefuls extension keep per-shard bounded heaps
+/// merged under a total order (weight desc, then column ids asc), and the
+/// final core scan shards the unscreened columns. Every merge is
+/// shard-order-invariant, so the detection — rows, columns, and the full
+/// weight trajectory — is bit-identical at any thread count, including the
+/// serial (null pool) engine.
 class AlignedDetector {
  public:
   explicit AlignedDetector(const AlignedDetectorOptions& options);
+  AlignedDetector(const AlignedDetectorOptions& options,
+                  const AnalysisContext& context);
 
   /// Core search over the given (typically screened) columns.
   AlignedDetection Detect(const ScreenedColumns& screened) const;
@@ -85,9 +97,11 @@ class AlignedDetector {
       std::size_t max_patterns) const;
 
   const AlignedDetectorOptions& options() const { return options_; }
+  const AnalysisContext& context() const { return context_; }
 
  private:
   AlignedDetectorOptions options_;
+  AnalysisContext context_;
 };
 
 }  // namespace dcs

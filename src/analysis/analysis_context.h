@@ -1,0 +1,24 @@
+#ifndef DCS_ANALYSIS_ANALYSIS_CONTEXT_H_
+#define DCS_ANALYSIS_ANALYSIS_CONTEXT_H_
+
+#include "common/thread_pool.h"
+
+namespace dcs {
+
+/// \brief Execution resources shared by the analysis-center pipelines.
+///
+/// Section IV-D observes the correlation work is embarrassingly parallel and
+/// should be spread over many CPUs; this context carries the pool that does
+/// it. One context serves both pipelines of an epoch: the aligned engine
+/// (weight screen, hopefuls iterations, core scan) uses it directly, and the
+/// monitor copies the pool into the unaligned PairScanOptions when none was
+/// set there. A null pool means run serially; every parallel stage is
+/// sharded with a deterministic merge, so results are bit-identical at any
+/// thread count, including null.
+struct AnalysisContext {
+  ThreadPool* pool = nullptr;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_ANALYSIS_ANALYSIS_CONTEXT_H_

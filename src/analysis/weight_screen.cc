@@ -1,53 +1,159 @@
 #include "analysis/weight_screen.h"
 
 #include <algorithm>
-#include <queue>
+#include <bit>
 #include <utility>
 
-namespace dcs {
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 
-std::vector<std::size_t> TopKIndices(const std::vector<std::uint32_t>& values,
-                                     std::size_t k) {
-  k = std::min(k, values.size());
+namespace dcs {
+namespace {
+
+// (weight, column id) under the screen's total order: heavier first, ties by
+// lower id. Total — so per-shard top-k merges to the exact global top-k no
+// matter how the columns were sharded.
+using Entry = std::pair<std::uint32_t, std::size_t>;
+
+bool EntryBetter(const Entry& a, const Entry& b) {
+  return a.first > b.first || (a.first == b.first && a.second < b.second);
+}
+
+// Accumulates, into weights[c] for c in the word-aligned column range of
+// `shard`, the number of 1s each column has across all rows. Shards own
+// disjoint weight slices, so the parallel fill is race-free.
+void AccumulateColumnWeights(const BitMatrix& matrix, const ShardRange& shard,
+                             std::vector<std::uint32_t>* weights) {
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    const std::uint64_t* words = matrix.row(r).words();
+    for (std::size_t w = shard.begin; w < shard.end; ++w) {
+      std::uint64_t word = words[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        ++(*weights)[(w << 6) + static_cast<std::size_t>(bit)];
+        word &= word - 1;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> TopKIndicesInRange(
+    const std::vector<std::uint32_t>& values, std::size_t begin,
+    std::size_t end, std::size_t k) {
+  end = std::min(end, values.size());
+  begin = std::min(begin, end);
+  k = std::min(k, end - begin);
   if (k == 0) return {};
-  // Min-heap of the best k (value, negated index for tie order).
-  using Entry = std::pair<std::uint32_t, std::size_t>;
-  auto better = [](const Entry& a, const Entry& b) {
-    // a "better" than b: larger value, or equal value and smaller index.
-    return a.first > b.first || (a.first == b.first && a.second < b.second);
-  };
+  // Min-heap of the best k: EntryBetter as "less" puts the worst kept entry
+  // at the front, where the next candidate challenges it.
   std::vector<Entry> heap;
   heap.reserve(k);
-  auto cmp = [&](const Entry& a, const Entry& b) { return better(a, b); };
-  for (std::size_t i = 0; i < values.size(); ++i) {
+  auto cmp = [](const Entry& a, const Entry& b) { return EntryBetter(a, b); };
+  for (std::size_t i = begin; i < end; ++i) {
     const Entry entry{values[i], i};
     if (heap.size() < k) {
       heap.push_back(entry);
       std::push_heap(heap.begin(), heap.end(), cmp);
-    } else if (better(entry, heap.front())) {
+    } else if (EntryBetter(entry, heap.front())) {
       std::pop_heap(heap.begin(), heap.end(), cmp);
       heap.back() = entry;
       std::push_heap(heap.begin(), heap.end(), cmp);
     }
   }
-  std::sort(heap.begin(), heap.end(), better);
+  std::sort(heap.begin(), heap.end(), EntryBetter);
   std::vector<std::size_t> result;
   result.reserve(heap.size());
   for (const Entry& e : heap) result.push_back(e.second);
   return result;
 }
 
+std::vector<std::size_t> TopKIndices(const std::vector<std::uint32_t>& values,
+                                     std::size_t k) {
+  return TopKIndicesInRange(values, 0, values.size(), k);
+}
+
 ScreenedColumns ScreenHeaviestColumns(const BitMatrix& matrix,
-                                      std::size_t n_prime) {
+                                      std::size_t n_prime, ThreadPool* pool) {
+  ScopedStageTimer stage("weight_screen");
   ScreenedColumns screened;
   screened.num_rows = matrix.rows();
   screened.num_source_columns = matrix.cols();
-  const std::vector<std::uint32_t> weights = matrix.ColumnWeights();
-  screened.original_ids = TopKIndices(weights, n_prime);
-  screened.columns = matrix.ExtractColumns(screened.original_ids);
-  screened.weights.reserve(screened.original_ids.size());
-  for (std::size_t id : screened.original_ids) {
-    screened.weights.push_back(weights[id]);
+  if (matrix.cols() == 0) return screened;
+
+  const bool obs = ObsEnabled();
+  LatencyHistogram* task_hist =
+      obs && pool != nullptr ? &ObsHistogram("stage.weight_screen_task.ns")
+                             : nullptr;
+
+  // Pass 1 — weights plus per-shard heaviest-k, sharded over word-aligned
+  // column slices (64-column granularity keeps every slice's bit loop on
+  // whole words).
+  const std::size_t col_words = (matrix.cols() + 63) / 64;
+  const std::vector<ShardRange> shards =
+      pool != nullptr ? pool->ShardsFor(col_words) : MakeShards(col_words, 1);
+  std::vector<std::uint32_t> weights(matrix.cols(), 0);
+  std::vector<std::vector<std::size_t>> shard_top(shards.size());
+  const auto weigh_shard = [&](const ShardRange& shard) {
+    StageStopwatch watch;
+    if (task_hist != nullptr) watch.Start();
+    AccumulateColumnWeights(matrix, shard, &weights);
+    shard_top[shard.index] = TopKIndicesInRange(
+        weights, shard.begin * 64, std::min(shard.end * 64, matrix.cols()),
+        n_prime);
+    if (task_hist != nullptr) task_hist->Record(watch.ElapsedNanos());
+  };
+  if (pool != nullptr) {
+    pool->RunShards(shards, weigh_shard);
+  } else {
+    for (const ShardRange& shard : shards) weigh_shard(shard);
+  }
+
+  // Merge shard candidates in the total order and keep the global top n'.
+  // Every global winner is a winner of its own shard, so the union of the
+  // shard top-k lists contains the exact answer.
+  std::vector<Entry> merged;
+  for (const std::vector<std::size_t>& top : shard_top) {
+    for (std::size_t id : top) merged.emplace_back(weights[id], id);
+  }
+  std::sort(merged.begin(), merged.end(), EntryBetter);
+  if (merged.size() > n_prime) merged.resize(n_prime);
+  screened.original_ids.reserve(merged.size());
+  screened.weights.reserve(merged.size());
+  for (const Entry& e : merged) {
+    screened.original_ids.push_back(e.second);
+    screened.weights.push_back(e.first);
+  }
+
+  // Pass 2 — extract the chosen columns, sharded over the selection (each
+  // shard writes its own disjoint BitVectors).
+  screened.columns.assign(screened.original_ids.size(),
+                          BitVector(matrix.rows()));
+  const auto extract_shard = [&](const ShardRange& shard) {
+    StageStopwatch watch;
+    if (task_hist != nullptr) watch.Start();
+    for (std::size_t r = 0; r < matrix.rows(); ++r) {
+      const BitVector& row = matrix.row(r);
+      for (std::size_t i = shard.begin; i < shard.end; ++i) {
+        if (row.Test(screened.original_ids[i])) screened.columns[i].Set(r);
+      }
+    }
+    if (task_hist != nullptr) task_hist->Record(watch.ElapsedNanos());
+  };
+  const std::vector<ShardRange> extract_shards =
+      pool != nullptr ? pool->ShardsFor(screened.original_ids.size())
+                      : MakeShards(screened.original_ids.size(), 1);
+  if (pool != nullptr) {
+    pool->RunShards(extract_shards, extract_shard);
+  } else {
+    for (const ShardRange& shard : extract_shards) extract_shard(shard);
+  }
+
+  if (obs) {
+    ObsCounter("screen.runs").Increment();
+    ObsCounter("screen.shard_tasks").Add(shards.size() +
+                                         extract_shards.size());
   }
   return screened;
 }

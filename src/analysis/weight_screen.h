@@ -7,6 +7,7 @@
 
 #include "common/bit_matrix.h"
 #include "common/bit_vector.h"
+#include "common/thread_pool.h"
 
 namespace dcs {
 
@@ -29,13 +30,27 @@ struct ScreenedColumns {
 /// Selects the `n_prime` heaviest columns of `matrix` (ties broken by lower
 /// column id). One pass for the weights plus one pass to extract the chosen
 /// columns — no transpose of the full matrix.
+///
+/// With a pool, the weight accumulation and per-shard top-k are sharded over
+/// word-aligned column slices and the extraction over the selected columns;
+/// the shard candidates merge under the same (weight desc, id asc) total
+/// order the serial path uses, so the result is bit-identical at any thread
+/// count (and to pool == nullptr).
 ScreenedColumns ScreenHeaviestColumns(const BitMatrix& matrix,
-                                      std::size_t n_prime);
+                                      std::size_t n_prime,
+                                      ThreadPool* pool = nullptr);
 
 /// Selects the indices of the `k` largest values (ties by lower index),
 /// returned in descending value order. Helper shared by the screening paths.
 std::vector<std::size_t> TopKIndices(const std::vector<std::uint32_t>& values,
                                      std::size_t k);
+
+/// Range-restricted TopKIndices: considers only indices in [begin, end) of
+/// `values`, returning global indices. The per-shard selection of the
+/// parallel screen; TopKIndices(v, k) == TopKIndicesInRange(v, 0, n, k).
+std::vector<std::size_t> TopKIndicesInRange(
+    const std::vector<std::uint32_t>& values, std::size_t begin,
+    std::size_t end, std::size_t k);
 
 }  // namespace dcs
 

@@ -1,10 +1,36 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
 
 namespace dcs {
+namespace {
+
+// Which pool (if any) owns the calling thread. Lets RunShards degrade to
+// inline execution when invoked from one of its own workers, where waiting
+// would deadlock (the caller's task counts as in-flight).
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+}  // namespace
+
+std::vector<ShardRange> MakeShards(std::size_t count, std::size_t max_shards) {
+  std::vector<ShardRange> shards;
+  if (count == 0) return shards;
+  const std::size_t n = std::min(count, std::max<std::size_t>(max_shards, 1));
+  const std::size_t base = count / n;
+  const std::size_t extra = count % n;  // First `extra` shards get +1.
+  shards.reserve(n);
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    shards.push_back(ShardRange{s, begin, begin + len});
+    begin += len;
+  }
+  DCS_CHECK(begin == count);
+  return shards;
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   DCS_CHECK(num_threads >= 1);
@@ -23,6 +49,10 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+bool ThreadPool::OnWorkerThread() const {
+  return current_worker_pool == this;
+}
+
 void ThreadPool::Schedule(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -34,27 +64,52 @@ void ThreadPool::Schedule(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  DCS_CHECK(!OnWorkerThread());  // A worker waiting on itself would hang.
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::ParallelFor(std::size_t count,
-                             const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
-  const std::size_t shards = std::min(count, threads_.size() * 4);
-  const std::size_t chunk = (count + shards - 1) / shards;
-  for (std::size_t s = 0; s < shards; ++s) {
-    const std::size_t begin = s * chunk;
-    const std::size_t end = std::min(count, begin + chunk);
-    if (begin >= end) break;
-    Schedule([begin, end, &fn] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+std::vector<ShardRange> ThreadPool::ShardsFor(std::size_t count) const {
+  return MakeShards(count, threads_.size() * 4);
+}
+
+void ThreadPool::RunShards(const std::vector<ShardRange>& shards,
+                           const std::function<void(const ShardRange&)>& fn) {
+  if (shards.empty()) return;
+  if (OnWorkerThread() || shards.size() == 1) {
+    // Nested call (or nothing to spread): run inline. Shard contents and
+    // merge order are schedule-independent, so results are unchanged.
+    for (const ShardRange& shard : shards) fn(shard);
+    return;
+  }
+  // Per-call completion latch, so concurrent RunShards callers (and
+  // unrelated Schedule traffic) never wait on each other's work.
+  std::atomic<std::size_t> remaining{shards.size()};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  for (const ShardRange& shard : shards) {
+    Schedule([&fn, &shard, &remaining, &done_mu, &done_cv] {
+      fn(shard);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock,
+               [&remaining] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  RunShards(ShardsFor(count), [&fn](const ShardRange& shard) {
+    for (std::size_t i = shard.begin; i < shard.end; ++i) fn(i);
+  });
 }
 
 void ThreadPool::WorkerLoop() {
+  current_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {

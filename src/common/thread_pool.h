@@ -11,11 +11,30 @@
 
 namespace dcs {
 
+/// Contiguous slice [begin, end) of an index space, with its position in the
+/// partition. The analysis engines compute per-shard partial results indexed
+/// by `index` and merge them in ascending shard order, which is what makes
+/// the parallel pipelines deterministic at any thread count.
+struct ShardRange {
+  std::size_t index = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Partitions [0, count) into at most `max_shards` (clamped to >= 1)
+/// non-empty contiguous ranges of near-equal size (the first `count %
+/// shards` ranges are one element longer). Deterministic in (count,
+/// max_shards) only — never in the number of threads that will run the
+/// shards.
+std::vector<ShardRange> MakeShards(std::size_t count, std::size_t max_shards);
+
 /// \brief Fixed-size worker pool.
 ///
-/// The paper notes (Section IV-D) that the analysis center's pairwise row
-/// correlation is embarrassingly parallel and suggests spreading it over many
-/// CPUs; the correlation engine uses this pool for that.
+/// The paper notes (Section IV-D) that the analysis center's work is
+/// embarrassingly parallel and suggests spreading it over many CPUs. The
+/// unaligned pair scan and the whole aligned pipeline (weight screen,
+/// hopefuls iterations, core scan) run on this pool via RunShards /
+/// ParallelFor.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (>= 1).
@@ -30,14 +49,33 @@ class ThreadPool {
   /// Enqueues a task.
   void Schedule(std::function<void()> task);
 
-  /// Blocks until every scheduled task has finished.
+  /// Blocks until every scheduled task has finished. Must not be called from
+  /// a worker of this pool (the caller's own task could never be waited out).
   void Wait();
 
   /// Number of worker threads.
   std::size_t num_threads() const { return threads_.size(); }
 
-  /// Runs fn(i) for i in [0, count) across the pool, partitioned into
-  /// contiguous shards, and blocks until all complete.
+  /// True when the calling thread is one of this pool's workers. Parallel
+  /// drivers use this to degrade to inline execution instead of deadlocking
+  /// on a nested Wait().
+  bool OnWorkerThread() const;
+
+  /// The partition RunShards/ParallelFor would use for `count` items:
+  /// MakeShards(count, 4 * num_threads()). Oversharding by 4x lets the queue
+  /// load-balance uneven shards (e.g. the triangular pair pass).
+  std::vector<ShardRange> ShardsFor(std::size_t count) const;
+
+  /// Runs fn(shard) for every shard across the pool and blocks until all
+  /// complete. Safe to call from a worker thread of this pool: the shards
+  /// then run inline on the caller (results are identical — only the
+  /// schedule changes).
+  void RunShards(const std::vector<ShardRange>& shards,
+                 const std::function<void(const ShardRange&)>& fn);
+
+  /// Runs fn(i) for i in [0, count) across the pool, partitioned with
+  /// ShardsFor, and blocks until all complete. Safe on worker threads (runs
+  /// inline, see RunShards).
   void ParallelFor(std::size_t count,
                    const std::function<void(std::size_t)>& fn);
 

@@ -14,12 +14,27 @@ namespace dcs {
 
 DcsMonitor::DcsMonitor(const AlignedPipelineOptions& aligned_options,
                        const UnalignedPipelineOptions& unaligned_options)
+    : DcsMonitor(aligned_options, unaligned_options, AnalysisContext{}) {}
+
+DcsMonitor::DcsMonitor(const AlignedPipelineOptions& aligned_options,
+                       const UnalignedPipelineOptions& unaligned_options,
+                       const AnalysisContext& context)
     : aligned_options_(aligned_options),
-      unaligned_options_(unaligned_options) {
+      unaligned_options_(unaligned_options),
+      context_(context) {
   // The options only ever switch observability on: another component (or
   // the workbench --metrics flag) may have enabled the registry already.
   if (aligned_options.obs.enabled || unaligned_options.obs.enabled) {
     MetricsRegistry::Global().set_enabled(true);
+  }
+  // One pool serves both pipelines: the pair scan inherits it unless the
+  // caller already picked one in the scan options.
+  if (unaligned_options_.builder.scan.pool == nullptr) {
+    unaligned_options_.builder.scan.pool = context_.pool;
+  }
+  if (context_.pool != nullptr) {
+    ObsGauge("analysis.pool_threads")
+        .Set(static_cast<double>(context_.pool->num_threads()));
   }
 }
 
@@ -65,7 +80,7 @@ std::vector<AlignedReport> DcsMonitor::AnalyzeAlignedAll(
   for (const Digest& digest : aligned_) {
     matrix.AppendRow(digest.rows.front());
   }
-  AlignedDetector detector(aligned_options_.detector);
+  AlignedDetector detector(aligned_options_.detector, context_);
   for (const AlignedDetection& detection : detector.DetectMultipleInMatrix(
            matrix, aligned_options_.n_prime, max_patterns)) {
     AlignedReport report;
@@ -99,7 +114,7 @@ AlignedReport DcsMonitor::AnalyzeAligned() const {
   report.matrix_rows = matrix.rows();
   report.matrix_cols = matrix.cols();
 
-  AlignedDetector detector(aligned_options_.detector);
+  AlignedDetector detector(aligned_options_.detector, context_);
   const AlignedDetection detection =
       detector.DetectInMatrix(matrix, aligned_options_.n_prime);
   report.common_content_detected = detection.pattern_found;

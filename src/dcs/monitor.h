@@ -5,6 +5,7 @@
 
 #include "common/bit_matrix.h"
 #include "common/status.h"
+#include "analysis/analysis_context.h"
 #include "dcs/options.h"
 #include "dcs/report.h"
 #include "sketch/digest.h"
@@ -27,6 +28,15 @@ class DcsMonitor {
  public:
   DcsMonitor(const AlignedPipelineOptions& aligned_options,
              const UnalignedPipelineOptions& unaligned_options);
+
+  /// Same, with shared analysis resources. The context's pool drives the
+  /// whole aligned pipeline and, when the unaligned scan options carry no
+  /// pool of their own, the pair scan too — one pool per analysis center
+  /// (Section IV-D). Must outlive the monitor. Detection output does not
+  /// depend on the pool or its thread count.
+  DcsMonitor(const AlignedPipelineOptions& aligned_options,
+             const UnalignedPipelineOptions& unaligned_options,
+             const AnalysisContext& context);
 
   /// Accepts one router's digest for the current epoch. Rejects digests
   /// whose shape disagrees with previously added ones.
@@ -74,6 +84,7 @@ class DcsMonitor {
 
   AlignedPipelineOptions aligned_options_;
   UnalignedPipelineOptions unaligned_options_;
+  AnalysisContext context_;
   std::vector<Digest> aligned_;
   std::vector<Digest> unaligned_;
   std::uint64_t digest_bytes_ = 0;

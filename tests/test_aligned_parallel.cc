@@ -1,0 +1,233 @@
+// Differential determinism suite for the parallel aligned-analysis engine:
+// Detect / DetectInMatrix / DetectMultipleInMatrix must return bit-identical
+// results — rows, columns, the full weight trajectory, and the stop
+// iteration — for the serial engine (no pool) and for pools of 1, 2, and 8
+// threads. The serial engine is the reference greedy ASID search of Figs 5
+// and 6; the sharded passes merge under a total order, so any divergence
+// here is a scheduling leak into the detection output.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bit_matrix.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "analysis/aligned_detector.h"
+#include "analysis/synthetic_matrix.h"
+
+namespace dcs {
+namespace {
+
+AlignedDetectorOptions SmallDetectorOptions() {
+  AlignedDetectorOptions opts;
+  opts.first_iteration_hopefuls = 300;
+  opts.hopefuls = 150;
+  opts.max_iterations = 30;
+  return opts;
+}
+
+void ExpectSameDetection(const AlignedDetection& serial,
+                         const AlignedDetection& pooled,
+                         std::size_t num_threads) {
+  EXPECT_EQ(serial.pattern_found, pooled.pattern_found)
+      << num_threads << " threads";
+  EXPECT_EQ(serial.rows, pooled.rows) << num_threads << " threads";
+  EXPECT_EQ(serial.columns, pooled.columns) << num_threads << " threads";
+  EXPECT_EQ(serial.weight_trajectory, pooled.weight_trajectory)
+      << num_threads << " threads";
+  EXPECT_EQ(serial.stop_iteration, pooled.stop_iteration)
+      << num_threads << " threads";
+}
+
+// Shared fixture owning one pool per tested thread count.
+class AlignedParallelTest : public ::testing::Test {
+ protected:
+  AlignedParallelTest() : pool1_(1), pool2_(2), pool8_(8) {}
+
+  std::vector<ThreadPool*> pools() { return {&pool1_, &pool2_, &pool8_}; }
+
+  ThreadPool pool1_;
+  ThreadPool pool2_;
+  ThreadPool pool8_;
+};
+
+TEST_F(AlignedParallelTest, DetectOnScreenedColumns) {
+  SyntheticAlignedOptions opts;
+  opts.m = 200;
+  opts.n = 20000;
+  opts.n_prime = 300;
+  opts.pattern_rows = 40;
+  opts.pattern_cols = 14;
+  const AlignedDetector serial(SmallDetectorOptions());
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    const SyntheticScreened s = SampleScreenedAligned(opts, &rng);
+    const AlignedDetection reference = serial.Detect(s.screened);
+    EXPECT_FALSE(reference.weight_trajectory.empty());
+    for (ThreadPool* pool : pools()) {
+      const AlignedDetector parallel(SmallDetectorOptions(),
+                                     AnalysisContext{pool});
+      ExpectSameDetection(reference, parallel.Detect(s.screened),
+                          pool->num_threads());
+    }
+  }
+}
+
+TEST_F(AlignedParallelTest, DetectOnPureNoise) {
+  SyntheticAlignedOptions opts;
+  opts.m = 150;
+  opts.n = 10000;
+  opts.n_prime = 250;
+  const AlignedDetector serial(SmallDetectorOptions());
+  for (std::uint64_t seed = 20; seed <= 22; ++seed) {
+    Rng rng(seed);
+    const SyntheticScreened s = SampleScreenedAligned(opts, &rng);
+    const AlignedDetection reference = serial.Detect(s.screened);
+    EXPECT_FALSE(reference.pattern_found);
+    for (ThreadPool* pool : pools()) {
+      const AlignedDetector parallel(SmallDetectorOptions(),
+                                     AnalysisContext{pool});
+      ExpectSameDetection(reference, parallel.Detect(s.screened),
+                          pool->num_threads());
+    }
+  }
+}
+
+TEST_F(AlignedParallelTest, DetectWithFullTrajectory) {
+  // record_full_trajectory exercises every iteration up to the cap, so the
+  // trajectories compare across the longest possible run.
+  SyntheticAlignedOptions opts;
+  opts.m = 200;
+  opts.n = 20000;
+  opts.n_prime = 300;
+  opts.pattern_rows = 40;
+  opts.pattern_cols = 14;
+  AlignedDetectorOptions detector_opts = SmallDetectorOptions();
+  detector_opts.record_full_trajectory = true;
+  Rng rng(3);
+  const SyntheticScreened s = SampleScreenedAligned(opts, &rng);
+  const AlignedDetection reference =
+      AlignedDetector(detector_opts).Detect(s.screened);
+  for (ThreadPool* pool : pools()) {
+    const AlignedDetector parallel(detector_opts, AnalysisContext{pool});
+    ExpectSameDetection(reference, parallel.Detect(s.screened),
+                        pool->num_threads());
+  }
+}
+
+TEST_F(AlignedParallelTest, DetectInMatrixWithCoreScanExpansion) {
+  // Pattern columns beyond the screen cutoff force the final core scan to
+  // contribute columns, covering the sharded scan's merge too.
+  SyntheticAlignedOptions opts;
+  opts.m = 120;
+  opts.n = 3000;
+  opts.n_prime = 150;
+  opts.pattern_rows = 50;
+  opts.pattern_cols = 40;
+  const AlignedDetector serial(SmallDetectorOptions());
+  for (std::uint64_t seed = 6; seed <= 8; ++seed) {
+    Rng rng(seed);
+    std::vector<std::uint32_t> pattern_rows;
+    std::vector<std::size_t> pattern_cols;
+    const BitMatrix matrix =
+        SampleLiteralAligned(opts, &rng, &pattern_rows, &pattern_cols);
+    const AlignedDetection reference =
+        serial.DetectInMatrix(matrix, opts.n_prime);
+    ASSERT_TRUE(reference.pattern_found) << "seed " << seed;
+    for (ThreadPool* pool : pools()) {
+      const AlignedDetector parallel(SmallDetectorOptions(),
+                                     AnalysisContext{pool});
+      ExpectSameDetection(reference,
+                          parallel.DetectInMatrix(matrix, opts.n_prime),
+                          pool->num_threads());
+    }
+  }
+}
+
+// Bernoulli(1/2) noise with two disjoint all-1 blocks planted, for the
+// multi-pattern detect-erase-repeat loop.
+BitMatrix TwoPatternMatrix(Rng* rng) {
+  const std::size_t m = 100;
+  const std::size_t n = 2000;
+  BitMatrix matrix(m, n);
+  for (std::size_t r = 0; r < m; ++r) {
+    BitVector& row = matrix.row(r);
+    std::uint64_t* words = row.mutable_words();
+    for (std::size_t w = 0; w < row.num_words(); ++w) words[w] = rng->Next();
+    if (n % 64 != 0) words[row.num_words() - 1] &= (1ULL << (n % 64)) - 1;
+  }
+  // Pattern A: rows 5..49, columns 100..117.
+  for (std::size_t r = 5; r < 50; ++r) {
+    for (std::size_t c = 100; c < 118; ++c) matrix.Set(r, c);
+  }
+  // Pattern B: rows 55..94, columns 1500..1515.
+  for (std::size_t r = 55; r < 95; ++r) {
+    for (std::size_t c = 1500; c < 1516; ++c) matrix.Set(r, c);
+  }
+  return matrix;
+}
+
+TEST_F(AlignedParallelTest, DetectMultipleInMatrix) {
+  const std::size_t n_prime = 200;
+  const AlignedDetector serial(SmallDetectorOptions());
+  for (std::uint64_t seed = 40; seed <= 42; ++seed) {
+    Rng rng(seed);
+    const BitMatrix matrix = TwoPatternMatrix(&rng);
+    const std::vector<AlignedDetection> reference =
+        serial.DetectMultipleInMatrix(matrix, n_prime, 4);
+    ASSERT_GE(reference.size(), 2u) << "seed " << seed;
+    for (ThreadPool* pool : pools()) {
+      const AlignedDetector parallel(SmallDetectorOptions(),
+                                     AnalysisContext{pool});
+      const std::vector<AlignedDetection> detections =
+          parallel.DetectMultipleInMatrix(matrix, n_prime, 4);
+      ASSERT_EQ(detections.size(), reference.size())
+          << "seed " << seed << ", " << pool->num_threads() << " threads";
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        ExpectSameDetection(reference[i], detections[i],
+                            pool->num_threads());
+      }
+    }
+  }
+}
+
+TEST_F(AlignedParallelTest, TieHeavyScreenedInput) {
+  // A handful of rows makes almost every product weight collide, so the
+  // total-order tie-breaks (not weights) decide the hopefuls lists.
+  const std::size_t m = 12;
+  const std::size_t n = 600;
+  Rng rng(77);
+  BitMatrix matrix(m, n);
+  for (std::size_t r = 0; r < m; ++r) {
+    BitVector& row = matrix.row(r);
+    std::uint64_t* words = row.mutable_words();
+    for (std::size_t w = 0; w < row.num_words(); ++w) words[w] = rng.Next();
+    if (n % 64 != 0) words[row.num_words() - 1] &= (1ULL << (n % 64)) - 1;
+  }
+  AlignedDetectorOptions opts = SmallDetectorOptions();
+  opts.record_full_trajectory = true;  // Keep iterating through the ties.
+  const AlignedDetection reference =
+      AlignedDetector(opts).DetectInMatrix(matrix, 128);
+  for (ThreadPool* pool : pools()) {
+    const AlignedDetector parallel(opts, AnalysisContext{pool});
+    ExpectSameDetection(reference, parallel.DetectInMatrix(matrix, 128),
+                        pool->num_threads());
+  }
+}
+
+TEST_F(AlignedParallelTest, DegenerateInputsAreSafeOnPools) {
+  for (ThreadPool* pool : pools()) {
+    const AlignedDetector detector(SmallDetectorOptions(),
+                                   AnalysisContext{pool});
+    EXPECT_FALSE(detector.Detect(ScreenedColumns{}).pattern_found);
+    BitMatrix tiny(2, 2);
+    tiny.Set(0, 0);
+    EXPECT_FALSE(detector.DetectInMatrix(tiny, 2).pattern_found);
+    EXPECT_TRUE(detector.DetectMultipleInMatrix(tiny, 2, 3).empty());
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -81,6 +82,135 @@ TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
   pool.Wait();
   // One worker executes in FIFO order.
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(MakeShardsTest, CoversRangeExactlyOnce) {
+  for (const std::size_t count : {1u, 2u, 7u, 64u, 1000u}) {
+    for (const std::size_t max_shards : {1u, 3u, 8u, 2000u}) {
+      const auto shards = MakeShards(count, max_shards);
+      ASSERT_FALSE(shards.empty());
+      EXPECT_LE(shards.size(), std::min(count, max_shards));
+      std::size_t next = 0;
+      for (std::size_t s = 0; s < shards.size(); ++s) {
+        EXPECT_EQ(shards[s].index, s);
+        EXPECT_EQ(shards[s].begin, next);
+        EXPECT_LT(shards[s].begin, shards[s].end) << "empty shard";
+        next = shards[s].end;
+      }
+      EXPECT_EQ(next, count);
+    }
+  }
+}
+
+TEST(MakeShardsTest, ZeroCountAndZeroShards) {
+  EXPECT_TRUE(MakeShards(0, 4).empty());
+  // max_shards clamps to 1 rather than silently dropping the range.
+  const auto shards = MakeShards(5, 0);
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0].begin, 0u);
+  EXPECT_EQ(shards[0].end, 5u);
+}
+
+TEST(MakeShardsTest, NearEqualSizes) {
+  const auto shards = MakeShards(10, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  // 10 = 4 + 3 + 3.
+  EXPECT_EQ(shards[0].end - shards[0].begin, 4u);
+  EXPECT_EQ(shards[1].end - shards[1].begin, 3u);
+  EXPECT_EQ(shards[2].end - shards[2].begin, 3u);
+}
+
+TEST(ThreadPoolTest, RunShardsExecutesEveryShardOnce) {
+  ThreadPool pool(4);
+  const auto shards = pool.ShardsFor(100);
+  std::vector<std::atomic<int>> hits(100);
+  pool.RunShards(shards, [&hits](const ShardRange& shard) {
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // A ParallelFor issued from inside a pool task must not deadlock waiting
+  // on itself; it degrades to inline execution on the worker.
+  ThreadPool pool(3);
+  std::atomic<int> inner_total{0};
+  std::atomic<int> inline_calls{0};
+  pool.ParallelFor(6, [&](std::size_t) {
+    EXPECT_TRUE(pool.OnWorkerThread());
+    inline_calls.fetch_add(1);
+    pool.ParallelFor(50, [&inner_total](std::size_t) {
+      inner_total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inline_calls.load(), 6);
+  EXPECT_EQ(inner_total.load(), 6 * 50);
+  EXPECT_FALSE(pool.OnWorkerThread());
+}
+
+TEST(ThreadPoolTest, BackToBackParallelFor) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.ParallelFor(101, [&sum](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 101u * 100u / 2u) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentRunShardsCallersAreIndependent) {
+  // Two external threads drive the same pool at once; each caller's
+  // RunShards must return only after its own shards completed.
+  ThreadPool pool(4);
+  std::atomic<int> a_done{0};
+  std::atomic<int> b_done{0};
+  std::thread ta([&] {
+    pool.RunShards(pool.ShardsFor(64),
+                   [&a_done](const ShardRange& shard) {
+                     a_done.fetch_add(static_cast<int>(shard.end - shard.begin));
+                   });
+    EXPECT_EQ(a_done.load(), 64);
+  });
+  std::thread tb([&] {
+    pool.RunShards(pool.ShardsFor(32),
+                   [&b_done](const ShardRange& shard) {
+                     b_done.fetch_add(static_cast<int>(shard.end - shard.begin));
+                   });
+    EXPECT_EQ(b_done.load(), 32);
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a_done.load(), 64);
+  EXPECT_EQ(b_done.load(), 32);
+}
+
+TEST(ThreadPoolTest, WaitUnderContention) {
+  // Several threads Wait() while work keeps arriving; everyone returns once
+  // the queue drains.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  std::vector<std::thread> waiters;
+  for (int w = 0; w < 4; ++w) {
+    waiters.emplace_back([&pool] { pool.Wait(); });
+  }
+  for (std::thread& t : waiters) t.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForManyMoreShardsThanThreads) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(10000, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
 }
 
 }  // namespace

@@ -1,8 +1,12 @@
 #include "analysis/weight_screen.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace dcs {
 namespace {
@@ -78,6 +82,107 @@ TEST(ScreenHeaviestColumnsTest, NPrimeBeyondWidthTakesAll) {
   matrix.Set(0, 1);
   const ScreenedColumns screened = ScreenHeaviestColumns(matrix, 10);
   EXPECT_EQ(screened.columns.size(), 3u);
+}
+
+TEST(TopKIndicesInRangeTest, RestrictsToRangeWithGlobalIds) {
+  const std::vector<std::uint32_t> values = {9, 1, 7, 7, 8, 2};
+  EXPECT_EQ(TopKIndicesInRange(values, 1, 5, 2),
+            (std::vector<std::size_t>{4, 2}));
+  EXPECT_EQ(TopKIndicesInRange(values, 0, values.size(), 3),
+            TopKIndices(values, 3));
+  EXPECT_TRUE(TopKIndicesInRange(values, 4, 4, 3).empty());
+  // Out-of-bounds end clamps.
+  EXPECT_EQ(TopKIndicesInRange(values, 5, 100, 2),
+            (std::vector<std::size_t>{5}));
+}
+
+// Brute-force oracle: every column id, sorted by (weight desc, id asc).
+std::vector<std::size_t> SortOracle(const std::vector<std::uint32_t>& weights,
+                                    std::size_t n_prime) {
+  std::vector<std::size_t> ids(weights.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
+    return weights[a] != weights[b] ? weights[a] > weights[b] : a < b;
+  });
+  ids.resize(std::min(n_prime, ids.size()));
+  return ids;
+}
+
+BitMatrix RandomBernoulliMatrix(std::size_t rows, std::size_t cols,
+                                Rng* rng) {
+  BitMatrix matrix(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    BitVector& row = matrix.row(r);
+    std::uint64_t* words = row.mutable_words();
+    for (std::size_t w = 0; w < row.num_words(); ++w) words[w] = rng->Next();
+    if (cols % 64 != 0) {  // Bulk ops assume zero padding bits.
+      words[row.num_words() - 1] &= (1ULL << (cols % 64)) - 1;
+    }
+  }
+  return matrix;
+}
+
+void ExpectScreenMatchesOracle(const BitMatrix& matrix, std::size_t n_prime,
+                               ThreadPool* pool) {
+  const std::vector<std::uint32_t> weights = matrix.ColumnWeights();
+  const std::vector<std::size_t> oracle = SortOracle(weights, n_prime);
+  const ScreenedColumns screened =
+      ScreenHeaviestColumns(matrix, n_prime, pool);
+  ASSERT_EQ(screened.original_ids, oracle);
+  ASSERT_EQ(screened.columns.size(), oracle.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(screened.weights[i], weights[oracle[i]]);
+    EXPECT_TRUE(screened.columns[i] == matrix.ExtractColumn(oracle[i]));
+  }
+}
+
+TEST(ScreenHeaviestColumnsTest, ShardedScreenMatchesSortOracle) {
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    Rng rng(seed);
+    const BitMatrix matrix = RandomBernoulliMatrix(48, 1200, &rng);
+    for (const std::size_t n_prime : {1u, 150u, 1200u, 5000u}) {
+      ExpectScreenMatchesOracle(matrix, n_prime, nullptr);
+      ExpectScreenMatchesOracle(matrix, n_prime, &pool2);
+      ExpectScreenMatchesOracle(matrix, n_prime, &pool8);
+    }
+  }
+}
+
+TEST(ScreenHeaviestColumnsTest, TieHeavyScreenMatchesSortOracle) {
+  // Three rows -> column weights in {0..3}: the cutoff weight is shared by
+  // hundreds of columns, so the id tie-break does all the work.
+  ThreadPool pool8(8);
+  Rng rng(99);
+  const BitMatrix matrix = RandomBernoulliMatrix(3, 2048, &rng);
+  for (const std::size_t n_prime : {100u, 700u, 2000u}) {
+    ExpectScreenMatchesOracle(matrix, n_prime, nullptr);
+    ExpectScreenMatchesOracle(matrix, n_prime, &pool8);
+  }
+}
+
+TEST(ScreenHeaviestColumnsTest, SerialAndPooledBitIdentical) {
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+  Rng rng(7);
+  const BitMatrix matrix = RandomBernoulliMatrix(64, 777, &rng);
+  const ScreenedColumns serial = ScreenHeaviestColumns(matrix, 99, nullptr);
+  for (ThreadPool* pool : {&pool2, &pool8}) {
+    const ScreenedColumns pooled = ScreenHeaviestColumns(matrix, 99, pool);
+    EXPECT_EQ(pooled.original_ids, serial.original_ids);
+    EXPECT_EQ(pooled.weights, serial.weights);
+    ASSERT_EQ(pooled.columns.size(), serial.columns.size());
+    for (std::size_t i = 0; i < serial.columns.size(); ++i) {
+      EXPECT_TRUE(pooled.columns[i] == serial.columns[i]);
+    }
+  }
+}
+
+TEST(ScreenHeaviestColumnsTest, EmptyMatrix) {
+  const ScreenedColumns screened = ScreenHeaviestColumns(BitMatrix(), 10);
+  EXPECT_TRUE(screened.columns.empty());
+  EXPECT_EQ(screened.num_source_columns, 0u);
 }
 
 }  // namespace

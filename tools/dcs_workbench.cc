@@ -14,8 +14,11 @@
 //     router_<i>.digest (the encoded wire format).
 //
 //   dcs_workbench analyze --in-dir /tmp/dcs [--mode aligned|unaligned]
-//       [--n-prime 128] [--er-threshold 0] [--beta 12]
+//       [--n-prime 128] [--er-threshold 0] [--beta 12] [--threads 1]
 //     Stacks the digests at the analysis center and prints the report.
+//     --threads N > 1 runs the analysis (weight screen, ASID search, core
+//     scan, pair scan) on an N-worker pool; the report is bit-identical at
+//     any thread count.
 //
 //   dcs_workbench demo
 //     Runs all three stages in a temporary directory.
@@ -31,6 +34,7 @@
 #include <filesystem>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -238,7 +242,15 @@ Status CmdAnalyze(const Flags& flags) {
   unaligned_opts.detector.expand_min_edges =
       static_cast<std::size_t>(flags.GetInt("expand-min-edges", 2));
 
-  DcsMonitor monitor(aligned, unaligned_opts);
+  const std::int64_t threads = flags.GetInt("threads", 1);
+  if (threads < 1) return Status::InvalidArgument("--threads must be >= 1");
+  std::unique_ptr<ThreadPool> pool;
+  AnalysisContext context;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(threads));
+    context.pool = pool.get();
+  }
+  DcsMonitor monitor(aligned, unaligned_opts, context);
   std::uint32_t routers = 0;
   for (std::uint32_t r = 0;; ++r) {
     std::vector<std::uint8_t> bytes;
