@@ -14,6 +14,7 @@
 /// See examples/quickstart.cc.
 
 #include "dcs/epoch_tracker.h"     // IWYU pragma: export
+#include "dcs/ingest.h"            // IWYU pragma: export
 #include "dcs/monitor.h"           // IWYU pragma: export
 #include "dcs/options.h"           // IWYU pragma: export
 #include "dcs/report.h"            // IWYU pragma: export

@@ -1,0 +1,38 @@
+#include "dcs/ingest.h"
+
+#include <sstream>
+
+namespace dcs {
+
+std::string EpochIngestStats::ToString() const {
+  std::ostringstream os;
+  os << "EpochIngestStats{accepted=" << accepted
+     << ", rejected=" << rejected_total() << " (decode=" << rejected_decode
+     << " empty=" << rejected_empty << " shape=" << rejected_shape
+     << " duplicate=" << rejected_duplicate
+     << " epoch_skew=" << rejected_epoch_skew
+     << " quarantined=" << rejected_quarantined << ")";
+  if (expected_routers > 0) {
+    os << ", routers=" << observed_routers << "/" << expected_routers;
+    if (degraded()) os << " DEGRADED(missing=" << missing_routers() << ")";
+  } else {
+    os << ", routers=" << observed_routers;
+  }
+  if (!quarantine.empty()) {
+    os << ", quarantine=[";
+    for (std::size_t i = 0; i < quarantine.size(); ++i) {
+      if (i > 0) os << ", ";
+      if (quarantine[i].router_id == kUnknownRouter) {
+        os << "?";
+      } else {
+        os << quarantine[i].router_id;
+      }
+      os << ":" << quarantine[i].reason.ToString();
+    }
+    os << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace dcs

@@ -1,0 +1,109 @@
+#ifndef DCS_DCS_INGEST_H_
+#define DCS_DCS_INGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dcs {
+
+/// Router id recorded for messages whose origin could not be established
+/// (e.g. a digest so mangled that even the header is unreadable).
+inline constexpr std::uint32_t kUnknownRouter = 0xFFFFFFFFu;
+
+/// \brief Epoch-ingestion hardening knobs (docs/ROBUSTNESS.md).
+///
+/// The digest checksum only proves the message survived transit intact — it
+/// is not cryptographic, so a misbehaving or compromised router can ship a
+/// well-formed digest that lies about its epoch or shape, replay an old one,
+/// or simply go silent. These options tell the monitor what the collection
+/// network is supposed to deliver so it can reject what disagrees and report
+/// how degraded the epoch actually is.
+struct IngestOptions {
+  /// How many routers are supposed to report each epoch. 0 = adaptive (take
+  /// whatever arrives; degraded-mode accounting is disabled).
+  std::uint32_t expected_routers = 0;
+  /// Largest |epoch_id - reference| accepted. 0 = the epoch ids of all
+  /// accepted digests must match exactly.
+  std::uint64_t max_epoch_skew = 0;
+  /// When true the first accepted digest's epoch_id becomes the reference
+  /// (collectors in this codebase all start at epoch 0, so existing setups
+  /// keep working untouched). When false `expected_epoch` is the reference.
+  bool lock_epoch_to_first = true;
+  /// Reference epoch used when lock_epoch_to_first is false.
+  std::uint64_t expected_epoch = 0;
+  /// When true, a router whose message is rejected for a semantic offence
+  /// (duplicate, epoch skew, internal shape lie) is quarantined: its already
+  /// accepted digests stay, but every later message this epoch is refused
+  /// with FailedPrecondition. Decode failures do *not* quarantine — the
+  /// router id in a corrupt message is unauthenticated.
+  bool quarantine_rejected_routers = true;
+
+  // Degraded-mode calibration (EpochCalibration) knobs.
+
+  /// Target detection probability for the recomputed aligned detectable
+  /// threshold (Section V-A.2).
+  double detect_target_prob = 0.95;
+  /// Upper bound on the aligned detectable-threshold search, so per-epoch
+  /// recalibration stays cheap even with multi-megabit bitmaps.
+  std::int64_t max_detectable_columns = 4096;
+  /// Pattern-pair edge probability p2 assumed by the unaligned (p1, d)
+  /// co-tuning (Section IV-C).
+  double calibration_p2 = 0.1;
+  /// Upper bound on the unaligned cluster-size search.
+  std::int64_t calibration_max_m = 4096;
+};
+
+/// One quarantined (or unattributable) sender and why.
+struct QuarantineEntry {
+  std::uint32_t router_id = kUnknownRouter;
+  Status reason;
+};
+
+/// \brief What happened to every message offered to the monitor this epoch.
+///
+/// Mirrored into the metrics registry under ingest.* (docs/OBSERVABILITY.md)
+/// so long-running deployments can alert on rejection spikes.
+struct EpochIngestStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_decode = 0;      ///< Checksum / parse failures.
+  std::uint64_t rejected_empty = 0;       ///< No rows.
+  std::uint64_t rejected_shape = 0;       ///< Internal or cross-digest shape.
+  std::uint64_t rejected_duplicate = 0;   ///< Same (kind, router) replayed.
+  std::uint64_t rejected_epoch_skew = 0;  ///< epoch_id outside the window.
+  std::uint64_t rejected_quarantined = 0; ///< Sender already quarantined.
+
+  /// Copied from IngestOptions for self-contained reporting.
+  std::uint32_t expected_routers = 0;
+  /// Distinct routers with at least one accepted digest.
+  std::uint32_t observed_routers = 0;
+
+  /// Who is quarantined and why, in quarantine order.
+  std::vector<QuarantineEntry> quarantine;
+
+  std::uint64_t rejected_total() const {
+    return rejected_decode + rejected_empty + rejected_shape +
+           rejected_duplicate + rejected_epoch_skew + rejected_quarantined;
+  }
+
+  /// expected - observed when expectations are configured, else 0.
+  std::uint32_t missing_routers() const {
+    return expected_routers > observed_routers
+               ? expected_routers - observed_routers
+               : 0;
+  }
+
+  /// True when fewer routers reported than expected — the analysis still
+  /// runs, but against the recalibrated thresholds in EpochCalibration.
+  bool degraded() const { return missing_routers() > 0; }
+
+  /// One line for logs: acceptance, rejection breakdown, quarantine list.
+  std::string ToString() const;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_DCS_INGEST_H_

@@ -4,9 +4,11 @@
 
 #include "common/bit_matrix.h"
 #include "common/logging.h"
+#include "analysis/aligned_thresholds.h"
 #include "analysis/cluster_separation.h"
 #include "analysis/er_test.h"
 #include "analysis/lambda_table.h"
+#include "analysis/unaligned_thresholds.h"
 #include "obs/metrics.h"
 #include "obs/stage_timer.h"
 
@@ -19,9 +21,18 @@ DcsMonitor::DcsMonitor(const AlignedPipelineOptions& aligned_options,
 DcsMonitor::DcsMonitor(const AlignedPipelineOptions& aligned_options,
                        const UnalignedPipelineOptions& unaligned_options,
                        const AnalysisContext& context)
+    : DcsMonitor(aligned_options, unaligned_options, context,
+                 IngestOptions{}) {}
+
+DcsMonitor::DcsMonitor(const AlignedPipelineOptions& aligned_options,
+                       const UnalignedPipelineOptions& unaligned_options,
+                       const AnalysisContext& context,
+                       const IngestOptions& ingest_options)
     : aligned_options_(aligned_options),
       unaligned_options_(unaligned_options),
-      context_(context) {
+      context_(context),
+      ingest_options_(ingest_options) {
+  stats_.expected_routers = ingest_options_.expected_routers;
   // The options only ever switch observability on: another component (or
   // the workbench --metrics flag) may have enabled the registry already.
   if (aligned_options.obs.enabled || unaligned_options.obs.enabled) {
@@ -38,9 +49,95 @@ DcsMonitor::DcsMonitor(const AlignedPipelineOptions& aligned_options,
   }
 }
 
+void DcsMonitor::set_ingest_options(const IngestOptions& options) {
+  DCS_CHECK(aligned_.empty() && unaligned_.empty());
+  ingest_options_ = options;
+  stats_ = EpochIngestStats{};
+  stats_.expected_routers = options.expected_routers;
+}
+
+Status DcsMonitor::Reject(std::uint64_t* counter, const char* metric,
+                          std::uint32_t router_id, Status reason,
+                          bool quarantine) {
+  ++*counter;
+  ObsCounter(metric).Increment();
+  if (quarantine && ingest_options_.quarantine_rejected_routers &&
+      router_id != kUnknownRouter && quarantined_.insert(router_id).second) {
+    stats_.quarantine.push_back(QuarantineEntry{router_id, reason});
+    ObsGauge("ingest.quarantined_routers")
+        .Set(static_cast<double>(quarantined_.size()));
+  }
+  return reason;
+}
+
 Status DcsMonitor::AddDigest(const Digest& digest) {
   if (digest.rows.empty()) {
-    return Status::InvalidArgument("digest has no rows");
+    return Reject(&stats_.rejected_empty, "ingest.rejected.empty",
+                  digest.router_id,
+                  Status::InvalidArgument("digest has no rows"),
+                  /*quarantine=*/false);
+  }
+  // Internal consistency: the header's shape fields must agree with the rows
+  // actually carried. The wire checksum cannot catch a resealed lying
+  // header, and BuildUnalignedMatrix hard-asserts this invariant later, so a
+  // forged digest must die here with a Status instead.
+  const std::size_t claimed_rows =
+      digest.kind == DigestKind::kAligned
+          ? 1u
+          : static_cast<std::size_t>(digest.num_groups) *
+                digest.arrays_per_group;
+  bool internally_consistent = digest.rows.size() == claimed_rows;
+  if (digest.kind == DigestKind::kAligned) {
+    internally_consistent = internally_consistent &&
+                            digest.num_groups == 1 &&
+                            digest.arrays_per_group == 1;
+  }
+  for (std::size_t r = 1; internally_consistent && r < digest.rows.size();
+       ++r) {
+    internally_consistent = digest.rows[r].size() == digest.rows[0].size();
+  }
+  if (!internally_consistent) {
+    return Reject(&stats_.rejected_shape, "ingest.rejected.shape",
+                  digest.router_id,
+                  Status::Corruption(
+                      "digest header shape disagrees with its own rows"),
+                  /*quarantine=*/true);
+  }
+  if (IsQuarantined(digest.router_id)) {
+    return Reject(&stats_.rejected_quarantined, "ingest.rejected.quarantined",
+                  digest.router_id,
+                  Status::FailedPrecondition("router is quarantined"),
+                  /*quarantine=*/false);
+  }
+  const auto seen_key = std::make_pair(
+      static_cast<std::uint32_t>(digest.kind), digest.router_id);
+  if (seen_.count(seen_key) > 0) {
+    return Reject(&stats_.rejected_duplicate, "ingest.rejected.duplicate",
+                  digest.router_id,
+                  Status::InvalidArgument(
+                      "duplicate digest for this router and kind"),
+                  /*quarantine=*/true);
+  }
+  // Epoch window: the reference is either configured or locked to the first
+  // accepted digest (collectors here all start at epoch 0).
+  const std::uint64_t reference = ingest_options_.lock_epoch_to_first
+                                      ? reference_epoch_
+                                      : ingest_options_.expected_epoch;
+  const bool have_reference =
+      !ingest_options_.lock_epoch_to_first || epoch_locked_;
+  if (have_reference) {
+    const std::uint64_t skew = digest.epoch_id > reference
+                                   ? digest.epoch_id - reference
+                                   : reference - digest.epoch_id;
+    if (skew > ingest_options_.max_epoch_skew) {
+      return Reject(&stats_.rejected_epoch_skew, "ingest.rejected.epoch_skew",
+                    digest.router_id,
+                    Status::FailedPrecondition(
+                        digest.epoch_id > reference
+                            ? "digest epoch_id is in the future"
+                            : "digest epoch_id is stale"),
+                    /*quarantine=*/true);
+    }
   }
   std::vector<Digest>* bucket =
       digest.kind == DigestKind::kAligned ? &aligned_ : &unaligned_;
@@ -49,10 +146,28 @@ Status DcsMonitor::AddDigest(const Digest& digest) {
     if (digest.rows.front().size() != first.rows.front().size() ||
         digest.num_groups != first.num_groups ||
         digest.arrays_per_group != first.arrays_per_group) {
-      return Status::InvalidArgument(
-          "digest shape disagrees with earlier digests of this epoch");
+      // Misconfiguration rather than forgery: never quarantines, so a
+      // router can resend with the right shape.
+      return Reject(&stats_.rejected_shape, "ingest.rejected.shape",
+                    digest.router_id,
+                    Status::InvalidArgument(
+                        "digest shape disagrees with earlier digests of "
+                        "this epoch"),
+                    /*quarantine=*/false);
     }
   }
+  if (!epoch_locked_) {
+    epoch_locked_ = true;
+    reference_epoch_ = digest.epoch_id;
+  }
+  seen_.insert(seen_key);
+  observed_routers_.insert(digest.router_id);
+  ++stats_.accepted;
+  stats_.observed_routers =
+      static_cast<std::uint32_t>(observed_routers_.size());
+  ObsCounter("ingest.accepted").Increment();
+  ObsGauge("ingest.missing_routers")
+      .Set(static_cast<double>(stats_.missing_routers()));
   const std::size_t encoded_bytes = digest.EncodedSizeBytes();
   digest_bytes_ += encoded_bytes;
   raw_bytes_ += digest.raw_bytes_covered;
@@ -68,14 +183,73 @@ Status DcsMonitor::AddDigest(const Digest& digest) {
 
 Status DcsMonitor::AddEncodedDigest(const std::vector<std::uint8_t>& bytes) {
   Digest digest;
-  DCS_RETURN_IF_ERROR(Digest::Decode(bytes, &digest));
+  const Status decoded = Digest::Decode(bytes, &digest);
+  if (!decoded.ok()) {
+    // Never quarantines: the router id inside a corrupt message is
+    // unauthenticated, so a third party must not be able to get an honest
+    // router banned by spraying garbage in its name.
+    ++stats_.rejected_decode;
+    ObsCounter("ingest.rejected.decode").Increment();
+    return decoded;
+  }
   return AddDigest(digest);
+}
+
+EpochCalibration DcsMonitor::BaseCalibration(std::uint32_t observed) const {
+  EpochCalibration c;
+  c.expected_routers = ingest_options_.expected_routers;
+  c.observed_routers = observed;
+  c.degraded = c.expected_routers > 0 && observed < c.expected_routers;
+  return c;
+}
+
+EpochCalibration DcsMonitor::AlignedCalibration() const {
+  // One aligned digest per router (duplicates were rejected), so the matrix
+  // height m' is exactly the digest count.
+  EpochCalibration c =
+      BaseCalibration(static_cast<std::uint32_t>(aligned_.size()));
+  if (aligned_.size() < 2) return c;
+  const auto m = static_cast<std::int64_t>(aligned_.size());
+  const auto n =
+      static_cast<std::int64_t>(aligned_.front().rows.front().size());
+  // Full-height pattern (a = m'): Eq 1 gives the narrowest submatrix the
+  // NNO gate will accept at this epoch's actual height.
+  c.aligned_min_nno_columns = MinNonNaturallyOccurringB(
+      m, n, m, aligned_options_.detector.nno_epsilon);
+  DetectabilityOptions detect;
+  detect.n_prime = std::min(
+      static_cast<std::int64_t>(aligned_options_.n_prime), n);
+  detect.epsilon = aligned_options_.detector.nno_epsilon;
+  c.aligned_detectable_columns = DetectableThresholdB(
+      m, n, m, ingest_options_.detect_target_prob,
+      std::min(n, ingest_options_.max_detectable_columns), detect);
+  return c;
+}
+
+EpochCalibration DcsMonitor::UnalignedCalibration() const {
+  EpochCalibration c =
+      BaseCalibration(static_cast<std::uint32_t>(unaligned_.size()));
+  std::int64_t vertices = 0;
+  for (const Digest& digest : unaligned_) vertices += digest.num_groups;
+  if (vertices < 2) return c;
+  // (p1, d) co-tuning (Eqs 2-3) against the vertex count the correlation
+  // graph will actually have with m' routers reporting.
+  UnalignedNnoOptions nno;
+  nno.num_vertices = vertices;
+  nno.p2 = ingest_options_.calibration_p2;
+  nno.max_m = std::min(ingest_options_.calibration_max_m, vertices);
+  const UnalignedNnoResult result = MinNonNaturallyOccurringClusterSize(nno);
+  c.unaligned_min_cluster = result.min_cluster_size;
+  c.unaligned_p1 = result.best_p1;
+  c.unaligned_d = result.best_d;
+  return c;
 }
 
 std::vector<AlignedReport> DcsMonitor::AnalyzeAlignedAll(
     std::size_t max_patterns) const {
   std::vector<AlignedReport> reports;
   if (aligned_.size() < 2) return reports;
+  const EpochCalibration calibration = AlignedCalibration();
   BitMatrix matrix;
   for (const Digest& digest : aligned_) {
     matrix.AppendRow(digest.rows.front());
@@ -84,6 +258,7 @@ std::vector<AlignedReport> DcsMonitor::AnalyzeAlignedAll(
   for (const AlignedDetection& detection : detector.DetectMultipleInMatrix(
            matrix, aligned_options_.n_prime, max_patterns)) {
     AlignedReport report;
+    report.calibration = calibration;
     report.matrix_rows = matrix.rows();
     report.matrix_cols = matrix.cols();
     report.common_content_detected = true;
@@ -101,6 +276,10 @@ AlignedReport DcsMonitor::AnalyzeAligned() const {
   ScopedStageTimer epoch_timer("analyze_aligned");
   ObsCounter("monitor.epochs_analyzed.aligned").Increment();
   AlignedReport report;
+  report.calibration = AlignedCalibration();
+  if (report.calibration.degraded) {
+    ObsCounter("ingest.degraded_epochs").Increment();
+  }
   if (aligned_.size() < 2) return report;
 
   // Stack one row per router bitmap.
@@ -194,6 +373,10 @@ UnalignedReport DcsMonitor::AnalyzeUnaligned() const {
   ScopedStageTimer epoch_timer("analyze_unaligned");
   ObsCounter("monitor.epochs_analyzed.unaligned").Increment();
   UnalignedReport report;
+  report.calibration = UnalignedCalibration();
+  if (report.calibration.degraded) {
+    ObsCounter("ingest.degraded_epochs").Increment();
+  }
   if (unaligned_.empty()) return report;
 
   BitMatrix matrix;
@@ -272,6 +455,13 @@ void DcsMonitor::ClearEpoch() {
   unaligned_.clear();
   digest_bytes_ = 0;
   raw_bytes_ = 0;
+  stats_ = EpochIngestStats{};
+  stats_.expected_routers = ingest_options_.expected_routers;
+  quarantined_.clear();
+  observed_routers_.clear();
+  seen_.clear();
+  epoch_locked_ = false;
+  reference_epoch_ = 0;
 }
 
 }  // namespace dcs

@@ -1,11 +1,14 @@
 #ifndef DCS_DCS_MONITOR_H_
 #define DCS_DCS_MONITOR_H_
 
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "common/bit_matrix.h"
 #include "common/status.h"
 #include "analysis/analysis_context.h"
+#include "dcs/ingest.h"
 #include "dcs/options.h"
 #include "dcs/report.h"
 #include "sketch/digest.h"
@@ -38,12 +41,46 @@ class DcsMonitor {
              const UnalignedPipelineOptions& unaligned_options,
              const AnalysisContext& context);
 
-  /// Accepts one router's digest for the current epoch. Rejects digests
-  /// whose shape disagrees with previously added ones.
+  /// Same, with hardened-ingestion configuration (docs/ROBUSTNESS.md).
+  DcsMonitor(const AlignedPipelineOptions& aligned_options,
+             const UnalignedPipelineOptions& unaligned_options,
+             const AnalysisContext& context,
+             const IngestOptions& ingest_options);
+
+  /// Reconfigures ingestion. Must be called before the epoch's first
+  /// digest (or right after ClearEpoch()).
+  void set_ingest_options(const IngestOptions& options);
+  const IngestOptions& ingest_options() const { return ingest_options_; }
+
+  /// Accepts one router's digest for the current epoch. Rejects, in order:
+  /// digests with no rows (InvalidArgument); digests whose header shape
+  /// fields disagree with their own rows (Corruption — a resealed lying
+  /// header); messages from quarantined routers (FailedPrecondition);
+  /// replays of a (kind, router) already accepted this epoch
+  /// (InvalidArgument); epoch ids outside the configured skew window
+  /// (FailedPrecondition); and digests whose shape disagrees with
+  /// previously added ones (InvalidArgument). Semantic offences quarantine
+  /// the sender when IngestOptions says so.
   Status AddDigest(const Digest& digest);
 
   /// Decodes an encoded digest (the wire form routers ship) and adds it.
+  /// Decode failures are counted in ingest_stats() but never quarantine:
+  /// the router id inside a corrupt message is unauthenticated.
   Status AddEncodedDigest(const std::vector<std::uint8_t>& bytes);
+
+  /// What happened to every message offered this epoch.
+  const EpochIngestStats& ingest_stats() const { return stats_; }
+
+  /// True when `router_id` has been quarantined this epoch.
+  bool IsQuarantined(std::uint32_t router_id) const {
+    return quarantined_.count(router_id) > 0;
+  }
+
+  /// Thresholds recomputed for the routers that actually reported — what
+  /// Analyze*() stamps into report.calibration. Callable directly for
+  /// operator dashboards.
+  EpochCalibration AlignedCalibration() const;
+  EpochCalibration UnalignedCalibration() const;
 
   /// Runs the aligned pipeline over all aligned digests received.
   AlignedReport AnalyzeAligned() const;
@@ -82,13 +119,30 @@ class DcsMonitor {
   void BuildUnalignedMatrix(BitMatrix* matrix,
                             std::vector<GroupRef>* group_refs) const;
 
+  // Rejection bookkeeping: counts *counter, mirrors it into the ingest.*
+  // metrics, optionally quarantines the sender, and returns `reason`.
+  Status Reject(std::uint64_t* counter, const char* metric,
+                std::uint32_t router_id, Status reason, bool quarantine);
+
+  // Fills the shared (router accounting) part of an EpochCalibration.
+  EpochCalibration BaseCalibration(std::uint32_t observed) const;
+
   AlignedPipelineOptions aligned_options_;
   UnalignedPipelineOptions unaligned_options_;
   AnalysisContext context_;
+  IngestOptions ingest_options_;
   std::vector<Digest> aligned_;
   std::vector<Digest> unaligned_;
   std::uint64_t digest_bytes_ = 0;
   std::uint64_t raw_bytes_ = 0;
+
+  // Hardened-ingestion state, reset by ClearEpoch().
+  EpochIngestStats stats_;
+  std::set<std::uint32_t> quarantined_;
+  std::set<std::uint32_t> observed_routers_;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen_;  // (kind, router)
+  bool epoch_locked_ = false;
+  std::uint64_t reference_epoch_ = 0;
 };
 
 }  // namespace dcs

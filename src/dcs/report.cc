@@ -4,12 +4,46 @@
 
 namespace dcs {
 
+std::string EpochCalibration::ToString() const {
+  std::ostringstream os;
+  os << "EpochCalibration{routers=" << observed_routers;
+  if (expected_routers > 0) os << "/" << expected_routers;
+  if (degraded) os << " DEGRADED";
+  os << ", aligned_min_nno_b=" << aligned_min_nno_columns
+     << ", aligned_detectable_b=" << aligned_detectable_columns
+     << ", unaligned_p1=" << unaligned_p1 << ", unaligned_d=" << unaligned_d
+     << ", unaligned_min_cluster=" << unaligned_min_cluster << "}";
+  return os.str();
+}
+
+namespace {
+
+// Reports only mention calibration when a hardened monitor filled it in and
+// only shout about it when the epoch is actually degraded, so the familiar
+// one-line form (and the golden JSON pinned by tests) is unchanged for
+// fully-reported epochs.
+void AppendCalibrationJson(std::ostringstream* os,
+                           const EpochCalibration& c) {
+  *os << ",\"calibration\":{\"expected_routers\":" << c.expected_routers
+      << ",\"observed_routers\":" << c.observed_routers
+      << ",\"degraded\":" << (c.degraded ? "true" : "false")
+      << ",\"aligned_min_nno_columns\":" << c.aligned_min_nno_columns
+      << ",\"aligned_detectable_columns\":" << c.aligned_detectable_columns
+      << ",\"unaligned_p1\":" << c.unaligned_p1
+      << ",\"unaligned_d\":" << c.unaligned_d
+      << ",\"unaligned_min_cluster\":" << c.unaligned_min_cluster << "}";
+}
+
+}  // namespace
+
 std::string AlignedReport::ToString() const {
   std::ostringstream os;
   os << "AlignedReport{" << (common_content_detected ? "DETECTED" : "clear")
      << ", routers=" << routers.size()
      << ", signature_columns=" << signature_columns.size() << ", matrix="
-     << matrix_rows << "x" << matrix_cols << "}";
+     << matrix_rows << "x" << matrix_cols;
+  if (calibration.degraded) os << ", " << calibration.ToString();
+  os << "}";
   return os.str();
 }
 
@@ -38,7 +72,9 @@ std::string AlignedReport::ToJson() const {
     if (i > 0) os << ",";
     os << signature_columns[i];
   }
-  os << "]}";
+  os << "]";
+  if (calibration.populated()) AppendCalibrationJson(&os, calibration);
+  os << "}";
   return os.str();
 }
 
@@ -61,7 +97,9 @@ std::string UnalignedReport::ToJson() const {
     }
     os << "]";
   }
-  os << "]}";
+  os << "]";
+  if (calibration.populated()) AppendCalibrationJson(&os, calibration);
+  os << "}";
   return os.str();
 }
 
@@ -71,7 +109,9 @@ std::string UnalignedReport::ToString() const {
      << ", largest_cc=" << largest_component << " (threshold "
      << er_threshold << "), groups=" << groups.size()
      << ", routers=" << routers.size() << ", graph=" << num_vertices
-     << "v/" << num_edges << "e}";
+     << "v/" << num_edges << "e";
+  if (calibration.degraded) os << ", " << calibration.ToString();
+  os << "}";
   return os.str();
 }
 

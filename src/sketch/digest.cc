@@ -135,6 +135,7 @@ std::vector<std::uint8_t> Digest::Encode() const {
   const std::size_t row_bytes =
       rows.empty() ? 0 : rows.front().num_words() * 8;
   out.reserve(64 + rows.size() * (row_bytes + 1) + 8);
+  // Field order defines DigestWireLayout; keep the two in sync.
   AppendU32(&out, kDigestMagic);
   AppendU32(&out, router_id);
   AppendU64(&out, epoch_id);
@@ -159,10 +160,39 @@ std::vector<std::uint8_t> Digest::Encode() const {
 std::size_t Digest::EncodedSizeBytes() const { return Encode().size(); }
 
 double Digest::CompressionFactor() const {
+  if (raw_bytes_covered == 0) return 0.0;
   const std::size_t encoded = EncodedSizeBytes();
   if (encoded == 0) return 0.0;
   return static_cast<double>(raw_bytes_covered) /
          static_cast<double>(encoded);
+}
+
+void Digest::ResealChecksum(std::vector<std::uint8_t>* bytes) {
+  DCS_CHECK(bytes != nullptr);
+  if (bytes->size() < DigestWireLayout::kChecksumBytes) return;
+  const std::uint64_t checksum =
+      Hash64(bytes->data(), bytes->size() - DigestWireLayout::kChecksumBytes,
+             /*seed=*/kDigestMagic);
+  std::uint8_t* tail =
+      bytes->data() + bytes->size() - DigestWireLayout::kChecksumBytes;
+  for (std::size_t i = 0; i < DigestWireLayout::kChecksumBytes; ++i) {
+    tail[i] = static_cast<std::uint8_t>(checksum >> (8 * i));
+  }
+}
+
+bool Digest::PeekHeader(const std::vector<std::uint8_t>& bytes,
+                        std::uint32_t* router_id, std::uint64_t* epoch_id) {
+  std::size_t pos = DigestWireLayout::kMagicOffset;
+  std::uint32_t magic = 0;
+  if (!TakeU32(bytes, &pos, &magic) || magic != kDigestMagic) return false;
+  std::uint32_t router = 0;
+  std::uint64_t epoch = 0;
+  if (!TakeU32(bytes, &pos, &router) || !TakeU64(bytes, &pos, &epoch)) {
+    return false;
+  }
+  if (router_id != nullptr) *router_id = router;
+  if (epoch_id != nullptr) *epoch_id = epoch;
+  return true;
 }
 
 Status Digest::Decode(const std::vector<std::uint8_t>& bytes, Digest* out) {
@@ -206,6 +236,22 @@ Status Digest::Decode(const std::vector<std::uint8_t>& bytes, Digest* out) {
     return Status::Corruption("unknown digest kind");
   }
   digest.kind = static_cast<DigestKind>(kind_raw);
+
+  // Dimension sanity bounds (DigestWireLayout): the checksum is not
+  // cryptographic, so a resealed lying header must not be able to drive
+  // allocation. Every row costs at least its 1-byte tag on the wire, and the
+  // claimed row size is capped before any BitVector is constructed.
+  if (num_rows > bytes.size()) {
+    return Status::Corruption("row count exceeds message size");
+  }
+  if (row_bits > DigestWireLayout::kMaxRowBits) {
+    return Status::Corruption("row size implausibly large");
+  }
+  const std::uint64_t row_alloc_bytes = ((row_bits + 63) / 64) * 8;
+  if (row_alloc_bytes != 0 &&
+      num_rows > DigestWireLayout::kMaxTotalRowBytes / row_alloc_bytes) {
+    return Status::Corruption("digest dimensions implausibly large");
+  }
 
   digest.rows.reserve(num_rows);
   for (std::uint64_t r = 0; r < num_rows; ++r) {

@@ -15,6 +15,35 @@ enum class DigestKind : std::uint8_t {
   kUnaligned = 2,  ///< num_groups * arrays_per_group rows (Section IV).
 };
 
+/// Fixed little-endian byte offsets of the encoded digest header. The
+/// fault-injection harness (src/testing/fault_injector.h) patches these
+/// fields directly to simulate routers that lie about their metadata, and
+/// the decoder's structural validation is tested against every one of them.
+struct DigestWireLayout {
+  static constexpr std::size_t kMagicOffset = 0;            ///< u32
+  static constexpr std::size_t kRouterIdOffset = 4;         ///< u32
+  static constexpr std::size_t kEpochIdOffset = 8;          ///< u64
+  static constexpr std::size_t kKindOffset = 16;            ///< u32
+  static constexpr std::size_t kNumGroupsOffset = 20;       ///< u32
+  static constexpr std::size_t kArraysPerGroupOffset = 24;  ///< u32
+  static constexpr std::size_t kNumRowsOffset = 28;         ///< u64
+  static constexpr std::size_t kRowBitsOffset = 36;         ///< u64
+  static constexpr std::size_t kPacketsOffset = 44;         ///< u64
+  static constexpr std::size_t kRawBytesOffset = 52;        ///< u64
+  /// Rows start here; the trailing 8 bytes are the checksum.
+  static constexpr std::size_t kHeaderBytes = 60;
+  static constexpr std::size_t kChecksumBytes = 8;
+
+  /// Decode refuses headers whose claimed dimensions could not have come
+  /// from a real deployment, *before* allocating rows — the checksum is not
+  /// cryptographic, so a corrupted or hostile sender can reseal a lying
+  /// header and must not be able to drive the analysis center out of
+  /// memory. 2^28 bits is 64x the paper's 4 Mbit OC-48 bitmap.
+  static constexpr std::uint64_t kMaxRowBits = 1ULL << 28;
+  /// Upper bound on num_rows * allocated bytes per row (2 GiB).
+  static constexpr std::uint64_t kMaxTotalRowBytes = 1ULL << 31;
+};
+
 /// \brief The message a router ships to the analysis center each epoch.
 ///
 /// Carries the bitmap rows plus enough metadata for the center to stack them
@@ -49,7 +78,29 @@ struct Digest {
   std::size_t EncodedSizeBytes() const;
 
   /// raw_bytes_covered / encoded size — the paper's compression factor.
+  /// Returns 0 for the pathological cases (nothing covered, or an empty
+  /// encoding) instead of dividing by zero.
   double CompressionFactor() const;
+
+  /// Recomputes and overwrites the trailing checksum of an encoded digest
+  /// in place (no-op for buffers shorter than the checksum). The checksum
+  /// is an integrity check, not an authenticator: anyone can reseal a
+  /// modified message. The fault-injection harness uses this to craft
+  /// digests that pass the integrity check but lie in their header fields,
+  /// which is exactly what the ingestion layer's structural validation must
+  /// survive.
+  static void ResealChecksum(std::vector<std::uint8_t>* bytes);
+
+  /// Best-effort read of the claimed router/epoch identity from an encoded
+  /// header *without* verifying the checksum — for quarantine accounting of
+  /// messages that fail Decode. Returns false when the buffer is too short
+  /// or the magic does not match; the values are untrusted either way.
+  static bool PeekHeader(const std::vector<std::uint8_t>& bytes,
+                         std::uint32_t* router_id, std::uint64_t* epoch_id);
+
+  /// Field-by-field equality, rows included (used by the round-trip
+  /// property tests).
+  friend bool operator==(const Digest&, const Digest&) = default;
 };
 
 }  // namespace dcs

@@ -1,0 +1,139 @@
+#ifndef DCS_TESTING_FAULT_INJECTOR_H_
+#define DCS_TESTING_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dcs {
+
+/// What the collection network does to one router's digest in transit.
+///
+/// The kinds split into two families the ingestion layer must tell apart:
+///  * integrity-breaking (kBitFlip, kTruncate, kGarbage) — caught by the
+///    wire checksum at Digest::Decode;
+///  * semantically-lying (kStaleEpoch, kFutureEpoch, kLyingShape) — the
+///    message is resealed so the checksum passes, and only the monitor's
+///    structural/epoch validation can reject it. kDrop and kDuplicate
+///    deliver zero or two well-formed copies.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,     ///< Delivered untouched.
+  kDrop,         ///< Message lost.
+  kBitFlip,      ///< 1-8 random bit flips (checksum breaks).
+  kTruncate,     ///< Random tail cut, at least one byte.
+  kGarbage,      ///< Replaced with random bytes of the same length.
+  kDuplicate,    ///< Delivered twice (replay).
+  kStaleEpoch,   ///< epoch_id rewritten into the past, resealed.
+  kFutureEpoch,  ///< epoch_id rewritten into the future, resealed.
+  kLyingShape,   ///< One header shape field corrupted, resealed.
+};
+
+/// Human-readable kind name ("bit_flip", "stale_epoch", ...).
+const char* FaultKindName(FaultKind kind);
+
+/// \brief Per-router fault probabilities plus the master seed.
+///
+/// The residual mass (1 - sum of probabilities) is kNone. Parse() reads the
+/// workbench's `--fault-plan` syntax:
+///   "seed=7,drop=0.1,flip=0.2,truncate=0.1,garbage=0.05,duplicate=0.1,
+///    stale=0.1,future=0.05,shape=0.1"
+/// Every key is optional; unknown keys and probability mass above 1 are
+/// rejected.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  double drop = 0.0;
+  double bit_flip = 0.0;
+  double truncate = 0.0;
+  double garbage = 0.0;
+  double duplicate = 0.0;
+  double stale_epoch = 0.0;
+  double future_epoch = 0.0;
+  double lying_shape = 0.0;
+
+  static Status Parse(const std::string& text, FaultSpec* out);
+};
+
+/// One router's planned fate, with its own mutation sub-seed so the exact
+/// mutation (which bits flip, how much tail is cut) replays bit-for-bit.
+struct PlannedFault {
+  std::uint32_t router_id = 0;
+  FaultKind kind = FaultKind::kNone;
+  std::uint64_t mutation_seed = 0;
+};
+
+/// \brief A fully materialized, replayable failure scenario.
+///
+/// Everything downstream of the (spec, num_routers) pair is deterministic:
+/// the same plan applied to the same encoded digests produces the same
+/// delivered messages, so any failure a fuzz run finds is reproducible from
+/// the seed alone.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Indexed by router id.
+  std::vector<PlannedFault> faults;
+
+  /// "seed=7: 0:none 1:drop 2:bit_flip ..." — for logs and repro reports.
+  std::string ToString() const;
+};
+
+/// Expands a spec into one planned fault per router, deterministically from
+/// spec.seed.
+FaultPlan MaterializeFaultPlan(const FaultSpec& spec,
+                               std::uint32_t num_routers);
+
+/// \brief Applies a FaultPlan to encoded digests in transit.
+///
+/// Sits between the collection stage and DcsMonitor::AddEncodedDigest in
+/// tests and in `dcs_workbench analyze --fault-plan`, standing in for the
+/// lossy collection network of Fig 2. Routers beyond the plan are delivered
+/// untouched.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// The messages that actually arrive at the analysis center for this
+  /// router: none (dropped), one, or two (duplicated).
+  std::vector<std::vector<std::uint8_t>> Apply(
+      std::uint32_t router_id,
+      const std::vector<std::uint8_t>& encoded) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Primitive mutations, deterministic in *rng. Public so the fuzz suite
+  // can drive them directly.
+
+  /// Flips 1-8 random bits. Returns the input unchanged when empty.
+  static std::vector<std::uint8_t> FlipBits(std::vector<std::uint8_t> bytes,
+                                            Rng* rng);
+  /// Cuts a uniform tail of at least one byte (possibly all of them).
+  static std::vector<std::uint8_t> Truncate(std::vector<std::uint8_t> bytes,
+                                            Rng* rng);
+  /// Random bytes of the given length.
+  static std::vector<std::uint8_t> Garbage(std::size_t num_bytes, Rng* rng);
+  /// Rewrites the header epoch_id and reseals the checksum. Returns the
+  /// input unchanged when too short to carry the field.
+  static std::vector<std::uint8_t> RewriteEpoch(
+      std::vector<std::uint8_t> bytes, std::uint64_t new_epoch);
+  /// Corrupts one of the header shape fields (num_groups, arrays_per_group,
+  /// num_rows, row_bits) and reseals the checksum, so only structural
+  /// validation can catch the lie. Returns the input unchanged when too
+  /// short to carry a header.
+  static std::vector<std::uint8_t> LieAboutShape(
+      std::vector<std::uint8_t> bytes, Rng* rng);
+  /// One integrity-breaking mutation (flip / truncate / garbage / insert a
+  /// byte / delete a byte) picked by *rng — the fuzz-corpus generator.
+  /// Every choice alters the buffer, so Digest::Decode must reject the
+  /// result via the checksum.
+  static std::vector<std::uint8_t> MutateForFuzz(
+      const std::vector<std::uint8_t>& bytes, Rng* rng);
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_TESTING_FAULT_INJECTOR_H_

@@ -72,6 +72,21 @@ TEST(DigestTest, CompressionFactorAccounting) {
   EXPECT_LT(factor, 20000.0);
 }
 
+TEST(DigestTest, CompressionFactorOfEmptyCoverageIsZero) {
+  // A digest that covered no traffic must report factor 0, not divide by
+  // zero (the encoding itself is never empty — header + checksum).
+  Digest idle;
+  idle.kind = DigestKind::kAligned;
+  idle.rows.push_back(BitVector(128));
+  idle.packets_covered = 0;
+  idle.raw_bytes_covered = 0;
+  EXPECT_EQ(idle.CompressionFactor(), 0.0);
+  EXPECT_GT(idle.EncodedSizeBytes(), 0u);
+
+  Digest blank;  // No rows either.
+  EXPECT_EQ(blank.CompressionFactor(), 0.0);
+}
+
 TEST(DigestTest, SparseRowsShrinkTheEncoding) {
   // A nearly-empty 4096-bit row must encode far below its 512-byte dense
   // size; a half-full row must stay dense.

@@ -1,0 +1,223 @@
+// Seeded fuzzing of the digest wire format (docs/ROBUSTNESS.md).
+//
+// Three properties, each over thousands of randomized trials:
+//  1. Round trip: Decode(Encode(d)) == d for arbitrary digests, including
+//     dense, sparse, empty, and zero-row shapes.
+//  2. Integrity: any content-altering mutation of an encoding (bit flips,
+//     truncation, garbage, inserted or deleted bytes) makes Decode return an
+//     error Status — never a crash, hang, or silently wrong digest.
+//  3. Resealed lies: mutations that *reseal* the checksum (forged epoch or
+//     shape fields) must still never crash the decoder, and a shape lie must
+//     never decode back to the original digest.
+//
+// Trial count comes from DCS_TRIALS (default 10000; CI's fuzz-corpus job
+// raises it under ASan/UBSan). Master seeds come from
+// tests/corpus/digest_fuzz_seeds.txt so every failure is replayable; the
+// failure message prints the (seed, trial) pair to add to the corpus.
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sketch/digest.h"
+#include "testing/fault_injector.h"
+
+namespace dcs {
+namespace {
+
+std::vector<std::uint64_t> LoadCorpusSeeds() {
+  std::vector<std::uint64_t> seeds;
+  std::ifstream in(std::string(DCS_CORPUS_DIR) + "/digest_fuzz_seeds.txt");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    seeds.push_back(std::strtoull(line.c_str(), nullptr, 10));
+  }
+  return seeds;
+}
+
+std::size_t TotalTrials() {
+  const char* env = std::getenv("DCS_TRIALS");
+  if (env == nullptr || env[0] == '\0') return 10000;
+  const long long n = std::strtoll(env, nullptr, 10);
+  return n > 0 ? static_cast<std::size_t>(n) : 10000;
+}
+
+// A random digest spanning the whole shape space: both kinds, sparse and
+// dense rows, occasionally zero rows or zero-size rows.
+Digest RandomDigest(Rng* rng) {
+  Digest digest;
+  digest.router_id = static_cast<std::uint32_t>(rng->Next());
+  digest.epoch_id = rng->Next();
+  const std::uint64_t shape = rng->UniformInt(8);
+  if (shape == 0) {
+    // Degenerate: no rows at all (num_groups stays 1 so the header is
+    // internally consistent for the monitor, but Decode doesn't care).
+    digest.kind = rng->Bernoulli(0.5) ? DigestKind::kAligned
+                                      : DigestKind::kUnaligned;
+    digest.packets_covered = 0;
+    digest.raw_bytes_covered = 0;
+    return digest;
+  }
+  const std::size_t row_bits = 1 + rng->UniformInt(2048);
+  std::size_t num_rows = 1;
+  if (rng->Bernoulli(0.5)) {
+    digest.kind = DigestKind::kAligned;
+  } else {
+    digest.kind = DigestKind::kUnaligned;
+    digest.num_groups = static_cast<std::uint32_t>(1 + rng->UniformInt(6));
+    digest.arrays_per_group =
+        static_cast<std::uint32_t>(1 + rng->UniformInt(4));
+    num_rows = static_cast<std::size_t>(digest.num_groups) *
+               digest.arrays_per_group;
+  }
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    BitVector row(row_bits);
+    // Per-row density: empty, sparse, half, or nearly full, so both row
+    // encodings (and the dense/sparse break-even point) get fuzzed.
+    const double density[] = {0.0, 0.01, 0.5, 0.97};
+    const double d = density[rng->UniformInt(4)];
+    for (std::size_t i = 0; i < row_bits; ++i) {
+      if (rng->Bernoulli(d)) row.Set(i);
+    }
+    digest.rows.push_back(std::move(row));
+  }
+  digest.packets_covered = rng->UniformInt(1 << 20);
+  digest.raw_bytes_covered = rng->UniformInt(1ULL << 30);
+  return digest;
+}
+
+TEST(DigestFuzzTest, RoundTripProperty) {
+  const std::vector<std::uint64_t> seeds = LoadCorpusSeeds();
+  ASSERT_FALSE(seeds.empty());
+  const std::size_t trials_per_seed =
+      (TotalTrials() + seeds.size() - 1) / (2 * seeds.size()) + 1;
+  for (const std::uint64_t seed : seeds) {
+    Rng rng(seed);
+    for (std::size_t t = 0; t < trials_per_seed; ++t) {
+      const Digest original = RandomDigest(&rng);
+      const std::vector<std::uint8_t> bytes = original.Encode();
+      EXPECT_EQ(bytes.size(), original.EncodedSizeBytes())
+          << "seed=" << seed << " trial=" << t;
+      Digest decoded;
+      const Status status = Digest::Decode(bytes, &decoded);
+      ASSERT_TRUE(status.ok())
+          << "seed=" << seed << " trial=" << t << ": " << status.ToString();
+      EXPECT_TRUE(decoded == original) << "seed=" << seed << " trial=" << t;
+    }
+  }
+}
+
+TEST(DigestFuzzTest, MutatedEncodingsAlwaysError) {
+  const std::vector<std::uint64_t> seeds = LoadCorpusSeeds();
+  ASSERT_FALSE(seeds.empty());
+  const std::size_t trials_per_seed =
+      TotalTrials() / seeds.size() + 1;
+  for (const std::uint64_t seed : seeds) {
+    Rng rng(seed);
+    for (std::size_t t = 0; t < trials_per_seed; ++t) {
+      Rng shape_rng = rng.Fork();
+      Rng mutate_rng = rng.Fork();
+      const Digest original = RandomDigest(&shape_rng);
+      const std::vector<std::uint8_t> mutated =
+          FaultInjector::MutateForFuzz(original.Encode(), &mutate_rng);
+      Digest decoded;
+      const Status status = Digest::Decode(mutated, &decoded);
+      // Every MutateForFuzz choice alters the buffer without resealing, so
+      // the checksum (or a parse bound) must catch it.
+      EXPECT_FALSE(status.ok()) << "seed=" << seed << " trial=" << t
+                                << " size=" << mutated.size();
+    }
+  }
+}
+
+TEST(DigestFuzzTest, ResealedLiesNeverCrashAndNeverRoundTrip) {
+  const std::vector<std::uint64_t> seeds = LoadCorpusSeeds();
+  ASSERT_FALSE(seeds.empty());
+  const std::size_t trials_per_seed =
+      (TotalTrials() + seeds.size() - 1) / (4 * seeds.size()) + 1;
+  for (const std::uint64_t seed : seeds) {
+    Rng rng(seed);
+    for (std::size_t t = 0; t < trials_per_seed; ++t) {
+      Rng shape_rng = rng.Fork();
+      Rng mutate_rng = rng.Fork();
+      const Digest original = RandomDigest(&shape_rng);
+      const std::vector<std::uint8_t> bytes = original.Encode();
+
+      // Shape lie: resealed, so the checksum passes. The decoder must
+      // survive (its DigestWireLayout allocation bounds are the backstop
+      // for the absurd claims) and must never hand back the original.
+      const std::vector<std::uint8_t> lied =
+          FaultInjector::LieAboutShape(bytes, &mutate_rng);
+      Digest decoded;
+      const Status status = Digest::Decode(lied, &decoded);
+      if (status.ok() && !original.rows.empty()) {
+        // Exception: on a zero-row digest a row_bits lie is semantically
+        // invisible (the field sizes rows that do not exist), so only
+        // digests with rows must never round-trip through a lie.
+        EXPECT_FALSE(decoded == original)
+            << "seed=" << seed << " trial=" << t
+            << ": shape lie decoded back to the original";
+      }
+
+      // Epoch lie: fully well-formed apart from the forged epoch_id — it
+      // must decode, carrying exactly the forged value.
+      const std::uint64_t forged_epoch = mutate_rng.Next();
+      const std::vector<std::uint8_t> forged =
+          FaultInjector::RewriteEpoch(bytes, forged_epoch);
+      Digest forged_decoded;
+      ASSERT_TRUE(Digest::Decode(forged, &forged_decoded).ok())
+          << "seed=" << seed << " trial=" << t;
+      EXPECT_EQ(forged_decoded.epoch_id, forged_epoch)
+          << "seed=" << seed << " trial=" << t;
+    }
+  }
+}
+
+// The decoder's allocation bounds directly: a tiny message claiming absurd
+// dimensions must be rejected before any row memory is reserved (under the
+// CI fuzz-corpus job this runs with AddressSanitizer, which would flag the
+// allocation itself).
+TEST(DigestFuzzTest, AbsurdDimensionClaimsRejectedCheaply) {
+  Digest digest;
+  digest.kind = DigestKind::kAligned;
+  digest.rows.push_back(BitVector(64));
+  std::vector<std::uint8_t> bytes = digest.Encode();
+
+  auto patch_u64 = [](std::vector<std::uint8_t>* b, std::size_t offset,
+                      std::uint64_t v) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      (*b)[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  };
+
+  // num_rows far beyond what the message could carry.
+  std::vector<std::uint8_t> lie = bytes;
+  patch_u64(&lie, DigestWireLayout::kNumRowsOffset, 1ULL << 62);
+  Digest::ResealChecksum(&lie);
+  Digest out;
+  EXPECT_EQ(Digest::Decode(lie, &out).code(), Status::Code::kCorruption);
+
+  // row_bits beyond the per-row cap.
+  lie = bytes;
+  patch_u64(&lie, DigestWireLayout::kRowBitsOffset,
+            DigestWireLayout::kMaxRowBits + 1);
+  Digest::ResealChecksum(&lie);
+  EXPECT_EQ(Digest::Decode(lie, &out).code(), Status::Code::kCorruption);
+
+  // num_rows * row_bytes overflowing the total-allocation cap while each
+  // value alone looks plausible.
+  lie = bytes;
+  patch_u64(&lie, DigestWireLayout::kNumRowsOffset, lie.size() - 1);
+  patch_u64(&lie, DigestWireLayout::kRowBitsOffset,
+            DigestWireLayout::kMaxRowBits);
+  Digest::ResealChecksum(&lie);
+  EXPECT_EQ(Digest::Decode(lie, &out).code(), Status::Code::kCorruption);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -15,10 +15,18 @@
 //
 //   dcs_workbench analyze --in-dir /tmp/dcs [--mode aligned|unaligned]
 //       [--n-prime 128] [--er-threshold 0] [--beta 12] [--threads 1]
+//       [--expected-routers 0] [--fault-plan "seed=7,drop=0.1,flip=0.1"]
 //     Stacks the digests at the analysis center and prints the report.
 //     --threads N > 1 runs the analysis (weight screen, ASID search, core
 //     scan, pair scan) on an N-worker pool; the report is bit-identical at
 //     any thread count.
+//     --expected-routers N turns on hardened ingestion (docs/ROBUSTNESS.md):
+//     rejected digests are reported instead of aborting the run, and the
+//     report carries thresholds recalibrated for the routers that actually
+//     made it. --fault-plan runs every digest through the deterministic
+//     fault injector first (src/testing/fault_injector.h) to rehearse a
+//     lossy or hostile collection network; see FaultSpec::Parse for the
+//     key=value syntax.
 //
 //   dcs_workbench demo
 //     Runs all three stages in a temporary directory.
@@ -41,6 +49,7 @@
 #include "dcs/dcs.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
+#include "testing/fault_injector.h"
 #include "traffic/content_catalog.h"
 #include "traffic/trace_synthesizer.h"
 
@@ -250,18 +259,68 @@ Status CmdAnalyze(const Flags& flags) {
     pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(threads));
     context.pool = pool.get();
   }
-  DcsMonitor monitor(aligned, unaligned_opts, context);
-  std::uint32_t routers = 0;
-  for (std::uint32_t r = 0;; ++r) {
-    std::vector<std::uint8_t> bytes;
-    const Status status = ReadBytes(DigestPath(in_dir, r), &bytes);
-    if (status.code() == Status::Code::kNotFound) break;
-    DCS_RETURN_IF_ERROR(status);
-    DCS_RETURN_IF_ERROR(monitor.AddEncodedDigest(bytes));
-    ++routers;
+  // Hardened ingestion: either flag opts in. Rejections are reported and
+  // survived instead of aborting the run.
+  IngestOptions ingest;
+  ingest.expected_routers =
+      static_cast<std::uint32_t>(flags.GetInt("expected-routers", 0));
+  const std::string fault_plan_text = flags.Get("fault-plan", "");
+  const bool hardened = ingest.expected_routers > 0 || flags.Has("fault-plan");
+  if (hardened) {
+    // Pin the reference epoch instead of locking to the first arrival: a
+    // forged epoch_id in the first message must not get every honest
+    // router quarantined as "stale". The collectors in this repo always
+    // stamp epoch 0, so 0 is the right default.
+    ingest.lock_epoch_to_first = false;
+    ingest.expected_epoch =
+        static_cast<std::uint64_t>(flags.GetInt("expected-epoch", 0));
   }
-  if (routers == 0) return Status::NotFound("no digests in " + in_dir);
-  std::printf("analyze: %u digests loaded\n", routers);
+
+  // The plan needs the router count up front: count the digest files.
+  std::uint32_t num_digest_files = 0;
+  while (std::filesystem::exists(DigestPath(in_dir, num_digest_files))) {
+    ++num_digest_files;
+  }
+  if (num_digest_files == 0) {
+    return Status::NotFound("no digests in " + in_dir);
+  }
+
+  std::unique_ptr<FaultInjector> injector;
+  if (flags.Has("fault-plan")) {
+    FaultSpec spec;
+    DCS_RETURN_IF_ERROR(FaultSpec::Parse(fault_plan_text, &spec));
+    FaultPlan plan = MaterializeFaultPlan(spec, num_digest_files);
+    std::printf("fault plan: %s\n", plan.ToString().c_str());
+    injector = std::make_unique<FaultInjector>(std::move(plan));
+  }
+
+  DcsMonitor monitor(aligned, unaligned_opts, context, ingest);
+  std::uint32_t accepted = 0;
+  for (std::uint32_t r = 0; r < num_digest_files; ++r) {
+    std::vector<std::uint8_t> bytes;
+    DCS_RETURN_IF_ERROR(ReadBytes(DigestPath(in_dir, r), &bytes));
+    std::vector<std::vector<std::uint8_t>> delivered;
+    if (injector != nullptr) {
+      delivered = injector->Apply(r, bytes);
+    } else {
+      delivered.push_back(std::move(bytes));
+    }
+    for (const std::vector<std::uint8_t>& message : delivered) {
+      const Status status = monitor.AddEncodedDigest(message);
+      if (status.ok()) {
+        ++accepted;
+      } else if (hardened) {
+        std::printf("analyze: router %u message rejected: %s\n", r,
+                    status.ToString().c_str());
+      } else {
+        return status;
+      }
+    }
+  }
+  std::printf("analyze: %u digests loaded\n", accepted);
+  if (hardened) {
+    std::printf("%s\n", monitor.ingest_stats().ToString().c_str());
+  }
 
   if (unaligned) {
     const UnalignedReport report = monitor.AnalyzeUnaligned();
