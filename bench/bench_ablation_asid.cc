@@ -50,7 +50,7 @@ int main() {
   const std::size_t n_prime = 400;
   const int trials = bench::Trials(scale, 3, 10);
 
-  Rng rng(EnvInt64("DCS_SEED", 41));
+  Rng rng(bench::EnvSeed("DCS_SEED", 41));
   TablePrinter table({"pattern a x b", "algorithm", "searched columns",
                       "detected", "avg seconds"});
 

@@ -44,7 +44,8 @@ SurvivalCurve Measure(dcs::PeelStrategy strategy, std::size_t n, double p1,
             static_cast<double>(n1 - deleted_pattern);
         ++checkpoint;
       }
-      deleted_pattern += in_pattern[result.removal_order[i]];
+      deleted_pattern +=
+          static_cast<std::size_t>(in_pattern[result.removal_order[i]]);
     }
     while (checkpoint < checkpoints.size()) {
       curve.pattern_alive[checkpoint] +=
@@ -76,7 +77,7 @@ int main() {
   const std::vector<std::size_t> checkpoints = {
       n / 4, n / 2, 3 * n / 4, n - 2 * beta, n - beta - 1};
 
-  Rng rng(EnvInt64("DCS_SEED", 31));
+  Rng rng(bench::EnvSeed("DCS_SEED", 31));
   const double t0 = bench::NowSeconds();
 
   TablePrinter table({"strategy", "E[N] @25% peeled", "@50%", "@75%",

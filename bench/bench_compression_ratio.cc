@@ -21,7 +21,7 @@ int main() {
   const std::size_t packets =
       scale == BenchScale::kPaper ? 400'000 : 60'000;
 
-  Rng rng(EnvInt64("DCS_SEED", 23));
+  Rng rng(bench::EnvSeed("DCS_SEED", 23));
   BackgroundTrafficOptions traffic;
   FlowGenerator generator(traffic, &rng);
   PacketTrace trace;
@@ -36,8 +36,9 @@ int main() {
     AlignedCollector collector(0, opts);
     const Digest digest = collector.ProcessEpoch(epochs[0]);
     table.AddRow({"aligned bitmap (4 Mbit)",
-                  TablePrinter::Fmt(digest.raw_bytes_covered / 1e6, 1),
-                  TablePrinter::Fmt(digest.EncodedSizeBytes() / 1e3, 1),
+                  TablePrinter::Fmt(static_cast<double>(digest.raw_bytes_covered) / 1e6, 1),
+                  TablePrinter::Fmt(static_cast<double>(digest.EncodedSizeBytes()) / 1e3,
+                                  1),
                   TablePrinter::Fmt(digest.CompressionFactor(), 0)});
   }
   {
@@ -46,13 +47,14 @@ int main() {
     UnalignedCollector collector(0, opts, &offsets);
     const Digest digest = collector.ProcessEpoch(epochs[0]);
     table.AddRow({"unaligned flow-split (128x10x1024)",
-                  TablePrinter::Fmt(digest.raw_bytes_covered / 1e6, 1),
-                  TablePrinter::Fmt(digest.EncodedSizeBytes() / 1e3, 1),
+                  TablePrinter::Fmt(static_cast<double>(digest.raw_bytes_covered) / 1e6, 1),
+                  TablePrinter::Fmt(static_cast<double>(digest.EncodedSizeBytes()) / 1e3,
+                                  1),
                   TablePrinter::Fmt(digest.CompressionFactor(), 0)});
   }
   table.AddRow({"raw aggregation (strawman)",
-                TablePrinter::Fmt(trace.TotalWireBytes() / 1e6, 1),
-                TablePrinter::Fmt(trace.TotalWireBytes() / 1e3, 1), "1"});
+                TablePrinter::Fmt(static_cast<double>(trace.TotalWireBytes()) / 1e6, 1),
+                TablePrinter::Fmt(static_cast<double>(trace.TotalWireBytes()) / 1e3, 1), "1"});
 
   std::printf("%zu-packet epoch:\n", trace.size());
   table.Print(std::cout);

@@ -45,7 +45,7 @@ int main() {
           ? std::vector<std::size_t>{256, 512, 1024, 2048}
           : std::vector<std::size_t>{128, 256, 512};
 
-  Rng rng(EnvInt64("DCS_SEED", 29));
+  Rng rng(bench::EnvSeed("DCS_SEED", 29));
   LambdaTable lambda(bits, 1e-6);
   ThreadPool pool(4);
 

@@ -39,7 +39,7 @@ int main() {
   detector_opts.max_iterations = 26;
   detector_opts.record_full_trajectory = true;
 
-  Rng rng(EnvInt64("DCS_SEED", 7));
+  Rng rng(bench::EnvSeed("DCS_SEED", 7));
   const double t0 = bench::NowSeconds();
   const SyntheticScreened instance =
       SampleScreenedAligned(matrix_opts, &rng);

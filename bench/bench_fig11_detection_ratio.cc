@@ -38,7 +38,7 @@ int main() {
   detector_opts.max_iterations = 30;
 
   AlignedDetector detector(detector_opts);
-  Rng rng(EnvInt64("DCS_SEED", 11));
+  Rng rng(bench::EnvSeed("DCS_SEED", 11));
 
   TablePrinter table({"a (routers)", "b=20", "b=30", "b=40"});
   const double t0 = bench::NowSeconds();

@@ -37,7 +37,7 @@ int main() {
               "%zu\nmodel-derived pattern edge probability p2(g=100) = %.4f\n\n",
               n, p1, 1.0 / static_cast<double>(n), threshold, p2);
 
-  Rng rng(EnvInt64("DCS_SEED", 13));
+  Rng rng(bench::EnvSeed("DCS_SEED", 13));
   const double t0 = bench::NowSeconds();
 
   TablePrinter table({"configuration", "largest CC p25/p50/p75/max",

@@ -64,7 +64,7 @@ int main() {
   AlignedDetectorOptions options;
   options.first_iteration_hopefuls = n_prime;
 
-  Rng rng(EnvInt64("DCS_SEED", 41));
+  Rng rng(bench::EnvSeed("DCS_SEED", 41));
   TablePrinter table({"columns n", "threads", "detect s", "speedup"});
   for (std::size_t n : sizes) {
     const BitMatrix matrix = PlantedMatrix(rows, n, &rng);

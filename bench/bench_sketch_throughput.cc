@@ -33,7 +33,7 @@ std::vector<Packet> MakePackets(std::size_t count, std::size_t payload) {
 void BM_AlignedBitmapUpdate(benchmark::State& state) {
   BitmapSketchOptions opts;  // 4 Mbit paper sizing.
   BitmapSketch sketch(opts);
-  const auto packets = MakePackets(4096, state.range(0));
+  const auto packets = MakePackets(4096, static_cast<std::size_t>(state.range(0)));
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(sketch.Update(packets[i]));
@@ -47,7 +47,7 @@ void BM_OffsetSamplingUpdate(benchmark::State& state) {
   OffsetSamplingOptions opts;  // 10 arrays x 1024 bits.
   Rng rng(2);
   OffsetSamplingArrays arrays(opts, &rng);
-  const auto packets = MakePackets(4096, state.range(0));
+  const auto packets = MakePackets(4096, static_cast<std::size_t>(state.range(0)));
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(arrays.Update(packets[i]));
@@ -72,7 +72,7 @@ void BM_FlowSplitUpdate(benchmark::State& state) {
 BENCHMARK(BM_FlowSplitUpdate);
 
 void BM_PayloadHash(benchmark::State& state) {
-  const auto packets = MakePackets(256, state.range(0));
+  const auto packets = MakePackets(256, static_cast<std::size_t>(state.range(0)));
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(

@@ -178,7 +178,7 @@ int main() {
   const std::size_t n1 = total_groups / 9;
   const int trials = bench::Trials(scale, 2, 8);
 
-  Rng rng(EnvInt64("DCS_SEED", 37));
+  Rng rng(bench::EnvSeed("DCS_SEED", 37));
   const ContentCatalog catalog(4242);
   const double t0 = bench::NowSeconds();
 

@@ -39,7 +39,7 @@ int main() {
                                  {110, {67, 77, 89}},
                                  {120, {44, 51, 57}}};
 
-  Rng rng(EnvInt64("DCS_SEED", 17));
+  Rng rng(bench::EnvSeed("DCS_SEED", 17));
 
   const double t0 = bench::NowSeconds();
   TablePrinter table({"packets g", "p2(g)", "n1", "avg detected",
@@ -54,7 +54,7 @@ int main() {
       UnalignedDetectorOptions detector;
       detector.beta = n1 / 2;
       detector.expand_min_edges = std::max<std::size_t>(
-          1, static_cast<std::size_t>(0.5 * p2 * detector.beta));
+          1, static_cast<std::size_t>(0.5 * p2 * static_cast<double>(detector.beta)));
       detector.second_beta = std::max<std::size_t>(4, detector.beta / 2);
       double detected_sum = 0.0;
       double fn_sum = 0.0;

@@ -29,7 +29,7 @@ Measured MeasureAt(std::size_t n, double p1, double p2, std::size_t n1,
   dcs::UnalignedDetectorOptions detector;
   detector.beta = n1 / 2;
   detector.expand_min_edges = std::max<std::size_t>(
-      1, static_cast<std::size_t>(0.5 * p2 * detector.beta));
+      1, static_cast<std::size_t>(0.5 * p2 * static_cast<double>(detector.beta)));
   detector.second_beta = std::max<std::size_t>(4, detector.beta / 2);
   Measured m;
   for (int t = 0; t < trials; ++t) {
@@ -65,7 +65,7 @@ int main() {
   const UnalignedSignalModel model{UnalignedModelOptions{}};
   const double p_star = LambdaTable::PStarFromEdgeProb(p1, 10);
 
-  Rng rng(EnvInt64("DCS_SEED", 19));
+  Rng rng(bench::EnvSeed("DCS_SEED", 19));
   const double t0 = bench::NowSeconds();
 
   TablePrinter table({"packets g", "p2(g)", "detectable n1 (>=50% found)",

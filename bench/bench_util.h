@@ -2,6 +2,7 @@
 #define DCS_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -27,6 +28,13 @@ inline double NowSeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// RNG seed from the environment (DCS_SEED convention), as the unsigned
+/// value Rng's constructor takes. Negative values wrap, which is fine for a
+/// seed but is made explicit here so -Wsign-conversion stays clean.
+inline std::uint64_t EnvSeed(const char* name, std::int64_t default_value) {
+  return static_cast<std::uint64_t>(EnvInt64(name, default_value));
 }
 
 /// Trials with a scale-dependent default, overridable via DCS_TRIALS.

@@ -107,8 +107,8 @@ int main() {
           "\n[raw aggregation strawman] found %zu common fingerprints but "
           "shipped %.1f MB to the center;\nDCS shipped %.1f KB "
           "(%.0fx less) for the same verdict.\n",
-          findings.size(), raw.bytes_shipped() / 1e6,
-          monitor.digest_bytes_received() / 1e3,
+          findings.size(), static_cast<double>(raw.bytes_shipped()) / 1e6,
+          static_cast<double>(monitor.digest_bytes_received()) / 1e3,
           static_cast<double>(raw.bytes_shipped()) /
               static_cast<double>(monitor.digest_bytes_received()));
     }

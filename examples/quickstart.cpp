@@ -66,7 +66,7 @@ int main() {
   dcs::SignatureFilter filter(report.signature_columns, options.sketch);
   std::size_t flagged = 0;
   for (const dcs::Packet& pkt : traces[0]) {
-    flagged += filter.Matches(pkt) ? 1 : 0;
+    flagged += filter.Matches(pkt) ? 1u : 0u;
   }
   std::printf("router 0 filter: flagged %zu of %zu packets "
               "(false-match rate %.4f)\n",

@@ -72,7 +72,8 @@ int main() {
   std::printf(
       "\n[collection] %.1f MB of traffic -> %.1f KB of digests (%.0fx "
       "reduction)\n",
-      raw_bytes / 1e6, digest_bytes / 1e3,
+      static_cast<double>(raw_bytes) / 1e6,
+      static_cast<double>(digest_bytes) / 1e3,
       static_cast<double>(raw_bytes) / static_cast<double>(digest_bytes));
 
   const dcs::UnalignedReport report = monitor.AnalyzeUnaligned();

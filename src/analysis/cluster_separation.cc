@@ -55,13 +55,14 @@ std::vector<std::vector<Graph::VertexId>> SeparateClusters(
     }
   }
 
-  std::unordered_map<std::uint32_t, std::vector<Graph::VertexId>> by_root;
+  // Roots are indices into `detected`, so a plain vector groups members in
+  // deterministic (ascending-root) order; most slots stay empty.
+  std::vector<std::vector<Graph::VertexId>> by_root(detected.size());
   for (std::uint32_t i = 0; i < detected.size(); ++i) {
     by_root[uf.Find(i)].push_back(detected[i]);
   }
   std::vector<std::vector<Graph::VertexId>> clusters;
-  clusters.reserve(by_root.size());
-  for (auto& [root, members] : by_root) {
+  for (auto& members : by_root) {
     if (members.size() >= options.min_cluster_size) {
       std::sort(members.begin(), members.end());
       clusters.push_back(std::move(members));

@@ -31,13 +31,13 @@ std::int64_t LambdaTable::Threshold(std::uint32_t i, std::uint32_t j) const {
 }
 
 double LambdaTable::EdgeProbFromPStar(double p_star, std::size_t arrays) {
-  const double pairs = static_cast<double>(arrays) * arrays;
+  const double pairs = static_cast<double>(arrays) * static_cast<double>(arrays);
   return 1.0 - std::exp(pairs * std::log1p(-p_star));
 }
 
 double LambdaTable::PStarFromEdgeProb(double p1, std::size_t arrays) {
   DCS_CHECK(p1 > 0.0 && p1 < 1.0);
-  const double pairs = static_cast<double>(arrays) * arrays;
+  const double pairs = static_cast<double>(arrays) * static_cast<double>(arrays);
   return -std::expm1(std::log1p(-p1) / pairs);
 }
 

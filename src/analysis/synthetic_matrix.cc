@@ -56,7 +56,8 @@ SyntheticScreened SampleScreenedAligned(const SyntheticAlignedOptions& options,
   std::vector<std::uint32_t> pattern_weights(b);
   for (std::size_t j = 0; j < b; ++j) {
     pattern_weights[j] = static_cast<std::uint32_t>(
-        a + SampleBinomial(rng, static_cast<std::int64_t>(m - a), 0.5));
+        static_cast<std::int64_t>(a) +
+        SampleBinomial(rng, static_cast<std::int64_t>(m - a), 0.5));
   }
   std::sort(pattern_weights.rbegin(), pattern_weights.rend());
 
@@ -84,10 +85,11 @@ SyntheticScreened SampleScreenedAligned(const SyntheticAlignedOptions& options,
   std::size_t pattern_at_cutoff = 0;
 
   for (std::int64_t w = static_cast<std::int64_t>(m); w >= 0; --w) {
+    const std::size_t wu = static_cast<std::size_t>(w);
     std::int64_t noise_count = 0;
-    if (noise_remaining > 0 && pmf[w] > 0.0) {
-      const double cond_p = cdf[w] > 0.0 ? std::min(1.0, pmf[w] / cdf[w])
-                                         : 1.0;
+    if (noise_remaining > 0 && pmf[wu] > 0.0) {
+      const double cond_p = cdf[wu] > 0.0 ? std::min(1.0, pmf[wu] / cdf[wu])
+                                          : 1.0;
       noise_count = SampleBinomial(rng, noise_remaining, cond_p);
       noise_remaining -= noise_count;
     }

@@ -13,7 +13,9 @@ void BitMatrix::AppendRow(BitVector row) {
   if (rows_.empty()) {
     cols_ = row.size();
   } else {
-    DCS_CHECK(row.size() == cols_);
+    DCS_CHECK(row.size() == cols_)
+        << "appended row width " << row.size()
+        << " does not match matrix width " << cols_;
   }
   rows_.push_back(std::move(row));
 }
@@ -35,7 +37,8 @@ std::vector<std::uint32_t> BitMatrix::ColumnWeights() const {
 }
 
 BitVector BitMatrix::ExtractColumn(std::size_t c) const {
-  DCS_CHECK(c < cols_);
+  DCS_CHECK(c < cols_) << "column " << c << " out of range for width "
+                       << cols_;
   BitVector column(rows_.size());
   for (std::size_t r = 0; r < rows_.size(); ++r) {
     if (rows_[r].Test(c)) column.Set(r);
@@ -45,6 +48,10 @@ BitVector BitMatrix::ExtractColumn(std::size_t c) const {
 
 std::vector<BitVector> BitMatrix::ExtractColumns(
     const std::vector<std::size_t>& cols_to_take) const {
+  for (std::size_t c : cols_to_take) {
+    DCS_DCHECK(c < cols_) << "column " << c << " out of range for width "
+                          << cols_;
+  }
   std::vector<BitVector> result(cols_to_take.size(), BitVector(rows_.size()));
   for (std::size_t r = 0; r < rows_.size(); ++r) {
     const BitVector& row_bits = rows_[r];

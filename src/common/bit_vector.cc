@@ -11,7 +11,9 @@ void BitVector::Reset() {
 
 std::size_t BitVector::CountOnes() const {
   std::size_t count = 0;
-  for (std::uint64_t w : words_) count += std::popcount(w);
+  for (std::uint64_t w : words_) {
+    count += static_cast<std::size_t>(std::popcount(w));
+  }
   return count;
 }
 
@@ -21,7 +23,7 @@ std::size_t BitVector::CommonOnes(const BitVector& other) const {
   const std::uint64_t* a = words_.data();
   const std::uint64_t* b = other.words_.data();
   for (std::size_t i = 0; i < words_.size(); ++i) {
-    count += std::popcount(a[i] & b[i]);
+    count += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
   }
   return count;
 }

@@ -49,6 +49,14 @@ class FatalLogMessage {
   std::ostringstream stream_;
 };
 
+/// Swallows a fatal-message stream so DCS_CHECK is a single `void`
+/// expression. operator& binds looser than operator<<, so every streamed
+/// `<< extra` lands in the FatalLogMessage before it is voided.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
 }  // namespace internal_logging
 
 #define DCS_LOG(level)                                                  \
@@ -58,18 +66,44 @@ class FatalLogMessage {
 
 /// Aborts with a message when `condition` is false. Used for programmer
 /// errors (precondition violations), never for recoverable conditions.
+/// Expands to a single expression, so it nests safely inside unbraced
+/// if/else (no dangling-else) and supports message streaming:
+///
+///   DCS_CHECK(rows == cols) << "matrix must be square, got " << rows;
 #define DCS_CHECK(condition)                                            \
-  if (condition) {                                                      \
-  } else                                                                \
-    ::dcs::internal_logging::FatalLogMessage(__FILE__, __LINE__,        \
-                                             #condition)                \
-        .stream()
+  (condition)                                                           \
+      ? (void)0                                                         \
+      : ::dcs::internal_logging::Voidify() &                            \
+            ::dcs::internal_logging::FatalLogMessage(__FILE__,          \
+                                                     __LINE__,          \
+                                                     #condition)        \
+                .stream()
 
+/// DCS_CHECK that compiles away in NDEBUG builds. The condition is never
+/// evaluated when disabled but still typechecks, so DCHECK-only expressions
+/// cannot rot. Use for per-element invariants on hot paths (shard bounds,
+/// row indices) where an always-on check would show up in a profile.
+#ifndef NDEBUG
+#define DCS_DCHECK(condition) DCS_CHECK(condition)
+#else
+#define DCS_DCHECK(condition) DCS_CHECK(true || (condition))
+#endif
+
+/// Aborts when `expr` (a Status expression) is not OK, printing the status.
 #define DCS_CHECK_OK(expr)                                   \
   do {                                                       \
-    ::dcs::Status _dcs_st = (expr);                          \
+    const ::dcs::Status _dcs_st = (expr);                    \
     DCS_CHECK(_dcs_st.ok()) << _dcs_st.ToString();           \
   } while (false)
+
+/// DCS_CHECK_OK that compiles away in NDEBUG builds (expr not evaluated).
+#ifndef NDEBUG
+#define DCS_DCHECK_OK(expr) DCS_CHECK_OK(expr)
+#else
+#define DCS_DCHECK_OK(expr) \
+  do {                      \
+  } while (false)
+#endif
 
 }  // namespace dcs
 

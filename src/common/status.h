@@ -11,7 +11,12 @@ namespace dcs {
 ///
 /// A default-constructed Status is OK. Non-OK statuses carry a code and a
 /// human-readable message. Statuses are cheap to copy.
-class Status {
+///
+/// The type is [[nodiscard]]: a dropped Status is a dropped quarantine
+/// decision or a swallowed decode failure, so ignoring one is a compile
+/// error under DCS_WERROR. Call sites that genuinely do not care must say
+/// so with an explicit cast: `(void)monitor.AddDigest(d);`.
+class [[nodiscard]] Status {
  public:
   /// Error categories used across the library.
   enum class Code {

@@ -76,6 +76,17 @@ std::vector<ShardRange> ThreadPool::ShardsFor(std::size_t count) const {
 void ThreadPool::RunShards(const std::vector<ShardRange>& shards,
                            const std::function<void(const ShardRange&)>& fn) {
   if (shards.empty()) return;
+  // The deterministic-merge contract: shard indices are their positions and
+  // ranges tile [begin, end) without gaps, so per-shard partials can be
+  // merged in ascending index order regardless of execution schedule.
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    DCS_DCHECK(shards[s].index == s)
+        << "shard " << s << " carries index " << shards[s].index;
+    DCS_DCHECK(shards[s].begin <= shards[s].end)
+        << "shard " << s << " has inverted range";
+    DCS_DCHECK(s == 0 || shards[s].begin == shards[s - 1].end)
+        << "shard " << s << " is not contiguous with its predecessor";
+  }
   if (OnWorkerThread() || shards.size() == 1) {
     // Nested call (or nothing to spread): run inline. Shard contents and
     // merge order are schedule-independent, so results are unchanged.

@@ -44,11 +44,11 @@ struct EpochCalibration {
   /// True when any calibration was actually computed — reports only
   /// serialize the calibration when a hardened monitor filled it in, so
   /// pre-hardening report output (and its golden tests) is unchanged.
-  bool populated() const {
+  [[nodiscard]] bool populated() const {
     return observed_routers > 0 || expected_routers > 0;
   }
 
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   friend bool operator==(const EpochCalibration&,
                          const EpochCalibration&) = default;
@@ -78,10 +78,10 @@ struct AlignedReport {
   /// serialized only when populated()).
   EpochCalibration calibration;
 
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   /// Machine-readable form for downstream alerting systems.
-  std::string ToJson() const;
+  [[nodiscard]] std::string ToJson() const;
 };
 
 /// Analysis-center verdict for the unaligned pipeline.
@@ -105,10 +105,10 @@ struct UnalignedReport {
   /// serialized only when populated()).
   EpochCalibration calibration;
 
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   /// Machine-readable form for downstream alerting systems.
-  std::string ToJson() const;
+  [[nodiscard]] std::string ToJson() const;
 };
 
 }  // namespace dcs

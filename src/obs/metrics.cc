@@ -17,8 +17,8 @@ std::size_t LatencyHistogram::BucketIndex(std::uint64_t value) {
   if (value == 0) return 0;
   // Values >= 2^62 (top bucket would be 63 or 64) clamp into the last
   // bucket, which therefore covers [2^62, 2^64).
-  return std::min<std::size_t>(64 - std::countl_zero(value),
-                               kNumBuckets - 1);
+  return std::min<std::size_t>(
+      static_cast<std::size_t>(64 - std::countl_zero(value)), kNumBuckets - 1);
 }
 
 std::uint64_t LatencyHistogram::BucketLowerBound(std::size_t b) {

@@ -35,7 +35,7 @@ bool TakeU32(const std::vector<std::uint8_t>& in, std::size_t* pos,
              std::uint32_t* v) {
   if (*pos + 4 > in.size()) return false;
   *v = 0;
-  for (int i = 0; i < 4; ++i) {
+  for (std::size_t i = 0; i < 4; ++i) {
     *v |= static_cast<std::uint32_t>(in[*pos + i]) << (8 * i);
   }
   *pos += 4;
@@ -46,7 +46,7 @@ bool TakeU64(const std::vector<std::uint8_t>& in, std::size_t* pos,
              std::uint64_t* v) {
   if (*pos + 8 > in.size()) return false;
   *v = 0;
-  for (int i = 0; i < 8; ++i) {
+  for (std::size_t i = 0; i < 8; ++i) {
     *v |= static_cast<std::uint64_t>(in[*pos + i]) << (8 * i);
   }
   *pos += 8;

@@ -68,19 +68,20 @@ struct Digest {
   /// sparse (varint-delta set-bit indices), whichever is smaller — a
   /// quarter-full epoch's bitmap ships at a fraction of its dense size
   /// while half-full rows stay dense.
-  std::vector<std::uint8_t> Encode() const;
+  [[nodiscard]] std::vector<std::uint8_t> Encode() const;
 
   /// Parses a digest previously produced by Encode. Validates structure and
   /// checksum.
-  static Status Decode(const std::vector<std::uint8_t>& bytes, Digest* out);
+  [[nodiscard]] static Status Decode(const std::vector<std::uint8_t>& bytes,
+                                     Digest* out);
 
   /// Size of the encoded form (equals Encode().size()).
-  std::size_t EncodedSizeBytes() const;
+  [[nodiscard]] std::size_t EncodedSizeBytes() const;
 
   /// raw_bytes_covered / encoded size — the paper's compression factor.
   /// Returns 0 for the pathological cases (nothing covered, or an empty
   /// encoding) instead of dividing by zero.
-  double CompressionFactor() const;
+  [[nodiscard]] double CompressionFactor() const;
 
   /// Recomputes and overwrites the trailing checksum of an encoded digest
   /// in place (no-op for buffers shorter than the checksum). The checksum
@@ -95,7 +96,7 @@ struct Digest {
   /// header *without* verifying the checksum — for quarantine accounting of
   /// messages that fail Decode. Returns false when the buffer is too short
   /// or the magic does not match; the values are untrusted either way.
-  static bool PeekHeader(const std::vector<std::uint8_t>& bytes,
+  [[nodiscard]] static bool PeekHeader(const std::vector<std::uint8_t>& bytes,
                          std::uint32_t* router_id, std::uint64_t* epoch_id);
 
   /// Field-by-field equality, rows included (used by the round-trip

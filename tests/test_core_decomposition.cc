@@ -116,7 +116,9 @@ TEST(PeelStrategyTest, MinDegreeBeatsBaselinesOnPlantedPattern) {
     auto count_kept = [&](PeelStrategy strategy) {
       const PeelResult r = PeelToSize(planted.graph, 40, strategy, &rng);
       std::size_t kept = 0;
-      for (Graph::VertexId v : r.core) kept += in_pattern[v];
+      for (Graph::VertexId v : r.core) {
+        kept += static_cast<std::size_t>(in_pattern[v]);
+      }
       return kept;
     };
     kept_min += count_kept(PeelStrategy::kMinDegree);

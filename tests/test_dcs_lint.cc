@@ -1,0 +1,376 @@
+// Tests for the project determinism linter (tools/dcs_lint_lib.h).
+//
+// Each rule gets three fixtures: a positive hit, the same hit suppressed
+// with `// dcs-lint: allow(<rule>)`, and a clean variant. A final suite
+// self-scans the real source tree and asserts it is lint-clean — the same
+// gate CI's static-analysis job enforces.
+
+#include "dcs_lint_lib.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dcs {
+namespace lint {
+namespace {
+
+const std::vector<std::string> kPrefixes = {"detector", "ingest", "monitor",
+                                            "sketch"};
+
+std::vector<std::string> RulesIn(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  const std::vector<std::string> rules = RulesIn(findings);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+// ---------------------------------------------------------------------------
+// unseeded-rng
+// ---------------------------------------------------------------------------
+
+TEST(UnseededRngRuleTest, FlagsMt19937AndRandAndRandomDevice) {
+  const auto f1 = LintContent("src/analysis/foo.cc",
+                              "std::mt19937 gen;\n", kPrefixes);
+  ASSERT_EQ(f1.size(), 1u);
+  EXPECT_EQ(f1[0].rule, kRuleUnseededRng);
+  EXPECT_EQ(f1[0].line, 1u);
+
+  const auto f2 = LintContent("tests/foo.cc",
+                              "int x = rand();\n", kPrefixes);
+  EXPECT_TRUE(HasRule(f2, kRuleUnseededRng));
+
+  const auto f3 = LintContent("bench/foo.cc",
+                              "std::random_device rd;\n", kPrefixes);
+  EXPECT_TRUE(HasRule(f3, kRuleUnseededRng));
+}
+
+TEST(UnseededRngRuleTest, SuppressionOnSameLineAndLineAbove) {
+  const auto same = LintContent(
+      "src/foo.cc",
+      "std::mt19937 gen;  // dcs-lint: allow(unseeded-rng)\n", kPrefixes);
+  EXPECT_TRUE(same.empty());
+
+  const auto above = LintContent(
+      "src/foo.cc",
+      "// dcs-lint: allow(unseeded-rng)\nstd::mt19937 gen;\n", kPrefixes);
+  EXPECT_TRUE(above.empty());
+
+  // A suppression for a *different* rule does not apply.
+  const auto other = LintContent(
+      "src/foo.cc",
+      "std::mt19937 gen;  // dcs-lint: allow(wall-clock)\n", kPrefixes);
+  EXPECT_TRUE(HasRule(other, kRuleUnseededRng));
+}
+
+TEST(UnseededRngRuleTest, CleanCases) {
+  // The project Rng is the sanctioned source.
+  EXPECT_TRUE(LintContent("src/analysis/foo.cc",
+                          "Rng rng(42);\nrng.UniformInt(7);\n", kPrefixes)
+                  .empty());
+  // common/rng.cc itself is exempt.
+  EXPECT_TRUE(LintContent("src/common/rng.cc",
+                          "std::random_device rd;\n", kPrefixes)
+                  .empty());
+  // Mentions in comments and strings are not code.
+  EXPECT_TRUE(LintContent("src/foo.cc",
+                          "// rand() would be wrong here\n"
+                          "const char* s = \"mt19937\";\n",
+                          kPrefixes)
+                  .empty());
+  // Identifiers merely containing 'rand' are fine.
+  EXPECT_TRUE(LintContent("src/foo.cc", "int operand(int x);\n", kPrefixes)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iteration
+// ---------------------------------------------------------------------------
+
+constexpr const char* kUnorderedLoop =
+    "std::unordered_map<int, int> counts;\n"
+    "for (const auto& [k, v] : counts) {\n"
+    "  use(k, v);\n"
+    "}\n";
+
+TEST(UnorderedIterationRuleTest, FlagsRangeForInAnalysis) {
+  const auto findings =
+      LintContent("src/analysis/foo.cc", kUnorderedLoop, kPrefixes);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleUnorderedIteration);
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(UnorderedIterationRuleTest, FlagsExplicitBeginWalk) {
+  const auto findings = LintContent(
+      "src/analysis/foo.cc",
+      "std::unordered_set<std::uint64_t> seen;\n"
+      "auto it = seen.begin();\n",
+      kPrefixes);
+  EXPECT_TRUE(HasRule(findings, kRuleUnorderedIteration));
+}
+
+TEST(UnorderedIterationRuleTest, Suppressed) {
+  const auto findings = LintContent(
+      "src/analysis/foo.cc",
+      "std::unordered_map<int, int> counts;\n"
+      "// hash order irrelevant: results re-sorted below\n"
+      "// dcs-lint: allow(unordered-iteration)\n"
+      "for (const auto& [k, v] : counts) {\n"
+      "}\n",
+      kPrefixes);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(UnorderedIterationRuleTest, CleanCases) {
+  // Lookup without iteration is fine.
+  EXPECT_TRUE(LintContent("src/analysis/foo.cc",
+                          "std::unordered_map<int, int> m;\n"
+                          "m[3] = 4;\n"
+                          "if (m.count(3)) use(m.at(3));\n",
+                          kPrefixes)
+                  .empty());
+  // Same loop outside src/analysis/ is out of scope.
+  EXPECT_TRUE(
+      LintContent("src/baseline/foo.cc", kUnorderedLoop, kPrefixes).empty());
+  // Iterating an ordered container with a similar name is fine.
+  EXPECT_TRUE(LintContent("src/analysis/foo.cc",
+                          "std::map<int, int> counts;\n"
+                          "for (const auto& [k, v] : counts) use(k, v);\n",
+                          kPrefixes)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+// ---------------------------------------------------------------------------
+
+TEST(WallClockRuleTest, FlagsChronoAndPosixClocks) {
+  const auto f1 = LintContent(
+      "src/analysis/foo.cc",
+      "auto t = std::chrono::steady_clock::now();\n", kPrefixes);
+  ASSERT_EQ(f1.size(), 1u);
+  EXPECT_EQ(f1[0].rule, kRuleWallClock);
+
+  const auto f2 =
+      LintContent("src/dcs/foo.cc", "time_t t = time(nullptr);\n", kPrefixes);
+  EXPECT_TRUE(HasRule(f2, kRuleWallClock));
+
+  const auto f3 = LintContent("tools/foo.cc",
+                              "gettimeofday(&tv, nullptr);\n", kPrefixes);
+  EXPECT_TRUE(HasRule(f3, kRuleWallClock));
+}
+
+TEST(WallClockRuleTest, Suppressed) {
+  const auto findings = LintContent(
+      "src/dcs/foo.cc",
+      "auto t = std::chrono::steady_clock::now();"
+      "  // dcs-lint: allow(wall-clock)\n",
+      kPrefixes);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(WallClockRuleTest, CleanCases) {
+  // src/obs/ is the sanctioned home for clock reads.
+  EXPECT_TRUE(LintContent("src/obs/stage_timer.cc",
+                          "auto t = std::chrono::steady_clock::now();\n",
+                          kPrefixes)
+                  .empty());
+  // Benches measure time by design; they are out of scope.
+  EXPECT_TRUE(LintContent("bench/bench_foo.cc",
+                          "auto t = std::chrono::steady_clock::now();\n",
+                          kPrefixes)
+                  .empty());
+  // Durations without a clock read are fine.
+  EXPECT_TRUE(LintContent("src/dcs/foo.cc",
+                          "std::chrono::nanoseconds budget(5);\n", kPrefixes)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// metric-name
+// ---------------------------------------------------------------------------
+
+TEST(MetricNameRuleTest, FlagsUncataloguedPrefixAndBadGrammar) {
+  const auto f1 = LintContent(
+      "src/dcs/foo.cc", "ObsCounter(\"monitr.digests\").Increment();\n",
+      kPrefixes);
+  ASSERT_EQ(f1.size(), 1u);
+  EXPECT_EQ(f1[0].rule, kRuleMetricName);
+  EXPECT_NE(f1[0].message.find("monitr"), std::string::npos);
+
+  const auto f2 = LintContent(
+      "src/dcs/foo.cc", "ObsGauge(\"Monitor.CamelCase\").Set(1);\n",
+      kPrefixes);
+  EXPECT_TRUE(HasRule(f2, kRuleMetricName));
+
+  // No subsystem prefix at all.
+  const auto f3 =
+      LintContent("src/dcs/foo.cc", "ObsCounter(\"epochs\");\n", kPrefixes);
+  EXPECT_TRUE(HasRule(f3, kRuleMetricName));
+
+  // Stage names must be single segments (the registry adds stage.<path>.ns).
+  const auto f4 = LintContent(
+      "src/dcs/foo.cc", "ScopedStageTimer timer(\"stage.analyze.ns\");\n",
+      kPrefixes);
+  EXPECT_TRUE(HasRule(f4, kRuleMetricName));
+}
+
+TEST(MetricNameRuleTest, FindsLiteralsInsideMultilineAndTernaryCalls) {
+  const auto findings = LintContent(
+      "src/dcs/foo.cc",
+      "ObsCounter(aligned\n"
+      "               ? \"monitor.digests_received.aligned\"\n"
+      "               : \"wrongprefix.digests_received.unaligned\")\n"
+      "    .Increment();\n",
+      kPrefixes);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_NE(findings[0].message.find("wrongprefix"), std::string::npos);
+}
+
+TEST(MetricNameRuleTest, Suppressed) {
+  const auto findings = LintContent(
+      "src/dcs/foo.cc",
+      "// dcs-lint: allow(metric-name)\n"
+      "ObsCounter(\"experimental.not_yet_catalogued\").Increment();\n",
+      kPrefixes);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(MetricNameRuleTest, CleanCases) {
+  EXPECT_TRUE(LintContent("src/dcs/foo.cc",
+                          "ObsCounter(\"ingest.accepted\").Increment();\n"
+                          "ObsGauge(\"monitor.depth\").Set(3);\n"
+                          "ScopedStageTimer timer(\"analyze_aligned\");\n",
+                          kPrefixes)
+                  .empty());
+  // Dynamic names (no literal) are skipped — they are composed from
+  // catalogued parts at runtime.
+  EXPECT_TRUE(LintContent("src/dcs/foo.cc",
+                          "ObsCounter(metric).Increment();\n", kPrefixes)
+                  .empty());
+  // Out of scope in tests/ (fixtures use throwaway names).
+  EXPECT_TRUE(LintContent("tests/foo.cc",
+                          "ObsCounter(\"test.race.x\").Increment();\n",
+                          kPrefixes)
+                  .empty());
+}
+
+TEST(MetricNameRuleTest, ParseCatalogPrefixes) {
+  const std::string markdown =
+      "| `sketch.aligned.packets_hashed` | counter | x |\n"
+      "| `collector.{aligned,unaligned}.epochs` | counter | y |\n"
+      "| `stage.<path>.ns` | histogram | z |\n"
+      "Plain text with `not_a_metric` and `UPPER.case` stays out.\n";
+  const std::vector<std::string> prefixes = ParseCatalogPrefixes(markdown);
+  EXPECT_EQ(prefixes,
+            (std::vector<std::string>{"collector", "sketch", "stage"}));
+}
+
+// ---------------------------------------------------------------------------
+// float-equality
+// ---------------------------------------------------------------------------
+
+TEST(FloatEqualityRuleTest, FlagsEqualityAgainstFloatingLiterals) {
+  const auto f1 = LintContent("src/analysis/foo.cc",
+                              "if (weight == 0.5) return;\n", kPrefixes);
+  ASSERT_EQ(f1.size(), 1u);
+  EXPECT_EQ(f1[0].rule, kRuleFloatEquality);
+
+  const auto f2 = LintContent("src/common/stats_math.cc",
+                              "if (1e-9 != epsilon) abort();\n", kPrefixes);
+  EXPECT_TRUE(HasRule(f2, kRuleFloatEquality));
+
+  const auto f3 = LintContent("src/dcs/foo.cc",
+                              "bool hit = threshold != 0.0;\n", kPrefixes);
+  EXPECT_TRUE(HasRule(f3, kRuleFloatEquality));
+}
+
+TEST(FloatEqualityRuleTest, Suppressed) {
+  const auto findings = LintContent(
+      "src/analysis/foo.cc",
+      "if (weight == 0.5) return;  // dcs-lint: allow(float-equality)\n",
+      kPrefixes);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(FloatEqualityRuleTest, CleanCases) {
+  // Integer equality is fine.
+  EXPECT_TRUE(LintContent("src/analysis/foo.cc",
+                          "if (count == 0) return;\n", kPrefixes)
+                  .empty());
+  // Ordered comparisons against floats are fine.
+  EXPECT_TRUE(LintContent("src/analysis/foo.cc",
+                          "if (p > 0.0 && p < 1.0) use(p);\n", kPrefixes)
+                  .empty());
+  // Out of scope outside threshold code.
+  EXPECT_TRUE(LintContent("src/net/foo.cc",
+                          "if (rate == 0.5) return;\n", kPrefixes)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule catalog sanity.
+// ---------------------------------------------------------------------------
+
+TEST(RuleCatalogTest, ListsEveryRuleExactlyOnce) {
+  const auto catalog = RuleCatalog();
+  std::vector<std::string> slugs;
+  for (const auto& [slug, description] : catalog) {
+    slugs.push_back(slug);
+    EXPECT_FALSE(description.empty());
+  }
+  std::vector<std::string> expected = {
+      kRuleUnseededRng, kRuleUnorderedIteration, kRuleWallClock,
+      kRuleMetricName, kRuleFloatEquality};
+  std::sort(slugs.begin(), slugs.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(slugs, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Self-scan: the shipped tree must be clean. This is the same invocation
+// CI's static-analysis job runs (dcs_lint --fail-on-findings), so a rule
+// regression or a new violation fails here first.
+// ---------------------------------------------------------------------------
+
+TEST(SelfScanTest, RealTreeIsClean) {
+  LintOptions options;
+  options.root = DCS_LINT_SOURCE_ROOT;
+  const std::vector<Finding> findings = LintTree(options);
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << finding.ToString();
+  }
+}
+
+TEST(SelfScanTest, CatalogPrefixesParseFromRealDocs) {
+  LintOptions options;
+  options.root = DCS_LINT_SOURCE_ROOT;
+  // The observability doc must keep yielding a non-trivial prefix set; if
+  // someone reformats the tables away from backticked names, the metric rule
+  // would silently stop checking anything.
+  std::ifstream in(options.root / "docs" / "OBSERVABILITY.md");
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::vector<std::string> prefixes = ParseCatalogPrefixes(buf.str());
+  EXPECT_GE(prefixes.size(), 8u);
+  EXPECT_NE(std::find(prefixes.begin(), prefixes.end(), "ingest"),
+            prefixes.end());
+  EXPECT_NE(std::find(prefixes.begin(), prefixes.end(), "detector"),
+            prefixes.end());
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace dcs

@@ -12,7 +12,7 @@ Digest MakeUnalignedDigest() {
   digest.kind = DigestKind::kUnaligned;
   digest.num_groups = 2;
   digest.arrays_per_group = 3;
-  for (int r = 0; r < 6; ++r) {
+  for (std::size_t r = 0; r < 6; ++r) {
     BitVector row(128);
     row.Set(r);
     row.Set(100 + r);
@@ -126,7 +126,7 @@ TEST(DigestTest, MixedSparseAndDenseRowsRoundTrip) {
   digest.rows = {empty, full, half};
   Digest decoded;
   ASSERT_TRUE(Digest::Decode(digest.Encode(), &decoded).ok());
-  for (int r = 0; r < 3; ++r) {
+  for (std::size_t r = 0; r < 3; ++r) {
     EXPECT_TRUE(decoded.rows[r] == digest.rows[r]) << r;
   }
 }

@@ -44,7 +44,9 @@ TEST(HashTest, OutputBitsAreBalanced) {
   int bit_counts[64] = {};
   for (int i = 0; i < kSamples; ++i) {
     const std::uint64_t h = Hash64(&i, sizeof(i), 42);
-    for (int b = 0; b < 64; ++b) bit_counts[b] += (h >> b) & 1;
+    for (int b = 0; b < 64; ++b) {
+      bit_counts[b] += static_cast<int>((h >> static_cast<unsigned>(b)) & 1);
+    }
   }
   for (int b = 0; b < 64; ++b) {
     EXPECT_NEAR(bit_counts[b], kSamples / 2, 6 * 32) << "bit " << b;

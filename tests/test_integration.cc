@@ -59,7 +59,7 @@ AlignedScenarioResult RunAlignedScenario(bool plant_content,
     result.compression += decoded.CompressionFactor();
     EXPECT_TRUE(monitor.AddDigest(decoded).ok());
   }
-  result.compression /= scenario.num_routers;
+  result.compression /= static_cast<double>(scenario.num_routers);
   result.report = monitor.AnalyzeAligned();
   result.planted_routers = plant.router_ids;
   return result;

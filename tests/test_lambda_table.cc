@@ -53,11 +53,13 @@ TEST(LambdaTableTest, ConcurrentLookupsAgree) {
   ThreadPool pool(4);
   std::vector<std::int64_t> results(64);
   pool.ParallelFor(64, [&](std::size_t i) {
-    results[i] = table.Threshold(400 + i % 8, 450 + i % 5);
+    results[i] = table.Threshold(static_cast<std::uint32_t>(400 + i % 8),
+                                 static_cast<std::uint32_t>(450 + i % 5));
   });
   for (std::size_t i = 0; i < 64; ++i) {
     EXPECT_EQ(results[i],
-              table.Threshold(400 + i % 8, 450 + i % 5));
+              table.Threshold(static_cast<std::uint32_t>(400 + i % 8),
+                              static_cast<std::uint32_t>(450 + i % 5)));
   }
 }
 

@@ -70,14 +70,14 @@ TEST_F(MetricsTest, ConcurrentRegistrationIsSafe) {
         Counter& c =
             ObsCounter("test.race." + std::to_string(i % 5));
         c.Increment();
-        if (i == 0) first[t] = &c;
+        if (i == 0) first[static_cast<std::size_t>(t)] = &c;
         (void)MetricsRegistry::Global().Snapshot();
       }
     });
   }
   for (std::thread& t : threads) t.join();
   for (int t = 1; t < kThreads; ++t) {
-    EXPECT_EQ(first[t], first[0]);  // Same name -> same object everywhere.
+    EXPECT_EQ(first[static_cast<std::size_t>(t)], first[0]);  // Same name -> same object everywhere.
   }
   std::uint64_t total = 0;
   for (int i = 0; i < 5; ++i) {

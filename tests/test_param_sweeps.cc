@@ -268,7 +268,7 @@ class ErEdgeCountTest : public ::testing::TestWithParam<ErConfig> {};
 TEST_P(ErEdgeCountTest, EdgeCountWithinFiveSigma) {
   const auto [n, p] = GetParam();
   Rng rng(n + static_cast<std::uint64_t>(p * 1e9));
-  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  const double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
   const double expected = pairs * p;
   const double sigma = std::sqrt(expected * (1 - p));
   double total = 0.0;

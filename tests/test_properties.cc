@@ -142,7 +142,8 @@ class PhaseTransitionTest : public ::testing::TestWithParam<PhaseCase> {};
 
 TEST_P(PhaseTransitionTest, LargestComponentRegime) {
   const auto [n, c, giant_expected] = GetParam();
-  Rng rng(static_cast<std::uint64_t>(n * 31 + c * 100));
+  Rng rng(static_cast<std::uint64_t>(n) * 31 +
+          static_cast<std::uint64_t>(c * 100));
   const Graph g = SampleErGraph(n, c / static_cast<double>(n), &rng);
   const std::size_t largest = LargestComponentSize(g);
   if (giant_expected) {
@@ -245,7 +246,7 @@ TEST(DigestFuzzTest, MutatedValidDigestsAreRejected) {
   digest.kind = DigestKind::kUnaligned;
   digest.num_groups = 2;
   digest.arrays_per_group = 2;
-  for (int r = 0; r < 4; ++r) {
+  for (std::size_t r = 0; r < 4; ++r) {
     BitVector row(256);
     row.Set(r * 10);
     digest.rows.push_back(row);
@@ -270,10 +271,15 @@ TEST(DigestFuzzTest, MutatedValidDigestsAreRejected) {
 TEST(StatsConsistencyTest, HypergeomSfComplementsCdfRandomSweep) {
   Rng rng(44);
   for (int t = 0; t < 200; ++t) {
-    const std::int64_t big_n = 16 + rng.UniformInt(2048);
-    const std::int64_t i = rng.UniformInt(big_n + 1);
-    const std::int64_t j = rng.UniformInt(big_n + 1);
-    const std::int64_t x = rng.UniformInt(std::min(i, j) + 1);
+    const std::int64_t big_n =
+        16 + static_cast<std::int64_t>(rng.UniformInt(2048));
+    const auto uniform = [&rng](std::int64_t bound) {
+      return static_cast<std::int64_t>(
+          rng.UniformInt(static_cast<std::uint64_t>(bound)));
+    };
+    const std::int64_t i = uniform(big_n + 1);
+    const std::int64_t j = uniform(big_n + 1);
+    const std::int64_t x = uniform(std::min(i, j) + 1);
     const double cdf = HypergeomCdf(x, big_n, i, j);
     const double sf = std::exp(LogHypergeomSf(x, big_n, i, j));
     EXPECT_NEAR(cdf + sf, 1.0, 1e-9)
@@ -284,9 +290,11 @@ TEST(StatsConsistencyTest, HypergeomSfComplementsCdfRandomSweep) {
 TEST(StatsConsistencyTest, BinomSfComplementsCdfRandomSweep) {
   Rng rng(45);
   for (int t = 0; t < 200; ++t) {
-    const std::int64_t n = 1 + rng.UniformInt(5000);
+    const std::int64_t n =
+        1 + static_cast<std::int64_t>(rng.UniformInt(5000));
     const double p = rng.UniformDouble();
-    const std::int64_t x = rng.UniformInt(n + 1);
+    const std::int64_t x = static_cast<std::int64_t>(
+        rng.UniformInt(static_cast<std::uint64_t>(n + 1)));
     const double cdf = BinomCdf(x, n, p);
     const double sf = std::exp(LogBinomSf(x, n, p));
     EXPECT_NEAR(cdf + sf, 1.0, 1e-9) << "n=" << n << " p=" << p;

@@ -81,7 +81,7 @@ TEST(RabinTest, SampledFingerprintsAreSubset) {
   // Sampling rate ~ 1/16.
   EXPECT_NEAR(static_cast<double>(sampled.size()),
               static_cast<double>(all.size()) / 16.0,
-              6.0 * std::sqrt(all.size() / 16.0));
+              6.0 * std::sqrt(static_cast<double>(all.size()) / 16.0));
 }
 
 TEST(RabinTest, CollisionFreeOnDistinctShortInputs) {

@@ -97,7 +97,7 @@ TEST(SignatureFilterTest, EndToEndDetectionToFiltering) {
       packetizer);
   std::size_t content_matches = 0;
   for (const Packet& pkt : content_packets) {
-    content_matches += filter.Matches(pkt) ? 1 : 0;
+    content_matches += filter.Matches(pkt) ? 1u : 0u;
   }
   EXPECT_GE(content_matches, content_packets.size() - 1);
 
@@ -107,7 +107,7 @@ TEST(SignatureFilterTest, EndToEndDetectionToFiltering) {
   for (const Packet& pkt : traces[20]) {  // A router without the content.
     if (pkt.payload.empty()) continue;
     ++background_total;
-    background_matches += filter.Matches(pkt) ? 1 : 0;
+    background_matches += filter.Matches(pkt) ? 1u : 0u;
   }
   EXPECT_LT(static_cast<double>(background_matches) /
                 static_cast<double>(background_total),

@@ -99,7 +99,9 @@ TEST(BinomQuantileTest, InvertsCdf) {
   for (double q : {0.01, 0.5, 0.9, 0.999}) {
     const std::int64_t x = BinomQuantile(q, 100, 0.3);
     EXPECT_GE(BinomCdf(x, 100, 0.3), q);
-    if (x > 0) EXPECT_LT(BinomCdf(x - 1, 100, 0.3), q);
+    if (x > 0) {
+      EXPECT_LT(BinomCdf(x - 1, 100, 0.3), q);
+    }
   }
 }
 

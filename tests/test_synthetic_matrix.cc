@@ -37,7 +37,9 @@ TEST(SyntheticScreenedTest, WeightsDescendAndMatchBits) {
   for (std::size_t i = 0; i < s.screened.columns.size(); ++i) {
     EXPECT_EQ(s.screened.columns[i].CountOnes(), s.screened.weights[i])
         << "column " << i;
-    if (i > 0) EXPECT_GE(s.screened.weights[i - 1], s.screened.weights[i]);
+    if (i > 0) {
+      EXPECT_GE(s.screened.weights[i - 1], s.screened.weights[i]);
+    }
   }
 }
 

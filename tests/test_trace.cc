@@ -38,7 +38,7 @@ TEST(TraceTest, TotalWireBytes) {
 
 TEST(TraceTest, SplitIntoEpochs) {
   PacketTrace trace;
-  for (int i = 0; i < 10; ++i) trace.Add(MakePacket(i, "p"));
+  for (std::uint32_t i = 0; i < 10; ++i) trace.Add(MakePacket(i, "p"));
   const auto epochs = trace.SplitIntoEpochs(4);
   ASSERT_EQ(epochs.size(), 3u);
   EXPECT_EQ(epochs[0].size(), 4u);
@@ -49,7 +49,7 @@ TEST(TraceTest, SplitIntoEpochs) {
 
 TEST(TraceTest, SplitExactMultiple) {
   PacketTrace trace;
-  for (int i = 0; i < 8; ++i) trace.Add(MakePacket(i, "p"));
+  for (std::uint32_t i = 0; i < 8; ++i) trace.Add(MakePacket(i, "p"));
   EXPECT_EQ(trace.SplitIntoEpochs(4).size(), 2u);
 }
 

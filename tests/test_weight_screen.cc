@@ -47,7 +47,9 @@ TEST(TopKIndicesTest, MatchesSortOnRandomInput) {
     min_selected = std::min(min_selected, values[i]);
   }
   for (std::size_t i = 0; i < values.size(); ++i) {
-    if (!selected[i]) EXPECT_LE(values[i], min_selected);
+    if (!selected[i]) {
+      EXPECT_LE(values[i], min_selected);
+    }
   }
   // And descending order.
   for (std::size_t i = 1; i < top.size(); ++i) {

@@ -1,0 +1,72 @@
+// dcs_lint — project-specific determinism and hygiene linter.
+//
+// Enforces the DCS invariants no generic static analyzer knows about:
+// reproducible randomness, hash-order-free analysis output, timing-free
+// pipelines, the observability metric-name grammar, and tolerance-based
+// threshold comparisons. See docs/STATIC_ANALYSIS.md for the rule catalog
+// and the `// dcs-lint: allow(<rule>)` suppression syntax.
+//
+// Usage:
+//   dcs_lint [--root <dir>] [--fail-on-findings] [--list-rules] [files...]
+//
+// With no file arguments, walks src/, tools/, tests/, bench/, and examples/
+// under the root (default: the current directory). Exit status is 0 when
+// clean, 1 when findings exist and --fail-on-findings was given, 2 on usage
+// errors.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dcs_lint_lib.h"
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: dcs_lint [--root <dir>] [--fail-on-findings] [--list-rules] "
+      "[files...]\n"
+      "Project determinism linter; see docs/STATIC_ANALYSIS.md.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dcs::lint::LintOptions options;
+  options.root = ".";
+  bool fail_on_findings = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--list-rules") {
+      for (const auto& [rule, description] : dcs::lint::RuleCatalog()) {
+        std::printf("%-22s %s\n", rule.c_str(), description.c_str());
+      }
+      return 0;
+    } else if (arg == "--fail-on-findings") {
+      fail_on_findings = true;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--root requires a directory argument\n");
+        return 2;
+      }
+      options.root = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    } else {
+      options.files.emplace_back(arg);
+    }
+  }
+
+  const std::vector<dcs::lint::Finding> findings =
+      dcs::lint::LintTree(options);
+  for (const dcs::lint::Finding& finding : findings) {
+    std::printf("%s\n", finding.ToString().c_str());
+  }
+  std::printf("dcs_lint: %zu finding(s)\n", findings.size());
+  return (fail_on_findings && !findings.empty()) ? 1 : 0;
+}

@@ -1,0 +1,535 @@
+#include "dcs_lint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iterator>
+#include <regex>
+#include <sstream>
+#include <tuple>
+
+namespace dcs {
+namespace lint {
+
+const char* const kRuleUnseededRng = "unseeded-rng";
+const char* const kRuleUnorderedIteration = "unordered-iteration";
+const char* const kRuleWallClock = "wall-clock";
+const char* const kRuleMetricName = "metric-name";
+const char* const kRuleFloatEquality = "float-equality";
+
+std::vector<std::pair<std::string, std::string>> RuleCatalog() {
+  return {
+      {kRuleUnseededRng,
+       "std::mt19937 / rand() / random_device outside src/common/rng.cc; "
+       "all randomness must flow through the seeded dcs::Rng"},
+      {kRuleUnorderedIteration,
+       "iteration over std::unordered_{map,set} in src/analysis/; hash-order "
+       "leaks break the bit-identical parallel-merge guarantee"},
+      {kRuleWallClock,
+       "wall-clock reads (std::chrono clocks, time(), gettimeofday) outside "
+       "src/obs/; analysis output must not depend on timing"},
+      {kRuleMetricName,
+       "metric-name literal whose prefix is not in the "
+       "docs/OBSERVABILITY.md catalog, or that violates the "
+       "lowercase.dotted_name grammar"},
+      {kRuleFloatEquality,
+       "float/double == or != against a floating literal in threshold code; "
+       "compare with an explicit tolerance"},
+  };
+}
+
+std::string Finding::ToString() const {
+  std::ostringstream out;
+  out << file << ":" << line << ": [" << rule << "] " << message;
+  return out.str();
+}
+
+namespace {
+
+/// Comment/string-aware views of one source file. Both preserve the exact
+/// line structure (every replaced character becomes a space) so regex hits
+/// map 1:1 onto source lines.
+struct LexedFile {
+  std::string code;        ///< Comments blanked; string literals kept.
+  std::string code_nostr;  ///< Comments and literal *contents* blanked.
+};
+
+LexedFile Lex(const std::string& text) {
+  enum class State {
+    kNormal,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  LexedFile out;
+  out.code.reserve(text.size());
+  out.code_nostr.reserve(text.size());
+  State state = State::kNormal;
+  std::string raw_terminator;  // For kRawString: ")delim\"".
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {  // Line structure survives every state.
+      out.code += '\n';
+      out.code_nostr += '\n';
+      if (state == State::kLineComment) state = State::kNormal;
+      continue;
+    }
+    switch (state) {
+      case State::kNormal:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out.code += "  ";
+          out.code_nostr += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out.code += "  ";
+          out.code_nostr += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          // Raw string: R"delim( ... )delim".
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < text.size() && text[p] != '(') delim += text[p++];
+          state = State::kRawString;
+          raw_terminator = ")" + delim + "\"";
+          for (std::size_t k = i; k <= p && k < text.size(); ++k) {
+            out.code += text[k];
+            out.code_nostr += text[k] == '(' ? '"' : ' ';
+          }
+          i = p;
+        } else if (c == '"') {
+          state = State::kString;
+          out.code += c;
+          out.code_nostr += c;
+        } else if (c == '\'') {
+          state = State::kChar;
+          out.code += c;
+          out.code_nostr += c;
+        } else {
+          out.code += c;
+          out.code_nostr += c;
+        }
+        break;
+      case State::kLineComment:
+        out.code += ' ';
+        out.code_nostr += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kNormal;
+          out.code += "  ";
+          out.code_nostr += "  ";
+          ++i;
+        } else {
+          out.code += ' ';
+          out.code_nostr += ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out.code += c;
+          out.code += next;
+          out.code_nostr += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kNormal;
+          out.code += c;
+          out.code_nostr += c;
+        } else {
+          out.code += c;
+          out.code_nostr += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out.code += c;
+          out.code += next;
+          out.code_nostr += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kNormal;
+          out.code += c;
+          out.code_nostr += c;
+        } else {
+          out.code += c;
+          out.code_nostr += ' ';
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          out.code += raw_terminator;
+          out.code_nostr += '"';
+          for (std::size_t k = 1; k < raw_terminator.size(); ++k) {
+            out.code_nostr += ' ';
+          }
+          i += raw_terminator.size() - 1;
+          state = State::kNormal;
+        } else {
+          out.code += c;
+          out.code_nostr += ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::size_t LineOfOffset(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<std::ptrdiff_t>(offset), '\n'));
+}
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// True when `raw_lines[line-1]` or the line above carries a
+/// `dcs-lint: allow(<rule>)` suppression naming this rule.
+bool Suppressed(const std::vector<std::string>& raw_lines, std::size_t line,
+                const std::string& rule) {
+  const auto has_allow = [&rule](const std::string& text) {
+    const std::size_t at = text.find("dcs-lint: allow(");
+    if (at == std::string::npos) return false;
+    const std::size_t open = text.find('(', at);
+    const std::size_t close = text.find(')', open);
+    if (close == std::string::npos) return false;
+    std::string inside = text.substr(open + 1, close - open - 1);
+    std::istringstream stream(inside);
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+      const std::size_t b = item.find_first_not_of(" \t");
+      const std::size_t e = item.find_last_not_of(" \t");
+      if (b != std::string::npos && item.substr(b, e - b + 1) == rule) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (line >= 1 && line <= raw_lines.size() && has_allow(raw_lines[line - 1])) {
+    return true;
+  }
+  return line >= 2 && has_allow(raw_lines[line - 2]);
+}
+
+struct FileContext {
+  const std::string& rel_path;
+  const std::vector<std::string>& raw_lines;
+  const LexedFile& lexed;
+  std::vector<Finding>* findings;
+
+  void Emit(std::size_t line, const char* rule, std::string message) const {
+    if (Suppressed(raw_lines, line, rule)) return;
+    findings->push_back(Finding{rel_path, line, rule, std::move(message)});
+  }
+};
+
+/// Applies `re` line-by-line over `view` and emits one finding per matching
+/// line (first match only; one diagnostic per line keeps output readable).
+void EmitLineMatches(const FileContext& ctx, const std::string& view,
+                     const std::regex& re, const char* rule,
+                     const std::string& message) {
+  const std::vector<std::string> lines = SplitLines(view);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (std::regex_search(lines[i], re)) {
+      ctx.Emit(i + 1, rule, message);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unseeded-rng
+// ---------------------------------------------------------------------------
+
+void CheckUnseededRng(const FileContext& ctx) {
+  if (ctx.rel_path == "src/common/rng.cc") return;
+  static const std::regex re(
+      R"(\bstd\s*::\s*(mt19937(_64)?|minstd_rand0?|random_device)\b|\b(mt19937(_64)?|random_device)\b|(^|[^\w:])s?rand\s*\(|\bdrand48\b)");
+  EmitLineMatches(ctx, ctx.lexed.code_nostr, re, kRuleUnseededRng,
+                  "randomness outside common/rng.cc; use the seeded dcs::Rng "
+                  "(common/rng.h) so every run is reproducible");
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unordered-iteration
+// ---------------------------------------------------------------------------
+
+void CheckUnorderedIteration(const FileContext& ctx) {
+  if (!StartsWith(ctx.rel_path, "src/analysis/")) return;
+  const std::string& code = ctx.lexed.code_nostr;
+
+  // Pass 1: names declared as std::unordered_{map,set}<...>.
+  std::vector<std::string> unordered_names;
+  static const std::regex decl_re(R"(\bstd\s*::\s*unordered_(map|set)\s*<)");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), decl_re);
+       it != std::sregex_iterator(); ++it) {
+    // Skip the balanced template argument list, then read the declared name.
+    std::size_t p = static_cast<std::size_t>(it->position()) +
+                    static_cast<std::size_t>(it->length());
+    int depth = 1;
+    while (p < code.size() && depth > 0) {
+      if (code[p] == '<') ++depth;
+      if (code[p] == '>') --depth;
+      ++p;
+    }
+    while (p < code.size() &&
+           (std::isspace(static_cast<unsigned char>(code[p])) ||
+            code[p] == '&')) {
+      ++p;
+    }
+    std::string name;
+    while (p < code.size() && (std::isalnum(static_cast<unsigned char>(
+                                   code[p])) ||
+                               code[p] == '_')) {
+      name += code[p++];
+    }
+    if (!name.empty() && name != "const") unordered_names.push_back(name);
+  }
+  if (unordered_names.empty()) return;
+
+  // Pass 2: range-for over, or explicit iterator walks of, those names.
+  for (const std::string& name : unordered_names) {
+    const std::regex iter_re(
+        "for\\s*\\([^;)]*:\\s*\\*?" + name + "\\s*\\)|\\b" + name +
+        "\\s*\\.\\s*(begin|cbegin)\\s*\\(");
+    EmitLineMatches(
+        ctx, code, iter_re, kRuleUnorderedIteration,
+        "iteration over unordered container '" + name +
+            "' in src/analysis/ — hash order is not deterministic across "
+            "platforms; sort keys first or use an ordered structure "
+            "(bit-identical-merge rule)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: wall-clock
+// ---------------------------------------------------------------------------
+
+void CheckWallClock(const FileContext& ctx) {
+  const bool in_scope = (StartsWith(ctx.rel_path, "src/") &&
+                         !StartsWith(ctx.rel_path, "src/obs/")) ||
+                        StartsWith(ctx.rel_path, "tools/");
+  if (!in_scope) return;
+  static const std::regex re(
+      R"(\bstd\s*::\s*chrono\s*::\s*(system_clock|steady_clock|high_resolution_clock)\b|\b(system_clock|steady_clock|high_resolution_clock)\s*::\s*now\b|\bgettimeofday\b|\bclock_gettime\b|\btime\s*\(\s*(nullptr|NULL|0)\s*\)|\bstd\s*::\s*clock\s*\()");
+  EmitLineMatches(ctx, ctx.lexed.code_nostr, re, kRuleWallClock,
+                  "wall-clock read outside src/obs/; route timing through "
+                  "obs::ScopedStageTimer so analysis results stay "
+                  "schedule-independent");
+}
+
+// ---------------------------------------------------------------------------
+// Rule: metric-name
+// ---------------------------------------------------------------------------
+
+bool ValidMetricLiteral(const std::string& literal,
+                        const std::vector<std::string>& prefixes,
+                        std::string* why) {
+  if (literal.empty()) {
+    *why = "empty metric name";
+    return false;
+  }
+  static const std::regex grammar(R"(^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*\.?$)");
+  if (!std::regex_match(literal, grammar)) {
+    *why = "violates the lowercase dotted-name grammar";
+    return false;
+  }
+  const std::size_t dot = literal.find('.');
+  if (dot == std::string::npos) {
+    *why = "has no subsystem prefix (expected '<subsystem>.<metric>')";
+    return false;
+  }
+  const std::string prefix = literal.substr(0, dot);
+  if (std::find(prefixes.begin(), prefixes.end(), prefix) == prefixes.end()) {
+    *why = "prefix '" + prefix +
+           "' is not in the docs/OBSERVABILITY.md catalog";
+    return false;
+  }
+  return true;
+}
+
+void CheckMetricNames(const FileContext& ctx,
+                      const std::vector<std::string>& prefixes) {
+  const bool in_scope =
+      StartsWith(ctx.rel_path, "src/") || StartsWith(ctx.rel_path, "tools/");
+  if (!in_scope || prefixes.empty()) return;
+  const std::string& code = ctx.lexed.code;
+  // Matches both the call form `ObsCounter("...")` and the declaration form
+  // `ScopedStageTimer timer("...")` (optional variable name before the paren).
+  static const std::regex call_re(
+      R"(\b(ObsCounter|ObsGauge|ObsHistogram|ScopedStageTimer)(\s+[A-Za-z_]\w*)?\s*\()");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), call_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string callee = (*it)[1].str();
+    // Scan the balanced argument list, collecting quoted literals.
+    std::size_t p = static_cast<std::size_t>(it->position()) +
+                    static_cast<std::size_t>(it->length());
+    int depth = 1;
+    std::vector<std::pair<std::string, std::size_t>> literals;
+    while (p < code.size() && depth > 0) {
+      if (code[p] == '(') ++depth;
+      if (code[p] == ')') --depth;
+      if (code[p] == '"') {
+        const std::size_t start = ++p;
+        while (p < code.size() && code[p] != '"') {
+          if (code[p] == '\\') ++p;
+          ++p;
+        }
+        literals.emplace_back(code.substr(start, p - start),
+                              LineOfOffset(code, start));
+      }
+      ++p;
+    }
+    for (const auto& [literal, line] : literals) {
+      if (callee == "ScopedStageTimer") {
+        static const std::regex stage_grammar(R"(^[a-z][a-z0-9_]*$)");
+        if (!std::regex_match(literal, stage_grammar)) {
+          ctx.Emit(line, kRuleMetricName,
+                   "stage name \"" + literal +
+                       "\" must be a single lowercase [a-z0-9_] segment "
+                       "(the registry composes the stage.<path>.ns metric)");
+        }
+      } else {
+        std::string why;
+        if (!ValidMetricLiteral(literal, prefixes, &why)) {
+          ctx.Emit(line, kRuleMetricName,
+                   "metric name \"" + literal + "\" " + why);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: float-equality
+// ---------------------------------------------------------------------------
+
+void CheckFloatEquality(const FileContext& ctx) {
+  const bool in_scope = StartsWith(ctx.rel_path, "src/analysis/") ||
+                        StartsWith(ctx.rel_path, "src/dcs/") ||
+                        StartsWith(ctx.rel_path, "src/common/stats_math");
+  if (!in_scope) return;
+  // A floating literal on either side of ==/!=. `x == 0.0` in threshold
+  // code is exactly the bug class: thresholds come out of log-domain math
+  // and are almost never exactly representable.
+  static const std::regex re(
+      R"((==|!=)\s*[-+]?(\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)|(\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)[fF]?\s*(==|!=))");
+  EmitLineMatches(ctx, ctx.lexed.code_nostr, re, kRuleFloatEquality,
+                  "floating-point equality comparison in threshold code; "
+                  "compare against an explicit tolerance instead");
+}
+
+}  // namespace
+
+std::vector<std::string> ParseCatalogPrefixes(const std::string& markdown) {
+  std::vector<std::string> prefixes;
+  static const std::regex token_re(R"(`([a-z][a-z0-9_]*)\.[^`]*`)");
+  for (auto it =
+           std::sregex_iterator(markdown.begin(), markdown.end(), token_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string prefix = (*it)[1].str();
+    if (std::find(prefixes.begin(), prefixes.end(), prefix) ==
+        prefixes.end()) {
+      prefixes.push_back(prefix);
+    }
+  }
+  std::sort(prefixes.begin(), prefixes.end());
+  return prefixes;
+}
+
+std::vector<Finding> LintContent(const std::string& rel_path,
+                                 const std::string& content,
+                                 const std::vector<std::string>& prefixes) {
+  std::vector<Finding> findings;
+  const LexedFile lexed = Lex(content);
+  const std::vector<std::string> raw_lines = SplitLines(content);
+  const FileContext ctx{rel_path, raw_lines, lexed, &findings};
+  CheckUnseededRng(ctx);
+  CheckUnorderedIteration(ctx);
+  CheckWallClock(ctx);
+  CheckMetricNames(ctx, prefixes);
+  CheckFloatEquality(ctx);
+  return findings;
+}
+
+std::vector<Finding> LintTree(const LintOptions& options) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> prefixes = options.catalog_prefixes;
+  if (prefixes.empty()) {
+    const fs::path catalog = options.root / "docs" / "OBSERVABILITY.md";
+    std::ifstream in(catalog);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      prefixes = ParseCatalogPrefixes(buf.str());
+    }
+  }
+
+  std::vector<fs::path> files = options.files;
+  if (files.empty()) {
+    for (const char* dir :
+         {"src", "tools", "tests", "bench", "examples"}) {
+      const fs::path base = options.root / dir;
+      if (!fs::exists(base)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+          files.push_back(entry.path());
+        }
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    const fs::path abs = file.is_absolute() ? file : options.root / file;
+    std::ifstream in(abs, std::ios::binary);
+    if (!in) {
+      findings.push_back(Finding{file.generic_string(), 0, "io-error",
+                                 "could not read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::error_code ec;
+    fs::path rel = fs::relative(abs, options.root, ec);
+    if (ec || rel.empty() || *rel.begin() == "..") rel = file;
+    auto file_findings =
+        LintContent(rel.generic_string(), buf.str(), prefixes);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace dcs

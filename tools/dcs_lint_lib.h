@@ -1,0 +1,64 @@
+#ifndef DCS_TOOLS_DCS_LINT_LIB_H_
+#define DCS_TOOLS_DCS_LINT_LIB_H_
+
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dcs {
+namespace lint {
+
+/// One rule violation at a specific source line.
+struct Finding {
+  std::string file;   ///< Path as reported (relative to the scan root).
+  std::size_t line = 0;  ///< 1-based.
+  std::string rule;   ///< Rule slug, e.g. "unseeded-rng".
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Rule slugs, in reporting order. Each is usable in a suppression comment:
+///   // dcs-lint: allow(unseeded-rng)
+/// on the offending line or the line directly above it.
+extern const char* const kRuleUnseededRng;
+extern const char* const kRuleUnorderedIteration;
+extern const char* const kRuleWallClock;
+extern const char* const kRuleMetricName;
+extern const char* const kRuleFloatEquality;
+
+/// All rule slugs with a one-line description, for --list-rules and docs.
+std::vector<std::pair<std::string, std::string>> RuleCatalog();
+
+/// Extracts metric-name prefixes (the segment before the first '.') from the
+/// observability catalog markdown: every backticked dotted token in the file,
+/// e.g. `ingest.rejected.decode` contributes "ingest". This makes
+/// docs/OBSERVABILITY.md the source of truth for the prefix grammar.
+std::vector<std::string> ParseCatalogPrefixes(const std::string& markdown);
+
+struct LintOptions {
+  /// Scan root; rule scoping is decided by paths relative to this.
+  std::filesystem::path root;
+  /// Explicit files to lint (absolute or root-relative). Empty = walk the
+  /// default directories (src, tools, tests, bench, examples) under root.
+  std::vector<std::filesystem::path> files;
+  /// Metric-name prefixes. Empty = parse from root/docs/OBSERVABILITY.md;
+  /// if that file is missing the metric-name rule is skipped.
+  std::vector<std::string> catalog_prefixes;
+};
+
+/// Lints one file's contents as if it lived at `rel_path` under the root.
+/// `rel_path` must use forward slashes; it drives per-rule scoping.
+std::vector<Finding> LintContent(const std::string& rel_path,
+                                 const std::string& content,
+                                 const std::vector<std::string>& prefixes);
+
+/// Walks / reads per LintOptions and lints every file. Findings are sorted
+/// by (file, line, rule) so output is deterministic.
+std::vector<Finding> LintTree(const LintOptions& options);
+
+}  // namespace lint
+}  // namespace dcs
+
+#endif  // DCS_TOOLS_DCS_LINT_LIB_H_

@@ -220,8 +220,9 @@ Status CmdCollect(const Flags& flags) {
   if (routers == 0) return Status::NotFound("no traces in " + in_dir);
   std::printf("collect: %u digests (%s), %.1f MB traffic -> %.1f KB digests "
               "(%.0fx)\n",
-              routers, unaligned ? "unaligned" : "aligned", raw_bytes / 1e6,
-              digest_bytes / 1e3,
+              routers, unaligned ? "unaligned" : "aligned",
+              static_cast<double>(raw_bytes) / 1e6,
+              static_cast<double>(digest_bytes) / 1e3,
               static_cast<double>(raw_bytes) /
                   static_cast<double>(digest_bytes));
   return Status::Ok();
@@ -398,6 +399,10 @@ int Main(int argc, char** argv) {
     return 1;
   }
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    PrintUsage();
+    return 0;
+  }
   Flags flags;
   const Status parse_status = flags.Parse(argc, argv, 2);
   if (!parse_status.ok()) {
