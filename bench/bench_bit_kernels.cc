@@ -1,0 +1,185 @@
+// Micro-benchmark for the runtime-dispatched bit kernels (the AND+popcount
+// hot path every detector bottoms out in). Compares three implementations
+// of each primitive:
+//   seed    — the word-at-a-time loop the repo shipped with (reproduced
+//             here verbatim as the baseline),
+//   scalar  — the portable kernel table (multi-accumulator loops),
+//   active  — whatever ActiveBitKernels() dispatched to on this host
+//             (AVX2 / NEON / scalar; DCS_FORCE_SCALAR=1 pins it to scalar).
+// The headline number is CommonOnesBatch: one row against many rows, tiled
+// so the left operand stays cache-resident — the inner loop of the pair
+// scan and of the aligned extension pass.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/bit_kernels.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+
+namespace {
+
+// The seed implementation: one popcount per word, one serial accumulator.
+std::size_t SeedAndCount(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t num_words) {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < num_words; ++w) {
+    count += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+  }
+  return count;
+}
+
+std::size_t SeedCountOnes(const std::uint64_t* words, std::size_t num_words) {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < num_words; ++w) {
+    count += static_cast<std::size_t>(std::popcount(words[w]));
+  }
+  return count;
+}
+
+std::vector<std::uint64_t> RandomWords(dcs::Rng* rng, std::size_t num_words) {
+  std::vector<std::uint64_t> words(num_words);
+  for (std::uint64_t& w : words) w = rng->Next();
+  return words;
+}
+
+// Wall time per call, amortized over enough repetitions to outlast timer
+// noise; the checksum defeats dead-code elimination.
+template <typename Fn>
+double SecsPerCall(int reps, std::uint64_t* checksum, Fn&& fn) {
+  const double t = dcs::bench::NowSeconds();
+  for (int r = 0; r < reps; ++r) *checksum += fn();
+  return (dcs::bench::NowSeconds() - t) / reps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dcs;
+  const BenchScale scale = BenchScaleFromEnv();
+  bench::Banner("bit kernels", "AND+popcount hot-path dispatch layer", scale);
+  std::printf("active kernel table: %s\n\n", ActiveBitKernels().name);
+
+  Rng rng(bench::EnvSeed("DCS_SEED", 77));
+  std::uint64_t checksum = 0;
+
+  // --- Pairwise and_count across span lengths (64 Kbit .. 4 Mbit).
+  {
+    TablePrinter table({"bits", "seed GB/s", "scalar GB/s", "active GB/s",
+                        "active/seed"});
+    for (std::size_t bits : {std::size_t{1} << 16, std::size_t{1} << 20,
+                             std::size_t{4} << 20}) {
+      const std::size_t words = bits / 64;
+      const auto a = RandomWords(&rng, words);
+      const auto b = RandomWords(&rng, words);
+      const int reps = bits > (1u << 18) ? 200 : 2000;
+      const double seed_s = SecsPerCall(reps, &checksum, [&] {
+        return SeedAndCount(a.data(), b.data(), words);
+      });
+      const double scalar_s = SecsPerCall(reps, &checksum, [&] {
+        return ScalarBitKernels().and_count(a.data(), b.data(), words);
+      });
+      const double active_s = SecsPerCall(reps, &checksum, [&] {
+        return ActiveBitKernels().and_count(a.data(), b.data(), words);
+      });
+      // Two operand streams are read per call.
+      const double bytes = 2.0 * static_cast<double>(words) * 8.0;
+      table.AddRow({std::to_string(bits),
+                    TablePrinter::Fmt(bytes / seed_s / 1e9, 2),
+                    TablePrinter::Fmt(bytes / scalar_s / 1e9, 2),
+                    TablePrinter::Fmt(bytes / active_s / 1e9, 2),
+                    TablePrinter::Fmt(seed_s / active_s, 2)});
+    }
+    std::printf("and_count (pairwise AND+popcount):\n");
+    table.Print(std::cout);
+  }
+
+  // --- count_ones on one stream.
+  {
+    TablePrinter table({"bits", "seed GB/s", "scalar GB/s", "active GB/s",
+                        "active/seed"});
+    for (std::size_t bits : {std::size_t{1} << 20, std::size_t{4} << 20}) {
+      const std::size_t words = bits / 64;
+      const auto a = RandomWords(&rng, words);
+      const int reps = 400;
+      const double seed_s = SecsPerCall(
+          reps, &checksum, [&] { return SeedCountOnes(a.data(), words); });
+      const double scalar_s = SecsPerCall(reps, &checksum, [&] {
+        return ScalarBitKernels().count_ones(a.data(), words);
+      });
+      const double active_s = SecsPerCall(reps, &checksum, [&] {
+        return ActiveBitKernels().count_ones(a.data(), words);
+      });
+      const double bytes = static_cast<double>(words) * 8.0;
+      table.AddRow({std::to_string(bits),
+                    TablePrinter::Fmt(bytes / seed_s / 1e9, 2),
+                    TablePrinter::Fmt(bytes / scalar_s / 1e9, 2),
+                    TablePrinter::Fmt(bytes / active_s / 1e9, 2),
+                    TablePrinter::Fmt(seed_s / active_s, 2)});
+    }
+    std::printf("\ncount_ones (weight):\n");
+    table.Print(std::cout);
+  }
+
+  // --- CommonOnesBatch: one 4 Mbit row against many (the pair-scan shape).
+  // The seed baseline is the unbatched loop: one SeedAndCount per row.
+  {
+    TablePrinter table({"rows", "seed ms", "scalar-batch ms",
+                        "active-batch ms", "active/seed"});
+    const std::size_t bits = std::size_t{4} << 20;
+    const std::size_t words = bits / 64;
+    const auto left = RandomWords(&rng, words);
+    double headline = 0.0;
+    // Past ~32 rows x 4 Mbit the working set outgrows L3 and every
+    // implementation converges on DRAM bandwidth; the cache-resident rows
+    // are where the kernel's advantage shows.
+    for (std::size_t num_rows : {std::size_t{8}, std::size_t{32},
+                                 std::size_t{128}}) {
+      std::vector<std::vector<std::uint64_t>> rows;
+      std::vector<const std::uint64_t*> ptrs;
+      for (std::size_t r = 0; r < num_rows; ++r) {
+        rows.push_back(RandomWords(&rng, words));
+        ptrs.push_back(rows.back().data());
+      }
+      std::vector<std::uint32_t> out(num_rows);
+      const int reps = num_rows >= 128 ? 5 : 20;
+      const double seed_s = SecsPerCall(reps, &checksum, [&] {
+        std::uint64_t sum = 0;
+        for (std::size_t r = 0; r < num_rows; ++r) {
+          sum += SeedAndCount(left.data(), ptrs[r], words);
+        }
+        return sum;
+      });
+      const double scalar_s = SecsPerCall(reps, &checksum, [&] {
+        ScalarBitKernels().and_count_batch(left.data(), ptrs.data(),
+                                           num_rows, words, out.data());
+        return static_cast<std::uint64_t>(out[0]);
+      });
+      const double active_s = SecsPerCall(reps, &checksum, [&] {
+        ActiveBitKernels().and_count_batch(left.data(), ptrs.data(),
+                                           num_rows, words, out.data());
+        return static_cast<std::uint64_t>(out[0]);
+      });
+      table.AddRow({std::to_string(num_rows),
+                    TablePrinter::Fmt(seed_s * 1e3, 2),
+                    TablePrinter::Fmt(scalar_s * 1e3, 2),
+                    TablePrinter::Fmt(active_s * 1e3, 2),
+                    TablePrinter::Fmt(seed_s / active_s, 2)});
+      headline = std::max(headline, seed_s / active_s);
+    }
+    std::printf("\nCommonOnesBatch (one 4 Mbit row vs many):\n");
+    table.Print(std::cout);
+    std::printf("\nheadline: best CommonOnesBatch active/seed speedup "
+                "= %.2fx\n", headline);
+  }
+
+  std::printf("(checksum %llu)\n",
+              static_cast<unsigned long long>(checksum));
+  return 0;
+}

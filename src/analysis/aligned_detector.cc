@@ -1,11 +1,11 @@
 #include "analysis/aligned_detector.h"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <unordered_set>
 #include <utility>
 
+#include "common/bit_kernels.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "analysis/aligned_thresholds.h"
@@ -95,6 +95,14 @@ std::vector<Cand> MergeTopCands(std::vector<std::vector<Cand>>* shard_cands,
   return merged;
 }
 
+// Candidate buffer size for the batched AND+popcount passes. Candidates are
+// admitted in scan order under the floor current at admission time — a
+// superset of the pairs the unbatched loop would have computed, since the
+// floor only rises — and every offer re-checks against the live floor in
+// the original order, so the heap evolves bit-identically to the unbatched
+// scan while the counting runs through one blocked kernel call per flush.
+constexpr std::size_t kBatchCands = 128;
+
 // One partition for the serial engine, the pool's partition otherwise.
 std::vector<ShardRange> ShardsOrWhole(ThreadPool* pool, std::size_t count) {
   return pool != nullptr ? pool->ShardsFor(count) : MakeShards(count, 1);
@@ -168,21 +176,34 @@ AlignedDetection AlignedDetector::Detect(
     StageStopwatch watch;
     if (pair_hist != nullptr) watch.Start();
     TopH heap(options_.first_iteration_hopefuls);
+    std::uint32_t cand_ids[kBatchCands];
+    const std::uint64_t* cand_rows[kBatchCands];
+    std::uint32_t cand_weights[kBatchCands];
     for (std::size_t i = shard.begin; i < shard.end; ++i) {
       const BitVector& ci = screened.columns[i];
       const std::uint32_t wi = screened.weights[i];
+      std::size_t buffered = 0;
+      const auto flush = [&] {
+        ActiveBitKernels().and_count_batch(ci.words(), cand_rows, buffered,
+                                           ci.num_words(), cand_weights);
+        for (std::size_t k = 0; k < buffered; ++k) {
+          if (cand_weights[k] >= heap.floor_weight()) {
+            heap.Offer({cand_weights[k], static_cast<std::uint32_t>(i),
+                        cand_ids[k]});
+          }
+        }
+        buffered = 0;
+      };
       for (std::size_t j = i + 1; j < n_cols; ++j) {
         // AND weight can't beat min(w_i, w_j); skip hopeless pairs cheaply.
         if (std::min(wi, screened.weights[j]) < heap.floor_weight()) {
           continue;
         }
-        const auto weight = static_cast<std::uint32_t>(
-            ci.CommonOnes(screened.columns[j]));
-        if (weight >= heap.floor_weight()) {
-          heap.Offer({weight, static_cast<std::uint32_t>(i),
-                      static_cast<std::uint32_t>(j)});
-        }
+        cand_ids[buffered] = static_cast<std::uint32_t>(j);
+        cand_rows[buffered] = screened.columns[j].words();
+        if (++buffered == kBatchCands) flush();
       }
+      if (buffered > 0) flush();
     }
     shard_pairs[shard.index] = heap.TakeSorted();
     if (pair_hist != nullptr) pair_hist->Record(watch.ElapsedNanos());
@@ -194,8 +215,8 @@ AlignedDetection AlignedDetector::Detect(
   hopefuls.reserve(pair_cands.size());
   for (const Cand& cand : pair_cands) {
     Product product;
-    product.bits = screened.columns[cand.a];
-    product.bits.InPlaceAnd(screened.columns[cand.b]);
+    product.bits.AssignAnd(screened.columns[cand.a],
+                           screened.columns[cand.b]);
     product.cols = {cand.a, cand.b};
     product.weight = cand.weight;
     hopefuls.push_back(std::move(product));
@@ -253,21 +274,35 @@ AlignedDetection AlignedDetector::Detect(
       StageStopwatch watch;
       if (ext_hist != nullptr) watch.Start();
       TopH heap(options_.hopefuls);
+      std::uint32_t cand_ids[kBatchCands];
+      const std::uint64_t* cand_rows[kBatchCands];
+      std::uint32_t cand_weights[kBatchCands];
       for (std::size_t h = shard.begin; h < shard.end; ++h) {
         const Product& v = hopefuls[h];
         if (v.weight < heap.floor_weight()) continue;  // Can only shrink.
+        std::size_t buffered = 0;
+        const auto flush = [&] {
+          ActiveBitKernels().and_count_batch(v.bits.words(), cand_rows,
+                                             buffered, v.bits.num_words(),
+                                             cand_weights);
+          for (std::size_t k = 0; k < buffered; ++k) {
+            if (cand_weights[k] >= heap.floor_weight()) {
+              heap.Offer({cand_weights[k], static_cast<std::uint32_t>(h),
+                          cand_ids[k]});
+            }
+          }
+          buffered = 0;
+        };
         for (std::uint32_t c = 0; c < n_cols; ++c) {
           if (std::binary_search(v.cols.begin(), v.cols.end(), c)) continue;
           if (std::min(v.weight, screened.weights[c]) < heap.floor_weight()) {
             continue;
           }
-          const auto weight =
-              static_cast<std::uint32_t>(v.bits.CommonOnes(
-                  screened.columns[c]));
-          if (weight >= heap.floor_weight()) {
-            heap.Offer({weight, static_cast<std::uint32_t>(h), c});
-          }
+          cand_ids[buffered] = c;
+          cand_rows[buffered] = screened.columns[c].words();
+          if (++buffered == kBatchCands) flush();
         }
+        if (buffered > 0) flush();
       }
       shard_exts[shard.index] = heap.TakeSorted();
       if (ext_hist != nullptr) ext_hist->Record(watch.ElapsedNanos());
@@ -300,8 +335,8 @@ AlignedDetection AlignedDetector::Detect(
       break;
     }
     const auto materialize = [&](std::size_t idx) {
-      next[idx].bits = hopefuls[kept[idx].a].bits;
-      next[idx].bits.InPlaceAnd(screened.columns[kept[idx].b]);
+      next[idx].bits.AssignAnd(hopefuls[kept[idx].a].bits,
+                               screened.columns[kept[idx].b]);
     };
     if (pool != nullptr && next.size() >= 64) {
       pool->ParallelFor(next.size(), materialize);
@@ -435,23 +470,22 @@ AlignedDetection AlignedDetector::DetectInMatrix(const BitMatrix& matrix,
   const std::unordered_set<std::size_t> in_screen(
       screened.original_ids.begin(), screened.original_ids.end());
   std::vector<std::uint32_t> common(matrix.cols(), 0);
+  // Core-row word pointers, gathered once; each shard feeds them to the
+  // positional-popcount kernel over its own word-aligned column slice, so
+  // the parallel fill stays race-free.
+  std::vector<const std::uint64_t*> core_rows;
+  core_rows.reserve(detection.rows.size());
+  for (std::uint32_t r : detection.rows) {
+    core_rows.push_back(matrix.row(r).words());
+  }
   const std::size_t col_words = (matrix.cols() + 63) / 64;
   const std::vector<ShardRange> shards = ShardsOrWhole(pool, col_words);
   std::vector<std::vector<std::size_t>> shard_cols(shards.size());
   RunSharded(pool, shards, [&](const ShardRange& shard) {
     StageStopwatch watch;
     if (task_hist != nullptr) watch.Start();
-    for (std::uint32_t r : detection.rows) {
-      const std::uint64_t* words = matrix.row(r).words();
-      for (std::size_t w = shard.begin; w < shard.end; ++w) {
-        std::uint64_t word = words[w];
-        while (word != 0) {
-          const int bit = std::countr_zero(word);
-          ++common[(w << 6) + static_cast<std::size_t>(bit)];
-          word &= word - 1;
-        }
-      }
-    }
+    AccumulateColumnCounts(core_rows.data(), core_rows.size(), shard.begin,
+                           shard.end, common.data());
     const std::size_t col_end = std::min(shard.end * 64, matrix.cols());
     for (std::size_t c = shard.begin * 64; c < col_end; ++c) {
       if (common[c] >= thresh && !in_screen.contains(c)) {

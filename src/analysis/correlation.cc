@@ -12,12 +12,15 @@ namespace dcs {
 GroupPairCorrelation CorrelateGroups(std::span<const BitVector> rows_a,
                                      std::span<const BitVector> rows_b) {
   GroupPairCorrelation best;
+  // Ties break toward the lowest (row_a, row_b) lexicographically: counts
+  // for the whole B group are computed in one batched kernel call, and the
+  // strict `>` scan in ascending (i, j) order keeps the first maximum.
+  std::vector<std::uint32_t> counts(rows_b.size());
   for (std::uint32_t i = 0; i < rows_a.size(); ++i) {
+    rows_a[i].CommonOnesBatch(rows_b, counts);
     for (std::uint32_t j = 0; j < rows_b.size(); ++j) {
-      const auto common =
-          static_cast<std::uint32_t>(rows_a[i].CommonOnes(rows_b[j]));
-      if (common > best.max_common) {
-        best.max_common = common;
+      if (counts[j] > best.max_common) {
+        best.max_common = counts[j];
         best.row_a = i;
         best.row_b = j;
       }
@@ -35,14 +38,24 @@ std::vector<std::uint32_t> ForEachGroupPair(
     for (std::size_t g = 0; g < num_groups; ++g) {
       sampled[g] = static_cast<std::uint32_t>(g);
     }
+  } else if (num_groups < 2) {
+    // No pairs exist; sampling is moot. Returning the trivial group list
+    // (rather than sampling) keeps SampleWithoutReplacement's k <= n
+    // contract intact — the old code asked it for 2 of {0, 1} and aborted.
+    sampled.resize(num_groups);
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      sampled[g] = static_cast<std::uint32_t>(g);
+    }
   } else {
     DCS_CHECK(options.group_sample_rate > 0.0);
     const auto keep = static_cast<std::uint64_t>(
         options.group_sample_rate * static_cast<double>(num_groups));
+    // At least 2 so a sampled scan always has a pair to visit, but never
+    // more than the population.
+    const std::uint64_t want = std::min<std::uint64_t>(
+        num_groups, std::max<std::uint64_t>(keep, 2));
     Rng rng(options.sample_seed);
-    for (std::uint64_t g :
-         SampleWithoutReplacement(&rng, num_groups, std::max<std::uint64_t>(
-                                                        keep, 2))) {
+    for (std::uint64_t g : SampleWithoutReplacement(&rng, num_groups, want)) {
       sampled.push_back(static_cast<std::uint32_t>(g));
     }
     std::sort(sampled.begin(), sampled.end());

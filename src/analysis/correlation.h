@@ -24,7 +24,9 @@ struct GroupPairCorrelation {
 /// Scans all |a| x |b| row pairs; the dominant cost of the unaligned
 /// analysis (Section IV-D: "the vast majority of the computational
 /// complexity ... comes from computing, for any two rows, the number of
-/// indices in which both rows have value 1").
+/// indices in which both rows have value 1"). Ties on max_common break
+/// toward the lowest (row_a, row_b) pair in lexicographic order, so the
+/// result is a deterministic function of the inputs.
 GroupPairCorrelation CorrelateGroups(std::span<const BitVector> rows_a,
                                      std::span<const BitVector> rows_b);
 
@@ -43,7 +45,9 @@ struct PairScanOptions {
 };
 
 /// Calls visit(g1, g2) for every retained unordered pair. Returns the list
-/// of sampled group ids (all groups when sample_rate == 1).
+/// of sampled group ids (all groups when sample_rate == 1, and likewise
+/// when num_groups < 2 — there are no pairs to sample from, so the scan
+/// degenerates gracefully instead of rejecting the request).
 std::vector<std::uint32_t> ForEachGroupPair(
     std::size_t num_groups, const PairScanOptions& options,
     const std::function<void(std::uint32_t, std::uint32_t)>& visit);

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <mutex>
+#include <span>
+#include <vector>
 
 #include "common/logging.h"
 #include "obs/metrics.h"
@@ -38,17 +40,24 @@ Graph BuildCorrelationGraph(const BitMatrix& matrix,
       [&](std::uint32_t g1, std::uint32_t g2) {
         const std::size_t base1 = g1 * arrays;
         const std::size_t base2 = g2 * arrays;
+        // Group 2's rows are contiguous in the matrix, so one batched
+        // kernel call per row1 covers the whole inner loop. Thresholds are
+        // still consulted in the original (i, j) order with the same
+        // zero-row skips, so compares / edge choice / lambda cache traffic
+        // are unchanged.
+        const std::span<const BitVector> group2(&matrix.row(base2), arrays);
+        std::vector<std::uint32_t> common_counts(arrays);
         std::uint64_t compares = 0;
         for (std::size_t i = 0; i < arrays; ++i) {
           const BitVector& row1 = matrix.row(base1 + i);
           const std::uint32_t ones1 = row_ones[base1 + i];
           if (ones1 == 0) continue;
+          row1.CommonOnesBatch(group2, common_counts);
           for (std::size_t j = 0; j < arrays; ++j) {
             const std::uint32_t ones2 = row_ones[base2 + j];
             if (ones2 == 0) continue;
             ++compares;
-            const auto common = static_cast<std::int64_t>(
-                row1.CommonOnes(matrix.row(base2 + j)));
+            const auto common = static_cast<std::int64_t>(common_counts[j]);
             if (common > lambda.Threshold(ones1, ones2)) {
               if (obs) {
                 row_pairs_compared.fetch_add(compares,

@@ -1,9 +1,9 @@
 #include "analysis/weight_screen.h"
 
 #include <algorithm>
-#include <bit>
 #include <utility>
 
+#include "common/bit_kernels.h"
 #include "obs/metrics.h"
 #include "obs/stage_timer.h"
 
@@ -20,21 +20,15 @@ bool EntryBetter(const Entry& a, const Entry& b) {
 }
 
 // Accumulates, into weights[c] for c in the word-aligned column range of
-// `shard`, the number of 1s each column has across all rows. Shards own
-// disjoint weight slices, so the parallel fill is race-free.
-void AccumulateColumnWeights(const BitMatrix& matrix, const ShardRange& shard,
+// `shard`, the number of 1s each column has across all rows, via the
+// carry-save positional-popcount kernel. Shards own disjoint weight slices,
+// so the parallel fill is race-free. `row_words` is the matrix's row
+// pointers, gathered once per screen.
+void AccumulateColumnWeights(const std::vector<const std::uint64_t*>& row_words,
+                             const ShardRange& shard,
                              std::vector<std::uint32_t>* weights) {
-  for (std::size_t r = 0; r < matrix.rows(); ++r) {
-    const std::uint64_t* words = matrix.row(r).words();
-    for (std::size_t w = shard.begin; w < shard.end; ++w) {
-      std::uint64_t word = words[w];
-      while (word != 0) {
-        const int bit = std::countr_zero(word);
-        ++(*weights)[(w << 6) + static_cast<std::size_t>(bit)];
-        word &= word - 1;
-      }
-    }
-  }
+  AccumulateColumnCounts(row_words.data(), row_words.size(), shard.begin,
+                         shard.end, weights->data());
 }
 
 }  // namespace
@@ -94,11 +88,16 @@ ScreenedColumns ScreenHeaviestColumns(const BitMatrix& matrix,
   const std::vector<ShardRange> shards =
       pool != nullptr ? pool->ShardsFor(col_words) : MakeShards(col_words, 1);
   std::vector<std::uint32_t> weights(matrix.cols(), 0);
+  std::vector<const std::uint64_t*> row_words;
+  row_words.reserve(matrix.rows());
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    row_words.push_back(matrix.row(r).words());
+  }
   std::vector<std::vector<std::size_t>> shard_top(shards.size());
   const auto weigh_shard = [&](const ShardRange& shard) {
     StageStopwatch watch;
     if (task_hist != nullptr) watch.Start();
-    AccumulateColumnWeights(matrix, shard, &weights);
+    AccumulateColumnWeights(row_words, shard, &weights);
     shard_top[shard.index] = TopKIndicesInRange(
         weights, shard.begin * 64, std::min(shard.end * 64, matrix.cols()),
         n_prime);

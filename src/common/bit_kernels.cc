@@ -1,0 +1,206 @@
+#include "common/bit_kernels.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <string_view>
+
+namespace dcs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Portable scalar kernels.
+//
+// The count loops run four independent accumulators so the adds do not form
+// one serial dependency chain (the seed implementation's `count +=
+// popcount(...)` retired one word per cycle at best). The compiler is free
+// to vectorize these further; correctness never depends on it.
+// ---------------------------------------------------------------------------
+
+std::size_t ScalarCountOnes(const std::uint64_t* words,
+                            std::size_t num_words) {
+  std::size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  std::size_t w = 0;
+  for (; w + 4 <= num_words; w += 4) {
+    c0 += static_cast<std::size_t>(std::popcount(words[w]));
+    c1 += static_cast<std::size_t>(std::popcount(words[w + 1]));
+    c2 += static_cast<std::size_t>(std::popcount(words[w + 2]));
+    c3 += static_cast<std::size_t>(std::popcount(words[w + 3]));
+  }
+  for (; w < num_words; ++w) {
+    c0 += static_cast<std::size_t>(std::popcount(words[w]));
+  }
+  return c0 + c1 + c2 + c3;
+}
+
+std::size_t ScalarAndCount(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t num_words) {
+  std::size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  std::size_t w = 0;
+  for (; w + 4 <= num_words; w += 4) {
+    c0 += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+    c1 += static_cast<std::size_t>(std::popcount(a[w + 1] & b[w + 1]));
+    c2 += static_cast<std::size_t>(std::popcount(a[w + 2] & b[w + 2]));
+    c3 += static_cast<std::size_t>(std::popcount(a[w + 3] & b[w + 3]));
+  }
+  for (; w < num_words; ++w) {
+    c0 += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+  }
+  return c0 + c1 + c2 + c3;
+}
+
+void ScalarAndInplace(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t num_words) {
+  for (std::size_t w = 0; w < num_words; ++w) dst[w] &= src[w];
+}
+
+void ScalarOrInplace(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t num_words) {
+  for (std::size_t w = 0; w < num_words; ++w) dst[w] |= src[w];
+}
+
+void ScalarAndFold(const std::uint64_t* const* rows, std::size_t num_rows,
+                   std::size_t num_words, std::uint64_t* out) {
+  if (num_rows == 0) {
+    std::fill(out, out + num_words, ~0ULL);
+    return;
+  }
+  std::copy(rows[0], rows[0] + num_words, out);
+  for (std::size_t r = 1; r < num_rows; ++r) {
+    for (std::size_t w = 0; w < num_words; ++w) out[w] &= rows[r][w];
+  }
+}
+
+void ScalarOrFold(const std::uint64_t* const* rows, std::size_t num_rows,
+                  std::size_t num_words, std::uint64_t* out) {
+  if (num_rows == 0) {
+    std::fill(out, out + num_words, 0ULL);
+    return;
+  }
+  std::copy(rows[0], rows[0] + num_words, out);
+  for (std::size_t r = 1; r < num_rows; ++r) {
+    for (std::size_t w = 0; w < num_words; ++w) out[w] |= rows[r][w];
+  }
+}
+
+void ScalarAndCountBatch(const std::uint64_t* left,
+                         const std::uint64_t* const* rows,
+                         std::size_t num_rows, std::size_t num_words,
+                         std::uint32_t* out) {
+  // Tile the word range so `left` stays cache-resident while many long rows
+  // stream past it. 2048 words = 16 KiB, comfortably inside L1d alongside
+  // the row tile being consumed.
+  constexpr std::size_t kTileWords = 2048;
+  for (std::size_t r = 0; r < num_rows; ++r) out[r] = 0;
+  for (std::size_t tile = 0; tile < num_words; tile += kTileWords) {
+    const std::size_t len = std::min(kTileWords, num_words - tile);
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      out[r] += static_cast<std::uint32_t>(
+          ScalarAndCount(left + tile, rows[r] + tile, len));
+    }
+  }
+}
+
+constexpr BitKernelOps kScalarOps = {
+    "scalar",        ScalarCountOnes, ScalarAndCount, ScalarAndInplace,
+    ScalarOrInplace, ScalarAndFold,   ScalarOrFold,   ScalarAndCountBatch,
+};
+
+// ---------------------------------------------------------------------------
+// Positional popcount (column weights).
+// ---------------------------------------------------------------------------
+
+// Full adder on 64 columns at once: {*h,*l} = a + b + c per bit lane.
+inline void Csa(std::uint64_t* h, std::uint64_t* l, std::uint64_t a,
+                std::uint64_t b, std::uint64_t c) {
+  const std::uint64_t u = a ^ b;
+  *h = (a & b) | (u & c);
+  *l = u ^ c;
+}
+
+// counts[base + bit] += weight for every set bit of plane.
+inline void AddPlane(std::uint64_t plane, std::uint32_t weight,
+                     std::size_t base, std::uint32_t* counts) {
+  while (plane != 0) {
+    const int bit = std::countr_zero(plane);
+    counts[base + static_cast<std::size_t>(bit)] += weight;
+    plane &= plane - 1;
+  }
+}
+
+}  // namespace
+
+void AccumulateColumnCounts(const std::uint64_t* const* rows,
+                            std::size_t num_rows, std::size_t word_begin,
+                            std::size_t word_end, std::uint32_t* counts) {
+  std::size_t r = 0;
+  // Carry-save reduction: 15 rows compress to five planes of weights
+  // 1/2/4/8/8, so a ~half-full word costs ~5 plane scans per block instead
+  // of 15 (the seed walked every row's word bit by bit).
+  for (; r + 15 <= num_rows; r += 15) {
+    for (std::size_t w = word_begin; w < word_end; ++w) {
+      const auto row = [&](std::size_t i) { return rows[r + i][w]; };
+      std::uint64_t ones, twos, fours, twos_a, twos_b, fours_a, fours_b;
+      std::uint64_t eights_a, eights_b;
+      Csa(&twos_a, &ones, row(0), row(1), row(2));
+      Csa(&twos_b, &ones, ones, row(3), row(4));
+      Csa(&fours_a, &twos, twos_a, twos_b, 0);
+      Csa(&twos_a, &ones, ones, row(5), row(6));
+      Csa(&twos_b, &ones, ones, row(7), row(8));
+      Csa(&fours_b, &twos, twos, twos_a, twos_b);
+      Csa(&eights_a, &fours, fours_a, fours_b, 0);
+      Csa(&twos_a, &ones, ones, row(9), row(10));
+      Csa(&twos_b, &ones, ones, row(11), row(12));
+      Csa(&fours_a, &twos, twos, twos_a, twos_b);
+      Csa(&twos_a, &ones, ones, row(13), row(14));
+      Csa(&fours_b, &twos, twos, twos_a, 0);
+      Csa(&eights_b, &fours, fours, fours_a, fours_b);
+      const std::size_t base = w << 6;
+      AddPlane(ones, 1, base, counts);
+      AddPlane(twos, 2, base, counts);
+      AddPlane(fours, 4, base, counts);
+      AddPlane(eights_a, 8, base, counts);
+      AddPlane(eights_b, 8, base, counts);
+    }
+  }
+  // Remainder rows: plain per-bit accumulation.
+  for (; r < num_rows; ++r) {
+    for (std::size_t w = word_begin; w < word_end; ++w) {
+      AddPlane(rows[r][w], 1, w << 6, counts);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+const BitKernelOps& ScalarBitKernels() { return kScalarOps; }
+
+namespace internal {
+
+#if !defined(DCS_WITH_SIMD_KERNELS)
+// The SIMD translation unit was omitted from this build
+// (DCS_SCALAR_KERNELS_ONLY=ON); there is no table to dispatch to.
+const BitKernelOps* SimdBitKernels() { return nullptr; }
+#endif
+
+const BitKernelOps& SelectBitKernels(bool force_scalar) {
+  if (force_scalar) return kScalarOps;
+  if (const BitKernelOps* simd = SimdBitKernels()) return *simd;
+  return kScalarOps;
+}
+
+}  // namespace internal
+
+const BitKernelOps& ActiveBitKernels() {
+  static const BitKernelOps* const table = [] {
+    const char* force = std::getenv("DCS_FORCE_SCALAR");
+    const bool force_scalar =
+        force != nullptr && *force != '\0' && std::string_view(force) != "0";
+    return &internal::SelectBitKernels(force_scalar);
+  }();
+  return *table;
+}
+
+}  // namespace dcs

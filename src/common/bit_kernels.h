@@ -1,0 +1,112 @@
+#ifndef DCS_COMMON_BIT_KERNELS_H_
+#define DCS_COMMON_BIT_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcs {
+
+/// \brief Runtime-dispatched kernels for the AND+popcount hot path.
+///
+/// Every detector in the system — the aligned k-product search, the weight
+/// screen, and the unaligned pair scan — bottoms out in "AND two word spans
+/// and count the ones" (Section IV-D: "the vast majority of the
+/// computational complexity ... comes from computing, for any two rows, the
+/// number of indices in which both rows have value 1"). This table binds
+/// those primitives to the best implementation the host supports (AVX2 on
+/// x86-64, NEON on AArch64, portable scalar otherwise), selected once at
+/// startup.
+///
+/// Contract: every implementation of an operation returns bit-identical
+/// results to the scalar reference for every input, including ragged word
+/// counts and zero-length spans. The differential suite in
+/// tests/test_bit_kernels.cc enforces this, which is what lets the analysis
+/// pipelines keep their bit-identical-merge determinism guarantee (PR 2)
+/// while the instruction mix changes underneath them.
+///
+/// All word counts are in 64-bit words; callers guarantee that padding bits
+/// past a vector's logical size are zero (the BitVector invariant).
+struct BitKernelOps {
+  /// Implementation name for logs, benches, and tests: "scalar", "avx2",
+  /// or "neon".
+  const char* name;
+
+  /// Number of set bits in words[0, num_words).
+  std::size_t (*count_ones)(const std::uint64_t* words, std::size_t num_words);
+
+  /// Fused AND+popcount: number of positions where a and b are both 1.
+  /// Never materializes the AND.
+  std::size_t (*and_count)(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t num_words);
+
+  /// dst[w] &= src[w] for w in [0, num_words).
+  void (*and_inplace)(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t num_words);
+
+  /// dst[w] |= src[w] for w in [0, num_words).
+  void (*or_inplace)(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t num_words);
+
+  /// out[w] = AND over rows of rows[r][w]. With num_rows == 0 the fold is
+  /// the identity: out is set to all-ones words.
+  void (*and_fold)(const std::uint64_t* const* rows, std::size_t num_rows,
+                   std::size_t num_words, std::uint64_t* out);
+
+  /// out[w] = OR over rows of rows[r][w]. With num_rows == 0, out is zeroed.
+  void (*or_fold)(const std::uint64_t* const* rows, std::size_t num_rows,
+                  std::size_t num_words, std::uint64_t* out);
+
+  /// Blocked one-against-many AND+popcount: out[r] = and_count(left,
+  /// rows[r], num_words) for every r. Tiled over the word range so `left`
+  /// is re-read from cache, not memory, when the rows are long — the
+  /// O(groups^2) pair scan and the hopefuls iterations call this with one
+  /// shared left operand per inner loop.
+  void (*and_count_batch)(const std::uint64_t* left,
+                          const std::uint64_t* const* rows,
+                          std::size_t num_rows, std::size_t num_words,
+                          std::uint32_t* out);
+};
+
+/// The portable scalar reference implementation. Always available; the
+/// differential tests compare every other table against it.
+const BitKernelOps& ScalarBitKernels();
+
+/// The table the process uses: the best SIMD table the host CPU supports,
+/// unless the DCS_FORCE_SCALAR environment variable is set to anything but
+/// "0" (differential testing / bisecting a suspected kernel bug), or the
+/// build omitted the SIMD translation unit (DCS_SCALAR_KERNELS_ONLY=ON).
+/// Selected once; subsequent calls return the same table.
+const BitKernelOps& ActiveBitKernels();
+
+/// Adds, for every word w in [word_begin, word_end) and every set bit b of
+/// rows[r][w], one to counts[w * 64 + b]. This is the positional-popcount
+/// ("column weights") primitive behind the weight screen, BitMatrix column
+/// weights, and the aligned core scan. Runs a carry-save-adder reduction
+/// over blocks of 15 rows so dense 4 Mbit rows cost ~5 plane scans per
+/// block instead of 15 word scans. Portable and single-implementation by
+/// design: its output is a plain integer histogram, so there is nothing to
+/// dispatch on without risking divergence.
+void AccumulateColumnCounts(const std::uint64_t* const* rows,
+                            std::size_t num_rows, std::size_t word_begin,
+                            std::size_t word_end, std::uint32_t* counts);
+
+namespace internal {
+
+/// The dispatch decision, factored out so tests can exercise both branches
+/// without mutating the process environment: returns ScalarBitKernels()
+/// when force_scalar is set, otherwise the SIMD table if one is compiled in
+/// and the host supports it.
+const BitKernelOps& SelectBitKernels(bool force_scalar);
+
+/// Defined in src/common/bit_kernels_avx2.cc (the single translation unit
+/// allowed target-specific intrinsics — see tools/dcs_lint). Returns the
+/// SIMD table for this host, or nullptr when the CPU lacks the ISA. When
+/// the build omits that TU (DCS_SCALAR_KERNELS_ONLY=ON), a fallback
+/// definition in bit_kernels.cc returns nullptr unconditionally.
+const BitKernelOps* SimdBitKernels();
+
+}  // namespace internal
+
+}  // namespace dcs
+
+#endif  // DCS_COMMON_BIT_KERNELS_H_

@@ -1,0 +1,303 @@
+// The single translation unit allowed target-specific intrinsics
+// (tools/dcs_lint enforces this). On x86-64 it is compiled with -mavx2 and
+// provides the AVX2 kernel table behind a runtime __builtin_cpu_supports
+// check — nothing here executes on hosts without AVX2. On AArch64 it
+// provides the NEON table (NEON is architecturally mandatory there, so no
+// runtime check is needed). Everywhere else it compiles to a stub and the
+// dispatcher falls back to the portable scalar table.
+//
+// Correctness contract: every kernel here must return bit-identical results
+// to the scalar reference in bit_kernels.cc for every input shape. The
+// differential suite in tests/test_bit_kernels.cc is the gate; run it with
+// and without DCS_FORCE_SCALAR=1 when touching this file.
+
+#include "common/bit_kernels.h"
+
+#include <algorithm>
+#include <bit>
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+namespace dcs {
+namespace {
+
+// Word-range tile for the one-against-many batch; 2048 words = 16 KiB of
+// left operand held hot while rows stream past (mirrors the scalar batch).
+constexpr std::size_t kTileWords = 2048;
+
+// Per-byte popcount of a 256-bit lane via the classic nibble lookup
+// (Mula): two shuffles and an add replace 32 scalar popcounts.
+inline __m256i PopcountBytes(__m256i v) {
+  const __m256i lookup =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi =
+      _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                         _mm256_shuffle_epi8(lookup, hi));
+}
+
+inline std::uint64_t HorizontalSum64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(sum)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+// Core of both count kernels: popcount of (a[w] & b[w]) over the span, with
+// b == nullptr meaning "no mask" (plain popcount). Byte counters absorb up
+// to 31 vectors (31 * 8 = 248 < 256) before spilling into the 64-bit
+// accumulator via SAD.
+template <bool kMasked>
+inline std::size_t CountImpl(const std::uint64_t* a, const std::uint64_t* b,
+                             std::size_t num_words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  while (num_words - w >= 4) {
+    __m256i bytes = _mm256_setzero_si256();
+    const std::size_t vectors_left = (num_words - w) / 4;
+    const std::size_t block = std::min<std::size_t>(vectors_left, 31);
+    for (std::size_t i = 0; i < block; ++i, w += 4) {
+      __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a + w));
+      if constexpr (kMasked) {
+        const __m256i m = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(b + w));
+        v = _mm256_and_si256(v, m);
+      }
+      bytes = _mm256_add_epi8(bytes, PopcountBytes(v));
+    }
+    acc = _mm256_add_epi64(acc,
+                           _mm256_sad_epu8(bytes, _mm256_setzero_si256()));
+  }
+  std::size_t total = HorizontalSum64(acc);
+  for (; w < num_words; ++w) {
+    total += static_cast<std::size_t>(
+        std::popcount(kMasked ? (a[w] & b[w]) : a[w]));
+  }
+  return total;
+}
+
+std::size_t Avx2CountOnes(const std::uint64_t* words, std::size_t num_words) {
+  return CountImpl<false>(words, nullptr, num_words);
+}
+
+std::size_t Avx2AndCount(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t num_words) {
+  return CountImpl<true>(a, b, num_words);
+}
+
+void Avx2AndInplace(std::uint64_t* dst, const std::uint64_t* src,
+                    std::size_t num_words) {
+  std::size_t w = 0;
+  for (; w + 4 <= num_words; w += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w),
+                        _mm256_and_si256(d, s));
+  }
+  for (; w < num_words; ++w) dst[w] &= src[w];
+}
+
+void Avx2OrInplace(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t num_words) {
+  std::size_t w = 0;
+  for (; w + 4 <= num_words; w += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + w));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + w),
+                        _mm256_or_si256(d, s));
+  }
+  for (; w < num_words; ++w) dst[w] |= src[w];
+}
+
+void Avx2AndFold(const std::uint64_t* const* rows, std::size_t num_rows,
+                 std::size_t num_words, std::uint64_t* out) {
+  if (num_rows == 0) {
+    std::fill(out, out + num_words, ~0ULL);
+    return;
+  }
+  std::copy(rows[0], rows[0] + num_words, out);
+  for (std::size_t r = 1; r < num_rows; ++r) Avx2AndInplace(out, rows[r], num_words);
+}
+
+void Avx2OrFold(const std::uint64_t* const* rows, std::size_t num_rows,
+                std::size_t num_words, std::uint64_t* out) {
+  if (num_rows == 0) {
+    std::fill(out, out + num_words, 0ULL);
+    return;
+  }
+  std::copy(rows[0], rows[0] + num_words, out);
+  for (std::size_t r = 1; r < num_rows; ++r) Avx2OrInplace(out, rows[r], num_words);
+}
+
+void Avx2AndCountBatch(const std::uint64_t* left,
+                       const std::uint64_t* const* rows,
+                       std::size_t num_rows, std::size_t num_words,
+                       std::uint32_t* out) {
+  // The detectors call this on short vectors too (an aligned-matrix column
+  // is only rows/64 words); below a vector's worth of data the scalar loop
+  // wins on latency and the batch still amortizes the dispatch.
+  if (num_words < 8) {
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      std::size_t count = 0;
+      for (std::size_t w = 0; w < num_words; ++w) {
+        count += static_cast<std::size_t>(std::popcount(left[w] & rows[r][w]));
+      }
+      out[r] = static_cast<std::uint32_t>(count);
+    }
+    return;
+  }
+  for (std::size_t r = 0; r < num_rows; ++r) out[r] = 0;
+  for (std::size_t tile = 0; tile < num_words; tile += kTileWords) {
+    const std::size_t len = std::min(kTileWords, num_words - tile);
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      out[r] += static_cast<std::uint32_t>(
+          Avx2AndCount(left + tile, rows[r] + tile, len));
+    }
+  }
+}
+
+constexpr BitKernelOps kAvx2Ops = {
+    "avx2",        Avx2CountOnes, Avx2AndCount, Avx2AndInplace,
+    Avx2OrInplace, Avx2AndFold,   Avx2OrFold,   Avx2AndCountBatch,
+};
+
+}  // namespace
+
+namespace internal {
+
+const BitKernelOps* SimdBitKernels() {
+  return __builtin_cpu_supports("avx2") ? &kAvx2Ops : nullptr;
+}
+
+}  // namespace internal
+}  // namespace dcs
+
+#elif defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace dcs {
+namespace {
+
+constexpr std::size_t kTileWords = 2048;
+
+std::size_t NeonCountOnes(const std::uint64_t* words, std::size_t num_words) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t w = 0;
+  for (; w + 2 <= num_words; w += 2) {
+    const uint8x16_t v = vreinterpretq_u8_u64(vld1q_u64(words + w));
+    acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(v)))));
+  }
+  std::size_t total = static_cast<std::size_t>(vgetq_lane_u64(acc, 0)) +
+                      static_cast<std::size_t>(vgetq_lane_u64(acc, 1));
+  for (; w < num_words; ++w) {
+    total += static_cast<std::size_t>(std::popcount(words[w]));
+  }
+  return total;
+}
+
+std::size_t NeonAndCount(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t num_words) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t w = 0;
+  for (; w + 2 <= num_words; w += 2) {
+    const uint8x16_t v = vreinterpretq_u8_u64(
+        vandq_u64(vld1q_u64(a + w), vld1q_u64(b + w)));
+    acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(v)))));
+  }
+  std::size_t total = static_cast<std::size_t>(vgetq_lane_u64(acc, 0)) +
+                      static_cast<std::size_t>(vgetq_lane_u64(acc, 1));
+  for (; w < num_words; ++w) {
+    total += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+  }
+  return total;
+}
+
+void NeonAndInplace(std::uint64_t* dst, const std::uint64_t* src,
+                    std::size_t num_words) {
+  std::size_t w = 0;
+  for (; w + 2 <= num_words; w += 2) {
+    vst1q_u64(dst + w, vandq_u64(vld1q_u64(dst + w), vld1q_u64(src + w)));
+  }
+  for (; w < num_words; ++w) dst[w] &= src[w];
+}
+
+void NeonOrInplace(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t num_words) {
+  std::size_t w = 0;
+  for (; w + 2 <= num_words; w += 2) {
+    vst1q_u64(dst + w, vorrq_u64(vld1q_u64(dst + w), vld1q_u64(src + w)));
+  }
+  for (; w < num_words; ++w) dst[w] |= src[w];
+}
+
+void NeonAndFold(const std::uint64_t* const* rows, std::size_t num_rows,
+                 std::size_t num_words, std::uint64_t* out) {
+  if (num_rows == 0) {
+    std::fill(out, out + num_words, ~0ULL);
+    return;
+  }
+  std::copy(rows[0], rows[0] + num_words, out);
+  for (std::size_t r = 1; r < num_rows; ++r) NeonAndInplace(out, rows[r], num_words);
+}
+
+void NeonOrFold(const std::uint64_t* const* rows, std::size_t num_rows,
+                std::size_t num_words, std::uint64_t* out) {
+  if (num_rows == 0) {
+    std::fill(out, out + num_words, 0ULL);
+    return;
+  }
+  std::copy(rows[0], rows[0] + num_words, out);
+  for (std::size_t r = 1; r < num_rows; ++r) NeonOrInplace(out, rows[r], num_words);
+}
+
+void NeonAndCountBatch(const std::uint64_t* left,
+                       const std::uint64_t* const* rows,
+                       std::size_t num_rows, std::size_t num_words,
+                       std::uint32_t* out) {
+  for (std::size_t r = 0; r < num_rows; ++r) out[r] = 0;
+  for (std::size_t tile = 0; tile < num_words; tile += kTileWords) {
+    const std::size_t len = std::min(kTileWords, num_words - tile);
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      out[r] += static_cast<std::uint32_t>(
+          NeonAndCount(left + tile, rows[r] + tile, len));
+    }
+  }
+}
+
+constexpr BitKernelOps kNeonOps = {
+    "neon",        NeonCountOnes, NeonAndCount, NeonAndInplace,
+    NeonOrInplace, NeonAndFold,   NeonOrFold,   NeonAndCountBatch,
+};
+
+}  // namespace
+
+namespace internal {
+
+const BitKernelOps* SimdBitKernels() { return &kNeonOps; }
+
+}  // namespace internal
+}  // namespace dcs
+
+#else  // No SIMD table for this target; dispatch stays on scalar.
+
+namespace dcs {
+namespace internal {
+
+const BitKernelOps* SimdBitKernels() { return nullptr; }
+
+}  // namespace internal
+}  // namespace dcs
+
+#endif

@@ -1,6 +1,6 @@
 #include "common/bit_matrix.h"
 
-#include <bit>
+#include "common/bit_kernels.h"
 
 namespace dcs {
 
@@ -22,17 +22,12 @@ void BitMatrix::AppendRow(BitVector row) {
 
 std::vector<std::uint32_t> BitMatrix::ColumnWeights() const {
   std::vector<std::uint32_t> weights(cols_, 0);
-  for (const BitVector& r : rows_) {
-    const std::uint64_t* words = r.words();
-    for (std::size_t w = 0; w < r.num_words(); ++w) {
-      std::uint64_t word = words[w];
-      while (word != 0) {
-        const int bit = std::countr_zero(word);
-        ++weights[(w << 6) + static_cast<std::size_t>(bit)];
-        word &= word - 1;
-      }
-    }
-  }
+  if (rows_.empty() || cols_ == 0) return weights;
+  std::vector<const std::uint64_t*> row_words;
+  row_words.reserve(rows_.size());
+  for (const BitVector& r : rows_) row_words.push_back(r.words());
+  AccumulateColumnCounts(row_words.data(), row_words.size(), 0,
+                         rows_.front().num_words(), weights.data());
   return weights;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/bit_kernels.h"
+
 namespace dcs {
 
 void BitVector::Reset() {
@@ -10,36 +12,54 @@ void BitVector::Reset() {
 }
 
 std::size_t BitVector::CountOnes() const {
-  std::size_t count = 0;
-  for (std::uint64_t w : words_) {
-    count += static_cast<std::size_t>(std::popcount(w));
-  }
-  return count;
+  return ActiveBitKernels().count_ones(words_.data(), words_.size());
 }
 
 std::size_t BitVector::CommonOnes(const BitVector& other) const {
   DCS_CHECK(num_bits_ == other.num_bits_);
-  std::size_t count = 0;
-  const std::uint64_t* a = words_.data();
-  const std::uint64_t* b = other.words_.data();
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    count += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  return ActiveBitKernels().and_count(words_.data(), other.words_.data(),
+                                      words_.size());
+}
+
+void BitVector::CommonOnesBatch(std::span<const BitVector> others,
+                                std::span<std::uint32_t> out) const {
+  DCS_CHECK(out.size() >= others.size());
+  // The pointer gather is O(rows) against O(rows * words) of counting;
+  // a stack buffer covers the common fan-outs without allocating.
+  constexpr std::size_t kStackRows = 256;
+  const std::uint64_t* stack_rows[kStackRows];
+  std::vector<const std::uint64_t*> heap_rows;
+  const std::uint64_t** rows = stack_rows;
+  if (others.size() > kStackRows) {
+    heap_rows.resize(others.size());
+    rows = heap_rows.data();
   }
-  return count;
+  for (std::size_t r = 0; r < others.size(); ++r) {
+    DCS_CHECK(others[r].num_bits_ == num_bits_);
+    rows[r] = others[r].words_.data();
+  }
+  ActiveBitKernels().and_count_batch(words_.data(), rows, others.size(),
+                                     words_.size(), out.data());
 }
 
 void BitVector::InPlaceAnd(const BitVector& other) {
   DCS_CHECK(num_bits_ == other.num_bits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= other.words_[i];
-  }
+  ActiveBitKernels().and_inplace(words_.data(), other.words_.data(),
+                                 words_.size());
 }
 
 void BitVector::InPlaceOr(const BitVector& other) {
   DCS_CHECK(num_bits_ == other.num_bits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] |= other.words_[i];
-  }
+  ActiveBitKernels().or_inplace(words_.data(), other.words_.data(),
+                                words_.size());
+}
+
+void BitVector::AssignAnd(const BitVector& a, const BitVector& b) {
+  DCS_CHECK(a.num_bits_ == b.num_bits_);
+  num_bits_ = a.num_bits_;
+  words_.resize(a.words_.size());
+  const std::uint64_t* rows[2] = {a.words_.data(), b.words_.data()};
+  ActiveBitKernels().and_fold(rows, 2, words_.size(), words_.data());
 }
 
 double BitVector::FillRatio() const {
@@ -48,6 +68,9 @@ double BitVector::FillRatio() const {
 }
 
 void BitVector::AppendSetBits(std::vector<std::size_t>* out) const {
+  // One counting pass up front beats the repeated reallocation the growth
+  // loop used to trigger on dense 4 Mbit rows.
+  out->reserve(out->size() + CountOnes());
   for (std::size_t w = 0; w < words_.size(); ++w) {
     std::uint64_t word = words_[w];
     while (word != 0) {

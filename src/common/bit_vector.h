@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/logging.h"
@@ -13,8 +14,10 @@ namespace dcs {
 ///
 /// This is the workhorse of both the streaming sketches (a router bitmap is a
 /// BitVector) and the analysis center (matrix columns/rows are BitVectors and
-/// the detectors live on AND + popcount). All bulk operations run one 64-bit
-/// word at a time.
+/// the detectors live on AND + popcount). Bulk operations run on the
+/// runtime-dispatched kernel layer (common/bit_kernels.h): AVX2 or NEON
+/// where the host supports it, portable scalar otherwise, with bit-identical
+/// results either way.
 class BitVector {
  public:
   /// An empty (zero-bit) vector.
@@ -63,11 +66,23 @@ class BitVector {
   /// "common 1s" statistic. Requires equal sizes.
   std::size_t CommonOnes(const BitVector& other) const;
 
+  /// CommonOnes of this against every vector in `others` (all of equal
+  /// size), written to out[i]. One blocked kernel call: the left operand is
+  /// re-read from cache instead of memory on long rows, which is the hot
+  /// loop of the O(groups^2) pair scan. `out` must have at least
+  /// others.size() entries.
+  void CommonOnesBatch(std::span<const BitVector> others,
+                       std::span<std::uint32_t> out) const;
+
   /// this &= other. Requires equal sizes.
   void InPlaceAnd(const BitVector& other);
 
   /// this |= other. Requires equal sizes.
   void InPlaceOr(const BitVector& other);
+
+  /// this = a & b in one pass (no copy-then-AND). `a` and `b` must have
+  /// equal sizes; this vector is resized to match.
+  void AssignAnd(const BitVector& a, const BitVector& b);
 
   /// Fraction of bits set, in [0,1]; 0 for an empty vector.
   double FillRatio() const;

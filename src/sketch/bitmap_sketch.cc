@@ -29,6 +29,38 @@ bool BitmapSketch::Update(const Packet& packet) {
   return true;
 }
 
+std::size_t BitmapSketch::UpdateBatch(std::span<const Packet> packets) {
+  // Two-phase chunks: hash a block of prefixes into an index buffer (the
+  // hashes are independent, so the CPU pipelines them), then walk the
+  // buffer doing the Test/Set bookkeeping. Bit-for-bit the same bitmap and
+  // counters as the per-packet loop in the same order.
+  constexpr std::size_t kChunk = 64;
+  std::uint64_t indices[kChunk];
+  const std::size_t recorded_before = packets_recorded_;
+  std::size_t pos = 0;
+  while (pos < packets.size()) {
+    std::size_t n = 0;
+    while (pos < packets.size() && n < kChunk) {
+      const Packet& packet = packets[pos++];
+      if (packet.payload.size() < options_.min_payload_bytes) {
+        ++packets_skipped_;
+        continue;
+      }
+      indices[n++] = Hash64(packet.PayloadPrefix(options_.prefix_len),
+                            options_.hash_seed) %
+                     bits_.size();
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!bits_.Test(indices[k])) {
+        bits_.Set(indices[k]);
+        ++ones_;
+      }
+    }
+    packets_recorded_ += n;
+  }
+  return packets_recorded_ - recorded_before;
+}
+
 void BitmapSketch::Reset() {
   bits_.Reset();
   packets_recorded_ = 0;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "common/bit_vector.h"
 #include "net/packet.h"
@@ -36,6 +37,13 @@ class BitmapSketch {
   /// Processes one packet (lines 4-6 of Fig 3). Returns true if the packet
   /// was recorded (had enough payload).
   bool Update(const Packet& packet);
+
+  /// Processes a run of packets, equivalent to calling Update on each in
+  /// order but with the hashing batched ahead of the bit sets, so the
+  /// hash's data-dependent latency overlaps across packets instead of
+  /// serializing behind each bitmap probe. Same skip rule, same counters,
+  /// same final bitmap. Returns the number of packets recorded.
+  std::size_t UpdateBatch(std::span<const Packet> packets);
 
   /// Number of packets recorded since the last Reset.
   std::uint64_t packets_recorded() const { return packets_recorded_; }

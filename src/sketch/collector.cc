@@ -1,5 +1,7 @@
 #include "sketch/collector.h"
 
+#include <span>
+
 #include "obs/metrics.h"
 #include "obs/stage_timer.h"
 
@@ -28,11 +30,13 @@ Digest AlignedCollector::TakeDigest(std::uint64_t raw_bytes) {
 
 Digest AlignedCollector::ProcessEpoch(const PacketTrace::EpochView& epoch) {
   ScopedStageTimer timer("collect_aligned");
+  // Fixed epoch boundary, so the whole view can go through the batched
+  // update (same bitmap and counters as per-packet, hashes pipelined).
+  // The adaptive path below stays per-packet: its epoch boundary is the
+  // IsHalfFull check, which must see every single update.
+  sketch_.UpdateBatch(std::span<const Packet>(epoch.begin(), epoch.size()));
   std::uint64_t raw_bytes = 0;
-  for (const Packet& pkt : epoch) {
-    sketch_.Update(pkt);
-    raw_bytes += pkt.wire_bytes();
-  }
+  for (const Packet& pkt : epoch) raw_bytes += pkt.wire_bytes();
   return TakeDigest(raw_bytes);
 }
 

@@ -1,0 +1,278 @@
+// Differential suite for the runtime-dispatched bit kernels: every table
+// (whatever ActiveBitKernels resolved to on this host, plus the scalar
+// reference) must produce bit-identical results on randomized, ragged, and
+// extreme inputs. This is what lets the analysis pipelines keep their
+// bit-identical-merge determinism guarantee while the instruction mix
+// changes underneath them.
+
+#include "common/bit_kernels.h"
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dcs {
+namespace {
+
+// Naive single-word-at-a-time implementations, deliberately too simple to
+// be wrong, as the oracle for both tables.
+std::size_t NaiveCountOnes(const std::vector<std::uint64_t>& words) {
+  std::size_t count = 0;
+  for (std::uint64_t w : words) {
+    count += static_cast<std::size_t>(std::popcount(w));
+  }
+  return count;
+}
+
+std::size_t NaiveAndCount(const std::vector<std::uint64_t>& a,
+                          const std::vector<std::uint64_t>& b) {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    count += static_cast<std::size_t>(std::popcount(a[w] & b[w]));
+  }
+  return count;
+}
+
+std::vector<std::uint64_t> RandomWords(Rng* rng, std::size_t num_words) {
+  std::vector<std::uint64_t> words(num_words);
+  for (std::uint64_t& w : words) w = rng->Next();
+  return words;
+}
+
+// The word lengths every test sweeps: zero, sub-stride raggedness around
+// the SIMD widths (4-word AVX2 stride), the 31-vector popcount block
+// boundary (124 words), and spans long enough to cross the batch kernel's
+// 2048-word tile boundary.
+const std::size_t kLengths[] = {0,  1,  2,   3,   4,   5,    7,    8,
+                                9,  15, 16,  31,  32,  63,   64,   123,
+                                124, 125, 128, 1000, 2048, 2049, 4100};
+
+class BitKernelTablesTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  const BitKernelOps& ops() const {
+    return GetParam() == std::string_view("scalar") ? ScalarBitKernels()
+                                                    : ActiveBitKernels();
+  }
+};
+
+TEST_P(BitKernelTablesTest, CountOnesMatchesNaive) {
+  Rng rng(101);
+  for (std::size_t len : kLengths) {
+    const auto words = RandomWords(&rng, len);
+    EXPECT_EQ(ops().count_ones(words.data(), len), NaiveCountOnes(words))
+        << "len=" << len;
+  }
+}
+
+TEST_P(BitKernelTablesTest, CountOnesExtremes) {
+  for (std::size_t len : kLengths) {
+    const std::vector<std::uint64_t> zeros(len, 0);
+    const std::vector<std::uint64_t> ones(len, ~0ULL);
+    EXPECT_EQ(ops().count_ones(zeros.data(), len), 0u) << "len=" << len;
+    EXPECT_EQ(ops().count_ones(ones.data(), len), len * 64) << "len=" << len;
+  }
+}
+
+TEST_P(BitKernelTablesTest, AndCountMatchesNaive) {
+  Rng rng(202);
+  for (std::size_t len : kLengths) {
+    const auto a = RandomWords(&rng, len);
+    const auto b = RandomWords(&rng, len);
+    EXPECT_EQ(ops().and_count(a.data(), b.data(), len), NaiveAndCount(a, b))
+        << "len=" << len;
+  }
+}
+
+TEST_P(BitKernelTablesTest, AndOrInplaceMatchNaive) {
+  Rng rng(303);
+  for (std::size_t len : kLengths) {
+    const auto a = RandomWords(&rng, len);
+    const auto b = RandomWords(&rng, len);
+    std::vector<std::uint64_t> and_dst = a;
+    std::vector<std::uint64_t> or_dst = a;
+    ops().and_inplace(and_dst.data(), b.data(), len);
+    ops().or_inplace(or_dst.data(), b.data(), len);
+    for (std::size_t w = 0; w < len; ++w) {
+      ASSERT_EQ(and_dst[w], a[w] & b[w]) << "len=" << len << " w=" << w;
+      ASSERT_EQ(or_dst[w], a[w] | b[w]) << "len=" << len << " w=" << w;
+    }
+  }
+}
+
+TEST_P(BitKernelTablesTest, FoldsMatchNaive) {
+  Rng rng(404);
+  for (std::size_t len : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                          std::size_t{200}}) {
+    for (std::size_t num_rows : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{3}, std::size_t{17}}) {
+      std::vector<std::vector<std::uint64_t>> rows;
+      std::vector<const std::uint64_t*> ptrs;
+      for (std::size_t r = 0; r < num_rows; ++r) {
+        rows.push_back(RandomWords(&rng, len));
+        ptrs.push_back(rows.back().data());
+      }
+      std::vector<std::uint64_t> and_out(len), or_out(len);
+      ops().and_fold(ptrs.data(), num_rows, len, and_out.data());
+      ops().or_fold(ptrs.data(), num_rows, len, or_out.data());
+      for (std::size_t w = 0; w < len; ++w) {
+        std::uint64_t want_and = ~0ULL, want_or = 0;
+        for (std::size_t r = 0; r < num_rows; ++r) {
+          want_and &= rows[r][w];
+          want_or |= rows[r][w];
+        }
+        ASSERT_EQ(and_out[w], want_and) << "rows=" << num_rows << " w=" << w;
+        ASSERT_EQ(or_out[w], want_or) << "rows=" << num_rows << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST_P(BitKernelTablesTest, EmptyFoldsAreIdentities) {
+  std::vector<std::uint64_t> and_out(5, 0xDEAD), or_out(5, 0xDEAD);
+  ops().and_fold(nullptr, 0, 5, and_out.data());
+  ops().or_fold(nullptr, 0, 5, or_out.data());
+  for (std::size_t w = 0; w < 5; ++w) {
+    EXPECT_EQ(and_out[w], ~0ULL);
+    EXPECT_EQ(or_out[w], 0ULL);
+  }
+}
+
+TEST_P(BitKernelTablesTest, BatchMatchesPairwise) {
+  Rng rng(505);
+  // Crosses the 2048-word tile boundary and the 256-row stack-buffer limit
+  // used by BitVector::CommonOnesBatch's pointer gather.
+  for (std::size_t len : {std::size_t{0}, std::size_t{3}, std::size_t{64},
+                          std::size_t{2050}}) {
+    for (std::size_t num_rows : {std::size_t{0}, std::size_t{1},
+                                 std::size_t{5}, std::size_t{300}}) {
+      const auto left = RandomWords(&rng, len);
+      std::vector<std::vector<std::uint64_t>> rows;
+      std::vector<const std::uint64_t*> ptrs;
+      for (std::size_t r = 0; r < num_rows; ++r) {
+        rows.push_back(RandomWords(&rng, len));
+        ptrs.push_back(rows.back().data());
+      }
+      std::vector<std::uint32_t> out(num_rows, 0xABABABAB);
+      ops().and_count_batch(left.data(), ptrs.data(), num_rows, len,
+                            out.data());
+      for (std::size_t r = 0; r < num_rows; ++r) {
+        ASSERT_EQ(out[r], NaiveAndCount(left, rows[r]))
+            << "len=" << len << " rows=" << num_rows << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST_P(BitKernelTablesTest, RandomizedBitLengthFuzz) {
+  // Randomized lengths in 0..8192 bits: allocate whole words, mask the tail
+  // to the bit length (the BitVector zero-padding invariant), and check the
+  // fused count against the naive oracle.
+  Rng rng(606);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t num_bits = rng.UniformInt(8193);
+    const std::size_t num_words = (num_bits + 63) / 64;
+    auto a = RandomWords(&rng, num_words);
+    auto b = RandomWords(&rng, num_words);
+    if (num_bits % 64 != 0) {
+      const std::uint64_t mask = (1ULL << (num_bits % 64)) - 1;
+      a.back() &= mask;
+      b.back() &= mask;
+    }
+    ASSERT_EQ(ops().and_count(a.data(), b.data(), num_words),
+              NaiveAndCount(a, b))
+        << "bits=" << num_bits;
+    ASSERT_EQ(ops().count_ones(a.data(), num_words), NaiveCountOnes(a))
+        << "bits=" << num_bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTables, BitKernelTablesTest,
+                         ::testing::Values("scalar", "active"));
+
+TEST(BitKernelDispatchTest, ForceScalarSelectsScalarTable) {
+  EXPECT_STREQ(internal::SelectBitKernels(true).name, "scalar");
+}
+
+TEST(BitKernelDispatchTest, DefaultSelectionIsScalarOrSimd) {
+  const BitKernelOps& selected = internal::SelectBitKernels(false);
+  const std::string_view name = selected.name;
+  EXPECT_TRUE(name == "scalar" || name == "avx2" || name == "neon")
+      << "unexpected table: " << name;
+  // When a SIMD table exists and the host supports it, the non-forced
+  // selection must pick it; otherwise it must fall back to scalar.
+  const BitKernelOps* simd = internal::SimdBitKernels();
+  if (simd != nullptr) {
+    EXPECT_EQ(&selected, simd);
+  } else {
+    EXPECT_EQ(&selected, &ScalarBitKernels());
+  }
+}
+
+TEST(BitKernelDispatchTest, ActiveTableIsStable) {
+  EXPECT_EQ(&ActiveBitKernels(), &ActiveBitKernels());
+}
+
+TEST(AccumulateColumnCountsTest, MatchesNaiveAcrossRowCounts) {
+  Rng rng(707);
+  // 0..40 rows exercises the empty case, the per-bit remainder path, one
+  // full 15-row carry-save block, and blocks plus remainder.
+  for (std::size_t num_rows = 0; num_rows <= 40; ++num_rows) {
+    const std::size_t num_words = 9;
+    std::vector<std::vector<std::uint64_t>> rows;
+    std::vector<const std::uint64_t*> ptrs;
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      rows.push_back(RandomWords(&rng, num_words));
+      ptrs.push_back(rows.back().data());
+    }
+    std::vector<std::uint32_t> counts(num_words * 64, 0);
+    AccumulateColumnCounts(ptrs.data(), num_rows, 0, num_words,
+                           counts.data());
+    for (std::size_t c = 0; c < num_words * 64; ++c) {
+      std::uint32_t want = 0;
+      for (std::size_t r = 0; r < num_rows; ++r) {
+        want += static_cast<std::uint32_t>((rows[r][c / 64] >> (c % 64)) & 1);
+      }
+      ASSERT_EQ(counts[c], want) << "rows=" << num_rows << " col=" << c;
+    }
+  }
+}
+
+TEST(AccumulateColumnCountsTest, RespectsWordRangeAndAccumulates) {
+  Rng rng(808);
+  const std::size_t num_words = 6;
+  std::vector<std::vector<std::uint64_t>> rows;
+  std::vector<const std::uint64_t*> ptrs;
+  for (std::size_t r = 0; r < 20; ++r) {
+    rows.push_back(RandomWords(&rng, num_words));
+    ptrs.push_back(rows.back().data());
+  }
+  // Two disjoint word ranges must partition the full-range result, and
+  // counts outside the range must stay untouched (the sharded weight screen
+  // depends on both properties).
+  std::vector<std::uint32_t> split(num_words * 64, 0);
+  AccumulateColumnCounts(ptrs.data(), rows.size(), 0, 2, split.data());
+  AccumulateColumnCounts(ptrs.data(), rows.size(), 2, num_words,
+                         split.data());
+  std::vector<std::uint32_t> whole(num_words * 64, 0);
+  AccumulateColumnCounts(ptrs.data(), rows.size(), 0, num_words,
+                         whole.data());
+  EXPECT_EQ(split, whole);
+
+  std::vector<std::uint32_t> partial(num_words * 64, 0);
+  AccumulateColumnCounts(ptrs.data(), rows.size(), 2, 4, partial.data());
+  for (std::size_t c = 0; c < 2 * 64; ++c) {
+    ASSERT_EQ(partial[c], 0u) << "col=" << c;
+  }
+  for (std::size_t c = 4 * 64; c < num_words * 64; ++c) {
+    ASSERT_EQ(partial[c], 0u) << "col=" << c;
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -111,6 +111,47 @@ TEST(BitVectorTest, EqualityComparesSizeAndBits) {
   EXPECT_FALSE(a == BitVector(64));
 }
 
+TEST(BitVectorTest, CommonOnesBatchMatchesPairwise) {
+  Rng rng(11);
+  const std::size_t n = 500;
+  BitVector left(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.5)) left.Set(i);
+  }
+  std::vector<BitVector> others(7, BitVector(n));
+  for (BitVector& v : others) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.3)) v.Set(i);
+    }
+  }
+  std::vector<std::uint32_t> counts(others.size(), 0);
+  left.CommonOnesBatch(others, counts);
+  for (std::size_t r = 0; r < others.size(); ++r) {
+    EXPECT_EQ(counts[r], left.CommonOnes(others[r])) << "r=" << r;
+  }
+}
+
+TEST(BitVectorTest, AssignAndEqualsCopyThenAnd) {
+  Rng rng(12);
+  const std::size_t n = 321;
+  BitVector a(n);
+  BitVector b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.5)) a.Set(i);
+    if (rng.Bernoulli(0.5)) b.Set(i);
+  }
+  BitVector expected = a;
+  expected.InPlaceAnd(b);
+  BitVector got;  // Starts empty; AssignAnd must adopt the operand shape.
+  got.AssignAnd(a, b);
+  EXPECT_TRUE(got == expected);
+  // Reassignment from a larger previous shape must also resize down.
+  BitVector reused(2 * n);
+  reused.Set(2 * n - 1);
+  reused.AssignAnd(a, b);
+  EXPECT_TRUE(reused == expected);
+}
+
 TEST(BitVectorTest, CommonOnesMatchesBruteForceOnRandomVectors) {
   Rng rng(7);
   for (int trial = 0; trial < 20; ++trial) {

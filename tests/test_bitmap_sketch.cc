@@ -1,6 +1,7 @@
 #include "sketch/bitmap_sketch.h"
 
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -103,6 +104,40 @@ TEST(BitmapSketchTest, FillRatioTracksLoad) {
   }
   // Expected fill 1 - e^{-1/2} ~ 0.394.
   EXPECT_NEAR(sketch.FillRatio(), 0.394, 0.04);
+}
+
+TEST(BitmapSketchTest, UpdateBatchMatchesPerPacketUpdates) {
+  // The batched path must be observationally identical to per-packet
+  // Update: same bitmap, same recorded/skipped counters, same ones count —
+  // including empty-payload skips interleaved mid-batch and batches that
+  // straddle the internal chunk size.
+  BitmapSketch batched(SmallOptions());
+  BitmapSketch serial(SmallOptions());
+  Rng rng(42);
+  std::vector<Packet> packets;
+  for (int i = 0; i < 300; ++i) {
+    if (i % 17 == 0) {
+      packets.push_back(MakePacket(""));
+      continue;
+    }
+    std::string payload(16, '\0');
+    for (char& c : payload) c = static_cast<char>(rng.UniformInt(256));
+    packets.push_back(MakePacket(std::move(payload)));
+  }
+  const std::size_t recorded = batched.UpdateBatch(packets);
+  for (const Packet& pkt : packets) serial.Update(pkt);
+  EXPECT_EQ(recorded, serial.packets_recorded());
+  EXPECT_EQ(batched.packets_recorded(), serial.packets_recorded());
+  EXPECT_EQ(batched.packets_skipped(), serial.packets_skipped());
+  EXPECT_TRUE(batched.bits() == serial.bits());
+  EXPECT_EQ(batched.IsHalfFull(), serial.IsHalfFull());
+}
+
+TEST(BitmapSketchTest, UpdateBatchEmptySpanIsNoOp) {
+  BitmapSketch sketch(SmallOptions());
+  EXPECT_EQ(sketch.UpdateBatch({}), 0u);
+  EXPECT_EQ(sketch.packets_recorded(), 0u);
+  EXPECT_EQ(sketch.packets_skipped(), 0u);
 }
 
 TEST(BitmapSketchTest, DifferentSeedsDecorrelate) {

@@ -76,6 +76,74 @@ TEST(ForEachGroupPairTest, SamplingRestrictsPairs) {
   }
 }
 
+TEST(CorrelateGroupsTest, TieBreaksTowardLowestRowPair) {
+  // Three identical rows on each side: every pair shares the same 4
+  // positions, so the max is achieved 9 ways. The contract pins the result
+  // to the lexicographically lowest (row_a, row_b) = (0, 0).
+  std::vector<BitVector> a(3, BitVector(128));
+  for (BitVector& row : a) {
+    for (std::size_t i = 0; i < 4; ++i) row.Set(i * 17);
+  }
+  std::vector<BitVector> b = a;
+  const GroupPairCorrelation best = CorrelateGroups(a, b);
+  EXPECT_EQ(best.max_common, 4u);
+  EXPECT_EQ(best.row_a, 0u);
+  EXPECT_EQ(best.row_b, 0u);
+}
+
+TEST(CorrelateGroupsTest, TieBreakPrefersEarlierBRowWithinSameARow) {
+  // b[1] and b[2] tie; b[0] loses. Lowest row_b among the winners must win.
+  std::vector<BitVector> a(1, BitVector(64));
+  std::vector<BitVector> b(3, BitVector(64));
+  for (std::size_t i = 0; i < 6; ++i) a[0].Set(i);
+  b[0].Set(0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    b[1].Set(i);
+    b[2].Set(i + 3);
+  }
+  const GroupPairCorrelation best = CorrelateGroups(a, b);
+  EXPECT_EQ(best.max_common, 3u);
+  EXPECT_EQ(best.row_a, 0u);
+  EXPECT_EQ(best.row_b, 1u);
+}
+
+TEST(ForEachGroupPairTest, SamplingWithTooFewGroupsDoesNotAbort) {
+  // Regression: with sampling on, the sampler used to ask for max(keep, 2)
+  // groups even when fewer than 2 existed, tripping the k <= n contract of
+  // SampleWithoutReplacement and aborting the process.
+  PairScanOptions opts;
+  opts.group_sample_rate = 0.1;
+  std::size_t pairs = 0;
+  const auto none =
+      ForEachGroupPair(0, opts, [&](std::uint32_t, std::uint32_t) {
+        ++pairs;
+      });
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(pairs, 0u);
+
+  const auto one =
+      ForEachGroupPair(1, opts, [&](std::uint32_t, std::uint32_t) {
+        ++pairs;
+      });
+  EXPECT_EQ(one, std::vector<std::uint32_t>{0});
+  EXPECT_EQ(pairs, 0u);
+}
+
+TEST(ForEachGroupPairTest, SamplingTwoGroupsKeepsBoth) {
+  // The smallest population where sampling is possible: the keep floor of 2
+  // must clamp to the population, not overshoot it.
+  PairScanOptions opts;
+  opts.group_sample_rate = 0.1;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> visited;
+  const auto sampled =
+      ForEachGroupPair(2, opts, [&](std::uint32_t a, std::uint32_t b) {
+        visited.emplace_back(a, b);
+      });
+  EXPECT_EQ(sampled, (std::vector<std::uint32_t>{0, 1}));
+  ASSERT_EQ(visited.size(), 1u);
+  EXPECT_EQ(visited[0], std::make_pair(0u, 1u));
+}
+
 TEST(ForEachGroupPairTest, SamplingIsDeterministicBySeed) {
   PairScanOptions opts;
   opts.group_sample_rate = 0.3;

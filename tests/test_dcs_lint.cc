@@ -320,6 +320,59 @@ TEST(FloatEqualityRuleTest, CleanCases) {
 }
 
 // ---------------------------------------------------------------------------
+// target-intrinsics
+// ---------------------------------------------------------------------------
+
+TEST(TargetIntrinsicsRuleTest, FlagsIntrinsicHeadersCallsAndTypes) {
+  const auto f1 = LintContent("src/common/bit_vector.cc",
+                              "#include <immintrin.h>\n", kPrefixes);
+  ASSERT_EQ(f1.size(), 1u);
+  EXPECT_EQ(f1[0].rule, kRuleTargetIntrinsics);
+  EXPECT_EQ(f1[0].line, 1u);
+
+  const auto f2 = LintContent(
+      "src/analysis/foo.cc",
+      "__m256i acc = _mm256_and_si256(a, b);\n", kPrefixes);
+  EXPECT_TRUE(HasRule(f2, kRuleTargetIntrinsics));
+
+  const auto f3 = LintContent("tools/foo.cc",
+                              "#include <arm_neon.h>\n"
+                              "uint8x16_t bytes = vcntq_u8(v);\n",
+                              kPrefixes);
+  EXPECT_TRUE(HasRule(f3, kRuleTargetIntrinsics));
+}
+
+TEST(TargetIntrinsicsRuleTest, Suppressed) {
+  const auto findings = LintContent(
+      "src/common/foo.cc",
+      "__m128i x;  // dcs-lint: allow(target-intrinsics)\n", kPrefixes);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(TargetIntrinsicsRuleTest, CleanCases) {
+  // The dedicated SIMD TU is the one sanctioned home.
+  EXPECT_TRUE(LintContent("src/common/bit_kernels_avx2.cc",
+                          "#include <immintrin.h>\n"
+                          "__m256i acc = _mm256_setzero_si256();\n",
+                          kPrefixes)
+                  .empty());
+  // Portable bit twiddling is fine anywhere.
+  EXPECT_TRUE(LintContent("src/common/bit_vector.cc",
+                          "count += std::popcount(words[w]);\n", kPrefixes)
+                  .empty());
+  // Mentions in comments and strings are not code.
+  EXPECT_TRUE(LintContent("src/common/foo.cc",
+                          "// the AVX2 path uses _mm256_add_epi8(...)\n"
+                          "const char* s = \"__m256i\";\n",
+                          kPrefixes)
+                  .empty());
+  // Out of scope in tests/ and bench/ (fixtures like this file).
+  EXPECT_TRUE(LintContent("tests/foo.cc",
+                          "__m256i acc;\n", kPrefixes)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
 // Rule catalog sanity.
 // ---------------------------------------------------------------------------
 
@@ -332,7 +385,7 @@ TEST(RuleCatalogTest, ListsEveryRuleExactlyOnce) {
   }
   std::vector<std::string> expected = {
       kRuleUnseededRng, kRuleUnorderedIteration, kRuleWallClock,
-      kRuleMetricName, kRuleFloatEquality};
+      kRuleMetricName, kRuleFloatEquality, kRuleTargetIntrinsics};
   std::sort(slugs.begin(), slugs.end());
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(slugs, expected);

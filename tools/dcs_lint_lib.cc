@@ -16,6 +16,7 @@ const char* const kRuleUnorderedIteration = "unordered-iteration";
 const char* const kRuleWallClock = "wall-clock";
 const char* const kRuleMetricName = "metric-name";
 const char* const kRuleFloatEquality = "float-equality";
+const char* const kRuleTargetIntrinsics = "target-intrinsics";
 
 std::vector<std::pair<std::string, std::string>> RuleCatalog() {
   return {
@@ -35,6 +36,10 @@ std::vector<std::pair<std::string, std::string>> RuleCatalog() {
       {kRuleFloatEquality,
        "float/double == or != against a floating literal in threshold code; "
        "compare with an explicit tolerance"},
+      {kRuleTargetIntrinsics,
+       "target-specific SIMD intrinsics or intrinsic headers outside "
+       "src/common/bit_kernels_avx2.cc; all ISA-specific code must live in "
+       "the one TU built with target flags, behind the dispatch table"},
   };
 }
 
@@ -440,6 +445,27 @@ void CheckFloatEquality(const FileContext& ctx) {
                   "compare against an explicit tolerance instead");
 }
 
+// ---------------------------------------------------------------------------
+// Rule: target-intrinsics
+// ---------------------------------------------------------------------------
+
+void CheckTargetIntrinsics(const FileContext& ctx) {
+  const bool in_scope =
+      StartsWith(ctx.rel_path, "src/") || StartsWith(ctx.rel_path, "tools/");
+  if (!in_scope) return;
+  // The single translation unit built with target flags (-mavx2 on x86-64);
+  // everything ISA-specific must live there, behind the BitKernelOps
+  // dispatch table, so the rest of the tree stays portable and the scalar
+  // CI leg keeps meaning something.
+  if (ctx.rel_path == "src/common/bit_kernels_avx2.cc") return;
+  static const std::regex re(
+      R"(#\s*include\s*[<"]([a-z0-9]*mmintrin|immintrin|x86intrin|x86gprintrin|arm_neon|arm_sve)\.h[>"]|\b_mm\d*_\w+\s*\(|\b__m(128|256|512)[id]?\b|\bv(cntq|paddlq|ld1q|st1q|andq|orrq|addq|addvq|dupq|getq)_\w+|\buint(8x16|16x8|32x4|64x2)_t\b)");
+  EmitLineMatches(ctx, ctx.lexed.code_nostr, re, kRuleTargetIntrinsics,
+                  "target-specific intrinsics outside "
+                  "src/common/bit_kernels_avx2.cc; add a kernel to the "
+                  "dispatch table (common/bit_kernels.h) instead");
+}
+
 }  // namespace
 
 std::vector<std::string> ParseCatalogPrefixes(const std::string& markdown) {
@@ -470,6 +496,7 @@ std::vector<Finding> LintContent(const std::string& rel_path,
   CheckWallClock(ctx);
   CheckMetricNames(ctx, prefixes);
   CheckFloatEquality(ctx);
+  CheckTargetIntrinsics(ctx);
   return findings;
 }
 

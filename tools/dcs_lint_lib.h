@@ -27,6 +27,7 @@ extern const char* const kRuleUnorderedIteration;
 extern const char* const kRuleWallClock;
 extern const char* const kRuleMetricName;
 extern const char* const kRuleFloatEquality;
+extern const char* const kRuleTargetIntrinsics;
 
 /// All rule slugs with a one-line description, for --list-rules and docs.
 std::vector<std::pair<std::string, std::string>> RuleCatalog();
