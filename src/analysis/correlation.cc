@@ -29,10 +29,10 @@ GroupPairCorrelation CorrelateGroups(std::span<const BitVector> rows_a,
   return best;
 }
 
-std::vector<std::uint32_t> ForEachGroupPair(
-    std::size_t num_groups, const PairScanOptions& options,
-    const std::function<void(std::uint32_t, std::uint32_t)>& visit) {
-  std::vector<std::uint32_t> sampled;
+PairScanPlan PlanGroupPairScan(std::size_t num_groups,
+                               const PairScanOptions& options) {
+  PairScanPlan plan;
+  std::vector<std::uint32_t>& sampled = plan.sampled;
   if (options.group_sample_rate >= 1.0) {
     sampled.resize(num_groups);
     for (std::size_t g = 0; g < num_groups; ++g) {
@@ -60,7 +60,20 @@ std::vector<std::uint32_t> ForEachGroupPair(
     }
     std::sort(sampled.begin(), sampled.end());
   }
+  // Contiguous ascending ranges of the first index either way; only the
+  // range count differs between the serial and pooled plans, never the
+  // visit order a shard-order merge reconstructs.
+  plan.shards = options.pool != nullptr
+                    ? options.pool->ShardsFor(sampled.size())
+                    : MakeShards(sampled.size(), 1);
+  return plan;
+}
 
+void RunGroupPairScan(
+    const PairScanPlan& plan, const PairScanOptions& options,
+    const std::function<void(const ShardRange&, std::uint32_t,
+                             std::uint32_t)>& visit) {
+  const std::vector<std::uint32_t>& sampled = plan.sampled;
   // Hoisted so the hot loops touch only lock-free metric objects (the name
   // lookup takes the registry mutex once per scan, not per task).
   const bool obs = ObsEnabled();
@@ -69,23 +82,20 @@ std::vector<std::uint32_t> ForEachGroupPair(
           ? &ObsHistogram("stage.pairscan_task.ns")
           : nullptr;
 
-  if (options.pool == nullptr) {
-    for (std::size_t i = 0; i < sampled.size(); ++i) {
+  auto scan_shard = [&](const ShardRange& shard) {
+    StageStopwatch watch;
+    if (task_hist != nullptr) watch.Start();
+    for (std::size_t i = shard.begin; i < shard.end; ++i) {
       for (std::size_t j = i + 1; j < sampled.size(); ++j) {
-        visit(sampled[i], sampled[j]);
+        visit(shard, sampled[i], sampled[j]);
       }
     }
+    if (task_hist != nullptr) task_hist->Record(watch.ElapsedNanos());
+  };
+  if (options.pool == nullptr) {
+    for (const ShardRange& shard : plan.shards) scan_shard(shard);
   } else {
-    // Shard over the first index; iterating i covers each unordered pair
-    // exactly once, so shards are disjoint.
-    options.pool->ParallelFor(sampled.size(), [&](std::size_t i) {
-      StageStopwatch watch;
-      if (task_hist != nullptr) watch.Start();
-      for (std::size_t j = i + 1; j < sampled.size(); ++j) {
-        visit(sampled[i], sampled[j]);
-      }
-      if (task_hist != nullptr) task_hist->Record(watch.ElapsedNanos());
-    });
+    options.pool->RunShards(plan.shards, scan_shard);
   }
 
   if (obs) {
@@ -94,7 +104,17 @@ std::vector<std::uint32_t> ForEachGroupPair(
     ObsCounter("pairscan.groups_scanned").Add(s);
     ObsCounter("pairscan.pairs_visited").Add(s * (s - 1) / 2);
   }
-  return sampled;
+}
+
+std::vector<std::uint32_t> ForEachGroupPair(
+    std::size_t num_groups, const PairScanOptions& options,
+    const std::function<void(std::uint32_t, std::uint32_t)>& visit) {
+  PairScanPlan plan = PlanGroupPairScan(num_groups, options);
+  RunGroupPairScan(plan, options,
+                   [&](const ShardRange&, std::uint32_t g1, std::uint32_t g2) {
+                     visit(g1, g2);
+                   });
+  return std::move(plan.sampled);
 }
 
 }  // namespace dcs

@@ -52,6 +52,37 @@ std::vector<std::uint32_t> ForEachGroupPair(
     std::size_t num_groups, const PairScanOptions& options,
     const std::function<void(std::uint32_t, std::uint32_t)>& visit);
 
+/// The sampling and sharding decisions of one pair scan, fixed before any
+/// work runs. `shards` partitions [0, sampled.size()) — the first-index
+/// dimension of the triangular pair loop — into contiguous ascending
+/// ranges (one range serially, ShardsFor() ranges on a pool). Because the
+/// ranges are contiguous and ascending, per-shard partial results
+/// concatenated in ascending `ShardRange::index` order reproduce the
+/// serial ascending-(g1, g2) visit order exactly; that merge rule is what
+/// makes the sharded graph build bit-identical at any thread count (see
+/// docs/PARALLELISM.md).
+struct PairScanPlan {
+  std::vector<std::uint32_t> sampled;
+  std::vector<ShardRange> shards;
+};
+
+/// Decides which groups a scan will touch and how the first index is
+/// sharded. Deterministic in (num_groups, sample options, pool width) —
+/// never in scheduling.
+PairScanPlan PlanGroupPairScan(std::size_t num_groups,
+                               const PairScanOptions& options);
+
+/// Executes a planned scan: visit(shard, g1, g2) for every retained pair,
+/// where `shard` is the plan shard covering the pair's first index. With a
+/// pool, shards run concurrently and the callback must be safe for
+/// concurrent invocations with distinct shards; within one shard, pairs
+/// arrive in ascending (g1, g2) order. Flushes the `pairscan.*` counters
+/// and, on a pool, the per-shard `stage.pairscan_task.ns` timings.
+void RunGroupPairScan(
+    const PairScanPlan& plan, const PairScanOptions& options,
+    const std::function<void(const ShardRange&, std::uint32_t,
+                             std::uint32_t)>& visit);
+
 }  // namespace dcs
 
 #endif  // DCS_ANALYSIS_CORRELATION_H_

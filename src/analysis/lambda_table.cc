@@ -1,9 +1,12 @@
 #include "analysis/lambda_table.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/stats_math.h"
+#include "common/thread_pool.h"
 
 namespace dcs {
 
@@ -28,6 +31,32 @@ std::int64_t LambdaTable::Threshold(std::uint32_t i, std::uint32_t j) const {
       p_star_, static_cast<std::int64_t>(array_bits_), i, j);
   slot.store(static_cast<std::int32_t>(lambda), std::memory_order_relaxed);
   return lambda;
+}
+
+void LambdaTable::Calibrate(std::span<const std::uint32_t> row_weights,
+                            ThreadPool* pool) const {
+  // Distinct non-zero weights, ascending. The scan never looks up a pair
+  // involving an empty row, so weight 0 would be wasted work.
+  std::vector<std::uint32_t> weights(row_weights.begin(), row_weights.end());
+  std::sort(weights.begin(), weights.end());
+  weights.erase(std::unique(weights.begin(), weights.end()), weights.end());
+  if (!weights.empty() && weights.front() == 0) {
+    weights.erase(weights.begin());
+  }
+  if (weights.empty()) return;
+  // Shard over the first weight; iterating i <= j covers each unordered
+  // pair exactly once, so shards compute disjoint entries and the miss
+  // counter advances by exactly the number of previously-absent entries.
+  auto fill_row = [&](std::size_t a) {
+    for (std::size_t b = a; b < weights.size(); ++b) {
+      Threshold(weights[a], weights[b]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(weights.size(), fill_row);
+  } else {
+    for (std::size_t a = 0; a < weights.size(); ++a) fill_row(a);
+  }
 }
 
 double LambdaTable::EdgeProbFromPStar(double p_star, std::size_t arrays) {

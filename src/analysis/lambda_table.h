@@ -4,9 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 namespace dcs {
+
+class ThreadPool;
 
 /// \brief The paper's threshold table Lambda = {lambda_{i,j}} (Section IV-B).
 ///
@@ -25,6 +28,16 @@ class LambdaTable {
 
   /// lambda_{i,j}; symmetric in (i, j). i, j must be <= array_bits.
   std::int64_t Threshold(std::uint32_t i, std::uint32_t j) const;
+
+  /// Precomputes lambda_{i,j} for every unordered pair of the distinct
+  /// non-zero values in `row_weights` (duplicates and zeros — rows the scan
+  /// skips — are dropped), sharded over `pool` when non-null. Each pair
+  /// lands in exactly one shard and every entry is a pure function of
+  /// (i, j), so the cache contents, the miss count, and all later
+  /// Threshold() results are bit-identical at any thread count. Idempotent:
+  /// already-cached entries cost one relaxed load.
+  void Calibrate(std::span<const std::uint32_t> row_weights,
+                 ThreadPool* pool) const;
 
   /// Lookups that had to compute a fresh entry (cache misses). Hits are not
   /// counted individually — the scan already counts row-pair compares, and

@@ -12,33 +12,56 @@
 
 namespace dcs {
 
-UnalignedDetection DetectUnalignedPattern(
-    const Graph& graph, const UnalignedDetectorOptions& options) {
+UnalignedDetection DetectUnalignedPattern(const Graph& graph,
+                                          const UnalignedDetectorOptions& options,
+                                          const AnalysisContext& context) {
   DCS_CHECK(graph.finalized());
+  ThreadPool* pool = context.pool;
   UnalignedDetection detection;
 
   // Step 2: find the core by min-degree peeling.
   PeelResult peel;
   {
     ScopedStageTimer peel_timer("find_core");
-    peel = FindCore(graph, options.beta);
+    peel = FindCore(graph, options.beta, pool);
   }
   detection.core = peel.core;
 
   // Step 3: survivors are outside vertices with >= d edges into the core.
+  // The per-vertex test only reads the graph and the core flags, so shards
+  // are independent; contiguous ascending shards concatenated in shard
+  // order give the same ascending survivor list as the serial loop.
   std::vector<char> in_core(graph.num_vertices(), 0);
   for (Graph::VertexId v : detection.core) in_core[v] = 1;
 
-  std::vector<Graph::VertexId> survivors;
-  for (std::size_t v = 0; v < graph.num_vertices(); ++v) {
-    if (in_core[v]) continue;
+  auto survives = [&](std::size_t v) {
+    if (in_core[v]) return false;
     std::size_t edges_into_core = 0;
     for (Graph::VertexId w :
          graph.neighbors(static_cast<Graph::VertexId>(v))) {
       if (in_core[w]) ++edges_into_core;
     }
-    if (edges_into_core >= options.expand_min_edges) {
-      survivors.push_back(static_cast<Graph::VertexId>(v));
+    return edges_into_core >= options.expand_min_edges;
+  };
+  std::vector<Graph::VertexId> survivors;
+  if (pool != nullptr) {
+    const std::vector<ShardRange> shards =
+        pool->ShardsFor(graph.num_vertices());
+    std::vector<std::vector<Graph::VertexId>> shard_survivors(shards.size());
+    pool->RunShards(shards, [&](const ShardRange& shard) {
+      for (std::size_t v = shard.begin; v < shard.end; ++v) {
+        if (survives(v)) {
+          shard_survivors[shard.index].push_back(
+              static_cast<Graph::VertexId>(v));
+        }
+      }
+    });
+    for (const std::vector<Graph::VertexId>& part : shard_survivors) {
+      survivors.insert(survivors.end(), part.begin(), part.end());
+    }
+  } else {
+    for (std::size_t v = 0; v < graph.num_vertices(); ++v) {
+      if (survives(v)) survivors.push_back(static_cast<Graph::VertexId>(v));
     }
   }
 
@@ -60,7 +83,7 @@ UnalignedDetection DetectUnalignedPattern(
     h.Finalize();
     const std::size_t second_beta =
         options.second_beta > 0 ? options.second_beta : options.beta;
-    PeelResult second = FindCore(h, second_beta);
+    PeelResult second = FindCore(h, second_beta, pool);
     detection.second_core.reserve(second.core.size());
     for (Graph::VertexId v : second.core) {
       detection.second_core.push_back(survivors[v]);
@@ -80,6 +103,8 @@ UnalignedDetection DetectUnalignedPattern(
     ObsCounter("detector.unaligned.runs").Increment();
     ObsCounter("detector.unaligned.vertices_peeled")
         .Add(peel.removal_order.size());
+    ObsCounter("unaligned.peel_waves").Add(peel.waves);
+    ObsCounter("unaligned.peel_tail_removals").Add(peel.tail_removals);
     ObsCounter("detector.unaligned.survivors").Add(survivors.size());
     ObsCounter("detector.unaligned.second_core_vertices")
         .Add(detection.second_core.size());
@@ -134,7 +159,8 @@ Graph InducedComplement(const Graph& graph,
 }  // namespace
 
 std::vector<UnalignedDetection> DetectMultipleUnalignedPatterns(
-    const Graph& graph, const MultiPatternOptions& options) {
+    const Graph& graph, const MultiPatternOptions& options,
+    const AnalysisContext& context) {
   DCS_CHECK(graph.finalized());
   std::vector<UnalignedDetection> detections;
   // Vertices removed so far (original ids), sorted.
@@ -145,7 +171,7 @@ std::vector<UnalignedDetection> DetectMultipleUnalignedPatterns(
 
   for (std::size_t round = 0; round < options.max_patterns; ++round) {
     UnalignedDetection detection =
-        DetectUnalignedPattern(*current, options.detector);
+        DetectUnalignedPattern(*current, options.detector, context);
     if (detection.detected.size() < 2) break;
 
     // Significance gate (Eq 2): even the densest size-m subset of a pure

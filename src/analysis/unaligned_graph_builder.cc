@@ -1,8 +1,8 @@
 #include "analysis/unaligned_graph_builder.h"
 
-#include <atomic>
-#include <mutex>
+#include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -21,23 +21,48 @@ Graph BuildCorrelationGraph(const BitMatrix& matrix,
   const std::size_t num_groups = matrix.rows() / arrays;
   const bool obs = ObsEnabled();
   const std::uint64_t misses_before = lambda.cache_misses();
-  // Accumulated per group pair (one relaxed add amortized over up to
-  // arrays^2 row compares), flushed to the registry once per build.
-  std::atomic<std::uint64_t> row_pairs_compared{0};
+  ThreadPool* pool = options.scan.pool;
 
-  // Row weights once; the lambda lookup needs them per pair.
+  // Row weights once; the lambda lookup needs them per pair. Pure per-row
+  // writes, so the sharded pass needs no merge at all.
   std::vector<std::uint32_t> row_ones(matrix.rows());
-  for (std::size_t r = 0; r < matrix.rows(); ++r) {
-    row_ones[r] = static_cast<std::uint32_t>(matrix.row(r).CountOnes());
+  {
+    ScopedStageTimer timer("unaligned_row_weights");
+    auto weigh = [&](std::size_t r) {
+      row_ones[r] = static_cast<std::uint32_t>(matrix.row(r).CountOnes());
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(matrix.rows(), weigh);
+    } else {
+      for (std::size_t r = 0; r < matrix.rows(); ++r) weigh(r);
+    }
   }
 
-  Graph graph(num_groups);
-  std::mutex edge_mu;  // Only contended in the parallel path.
-  const bool parallel = options.scan.pool != nullptr;
+  // Sharded lambda calibration: precompute the threshold for every pair of
+  // observed row weights, so the scan below runs against a warm cache
+  // instead of serializing hypergeometric solves through first-touch
+  // misses.
+  {
+    ScopedStageTimer timer("unaligned_lambda_calibrate");
+    lambda.Calibrate(row_ones, pool);
+  }
+  const std::uint64_t misses_after_calibration = lambda.cache_misses();
 
-  ForEachGroupPair(
-      num_groups, options.scan,
-      [&](std::uint32_t g1, std::uint32_t g2) {
+  // The scan proper. Each shard appends candidate edges to its own buffer;
+  // shards are contiguous ascending ranges of the first group index, so
+  // concatenating the buffers in ascending shard order reproduces the
+  // serial emission order exactly — no mutex, no ordering leak.
+  const PairScanPlan plan = PlanGroupPairScan(num_groups, options.scan);
+  using Edge = std::pair<std::uint32_t, std::uint32_t>;
+  std::vector<std::vector<Edge>> shard_edges(plan.shards.size());
+  // Per-shard scratch for the batched kernel counts, and per-shard compare
+  // tallies (summed once at the end — integer sums are merge-order-free).
+  std::vector<std::vector<std::uint32_t>> shard_counts(plan.shards.size());
+  std::vector<std::uint64_t> shard_compares(plan.shards.size(), 0);
+
+  RunGroupPairScan(
+      plan, options.scan,
+      [&](const ShardRange& shard, std::uint32_t g1, std::uint32_t g2) {
         const std::size_t base1 = g1 * arrays;
         const std::size_t base2 = g2 * arrays;
         // Group 2's rows are contiguous in the matrix, so one batched
@@ -46,7 +71,8 @@ Graph BuildCorrelationGraph(const BitMatrix& matrix,
         // zero-row skips, so compares / edge choice / lambda cache traffic
         // are unchanged.
         const std::span<const BitVector> group2(&matrix.row(base2), arrays);
-        std::vector<std::uint32_t> common_counts(arrays);
+        std::vector<std::uint32_t>& common_counts = shard_counts[shard.index];
+        if (common_counts.size() != arrays) common_counts.resize(arrays);
         std::uint64_t compares = 0;
         for (std::size_t i = 0; i < arrays; ++i) {
           const BitVector& row1 = matrix.row(base1 + i);
@@ -59,37 +85,43 @@ Graph BuildCorrelationGraph(const BitMatrix& matrix,
             ++compares;
             const auto common = static_cast<std::int64_t>(common_counts[j]);
             if (common > lambda.Threshold(ones1, ones2)) {
-              if (obs) {
-                row_pairs_compared.fetch_add(compares,
-                                             std::memory_order_relaxed);
-              }
-              if (parallel) {
-                std::scoped_lock lock(edge_mu);
-                graph.AddEdge(g1, g2);
-              } else {
-                graph.AddEdge(g1, g2);
-              }
+              shard_compares[shard.index] += compares;
+              shard_edges[shard.index].emplace_back(g1, g2);
               return;  // At most one edge per group pair.
             }
           }
         }
-        if (obs) {
-          row_pairs_compared.fetch_add(compares, std::memory_order_relaxed);
-        }
+        shard_compares[shard.index] += compares;
       });
 
+  Graph graph(num_groups);
+  {
+    ScopedStageTimer timer("unaligned_edge_merge");
+    for (const std::vector<Edge>& edges : shard_edges) {
+      for (const auto& [g1, g2] : edges) graph.AddEdge(g1, g2);
+    }
+  }
   graph.Finalize();
+
   if (obs) {
-    const std::uint64_t compares =
-        row_pairs_compared.load(std::memory_order_relaxed);
+    std::uint64_t compares = 0;
+    for (const std::uint64_t c : shard_compares) compares += c;
     const std::uint64_t misses = lambda.cache_misses() - misses_before;
+    const std::uint64_t scan_misses =
+        lambda.cache_misses() - misses_after_calibration;
     ObsCounter("pairscan.row_pairs_compared").Add(compares);
     ObsCounter("pairscan.edges_emitted").Add(graph.num_edges());
     ObsCounter("lambda.cache_misses").Add(misses);
     ObsCounter("lambda.lookups").Add(compares);
+    ObsCounter("unaligned.lambda_calibrated_entries")
+        .Add(misses_after_calibration - misses_before);
+    ObsGauge("unaligned.scan_shards")
+        .Set(static_cast<double>(plan.shards.size()));
     if (compares > 0) {
+      // Hit rate of the scan itself; after calibration this should sit at
+      // 1.0, so anything lower flags weights the calibration never saw.
       ObsGauge("lambda.cache_hit_rate")
-          .Set(1.0 - static_cast<double>(misses) /
+          .Set(1.0 - static_cast<double>(scan_misses) /
                          static_cast<double>(compares));
     }
   }

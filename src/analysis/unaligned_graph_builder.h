@@ -27,7 +27,14 @@ struct GraphBuilderOptions {
 /// `matrix` is group-major: rows [g * arrays_per_group, (g+1) *
 /// arrays_per_group) belong to group g, exactly how FlowSplitSketch and the
 /// analysis center's vertical merge lay them out. Row weights are
-/// precomputed once; the hypergeometric thresholds come from `lambda`.
+/// precomputed once; the hypergeometric thresholds come from `lambda`,
+/// which is calibrated up front over the observed weights.
+///
+/// With a pool in `options.scan`, the weight pass, the lambda calibration,
+/// and the pair scan all run sharded; each scan shard buffers its own
+/// edges and the buffers merge in ascending shard order, so the edge list
+/// (and therefore the graph) is bit-identical at any thread count,
+/// including no pool at all (docs/PARALLELISM.md).
 Graph BuildCorrelationGraph(const BitMatrix& matrix,
                             const LambdaTable& lambda,
                             const GraphBuilderOptions& options);

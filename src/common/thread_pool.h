@@ -31,10 +31,12 @@ std::vector<ShardRange> MakeShards(std::size_t count, std::size_t max_shards);
 /// \brief Fixed-size worker pool.
 ///
 /// The paper notes (Section IV-D) that the analysis center's work is
-/// embarrassingly parallel and suggests spreading it over many CPUs. The
-/// unaligned pair scan and the whole aligned pipeline (weight screen,
-/// hopefuls iterations, core scan) run on this pool via RunShards /
-/// ParallelFor.
+/// embarrassingly parallel and suggests spreading it over many CPUs. Both
+/// pipelines run on this pool via RunShards / ParallelFor: the aligned one
+/// (weight screen, hopefuls iterations, core scan) and the unaligned one
+/// (row weights, lambda calibration, pair scan, min-degree peeling,
+/// survivor expansion). See docs/PARALLELISM.md for the sharding and merge
+/// architecture.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (>= 1).

@@ -38,8 +38,11 @@ DcsMonitor::DcsMonitor(const AlignedPipelineOptions& aligned_options,
   if (aligned_options.obs.enabled || unaligned_options.obs.enabled) {
     MetricsRegistry::Global().set_enabled(true);
   }
-  // One pool serves both pipelines: the pair scan inherits it unless the
-  // caller already picked one in the scan options.
+  // One pool serves both pipelines end to end: the aligned engine takes the
+  // context directly, and the unaligned graph build (row weights, lambda
+  // calibration, pair scan) inherits it here unless the caller already
+  // picked one in the scan options. Peeling and the survivor scan get the
+  // context at the DetectUnalignedPattern call sites.
   if (unaligned_options_.builder.scan.pool == nullptr) {
     unaligned_options_.builder.scan.pool = context_.pool;
   }
@@ -350,7 +353,7 @@ std::vector<UnalignedReport> DcsMonitor::AnalyzeUnalignedAll(
   multi.max_patterns = max_patterns;
   multi.p_background = core_p1;
   for (const UnalignedDetection& detection :
-       DetectMultipleUnalignedPatterns(core_graph, multi)) {
+       DetectMultipleUnalignedPatterns(core_graph, multi, context_)) {
     UnalignedReport report = epoch;  // Shared ER statistics.
     report.groups.clear();
     report.routers.clear();
@@ -427,7 +430,8 @@ UnalignedReport DcsMonitor::AnalyzeUnaligned() const {
   }
   report.num_edges = core_graph.num_edges();
   const UnalignedDetection detection =
-      DetectUnalignedPattern(core_graph, unaligned_options_.detector);
+      DetectUnalignedPattern(core_graph, unaligned_options_.detector,
+                             context_);
   report.groups.reserve(detection.detected.size());
   for (Graph::VertexId v : detection.detected) {
     report.groups.push_back(group_refs[v]);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <queue>
 #include <tuple>
 
@@ -10,66 +12,206 @@
 namespace dcs {
 namespace {
 
-// Bucket-queue min-degree peeling (Batagelj–Zaveršnik): vertices live in an
-// array sorted by current degree with per-degree bucket starts; deleting a
-// vertex decrements each live neighbor's degree by swapping it one bucket
-// down. O(V + E) total. Within a degree bucket, the vertex that has sat
-// there longest is taken first; for a fixed input the result is
-// deterministic.
-PeelResult PeelMinDegreeBucket(const Graph& graph, std::size_t beta) {
+// Scans below this size run inline even when a pool is available: the
+// shard bookkeeping would cost more than the scan. Purely a scheduling
+// choice — the partition below is contiguous ascending ranges either way,
+// so results never depend on which path ran.
+constexpr std::size_t kMinParallelScan = 2048;
+
+std::vector<ShardRange> PeelShards(ThreadPool* pool, std::size_t count) {
+  return pool != nullptr && count >= kMinParallelScan
+             ? pool->ShardsFor(count)
+             : MakeShards(count, 1);
+}
+
+void RunPeelShards(ThreadPool* pool, const std::vector<ShardRange>& shards,
+                   const std::function<void(const ShardRange&)>& fn) {
+  if (pool != nullptr && shards.size() > 1) {
+    pool->RunShards(shards, fn);
+  } else {
+    for (const ShardRange& shard : shards) fn(shard);
+  }
+}
+
+// Canonical wave peeling for kMinDegree (see docs/PARALLELISM.md).
+//
+// At the current minimum degree d, the set of vertices a min-degree peel
+// removes before the residual minimum first exceeds d is the complement of
+// the (d+1)-core — a graph invariant, identical under every tie-break. The
+// wave removes that set in cascade rounds (round 0: every alive vertex at
+// degree <= d; round k+1: neighbors dragged to <= d by round k), each round
+// in ascending vertex id. Only the final wave, which would drop the graph
+// below beta, is peeled one vertex at a time under a strict (degree, id)
+// order. Serial and sharded execution run this same algorithm; the sharded
+// scans merge per-shard results in ascending shard order (concatenation of
+// contiguous ranges) or by min(), so the output is bit-identical at any
+// thread count.
+PeelResult PeelMinDegreeWaves(const Graph& graph, std::size_t beta,
+                              ThreadPool* pool) {
   const std::size_t n = graph.num_vertices();
   PeelResult result;
   if (n == 0) return result;
 
+  // Residual degrees, sharded (pure per-vertex writes).
   std::vector<std::size_t> degree(n);
-  std::size_t max_degree = 0;
-  for (std::size_t v = 0; v < n; ++v) {
-    degree[v] = graph.degree(static_cast<Graph::VertexId>(v));
-    max_degree = std::max(max_degree, degree[v]);
-  }
-  // Counting sort of vertices by degree.
-  std::vector<std::size_t> bucket_start(max_degree + 2, 0);
-  for (std::size_t v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
-  for (std::size_t d = 1; d < bucket_start.size(); ++d) {
-    bucket_start[d] += bucket_start[d - 1];
-  }
-  std::vector<Graph::VertexId> order(n);   // Vertices sorted by degree.
-  std::vector<std::size_t> position(n);    // Index of v in `order`.
   {
-    std::vector<std::size_t> cursor(bucket_start.begin(),
-                                    bucket_start.end() - 1);
-    for (std::size_t v = 0; v < n; ++v) {
-      position[v] = cursor[degree[v]]++;
-      order[position[v]] = static_cast<Graph::VertexId>(v);
-    }
+    const std::vector<ShardRange> shards = PeelShards(pool, n);
+    RunPeelShards(pool, shards, [&](const ShardRange& shard) {
+      for (std::size_t v = shard.begin; v < shard.end; ++v) {
+        degree[v] = graph.degree(static_cast<Graph::VertexId>(v));
+      }
+    });
   }
 
   std::vector<char> removed(n, 0);
-  result.removal_order.reserve(n > beta ? n - beta : 0);
-  std::size_t remaining = n;
-  for (std::size_t i = 0; i < n && remaining > beta; ++i) {
-    const Graph::VertexId v = order[i];
-    removed[v] = 1;
-    --remaining;
-    result.removal_order.push_back(v);
-    const std::size_t dv = degree[v];
-    for (Graph::VertexId w : graph.neighbors(v)) {
-      // Classic BZ guard: only neighbors in strictly higher buckets move
-      // down (their bucket fronts provably lie past position i, keeping
-      // the processed prefix intact). A live neighbor at degree <= dv is
-      // about to be processed at this level anyway.
-      if (removed[w] || degree[w] <= dv) continue;
-      const std::size_t dw = degree[w];
-      const std::size_t front = bucket_start[dw];
-      const Graph::VertexId other = order[front];
-      if (other != w) {
-        std::swap(order[position[w]], order[front]);
-        std::swap(position[w], position[other]);
+  // Cascade-round stamp per vertex: lets the degree update test "was this
+  // neighbor removed in the current round" without an O(n) clear per round.
+  std::vector<std::uint32_t> stamp(n, 0);
+  std::uint32_t round = 0;
+  std::size_t alive = n;
+  if (n > beta) result.removal_order.reserve(n - beta);
+
+  std::vector<Graph::VertexId> frontier;
+  std::vector<Graph::VertexId> candidates;
+  bool tail = false;
+
+  while (alive > beta && !tail) {
+    // Minimum residual degree among alive vertices. Per-shard minima merge
+    // with min(), which is insensitive to merge order.
+    std::size_t wave_degree = std::numeric_limits<std::size_t>::max();
+    {
+      const std::vector<ShardRange> shards = PeelShards(pool, n);
+      std::vector<std::size_t> shard_min(
+          shards.size(), std::numeric_limits<std::size_t>::max());
+      RunPeelShards(pool, shards, [&](const ShardRange& shard) {
+        std::size_t local = std::numeric_limits<std::size_t>::max();
+        for (std::size_t v = shard.begin; v < shard.end; ++v) {
+          if (!removed[v]) local = std::min(local, degree[v]);
+        }
+        shard_min[shard.index] = local;
+      });
+      for (const std::size_t m : shard_min) {
+        wave_degree = std::min(wave_degree, m);
       }
-      ++bucket_start[dw];
-      --degree[w];
+    }
+    DCS_CHECK(wave_degree != std::numeric_limits<std::size_t>::max());
+
+    // Round 0 of the wave: every alive vertex at or below the wave level,
+    // ascending (contiguous shards concatenated in shard order).
+    frontier.clear();
+    {
+      const std::vector<ShardRange> shards = PeelShards(pool, n);
+      std::vector<std::vector<Graph::VertexId>> shard_hits(shards.size());
+      RunPeelShards(pool, shards, [&](const ShardRange& shard) {
+        for (std::size_t v = shard.begin; v < shard.end; ++v) {
+          if (!removed[v] && degree[v] <= wave_degree) {
+            shard_hits[shard.index].push_back(
+                static_cast<Graph::VertexId>(v));
+          }
+        }
+      });
+      for (const std::vector<Graph::VertexId>& hits : shard_hits) {
+        frontier.insert(frontier.end(), hits.begin(), hits.end());
+      }
+    }
+
+    bool removed_this_wave = false;
+    while (!frontier.empty()) {
+      if (alive - frontier.size() < beta) {
+        // Removing this whole round would overshoot; the strict tail
+        // finishes the job one vertex at a time.
+        tail = true;
+        break;
+      }
+      ++round;
+      for (Graph::VertexId v : frontier) {
+        removed[v] = 1;
+        stamp[v] = round;
+        result.removal_order.push_back(v);
+      }
+      alive -= frontier.size();
+      removed_this_wave = true;
+
+      // Alive vertices adjacent to the removed round, deduplicated and
+      // ascending (sort after a shard-order concatenation).
+      candidates.clear();
+      {
+        const std::vector<ShardRange> shards =
+            PeelShards(pool, frontier.size());
+        std::vector<std::vector<Graph::VertexId>> shard_hits(shards.size());
+        RunPeelShards(pool, shards, [&](const ShardRange& shard) {
+          for (std::size_t i = shard.begin; i < shard.end; ++i) {
+            for (Graph::VertexId w : graph.neighbors(frontier[i])) {
+              if (!removed[w]) shard_hits[shard.index].push_back(w);
+            }
+          }
+        });
+        for (const std::vector<Graph::VertexId>& hits : shard_hits) {
+          candidates.insert(candidates.end(), hits.begin(), hits.end());
+        }
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                         candidates.end());
+      }
+
+      // Each candidate loses exactly its edges into the round. One writer
+      // per candidate, so the sharded update has no races and the new
+      // degrees are a pure function of (graph, round set).
+      {
+        const std::vector<ShardRange> shards =
+            PeelShards(pool, candidates.size());
+        RunPeelShards(pool, shards, [&](const ShardRange& shard) {
+          for (std::size_t i = shard.begin; i < shard.end; ++i) {
+            const Graph::VertexId w = candidates[i];
+            std::size_t lost = 0;
+            for (Graph::VertexId u : graph.neighbors(w)) {
+              if (stamp[u] == round) ++lost;
+            }
+            degree[w] -= lost;
+          }
+        });
+      }
+
+      // Next round: candidates dragged to or below the wave level. The
+      // candidate list is ascending, so the next round is too.
+      frontier.clear();
+      for (Graph::VertexId w : candidates) {
+        if (degree[w] <= wave_degree) frontier.push_back(w);
+      }
+    }
+    if (removed_this_wave) ++result.waves;
+  }
+
+  if (alive > beta) {
+    // Strict tail: lazy-deletion min-heap on (degree, id). The graph state
+    // here is a pure function of (input graph, beta) — every full wave was
+    // an order-invariant k-core complement — so the tail, though serial, is
+    // reached with identical state at any thread count.
+    using Entry = std::pair<std::size_t, Graph::VertexId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!removed[v]) {
+        heap.emplace(degree[v], static_cast<Graph::VertexId>(v));
+      }
+    }
+    while (alive > beta) {
+      DCS_CHECK(!heap.empty());
+      const auto [key, v] = heap.top();
+      heap.pop();
+      if (removed[v] || key != degree[v]) continue;  // Stale entry.
+      removed[v] = 1;
+      --alive;
+      result.removal_order.push_back(v);
+      ++result.tail_removals;
+      for (Graph::VertexId w : graph.neighbors(v)) {
+        if (removed[w]) continue;
+        --degree[w];
+        heap.emplace(degree[w], w);
+      }
     }
   }
+
+  result.core.reserve(alive);
   for (std::size_t v = 0; v < n; ++v) {
     if (!removed[v]) result.core.push_back(static_cast<Graph::VertexId>(v));
   }
@@ -139,11 +281,11 @@ PeelResult PeelRandom(const Graph& graph, std::size_t beta, Rng* rng) {
 }  // namespace
 
 PeelResult PeelToSize(const Graph& graph, std::size_t beta,
-                      PeelStrategy strategy, Rng* rng) {
+                      PeelStrategy strategy, Rng* rng, ThreadPool* pool) {
   DCS_CHECK(graph.finalized());
   switch (strategy) {
     case PeelStrategy::kMinDegree:
-      return PeelMinDegreeBucket(graph, beta);
+      return PeelMinDegreeWaves(graph, beta, pool);
     case PeelStrategy::kMaxDegree:
       return PeelMaxDegreeHeap(graph, beta);
     case PeelStrategy::kRandom:

@@ -1,0 +1,324 @@
+// Differential determinism suite for the parallel unaligned pipeline,
+// mirroring test_aligned_parallel.cc: λ calibration, correlation-graph
+// construction, DetectUnalignedPattern / DetectMultipleUnalignedPatterns,
+// and full DcsMonitor unaligned reports must be bit-identical between the
+// serial path (no pool) and pools of 1, 2, and 8 threads. Every parallel
+// stage merges per-shard results under a total order, so any divergence
+// here is a scheduling leak into the detection output.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/lambda_table.h"
+#include "analysis/unaligned_detector.h"
+#include "analysis/unaligned_graph_builder.h"
+#include "common/bit_matrix.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "dcs/monitor.h"
+#include "sketch/digest.h"
+
+namespace dcs {
+namespace {
+
+// Builds a matrix of `groups` groups x `arrays` rows of `bits` bits, each
+// row filled with ~fill ones at random.
+BitMatrix RandomGroupMatrix(std::size_t groups, std::size_t arrays,
+                            std::size_t bits, double fill, Rng* rng) {
+  BitMatrix matrix(groups * arrays, bits);
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    for (std::size_t c = 0; c < bits; ++c) {
+      if (rng->Bernoulli(fill)) matrix.Set(r, c);
+    }
+  }
+  return matrix;
+}
+
+// Injects a shared signal: `count` common indices set in one row of each
+// listed group.
+void InjectSignal(BitMatrix* matrix, std::size_t arrays,
+                  const std::vector<std::size_t>& groups, std::size_t count,
+                  Rng* rng) {
+  std::vector<std::size_t> indices;
+  while (indices.size() < count) {
+    indices.push_back(rng->UniformInt(matrix->cols()));
+  }
+  for (std::size_t g : groups) {
+    const std::size_t row = g * arrays;  // First array of the group.
+    for (std::size_t c : indices) matrix->Set(row, c);
+  }
+}
+
+void ExpectSameDetection(const UnalignedDetection& serial,
+                         const UnalignedDetection& pooled,
+                         std::size_t num_threads) {
+  EXPECT_EQ(serial.core, pooled.core) << num_threads << " threads";
+  EXPECT_EQ(serial.second_core, pooled.second_core)
+      << num_threads << " threads";
+  EXPECT_EQ(serial.detected, pooled.detected) << num_threads << " threads";
+}
+
+// Shared fixture owning one pool per tested thread count.
+class UnalignedParallelTest : public ::testing::Test {
+ protected:
+  UnalignedParallelTest() : pool1_(1), pool2_(2), pool8_(8) {}
+
+  std::vector<ThreadPool*> pools() { return {&pool1_, &pool2_, &pool8_}; }
+
+  ThreadPool pool1_;
+  ThreadPool pool2_;
+  ThreadPool pool8_;
+};
+
+TEST_F(UnalignedParallelTest, CalibrationMatchesLazyThresholds) {
+  // A calibrated table must hold exactly the thresholds the lazy path
+  // computes, and Calibrate must warm every pair of observed weights.
+  const std::vector<std::uint32_t> weights = {0, 3, 17, 17, 64, 120, 121,
+                                              256, 300, 301, 302, 511};
+  for (ThreadPool* pool : pools()) {
+    const LambdaTable calibrated(512, 1e-5);
+    calibrated.Calibrate(weights, pool);
+    const std::uint64_t after_calibration = calibrated.cache_misses();
+    const LambdaTable lazy(512, 1e-5);
+    for (std::uint32_t i : weights) {
+      for (std::uint32_t j : weights) {
+        if (i == 0 || j == 0) continue;
+        EXPECT_EQ(calibrated.Threshold(i, j), lazy.Threshold(i, j))
+            << i << "," << j << " @ " << pool->num_threads() << " threads";
+      }
+    }
+    // Every lookup above hit the warm cache.
+    EXPECT_EQ(calibrated.cache_misses(), after_calibration)
+        << pool->num_threads() << " threads";
+    // 10 distinct non-zero weights -> 55 unordered pairs, each computed
+    // exactly once regardless of sharding.
+    EXPECT_EQ(after_calibration, 55u) << pool->num_threads() << " threads";
+  }
+}
+
+TEST_F(UnalignedParallelTest, GraphBuildMatchesSerial) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    BitMatrix matrix = RandomGroupMatrix(60, 4, 512, 0.2, &rng);
+    InjectSignal(&matrix, 4, {3, 17, 29, 41, 55}, 100, &rng);
+    const LambdaTable lambda(512, 1e-6);
+    GraphBuilderOptions serial;
+    serial.arrays_per_group = 4;
+    const Graph reference = BuildCorrelationGraph(matrix, lambda, serial);
+    EXPECT_GE(reference.num_edges(), 10u) << "seed " << seed;
+    for (ThreadPool* pool : pools()) {
+      GraphBuilderOptions parallel = serial;
+      parallel.scan.pool = pool;
+      // A fresh table per run: the pooled build must match even without
+      // the serial build's warm cache.
+      const LambdaTable cold(512, 1e-6);
+      const Graph pooled = BuildCorrelationGraph(matrix, cold, parallel);
+      EXPECT_EQ(reference.edges(), pooled.edges())
+          << "seed " << seed << ", " << pool->num_threads() << " threads";
+    }
+  }
+}
+
+TEST_F(UnalignedParallelTest, SampledGraphBuildMatchesSerial) {
+  Rng rng(9);
+  BitMatrix matrix = RandomGroupMatrix(80, 3, 256, 0.25, &rng);
+  InjectSignal(&matrix, 3, {0, 10, 20, 30, 40, 50, 60, 70}, 60, &rng);
+  const LambdaTable lambda(256, 1e-5);
+  GraphBuilderOptions serial;
+  serial.arrays_per_group = 3;
+  serial.scan.group_sample_rate = 0.4;
+  serial.scan.sample_seed = 5;
+  const Graph reference = BuildCorrelationGraph(matrix, lambda, serial);
+  for (ThreadPool* pool : pools()) {
+    GraphBuilderOptions parallel = serial;
+    parallel.scan.pool = pool;
+    const Graph pooled = BuildCorrelationGraph(matrix, lambda, parallel);
+    EXPECT_EQ(reference.edges(), pooled.edges())
+        << pool->num_threads() << " threads";
+  }
+}
+
+// Two planted clusters: the first becomes the core, the second feeds the
+// survivor expansion and second FindCore, covering every sharded stage of
+// the detector.
+Graph TwoClusterGraph(std::uint64_t seed) {
+  Rng rng(seed);
+  BitMatrix matrix = RandomGroupMatrix(64, 4, 512, 0.2, &rng);
+  InjectSignal(&matrix, 4, {2, 7, 12, 17, 22, 27, 32, 37, 42, 47}, 110,
+               &rng);
+  InjectSignal(&matrix, 4, {3, 9, 15, 21, 33, 39, 45, 51}, 90, &rng);
+  const LambdaTable lambda(512, 1e-5);
+  GraphBuilderOptions opts;
+  opts.arrays_per_group = 4;
+  return BuildCorrelationGraph(matrix, lambda, opts);
+}
+
+TEST_F(UnalignedParallelTest, DetectionMatchesSerial) {
+  UnalignedDetectorOptions options;
+  options.beta = 8;
+  options.expand_min_edges = 2;
+  for (std::uint64_t seed = 11; seed <= 13; ++seed) {
+    const Graph graph = TwoClusterGraph(seed);
+    const UnalignedDetection reference =
+        DetectUnalignedPattern(graph, options);
+    EXPECT_EQ(reference.core.size(), 8u) << "seed " << seed;
+    for (ThreadPool* pool : pools()) {
+      ExpectSameDetection(
+          reference,
+          DetectUnalignedPattern(graph, options, AnalysisContext{pool}),
+          pool->num_threads());
+    }
+  }
+}
+
+TEST_F(UnalignedParallelTest, MultiPatternMatchesSerial) {
+  MultiPatternOptions options;
+  options.detector.beta = 8;
+  options.detector.expand_min_edges = 2;
+  options.max_patterns = 3;
+  options.p_background = 1e-3;
+  for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+    const Graph graph = TwoClusterGraph(seed);
+    const std::vector<UnalignedDetection> reference =
+        DetectMultipleUnalignedPatterns(graph, options);
+    EXPECT_GE(reference.size(), 1u) << "seed " << seed;
+    for (ThreadPool* pool : pools()) {
+      const std::vector<UnalignedDetection> pooled =
+          DetectMultipleUnalignedPatterns(graph, options,
+                                          AnalysisContext{pool});
+      ASSERT_EQ(pooled.size(), reference.size())
+          << "seed " << seed << ", " << pool->num_threads() << " threads";
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        ExpectSameDetection(reference[i], pooled[i], pool->num_threads());
+      }
+    }
+  }
+}
+
+// ---------- Full monitor epoch ----------
+
+Digest UnalignedDigest(std::uint32_t router, std::size_t groups,
+                       std::size_t arrays, std::size_t bits, Rng* rng) {
+  Digest digest;
+  digest.router_id = router;
+  digest.kind = DigestKind::kUnaligned;
+  digest.num_groups = static_cast<std::uint32_t>(groups);
+  digest.arrays_per_group = static_cast<std::uint32_t>(arrays);
+  digest.rows.reserve(groups * arrays);
+  for (std::size_t r = 0; r < groups * arrays; ++r) {
+    BitVector row(bits);
+    for (std::size_t c = 0; c < bits; ++c) {
+      if (rng->Bernoulli(0.2)) row.Set(c);
+    }
+    digest.rows.push_back(std::move(row));
+  }
+  return digest;
+}
+
+// Routers 0..3, 12 groups each; the first group of routers 0-2 shares a
+// strong signal so the epoch alarms.
+std::vector<Digest> EpochDigests(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t bits = 512;
+  const std::size_t arrays = 4;
+  std::vector<Digest> digests;
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    digests.push_back(UnalignedDigest(r, 12, arrays, bits, &rng));
+  }
+  std::vector<std::size_t> indices;
+  while (indices.size() < 130) {
+    indices.push_back(rng.UniformInt(bits));
+  }
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    for (std::uint32_t g : {0u, 4u, 8u}) {
+      BitVector& row = digests[r].rows[g * arrays];
+      for (std::size_t c : indices) row.Set(c);
+    }
+  }
+  return digests;
+}
+
+void ExpectSameReport(const UnalignedReport& serial,
+                      const UnalignedReport& pooled,
+                      std::size_t num_threads) {
+  EXPECT_EQ(serial.common_content_detected, pooled.common_content_detected)
+      << num_threads << " threads";
+  EXPECT_EQ(serial.largest_component, pooled.largest_component)
+      << num_threads << " threads";
+  EXPECT_EQ(serial.er_threshold, pooled.er_threshold)
+      << num_threads << " threads";
+  EXPECT_EQ(serial.groups, pooled.groups) << num_threads << " threads";
+  EXPECT_EQ(serial.clusters, pooled.clusters) << num_threads << " threads";
+  EXPECT_EQ(serial.routers, pooled.routers) << num_threads << " threads";
+  EXPECT_EQ(serial.num_vertices, pooled.num_vertices)
+      << num_threads << " threads";
+  EXPECT_EQ(serial.num_edges, pooled.num_edges)
+      << num_threads << " threads";
+}
+
+TEST_F(UnalignedParallelTest, MonitorReportsMatchSerial) {
+  UnalignedPipelineOptions unaligned;
+  unaligned.er_threshold = 6;
+  unaligned.detector.beta = 9;
+  unaligned.detector.expand_min_edges = 2;
+  const AlignedPipelineOptions aligned;
+  for (std::uint64_t seed = 31; seed <= 32; ++seed) {
+    const std::vector<Digest> digests = EpochDigests(seed);
+    DcsMonitor serial(aligned, unaligned);
+    for (const Digest& d : digests) {
+      ASSERT_TRUE(serial.AddDigest(d).ok());
+    }
+    const UnalignedReport reference = serial.AnalyzeUnaligned();
+    EXPECT_TRUE(reference.common_content_detected) << "seed " << seed;
+    const std::vector<UnalignedReport> reference_multi =
+        serial.AnalyzeUnalignedAll(3);
+    for (ThreadPool* pool : pools()) {
+      DcsMonitor pooled(aligned, unaligned, AnalysisContext{pool});
+      for (const Digest& d : digests) {
+        ASSERT_TRUE(pooled.AddDigest(d).ok());
+      }
+      ExpectSameReport(reference, pooled.AnalyzeUnaligned(),
+                       pool->num_threads());
+      const std::vector<UnalignedReport> pooled_multi =
+          pooled.AnalyzeUnalignedAll(3);
+      ASSERT_EQ(pooled_multi.size(), reference_multi.size())
+          << "seed " << seed << ", " << pool->num_threads() << " threads";
+      for (std::size_t i = 0; i < reference_multi.size(); ++i) {
+        ExpectSameReport(reference_multi[i], pooled_multi[i],
+                         pool->num_threads());
+      }
+    }
+  }
+}
+
+TEST_F(UnalignedParallelTest, DegenerateInputsAreSafeOnPools) {
+  UnalignedDetectorOptions options;
+  options.beta = 4;
+  Graph empty(0);
+  empty.Finalize();
+  Graph tiny(3);
+  tiny.AddEdge(0, 1);
+  tiny.Finalize();
+  for (ThreadPool* pool : pools()) {
+    const AnalysisContext context{pool};
+    EXPECT_TRUE(DetectUnalignedPattern(empty, options, context).core.empty());
+    const UnalignedDetection detection =
+        DetectUnalignedPattern(tiny, options, context);
+    EXPECT_EQ(detection.core.size(), 3u);
+    // One-group matrices produce pairless scans on every pool.
+    BitMatrix one(2, 64);
+    one.Set(0, 3);
+    const LambdaTable lambda(64, 1e-3);
+    GraphBuilderOptions builder;
+    builder.arrays_per_group = 2;
+    builder.scan.pool = pool;
+    const Graph g = BuildCorrelationGraph(one, lambda, builder);
+    EXPECT_EQ(g.num_vertices(), 1u);
+    EXPECT_EQ(g.num_edges(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -17,9 +17,11 @@
 //       [--n-prime 128] [--er-threshold 0] [--beta 12] [--threads 1]
 //       [--expected-routers 0] [--fault-plan "seed=7,drop=0.1,flip=0.1"]
 //     Stacks the digests at the analysis center and prints the report.
-//     --threads N > 1 runs the analysis (weight screen, ASID search, core
-//     scan, pair scan) on an N-worker pool; the report is bit-identical at
-//     any thread count.
+//     --threads N > 1 runs the analysis on an N-worker pool — the aligned
+//     pipeline (weight screen, ASID search, core scan) and the whole
+//     unaligned pipeline (row weights, lambda calibration, pair scan,
+//     min-degree peeling, survivor expansion); the report is bit-identical
+//     at any thread count (docs/PARALLELISM.md).
 //     --expected-routers N turns on hardened ingestion (docs/ROBUSTNESS.md):
 //     rejected digests are reported instead of aborting the run, and the
 //     report carries thresholds recalibrated for the routers that actually
