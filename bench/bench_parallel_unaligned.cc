@@ -96,11 +96,13 @@ int main(int argc, char** argv) {
   const BenchScale scale = BenchScaleFromEnv();
   bench::Banner("Section IV-D", "unaligned-analysis strong scaling", scale);
 
+  // Full runs include the smoke scenario (128 groups) so a committed full
+  // snapshot and a CI --smoke run share metric names for tools/bench_compare.
   const std::vector<std::size_t> group_counts =
       smoke ? std::vector<std::size_t>{128}
             : (scale == BenchScale::kPaper
-                   ? std::vector<std::size_t>{1024, 2048}
-                   : std::vector<std::size_t>{1024});
+                   ? std::vector<std::size_t>{128, 1024, 2048}
+                   : std::vector<std::size_t>{128, 1024});
   const std::size_t arrays = 4;
   const std::size_t bits = 1024;
   const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};

@@ -420,13 +420,16 @@ AlignedDetection AlignedDetector::Detect(
 }
 
 std::vector<AlignedDetection> AlignedDetector::DetectMultipleInMatrix(
-    const BitMatrix& matrix, std::size_t n_prime,
-    std::size_t max_patterns) const {
+    const BitMatrix& matrix, std::size_t n_prime, std::size_t max_patterns,
+    const std::vector<std::uint32_t>* column_weights) const {
   ThreadPool* pool = context_.pool;
   std::vector<AlignedDetection> detections;
   BitMatrix working = matrix;
   for (std::size_t round = 0; round < max_patterns; ++round) {
-    AlignedDetection detection = DetectInMatrix(working, n_prime);
+    // Hot-start weights describe the unmodified matrix, so they are only
+    // valid before the first erase.
+    AlignedDetection detection = DetectInMatrix(
+        working, n_prime, round == 0 ? column_weights : nullptr);
     if (!detection.pattern_found) break;
     ObsCounter("detector.aligned.multi_rounds").Increment();
     // Erase the found pattern's columns so the next round sees only what
@@ -445,11 +448,12 @@ std::vector<AlignedDetection> AlignedDetector::DetectMultipleInMatrix(
   return detections;
 }
 
-AlignedDetection AlignedDetector::DetectInMatrix(const BitMatrix& matrix,
-                                                 std::size_t n_prime) const {
+AlignedDetection AlignedDetector::DetectInMatrix(
+    const BitMatrix& matrix, std::size_t n_prime,
+    const std::vector<std::uint32_t>* column_weights) const {
   ThreadPool* pool = context_.pool;
   const ScreenedColumns screened =
-      ScreenHeaviestColumns(matrix, n_prime, pool);
+      ScreenHeaviestColumns(matrix, n_prime, pool, column_weights);
   AlignedDetection detection = Detect(screened);
   if (!detection.pattern_found) return detection;
 

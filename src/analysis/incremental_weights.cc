@@ -1,0 +1,36 @@
+#include "analysis/incremental_weights.h"
+
+#include <algorithm>
+
+#include "common/bit_kernels.h"
+#include "common/logging.h"
+
+namespace dcs {
+
+void IncrementalColumnWeights::Reset() {
+  num_rows_ = 0;
+  num_cols_ = 0;
+  std::fill(weights_.begin(), weights_.end(), 0u);
+  weights_.clear();
+}
+
+void IncrementalColumnWeights::AddRow(const BitVector& row) {
+  if (num_cols_ == 0 && num_rows_ == 0) {
+    num_cols_ = row.size();
+    weights_.assign(num_cols_, 0u);
+  }
+  DCS_CHECK(row.size() == num_cols_)
+      << "row width " << row.size() << " disagrees with accumulated width "
+      << num_cols_;
+  if (num_cols_ == 0) {
+    ++num_rows_;
+    return;
+  }
+  // Padding bits past the logical size are zero (the BitVector invariant),
+  // so the kernel never writes past weights_[num_cols_ - 1].
+  const std::uint64_t* words = row.words();
+  AccumulateColumnCounts(&words, 1, 0, row.num_words(), weights_.data());
+  ++num_rows_;
+}
+
+}  // namespace dcs

@@ -1,0 +1,56 @@
+#ifndef DCS_ANALYSIS_INCREMENTAL_WEIGHTS_H_
+#define DCS_ANALYSIS_INCREMENTAL_WEIGHTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_vector.h"
+
+namespace dcs {
+
+/// \brief Running per-column 1-counts of a row-streamed bit matrix.
+///
+/// The weight screen's first pass rescans all n columns of the stacked
+/// epoch matrix — O(rows x n/64) word scans per epoch, paid from scratch
+/// every second in continuous operation. This accumulator maintains the
+/// same counts *as rows arrive* (one positional-popcount pass per row, via
+/// the carry-save AccumulateColumnCounts kernel), so by the time the epoch
+/// is analyzed the weights already exist and the screen starts hot.
+///
+/// Equivalence argument (docs/STREAMING.md): column weights are a sum of
+/// per-row indicator vectors over the integers, and integer addition is
+/// associative and commutative, so adding rows one digest at a time yields
+/// exactly the vector BitMatrix::ColumnWeights() computes from the stacked
+/// matrix — not approximately, bit for bit. The differential suite in
+/// tests/test_epoch_ring.cc cross-checks this against the oracle every
+/// epoch.
+class IncrementalColumnWeights {
+ public:
+  /// Forgets all rows (ring-slot reuse). Capacity is kept so a steady-state
+  /// ring never reallocates.
+  void Reset();
+
+  /// Adds one row's bits to the running counts. The first row after
+  /// construction or Reset() fixes the column count; later rows must match.
+  void AddRow(const BitVector& row);
+
+  /// Rows accumulated since the last Reset().
+  std::size_t num_rows() const { return num_rows_; }
+
+  /// Columns (0 until the first row arrives).
+  std::size_t num_cols() const { return num_cols_; }
+
+  /// weights()[c] == number of accumulated rows with bit c set. Sized
+  /// num_cols().
+  const std::vector<std::uint32_t>& weights() const { return weights_; }
+
+ private:
+  std::size_t num_rows_ = 0;
+  std::size_t num_cols_ = 0;
+  std::vector<std::uint32_t> weights_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_ANALYSIS_INCREMENTAL_WEIGHTS_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/bit_kernels.h"
+#include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/stage_timer.h"
 
@@ -68,8 +69,9 @@ std::vector<std::size_t> TopKIndices(const std::vector<std::uint32_t>& values,
   return TopKIndicesInRange(values, 0, values.size(), k);
 }
 
-ScreenedColumns ScreenHeaviestColumns(const BitMatrix& matrix,
-                                      std::size_t n_prime, ThreadPool* pool) {
+ScreenedColumns ScreenHeaviestColumns(
+    const BitMatrix& matrix, std::size_t n_prime, ThreadPool* pool,
+    const std::vector<std::uint32_t>* precomputed_weights) {
   ScopedStageTimer stage("weight_screen");
   ScreenedColumns screened;
   screened.num_rows = matrix.rows();
@@ -83,21 +85,33 @@ ScreenedColumns ScreenHeaviestColumns(const BitMatrix& matrix,
 
   // Pass 1 — weights plus per-shard heaviest-k, sharded over word-aligned
   // column slices (64-column granularity keeps every slice's bit loop on
-  // whole words).
+  // whole words). With precomputed weights the accumulation is skipped and
+  // only the selection runs over the caller's vector (the hot start).
+  const bool hot = precomputed_weights != nullptr;
+  if (hot) {
+    DCS_CHECK(precomputed_weights->size() == matrix.cols())
+        << "precomputed weights cover " << precomputed_weights->size()
+        << " columns, matrix has " << matrix.cols();
+  }
   const std::size_t col_words = (matrix.cols() + 63) / 64;
   const std::vector<ShardRange> shards =
       pool != nullptr ? pool->ShardsFor(col_words) : MakeShards(col_words, 1);
-  std::vector<std::uint32_t> weights(matrix.cols(), 0);
+  std::vector<std::uint32_t> scratch;
+  if (!hot) scratch.assign(matrix.cols(), 0);
+  const std::vector<std::uint32_t>& weights =
+      hot ? *precomputed_weights : scratch;
   std::vector<const std::uint64_t*> row_words;
-  row_words.reserve(matrix.rows());
-  for (std::size_t r = 0; r < matrix.rows(); ++r) {
-    row_words.push_back(matrix.row(r).words());
+  if (!hot) {
+    row_words.reserve(matrix.rows());
+    for (std::size_t r = 0; r < matrix.rows(); ++r) {
+      row_words.push_back(matrix.row(r).words());
+    }
   }
   std::vector<std::vector<std::size_t>> shard_top(shards.size());
   const auto weigh_shard = [&](const ShardRange& shard) {
     StageStopwatch watch;
     if (task_hist != nullptr) watch.Start();
-    AccumulateColumnWeights(row_words, shard, &weights);
+    if (!hot) AccumulateColumnWeights(row_words, shard, &scratch);
     shard_top[shard.index] = TopKIndicesInRange(
         weights, shard.begin * 64, std::min(shard.end * 64, matrix.cols()),
         n_prime);
@@ -151,6 +165,7 @@ ScreenedColumns ScreenHeaviestColumns(const BitMatrix& matrix,
 
   if (obs) {
     ObsCounter("screen.runs").Increment();
+    if (hot) ObsCounter("screen.hot_starts").Increment();
     ObsCounter("screen.shard_tasks").Add(shards.size() +
                                          extract_shards.size());
   }

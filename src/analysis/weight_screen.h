@@ -36,9 +36,18 @@ struct ScreenedColumns {
 /// the shard candidates merge under the same (weight desc, id asc) total
 /// order the serial path uses, so the result is bit-identical at any thread
 /// count (and to pool == nullptr).
-ScreenedColumns ScreenHeaviestColumns(const BitMatrix& matrix,
-                                      std::size_t n_prime,
-                                      ThreadPool* pool = nullptr);
+///
+/// `precomputed_weights`, when non-null, must be the exact column-weight
+/// vector of `matrix` (size cols(); e.g. an IncrementalColumnWeights
+/// maintained as the rows arrived — docs/STREAMING.md). The weight pass is
+/// then skipped entirely — the screen "starts hot" — and only the per-shard
+/// top-k selection and the extraction pass run. Because the selection reads
+/// the same weights the skipped pass would have produced, under the same
+/// shard partition and the same (weight desc, id asc) merge, the result is
+/// bit-identical to the cold path.
+ScreenedColumns ScreenHeaviestColumns(
+    const BitMatrix& matrix, std::size_t n_prime, ThreadPool* pool = nullptr,
+    const std::vector<std::uint32_t>* precomputed_weights = nullptr);
 
 /// Selects the indices of the `k` largest values (ties by lower index),
 /// returned in descending value order. Helper shared by the screening paths.

@@ -13,6 +13,7 @@
 ///      and call AnalyzeAligned() / AnalyzeUnaligned().
 /// See examples/quickstart.cc.
 
+#include "dcs/epoch_ring.h"        // IWYU pragma: export
 #include "dcs/epoch_tracker.h"     // IWYU pragma: export
 #include "dcs/ingest.h"            // IWYU pragma: export
 #include "dcs/monitor.h"           // IWYU pragma: export

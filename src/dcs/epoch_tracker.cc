@@ -17,6 +17,24 @@ EpochTracker::EpochTracker(const EpochTrackerOptions& options)
             options.min_router_fraction <= 1.0);
 }
 
+void EpochTracker::PushRecord(EpochRecord record) {
+  const bool detected = record.detected;
+  window_.push_back(std::move(record));
+  if (window_.size() > options_.window_epochs) window_.pop_front();
+  ++epochs_seen_;
+  if (ObsEnabled()) {
+    ObsCounter("epoch.tracked").Increment();
+    if (detected) ObsCounter("epoch.detections").Increment();
+    ObsGauge("epoch.detections_in_window")
+        .Set(static_cast<double>(detections_in_window()));
+    ObsGauge("epoch.gaps_in_window")
+        .Set(static_cast<double>(gaps_in_window()));
+    if (PersistentDetection()) {
+      ObsCounter("epoch.persistent_alarms").Increment();
+    }
+  }
+}
+
 void EpochTracker::RecordEpoch(bool detected,
                                const std::vector<std::uint32_t>& routers) {
   EpochRecord record;
@@ -28,23 +46,26 @@ void EpochTracker::RecordEpoch(bool detected,
         std::unique(record.routers.begin(), record.routers.end()),
         record.routers.end());
   }
-  window_.push_back(std::move(record));
-  if (window_.size() > options_.window_epochs) window_.pop_front();
-  ++epochs_seen_;
-  if (ObsEnabled()) {
-    ObsCounter("epoch.tracked").Increment();
-    if (detected) ObsCounter("epoch.detections").Increment();
-    ObsGauge("epoch.detections_in_window")
-        .Set(static_cast<double>(detections_in_window()));
-    if (PersistentDetection()) {
-      ObsCounter("epoch.persistent_alarms").Increment();
-    }
-  }
+  PushRecord(std::move(record));
+}
+
+void EpochTracker::RecordGap() {
+  EpochRecord record;
+  record.gap = true;
+  ++gaps_seen_;
+  if (ObsEnabled()) ObsCounter("epoch.gaps").Increment();
+  PushRecord(std::move(record));
 }
 
 std::size_t EpochTracker::detections_in_window() const {
   std::size_t count = 0;
   for (const EpochRecord& record : window_) count += record.detected;
+  return count;
+}
+
+std::size_t EpochTracker::gaps_in_window() const {
+  std::size_t count = 0;
+  for (const EpochRecord& record : window_) count += record.gap;
   return count;
 }
 

@@ -33,28 +33,48 @@ class EpochTracker {
   /// Records one epoch's verdict and (if detected) the implicated routers.
   void RecordEpoch(bool detected, const std::vector<std::uint32_t>& routers);
 
+  /// Records an epoch that was never analyzed — shed under back-pressure
+  /// (EpochRing drop-oldest) or lost upstream. The gap occupies a window
+  /// slot exactly like a non-detecting epoch, so older detections age out
+  /// of the k-of-w window at wall-epoch rate; silently *not* recording a
+  /// missed epoch would leave stale detections in the window longer than
+  /// window_epochs real epochs, making the alarm logic optimistic under
+  /// load shedding. Gaps are separately countable (gaps_in_window) so
+  /// operators can see how thin the window's evidence actually is.
+  void RecordGap();
+
   /// True when the window holds at least min_detections detecting epochs.
   bool PersistentDetection() const;
 
   /// Number of detecting epochs currently in the window.
   std::size_t detections_in_window() const;
 
+  /// Number of gap (skipped/shed) epochs currently in the window.
+  std::size_t gaps_in_window() const;
+
   /// Routers implicated in at least min_router_fraction of the window's
   /// detecting epochs, ascending. Empty when nothing detected.
   std::vector<std::uint32_t> StableRouters() const;
 
-  /// Total epochs ever recorded.
+  /// Total epochs ever recorded, gaps included.
   std::uint64_t epochs_seen() const { return epochs_seen_; }
+
+  /// Total gap epochs ever recorded.
+  std::uint64_t gaps_seen() const { return gaps_seen_; }
 
  private:
   struct EpochRecord {
     bool detected = false;
+    bool gap = false;
     std::vector<std::uint32_t> routers;
   };
+
+  void PushRecord(EpochRecord record);
 
   EpochTrackerOptions options_;
   std::deque<EpochRecord> window_;
   std::uint64_t epochs_seen_ = 0;
+  std::uint64_t gaps_seen_ = 0;
 };
 
 }  // namespace dcs

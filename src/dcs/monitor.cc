@@ -59,6 +59,18 @@ void DcsMonitor::set_ingest_options(const IngestOptions& options) {
   stats_.expected_routers = options.expected_routers;
 }
 
+void DcsMonitor::set_analysis_options(
+    const AlignedPipelineOptions& aligned_options,
+    const UnalignedPipelineOptions& unaligned_options) {
+  aligned_options_ = aligned_options;
+  unaligned_options_ = unaligned_options;
+  // Same pool-inheritance rule as the constructor: one pool per analysis
+  // center unless the scan options brought their own.
+  if (unaligned_options_.builder.scan.pool == nullptr) {
+    unaligned_options_.builder.scan.pool = context_.pool;
+  }
+}
+
 Status DcsMonitor::Reject(std::uint64_t* counter, const char* metric,
                           std::uint32_t router_id, Status reason,
                           bool quarantine) {
@@ -180,6 +192,13 @@ Status DcsMonitor::AddDigest(const Digest& digest) {
       .Increment();
   ObsCounter("monitor.digest_bytes_received").Add(encoded_bytes);
   ObsCounter("monitor.raw_bytes_summarized").Add(digest.raw_bytes_covered);
+  if (digest.kind == DigestKind::kAligned &&
+      aligned_options_.incremental_weights) {
+    // Fold the accepted row into the running column counts now, while the
+    // digest is hot in cache. Rejected digests never reach this point, so a
+    // quarantined or duplicate sender cannot perturb the counts.
+    incremental_weights_.AddRow(digest.rows.front());
+  }
   bucket->push_back(digest);
   return Status::Ok();
 }
@@ -248,6 +267,16 @@ EpochCalibration DcsMonitor::UnalignedCalibration() const {
   return c;
 }
 
+const std::vector<std::uint32_t>* DcsMonitor::AlignedHotWeights() const {
+  // The running counts stand in for the weight pass only when they cover
+  // exactly the rows being analyzed — if the flag was flipped mid-epoch (a
+  // ring slot degraded after ingest started) the counts are stale and the
+  // screen must run cold. Analysis stays correct either way.
+  if (!aligned_options_.incremental_weights) return nullptr;
+  if (incremental_weights_.num_rows() != aligned_.size()) return nullptr;
+  return &incremental_weights_.weights();
+}
+
 std::vector<AlignedReport> DcsMonitor::AnalyzeAlignedAll(
     std::size_t max_patterns) const {
   std::vector<AlignedReport> reports;
@@ -259,7 +288,8 @@ std::vector<AlignedReport> DcsMonitor::AnalyzeAlignedAll(
   }
   AlignedDetector detector(aligned_options_.detector, context_);
   for (const AlignedDetection& detection : detector.DetectMultipleInMatrix(
-           matrix, aligned_options_.n_prime, max_patterns)) {
+           matrix, aligned_options_.n_prime, max_patterns,
+           AlignedHotWeights())) {
     AlignedReport report;
     report.calibration = calibration;
     report.matrix_rows = matrix.rows();
@@ -297,8 +327,8 @@ AlignedReport DcsMonitor::AnalyzeAligned() const {
   report.matrix_cols = matrix.cols();
 
   AlignedDetector detector(aligned_options_.detector, context_);
-  const AlignedDetection detection =
-      detector.DetectInMatrix(matrix, aligned_options_.n_prime);
+  const AlignedDetection detection = detector.DetectInMatrix(
+      matrix, aligned_options_.n_prime, AlignedHotWeights());
   report.common_content_detected = detection.pattern_found;
   if (detection.pattern_found) {
     report.routers.reserve(detection.rows.size());
@@ -457,6 +487,7 @@ UnalignedReport DcsMonitor::AnalyzeUnaligned() const {
 void DcsMonitor::ClearEpoch() {
   aligned_.clear();
   unaligned_.clear();
+  incremental_weights_.Reset();
   digest_bytes_ = 0;
   raw_bytes_ = 0;
   stats_ = EpochIngestStats{};

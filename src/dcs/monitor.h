@@ -8,6 +8,7 @@
 #include "common/bit_matrix.h"
 #include "common/status.h"
 #include "analysis/analysis_context.h"
+#include "analysis/incremental_weights.h"
 #include "dcs/ingest.h"
 #include "dcs/options.h"
 #include "dcs/report.h"
@@ -51,6 +52,21 @@ class DcsMonitor {
   /// digest (or right after ClearEpoch()).
   void set_ingest_options(const IngestOptions& options);
   const IngestOptions& ingest_options() const { return ingest_options_; }
+
+  /// Swaps the analysis tuning mid-life — the EpochRing's degrade shedding
+  /// policy analyzes an overloaded epoch with cheaper options, then
+  /// restores. Ingested digests are untouched; the pool-inheritance rule of
+  /// the constructor is re-applied. Thresholds (EpochCalibration) are
+  /// recomputed from the new options at the next Analyze*() call, so a
+  /// degraded analysis states the evidence bar it was actually held to.
+  void set_analysis_options(const AlignedPipelineOptions& aligned_options,
+                            const UnalignedPipelineOptions& unaligned_options);
+  const AlignedPipelineOptions& aligned_options() const {
+    return aligned_options_;
+  }
+  const UnalignedPipelineOptions& unaligned_options() const {
+    return unaligned_options_;
+  }
 
   /// Accepts one router's digest for the current epoch. Rejects, in order:
   /// digests with no rows (InvalidArgument); digests whose header shape
@@ -113,6 +129,14 @@ class DcsMonitor {
   std::uint64_t digest_bytes_received() const { return digest_bytes_; }
   std::uint64_t raw_bytes_summarized() const { return raw_bytes_; }
 
+  /// Running per-column 1-counts over the aligned digests accepted so far
+  /// (maintained only when AlignedPipelineOptions::incremental_weights is
+  /// on). Exposed so the differential suite can cross-check the counts
+  /// against the BitMatrix::ColumnWeights oracle every epoch.
+  const IncrementalColumnWeights& incremental_column_weights() const {
+    return incremental_weights_;
+  }
+
  private:
   // Stacks the unaligned digests group-major and fills the (router, group)
   // identity of every graph vertex.
@@ -127,12 +151,17 @@ class DcsMonitor {
   // Fills the shared (router accounting) part of an EpochCalibration.
   EpochCalibration BaseCalibration(std::uint32_t observed) const;
 
+  // The running column counts when they exactly cover the buffered aligned
+  // rows, else nullptr (cold screen).
+  const std::vector<std::uint32_t>* AlignedHotWeights() const;
+
   AlignedPipelineOptions aligned_options_;
   UnalignedPipelineOptions unaligned_options_;
   AnalysisContext context_;
   IngestOptions ingest_options_;
   std::vector<Digest> aligned_;
   std::vector<Digest> unaligned_;
+  IncrementalColumnWeights incremental_weights_;
   std::uint64_t digest_bytes_ = 0;
   std::uint64_t raw_bytes_ = 0;
 

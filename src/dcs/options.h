@@ -22,6 +22,11 @@ struct AlignedPipelineOptions {
   std::size_t n_prime = 4000;
   /// Greedy ASID search tuning.
   AlignedDetectorOptions detector;
+  /// Maintain per-column weight counts incrementally as digests arrive, so
+  /// the weight screen starts hot instead of rescanning the whole matrix at
+  /// analysis time (docs/STREAMING.md). Bit-identical to the cold path;
+  /// costs one AccumulateColumnCounts pass per accepted digest.
+  bool incremental_weights = false;
   /// Metrics/stage-timer switches (docs/OBSERVABILITY.md).
   ObservabilityOptions obs;
 };

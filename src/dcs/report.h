@@ -82,6 +82,10 @@ struct AlignedReport {
 
   /// Machine-readable form for downstream alerting systems.
   [[nodiscard]] std::string ToJson() const;
+
+  /// Field-wise equality — the differential soak suites compare whole
+  /// reports across thread counts and ring configurations.
+  friend bool operator==(const AlignedReport&, const AlignedReport&) = default;
 };
 
 /// Analysis-center verdict for the unaligned pipeline.
@@ -109,6 +113,11 @@ struct UnalignedReport {
 
   /// Machine-readable form for downstream alerting systems.
   [[nodiscard]] std::string ToJson() const;
+
+  /// Field-wise equality — the differential soak suites compare whole
+  /// reports across thread counts and ring configurations.
+  friend bool operator==(const UnalignedReport&,
+                         const UnalignedReport&) = default;
 };
 
 }  // namespace dcs

@@ -1,0 +1,209 @@
+// Back-pressure / shedding policy tests for the EpochRing
+// (docs/STREAMING.md): drop-oldest keeps the report stream contiguous and
+// records every missed epoch as an EpochTracker gap; degrade mode analyzes
+// with the cheaper options and recalibrates the evidence bar via
+// EpochCalibration; block analyzes everything and only counts how often it
+// had to; the ingest.* and soak.* metrics count what was dropped.
+
+#include "dcs/epoch_ring.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace dcs {
+namespace {
+
+constexpr std::uint32_t kRouters = 8;
+constexpr std::size_t kBits = 512;
+
+Digest NoiseDigest(std::uint64_t epoch, std::uint32_t router) {
+  Digest digest;
+  digest.router_id = router;
+  digest.epoch_id = epoch;
+  digest.kind = DigestKind::kAligned;
+  digest.packets_covered = 10;
+  digest.raw_bytes_covered = 10000;
+  BitVector row(kBits);
+  Rng rng(epoch * 104729 + router * 31 + 1);
+  for (std::size_t i = 0; i < kBits; ++i) {
+    if (rng.Bernoulli(0.5)) row.Set(i);
+  }
+  digest.rows.push_back(std::move(row));
+  return digest;
+}
+
+EpochRingOptions SmallRing(ShedPolicy policy) {
+  EpochRingOptions options;
+  options.capacity = 2;
+  options.analysis_budget_per_offer = 1;
+  options.policy = policy;
+  options.aligned.n_prime = 64;
+  options.aligned.detector.first_iteration_hopefuls = 64;
+  options.aligned.detector.hopefuls = 32;
+  options.aligned.incremental_weights = true;
+  options.ingest.expected_routers = kRouters;
+  return options;
+}
+
+void OfferEpoch(EpochRing* ring, std::uint64_t epoch) {
+  for (std::uint32_t r = 0; r < kRouters; ++r) {
+    ASSERT_TRUE(ring->Offer(NoiseDigest(epoch, r)).ok());
+  }
+}
+
+TEST(BackpressureTest, DropOldestKeepsWindowContiguousAndRecordsGaps) {
+  EpochRing ring(SmallRing(ShedPolicy::kDropOldest));
+  OfferEpoch(&ring, 0);
+  OfferEpoch(&ring, 1);
+  // Jump to epoch 9: heads 0..7 close in one advance — 0 within budget
+  // (analyzed), 1..7 over budget (shed).
+  OfferEpoch(&ring, 9);
+  ring.Drain();
+
+  const std::vector<DcsReport> reports = ring.TakeReports();
+  ASSERT_EQ(reports.size(), 10u);
+  for (std::uint64_t e = 0; e < reports.size(); ++e) {
+    EXPECT_EQ(reports[e].epoch_id, e) << "window lost contiguity";
+  }
+  EXPECT_FALSE(reports[0].shed);
+  for (std::uint64_t e = 1; e <= 7; ++e) {
+    EXPECT_TRUE(reports[e].shed) << "epoch " << e;
+    EXPECT_FALSE(reports[e].degraded_analysis);
+  }
+  EXPECT_FALSE(reports[8].shed);
+  EXPECT_FALSE(reports[9].shed);
+  // Epoch 1 had real digests when it was shed — the evidence is recorded
+  // as lost, not silently forgotten.
+  EXPECT_EQ(reports[1].digests_accepted, kRouters);
+
+  EXPECT_EQ(ring.stats().epochs_shed, 7u);
+  EXPECT_EQ(ring.stats().epochs_analyzed, 3u);
+  EXPECT_EQ(ring.stats().blocked_advances, 0u);
+
+  // Every missed epoch is an EpochTracker gap: the k-of-w window aged
+  // through the shed stretch instead of staying optimistically stale.
+  EXPECT_EQ(ring.tracker().gaps_seen(), 7u);
+  EXPECT_EQ(ring.tracker().epochs_seen(), 10u);
+  // Default window 5 holds epochs 5..9: gaps 5, 6, 7.
+  EXPECT_EQ(ring.tracker().gaps_in_window(), 3u);
+}
+
+TEST(BackpressureTest, DegradeModeRecalibratesViaEpochCalibration) {
+  EpochRing ring(SmallRing(ShedPolicy::kDegrade));
+  OfferEpoch(&ring, 0);
+  OfferEpoch(&ring, 1);
+  // Advancing to epoch 3 closes head 0 (budget, full fidelity) and head 1
+  // (over budget, degraded) — both with a full set of digests.
+  OfferEpoch(&ring, 3);
+  ring.Drain();
+
+  const std::vector<DcsReport> reports = ring.TakeReports();
+  ASSERT_EQ(reports.size(), 4u);
+  EXPECT_FALSE(reports[0].degraded_analysis);
+  EXPECT_TRUE(reports[1].degraded_analysis);
+  EXPECT_FALSE(reports[1].shed);
+  EXPECT_EQ(reports[1].digests_accepted, kRouters);
+  EXPECT_EQ(ring.stats().epochs_degraded, 1u);
+  EXPECT_EQ(ring.tracker().gaps_seen(), 0u);
+
+  // The degraded epoch was analyzed against a narrower screen, and its
+  // calibration says so: the detectable-width threshold was recomputed for
+  // n' / 4 and differs from the full-fidelity one. (The direction depends
+  // on the regime — with full-height patterns a narrower screen admits
+  // fewer heavy noise columns — so only the recalibration itself is
+  // asserted, not its sign.)
+  const EpochCalibration& full = reports[0].aligned.calibration;
+  const EpochCalibration& degraded = reports[1].aligned.calibration;
+  ASSERT_TRUE(full.populated());
+  ASSERT_TRUE(degraded.populated());
+  EXPECT_EQ(full.observed_routers, kRouters);
+  EXPECT_EQ(degraded.observed_routers, kRouters);
+  ASSERT_GT(full.aligned_detectable_columns, 0);
+  ASSERT_GT(degraded.aligned_detectable_columns, 0);
+  EXPECT_NE(degraded.aligned_detectable_columns,
+            full.aligned_detectable_columns);
+  // The NNO bar itself depends only on the matrix shape, not the screen.
+  EXPECT_EQ(degraded.aligned_min_nno_columns, full.aligned_min_nno_columns);
+
+  // And the degraded analysis is exactly what a monitor configured with
+  // the degraded options would have produced — no hidden third pipeline.
+  EpochRingOptions base = SmallRing(ShedPolicy::kDegrade);
+  AlignedPipelineOptions cheap = base.aligned;
+  cheap.n_prime = base.aligned.n_prime / base.degraded_n_prime_divisor;
+  cheap.detector.first_iteration_hopefuls =
+      std::min(cheap.detector.first_iteration_hopefuls, cheap.n_prime);
+  IngestOptions pinned = base.ingest;
+  pinned.lock_epoch_to_first = false;
+  pinned.expected_epoch = 1;
+  pinned.max_epoch_skew = 0;
+  DcsMonitor expected(cheap, UnalignedPipelineOptions{}, AnalysisContext{},
+                      pinned);
+  for (std::uint32_t r = 0; r < kRouters; ++r) {
+    ASSERT_TRUE(expected.AddDigest(NoiseDigest(1, r)).ok());
+  }
+  EXPECT_EQ(reports[1].aligned, expected.AnalyzeAligned());
+}
+
+TEST(BackpressureTest, BlockPolicyAnalyzesEverythingAndCountsOverruns) {
+  EpochRing ring(SmallRing(ShedPolicy::kBlock));
+  OfferEpoch(&ring, 0);
+  OfferEpoch(&ring, 1);
+  OfferEpoch(&ring, 6);
+  ring.Drain();
+
+  const std::vector<DcsReport> reports = ring.TakeReports();
+  ASSERT_EQ(reports.size(), 7u);
+  for (const DcsReport& report : reports) {
+    EXPECT_FALSE(report.shed);
+    EXPECT_FALSE(report.degraded_analysis);
+  }
+  // Advancing 0 -> 5 closed five heads in one offer: one within budget,
+  // four blocked.
+  EXPECT_EQ(ring.stats().blocked_advances, 4u);
+  EXPECT_EQ(ring.stats().epochs_shed, 0u);
+  EXPECT_EQ(ring.stats().epochs_analyzed, 7u);
+  EXPECT_EQ(ring.tracker().gaps_seen(), 0u);
+}
+
+TEST(BackpressureTest, ShedAndIngestMetricsCountDrops) {
+  MetricsRegistry::Global().set_enabled(true);
+  MetricsRegistry::Global().ResetValues();
+
+  EpochRing ring(SmallRing(ShedPolicy::kDropOldest));
+  OfferEpoch(&ring, 0);
+  // A replayed digest: the slot monitor rejects it and ingest.* counts it.
+  EXPECT_FALSE(ring.Offer(NoiseDigest(0, 0)).ok());
+  OfferEpoch(&ring, 1);
+  OfferEpoch(&ring, 9);  // Sheds epochs 1..7.
+  // A digest for a closed epoch: stale, refused at the ring itself.
+  EXPECT_FALSE(ring.Offer(NoiseDigest(2, 0)).ok());
+  ring.Drain();
+
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  MetricsRegistry::Global().set_enabled(false);
+
+  const auto counter = [&](const char* name) -> std::uint64_t {
+    const MetricsSnapshot::Entry* entry = snapshot.Find(name);
+    return entry == nullptr ? 0 : entry->counter_value;
+  };
+  EXPECT_EQ(counter("soak.shed_epochs"), 7u);
+  EXPECT_EQ(counter("soak.analyzed_epochs"), 3u);
+  EXPECT_EQ(counter("soak.stale_digests"), 1u);
+  EXPECT_EQ(counter("soak.digests_offered"), 3 * kRouters + 2u);
+  EXPECT_EQ(counter("soak.digests_accepted"), 3 * kRouters);
+  EXPECT_EQ(counter("soak.digests_rejected"), 1u);
+  EXPECT_EQ(counter("ingest.rejected.duplicate"), 1u);
+  EXPECT_EQ(counter("ingest.accepted"), 3 * kRouters);
+  EXPECT_EQ(counter("epoch.gaps"), 7u);
+  // Shed epochs never reach the analyzers.
+  EXPECT_EQ(counter("monitor.epochs_analyzed.aligned"), 10u - 7u);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -76,6 +76,45 @@ TEST(EpochTrackerTest, MissedEpochInBetweenStillCatches) {
   EXPECT_EQ(stable, (std::vector<std::uint32_t>{5, 6}));
 }
 
+TEST(EpochTrackerTest, GapOccupiesAWindowSlot) {
+  // A shed epoch must age the window like a real one: without RecordGap,
+  // k-of-w alarm logic is silently optimistic under load shedding — old
+  // detections would linger past window_epochs wall epochs.
+  EpochTracker tracker(DefaultOptions());
+  tracker.RecordEpoch(true, {1});
+  for (int i = 0; i < 5; ++i) tracker.RecordGap();
+  tracker.RecordEpoch(true, {1});
+  // The first detection slid out through the gaps.
+  EXPECT_FALSE(tracker.PersistentDetection());
+  EXPECT_EQ(tracker.detections_in_window(), 1u);
+  EXPECT_EQ(tracker.epochs_seen(), 7u);
+  EXPECT_EQ(tracker.gaps_seen(), 5u);
+  // Window of 5 holds the last 4 gaps plus the new detection.
+  EXPECT_EQ(tracker.gaps_in_window(), 4u);
+}
+
+TEST(EpochTrackerTest, GapIsNotADetection) {
+  EpochTracker tracker(DefaultOptions());
+  tracker.RecordEpoch(true, {3});
+  tracker.RecordGap();
+  tracker.RecordEpoch(true, {3});
+  // Gaps neither add nor block detections; two real ones still alarm.
+  EXPECT_TRUE(tracker.PersistentDetection());
+  EXPECT_EQ(tracker.detections_in_window(), 2u);
+  EXPECT_EQ(tracker.gaps_in_window(), 1u);
+  EXPECT_EQ(tracker.StableRouters(), (std::vector<std::uint32_t>{3}));
+}
+
+TEST(EpochTrackerTest, GapsAgeOutOfTheWindow) {
+  EpochTracker tracker(DefaultOptions());
+  tracker.RecordGap();
+  tracker.RecordGap();
+  for (int i = 0; i < 5; ++i) tracker.RecordEpoch(false, {});
+  EXPECT_EQ(tracker.gaps_in_window(), 0u);
+  EXPECT_EQ(tracker.gaps_seen(), 2u);
+  EXPECT_EQ(tracker.epochs_seen(), 7u);
+}
+
 TEST(EpochTrackerTest, WindowOfOneDegeneratesToPerEpoch) {
   EpochTrackerOptions opts;
   opts.window_epochs = 1;

@@ -1,0 +1,73 @@
+// Diffs two bench snapshots (JSON lines from the obs exporter) and fails
+// when the current run regressed past noise-aware thresholds. Usage:
+//
+//   bench_compare <baseline.json> <current.json> [--timing-factor <f>]
+//                 [--memory-tolerance <frac>] [--quality-tolerance <frac>]
+//
+// Only bench.-prefixed gauges present in BOTH files are compared, so a
+// committed full-scale snapshot can gate a CI smoke run as long as the
+// bench emits scale-independent metric names for the shared scenarios
+// (see docs/STREAMING.md and the bench.* catalog in docs/OBSERVABILITY.md).
+// Exit codes: 0 clean, 1 regression, 2 usage/IO error, 3 no overlap.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_compare_lib.h"
+
+int main(int argc, char** argv) {
+  using namespace dcs::bench_compare;
+  BenchCompareOptions options;
+  std::string baseline_path;
+  std::string current_path;
+  for (int i = 1; i < argc; ++i) {
+    const auto flag_value = [&](const char* name, double* out) {
+      if (std::strcmp(argv[i], name) != 0 || i + 1 >= argc) return false;
+      *out = std::strtod(argv[++i], nullptr);
+      return true;
+    };
+    if (flag_value("--timing-factor", &options.timing_factor) ||
+        flag_value("--memory-tolerance", &options.memory_tolerance) ||
+        flag_value("--quality-tolerance", &options.quality_tolerance)) {
+      continue;
+    }
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s <baseline.json> <current.json> "
+                   "[--timing-factor <f>] [--memory-tolerance <frac>] "
+                   "[--quality-tolerance <frac>]\n",
+                   argv[0]);
+      return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
+    }
+    if (baseline_path.empty()) {
+      baseline_path = argv[i];
+    } else if (current_path.empty()) {
+      current_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (current_path.empty()) {
+    std::fprintf(stderr, "usage: %s <baseline.json> <current.json>\n",
+                 argv[0]);
+    return 2;
+  }
+
+  dcs::MetricsSnapshot baseline;
+  dcs::MetricsSnapshot current;
+  std::string error;
+  if (!LoadSnapshotFile(baseline_path, &baseline, &error) ||
+      !LoadSnapshotFile(current_path, &current, &error)) {
+    std::fprintf(stderr, "bench_compare: %s\n", error.c_str());
+    return 2;
+  }
+
+  const BenchCompareResult result =
+      CompareSnapshots(baseline, current, options);
+  std::fputs(FormatResult(result).c_str(), stdout);
+  if (result.deltas.empty()) return 3;
+  return result.num_regressions > 0 ? 1 : 0;
+}

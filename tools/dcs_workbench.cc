@@ -16,6 +16,8 @@
 //   dcs_workbench analyze --in-dir /tmp/dcs [--mode aligned|unaligned]
 //       [--n-prime 128] [--er-threshold 0] [--beta 12] [--threads 1]
 //       [--expected-routers 0] [--fault-plan "seed=7,drop=0.1,flip=0.1"]
+//       [--ring-epochs 0] [--ring-capacity 4] [--shed-policy block]
+//       [--epoch-stride 1]
 //     Stacks the digests at the analysis center and prints the report.
 //     --threads N > 1 runs the analysis on an N-worker pool — the aligned
 //     pipeline (weight screen, ASID search, core scan) and the whole
@@ -29,6 +31,17 @@
 //     fault injector first (src/testing/fault_injector.h) to rehearse a
 //     lossy or hostile collection network; see FaultSpec::Parse for the
 //     key=value syntax.
+//
+//     --ring-epochs N replays the on-disk digests as N consecutive epochs
+//     through the continuous-operation EpochRing (docs/STREAMING.md)
+//     instead of a one-shot analysis: each epoch re-stamps the digests'
+//     epoch_id (FaultInjector::RewriteEpoch) so the ring exercises slot
+//     recycling and incremental weights exactly as a live deployment
+//     would. --ring-capacity (default 4) sizes the window; --shed-policy
+//     block|drop-oldest|degrade picks the back-pressure response;
+//     --epoch-stride S > 1 offers epochs 0, S, 2S, ... so each arrival
+//     forces S-1 head closes against the per-offer analysis budget —
+//     the way to watch the shed policies actually fire from the CLI.
 //
 //   dcs_workbench demo
 //     Runs all three stages in a temporary directory.
@@ -234,6 +247,87 @@ Status CmdCollect(const Flags& flags) {
 // Stage 3: central analysis.
 // ----------------------------------------------------------------------
 
+// Continuous-operation replay: the digest files become the payload of
+// every epoch in [0, ring_epochs) * stride, re-stamped per epoch, offered
+// to an EpochRing. Prints one line per closed epoch plus the ring and
+// tracker totals.
+Status RunRingReplay(const Flags& flags, const EpochRingOptions& options,
+                     const AnalysisContext& context, FaultInjector* injector,
+                     std::uint32_t num_digest_files,
+                     const std::string& in_dir) {
+  const std::int64_t ring_epochs = flags.GetInt("ring-epochs", 0);
+  const std::int64_t stride = flags.GetInt("epoch-stride", 1);
+  if (stride < 1) return Status::InvalidArgument("--epoch-stride must be >= 1");
+
+  std::vector<std::vector<std::uint8_t>> payloads(num_digest_files);
+  for (std::uint32_t r = 0; r < num_digest_files; ++r) {
+    DCS_RETURN_IF_ERROR(ReadBytes(DigestPath(in_dir, r), &payloads[r]));
+  }
+
+  EpochRing ring(options, context);
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  for (std::int64_t i = 0; i < ring_epochs; ++i) {
+    const std::uint64_t epoch =
+        static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(stride);
+    for (std::uint32_t r = 0; r < num_digest_files; ++r) {
+      std::vector<std::vector<std::uint8_t>> delivered;
+      std::vector<std::uint8_t> stamped =
+          FaultInjector::RewriteEpoch(payloads[r], epoch);
+      if (injector != nullptr) {
+        delivered = injector->Apply(r, stamped);
+      } else {
+        delivered.push_back(std::move(stamped));
+      }
+      for (const std::vector<std::uint8_t>& message : delivered) {
+        Digest digest;
+        Status status = Digest::Decode(message, &digest);
+        if (status.ok()) status = ring.Offer(std::move(digest));
+        if (status.ok()) {
+          ++accepted;
+        } else {
+          ++rejected;
+        }
+      }
+    }
+  }
+  ring.Drain();
+
+  const std::vector<DcsReport> reports = ring.TakeReports();
+  std::printf("ring: %s policy, capacity %zu, %lld offered epochs "
+              "(stride %lld), %llu digests accepted, %llu rejected\n",
+              ShedPolicyName(options.policy), options.capacity,
+              static_cast<long long>(ring_epochs),
+              static_cast<long long>(stride),
+              static_cast<unsigned long long>(accepted),
+              static_cast<unsigned long long>(rejected));
+  for (const DcsReport& report : reports) {
+    const char* disposition = report.shed               ? "shed"
+                              : report.degraded_analysis ? "degraded"
+                                                         : "analyzed";
+    std::printf("  epoch %llu: %s, %llu digests, aligned %s, unaligned %s\n",
+                static_cast<unsigned long long>(report.epoch_id), disposition,
+                static_cast<unsigned long long>(report.digests_accepted),
+                report.aligned.common_content_detected ? "DETECTED" : "clean",
+                report.unaligned.common_content_detected ? "DETECTED"
+                                                         : "clean");
+  }
+  const RingStats& stats = ring.stats();
+  std::printf("ring stats: %llu analyzed, %llu shed, %llu degraded, "
+              "%llu blocked advances, max in flight %zu\n",
+              static_cast<unsigned long long>(stats.epochs_analyzed),
+              static_cast<unsigned long long>(stats.epochs_shed),
+              static_cast<unsigned long long>(stats.epochs_degraded),
+              static_cast<unsigned long long>(stats.blocked_advances),
+              stats.max_in_flight);
+  std::printf("tracker: %llu epochs, %llu gaps, %s\n",
+              static_cast<unsigned long long>(ring.tracker().epochs_seen()),
+              static_cast<unsigned long long>(ring.tracker().gaps_seen()),
+              ring.tracker().PersistentDetection() ? "PERSISTENT ALARM"
+                                                   : "no persistent alarm");
+  return Status::Ok();
+}
+
 Status CmdAnalyze(const Flags& flags) {
   const std::string in_dir = flags.Get("in-dir", "");
   if (in_dir.empty()) return Status::InvalidArgument("--in-dir required");
@@ -295,6 +389,29 @@ Status CmdAnalyze(const Flags& flags) {
     FaultPlan plan = MaterializeFaultPlan(spec, num_digest_files);
     std::printf("fault plan: %s\n", plan.ToString().c_str());
     injector = std::make_unique<FaultInjector>(std::move(plan));
+  }
+
+  if (flags.GetInt("ring-epochs", 0) > 0) {
+    EpochRingOptions ring_options;
+    ring_options.capacity =
+        static_cast<std::size_t>(flags.GetInt("ring-capacity", 4));
+    const std::string policy = flags.Get("shed-policy", "block");
+    if (policy == "block") {
+      ring_options.policy = ShedPolicy::kBlock;
+    } else if (policy == "drop-oldest") {
+      ring_options.policy = ShedPolicy::kDropOldest;
+    } else if (policy == "degrade") {
+      ring_options.policy = ShedPolicy::kDegrade;
+    } else {
+      return Status::InvalidArgument(
+          "--shed-policy must be block|drop-oldest|degrade");
+    }
+    ring_options.aligned = aligned;
+    ring_options.aligned.incremental_weights = true;
+    ring_options.unaligned = unaligned_opts;
+    ring_options.ingest = ingest;
+    return RunRingReplay(flags, ring_options, context, injector.get(),
+                         num_digest_files, in_dir);
   }
 
   DcsMonitor monitor(aligned, unaligned_opts, context, ingest);
