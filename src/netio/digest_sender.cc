@@ -1,0 +1,153 @@
+#include "netio/digest_sender.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace dcs {
+namespace {
+
+Status SendAll(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a peer that closed mid-send must surface as EPIPE, not
+    // kill the process with SIGPIPE.
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* CodecModeName(CodecMode mode) {
+  switch (mode) {
+    case CodecMode::kRaw:
+      return "raw";
+    case CodecMode::kSparse:
+      return "sparse";
+    case CodecMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+DigestSender::~DigestSender() { Close(); }
+
+DigestSender::DigestSender(DigestSender&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), stats_(other.stats_) {}
+
+DigestSender& DigestSender::operator=(DigestSender&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    stats_ = other.stats_;
+  }
+  return *this;
+}
+
+Status DigestSender::ConnectTcp(const std::string& host, std::uint16_t port,
+                                DigestSender* out) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(std::string("connect: ") + std::strerror(err));
+  }
+  *out = DigestSender(fd);
+  return Status::Ok();
+}
+
+Status DigestSender::ConnectUds(const std::string& path, DigestSender* out) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(std::string("connect: ") + std::strerror(err));
+  }
+  *out = DigestSender(fd);
+  return Status::Ok();
+}
+
+Status DigestSender::Send(const Digest& digest, CodecMode mode) {
+  if (fd_ < 0) return Status::FailedPrecondition("sender not connected");
+  std::vector<std::uint8_t> payload;
+  DigestCodecId codec = DigestCodecId::kSparse;
+  switch (mode) {
+    case CodecMode::kRaw:
+      codec = DigestCodecId::kRaw;
+      payload = EncodeDigestPayload(digest, codec);
+      break;
+    case CodecMode::kSparse:
+      payload = EncodeDigestPayload(digest, codec);
+      break;
+    case CodecMode::kAuto:
+      codec = EncodeDigestPayloadAuto(digest, &payload);
+      break;
+  }
+  if (payload.size() > FrameWireLayout::kMaxPayloadBytes) {
+    return Status::InvalidArgument("digest too large for one frame");
+  }
+  const std::vector<std::uint8_t> frame =
+      EncodeFrame(codec, digest.router_id, digest.epoch_id, payload);
+  DCS_RETURN_IF_ERROR(SendAll(fd_, frame.data(), frame.size()));
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.size();
+  if (codec == DigestCodecId::kRaw) {
+    ++stats_.raw_frames;
+  } else {
+    ++stats_.sparse_frames;
+  }
+  ObsCounter("netio.sender.frames").Increment();
+  ObsCounter("netio.sender.bytes").Add(frame.size());
+  return Status::Ok();
+}
+
+Status DigestSender::SendRaw(const std::vector<std::uint8_t>& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("sender not connected");
+  DCS_RETURN_IF_ERROR(SendAll(fd_, bytes.data(), bytes.size()));
+  stats_.bytes_sent += bytes.size();
+  ObsCounter("netio.sender.bytes").Add(bytes.size());
+  return Status::Ok();
+}
+
+void DigestSender::Close() {
+  if (fd_ < 0) return;
+  ::shutdown(fd_, SHUT_WR);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace dcs

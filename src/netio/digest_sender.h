@@ -1,0 +1,84 @@
+#ifndef DCS_NETIO_DIGEST_SENDER_H_
+#define DCS_NETIO_DIGEST_SENDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "netio/frame.h"
+#include "sketch/digest.h"
+#include "sketch/digest_codec.h"
+
+namespace dcs {
+
+/// How a sender picks the payload codec per digest.
+enum class CodecMode {
+  kRaw,     ///< Always dense — maximum decode speed, maximum bytes.
+  kSparse,  ///< Always the adaptive codec.
+  kAuto,    ///< EncodeDigestPayloadAuto: sparse only when it pays.
+};
+
+const char* CodecModeName(CodecMode mode);
+
+/// Sender lifetime counters (mirrored into netio.sender.* metrics).
+struct SenderStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t raw_frames = 0;
+  std::uint64_t sparse_frames = 0;
+};
+
+/// \brief Client side of the digest plane: frames digests onto a connected
+/// stream socket (docs/DISTRIBUTED.md).
+///
+/// One sender per connection; not thread-safe. The router-side deployment
+/// story is one sender per collector, shipping each epoch's digest as soon
+/// as the epoch closes; `dcs_workbench send` drives the same library from
+/// synthesized traces.
+class DigestSender {
+ public:
+  DigestSender() = default;
+  ~DigestSender();
+
+  DigestSender(DigestSender&& other) noexcept;
+  DigestSender& operator=(DigestSender&& other) noexcept;
+  DigestSender(const DigestSender&) = delete;
+  DigestSender& operator=(const DigestSender&) = delete;
+
+  /// Connects to a TCP listener. `host` is a numeric IPv4 address
+  /// (e.g. "127.0.0.1" — the digest plane does not resolve names).
+  [[nodiscard]] static Status ConnectTcp(const std::string& host,
+                                         std::uint16_t port,
+                                         DigestSender* out);
+
+  /// Connects to a Unix-domain stream listener at `path`.
+  [[nodiscard]] static Status ConnectUds(const std::string& path,
+                                         DigestSender* out);
+
+  /// Frames and sends one digest. The frame's envelope identity is taken
+  /// from the digest itself, so a well-formed send always passes the
+  /// receiver's identity cross-check.
+  [[nodiscard]] Status Send(const Digest& digest, CodecMode mode);
+
+  /// Sends raw bytes verbatim — the fault-injection hook the wire-fuzz
+  /// suite uses to ship mutated frames through a real socket.
+  [[nodiscard]] Status SendRaw(const std::vector<std::uint8_t>& bytes);
+
+  /// Half-closes the write side (receiver sees EOF) and closes the socket.
+  /// Idempotent; also run by the destructor.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+  const SenderStats& stats() const { return stats_; }
+
+ private:
+  explicit DigestSender(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  SenderStats stats_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_NETIO_DIGEST_SENDER_H_

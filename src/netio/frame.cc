@@ -1,0 +1,280 @@
+#include "netio/frame.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dcs {
+namespace {
+
+void AppendU16(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void AppendU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xFF);
+}
+
+void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xFF);
+}
+
+std::uint16_t ReadU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
+                                    static_cast<std::uint16_t>(p[1]) << 8);
+}
+
+std::uint32_t ReadU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t ReadU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+// Best-effort header fields for reject events (untrusted, logging only).
+FrameHeader PeekHeader(const std::uint8_t* p) {
+  FrameHeader h;
+  h.version = ReadU16(p + FrameWireLayout::kVersionOffset);
+  h.codec = static_cast<DigestCodecId>(p[FrameWireLayout::kCodecOffset]);
+  h.flags = p[FrameWireLayout::kFlagsOffset];
+  h.router_id = ReadU32(p + FrameWireLayout::kRouterIdOffset);
+  h.epoch_id = ReadU64(p + FrameWireLayout::kEpochIdOffset);
+  h.payload_len = ReadU32(p + FrameWireLayout::kPayloadLenOffset);
+  return h;
+}
+
+FrameEvent MakeReject(FrameRejectReason reason, std::size_t skipped,
+                      const FrameHeader& header = FrameHeader{}) {
+  FrameEvent event;
+  event.kind = FrameEvent::Kind::kReject;
+  event.reason = reason;
+  event.skipped_bytes = skipped;
+  event.header = header;
+  return event;
+}
+
+}  // namespace
+
+const char* FrameRejectReasonName(FrameRejectReason reason) {
+  switch (reason) {
+    case FrameRejectReason::kBadMagic:
+      return "bad_magic";
+    case FrameRejectReason::kBadVersion:
+      return "bad_version";
+    case FrameRejectReason::kBadFlags:
+      return "bad_flags";
+    case FrameRejectReason::kUnknownCodec:
+      return "unknown_codec";
+    case FrameRejectReason::kOversizedPayload:
+      return "oversized_payload";
+    case FrameRejectReason::kChecksumMismatch:
+      return "checksum_mismatch";
+    case FrameRejectReason::kTruncated:
+      return "truncated";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> EncodeFrame(DigestCodecId codec,
+                                      std::uint32_t router_id,
+                                      std::uint64_t epoch_id,
+                                      const std::vector<std::uint8_t>& payload) {
+  DCS_CHECK(payload.size() <= FrameWireLayout::kMaxPayloadBytes)
+      << "frame payload " << payload.size() << " bytes exceeds protocol max";
+  std::vector<std::uint8_t> out;
+  out.reserve(FrameWireLayout::TotalBytes(payload.size()));
+  // Field order defines FrameWireLayout; keep the two in sync.
+  AppendU32(&out, FrameWireLayout::kMagic);
+  AppendU16(&out, FrameWireLayout::kVersion);
+  out.push_back(static_cast<std::uint8_t>(codec));
+  out.push_back(0);  // flags
+  AppendU32(&out, router_id);
+  AppendU64(&out, epoch_id);
+  AppendU32(&out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  AppendU64(&out,
+            Hash64(out.data(), out.size(), /*seed=*/FrameWireLayout::kMagic));
+  return out;
+}
+
+void ResealFrameChecksum(std::vector<std::uint8_t>* frame) {
+  DCS_CHECK(frame != nullptr);
+  if (frame->size() <
+      FrameWireLayout::kHeaderBytes + FrameWireLayout::kChecksumBytes) {
+    return;
+  }
+  const std::uint64_t checksum =
+      Hash64(frame->data(), frame->size() - FrameWireLayout::kChecksumBytes,
+             /*seed=*/FrameWireLayout::kMagic);
+  std::uint8_t* tail =
+      frame->data() + frame->size() - FrameWireLayout::kChecksumBytes;
+  for (std::size_t i = 0; i < FrameWireLayout::kChecksumBytes; ++i) {
+    tail[i] = static_cast<std::uint8_t>(checksum >> (8 * i));
+  }
+}
+
+void FrameParser::Consume(const std::uint8_t* data, std::size_t len,
+                          std::vector<FrameEvent>* out) {
+  DCS_CHECK(out != nullptr);
+  if (len != 0) {
+    DCS_CHECK(data != nullptr);
+    buffer_.insert(buffer_.end(), data, data + len);
+  }
+  Drain(out);
+  Compact();
+}
+
+void FrameParser::Finish(std::vector<FrameEvent>* out) {
+  DCS_CHECK(out != nullptr);
+  Drain(out);
+  const std::size_t leftover = buffer_.size() - consumed_;
+  if (leftover != 0) {
+    FrameHeader claimed;
+    if (leftover >= FrameWireLayout::kHeaderBytes &&
+        ReadU32(buffer_.data() + consumed_) == FrameWireLayout::kMagic) {
+      claimed = PeekHeader(buffer_.data() + consumed_);
+    }
+    out->push_back(MakeReject(FrameRejectReason::kTruncated, leftover, claimed));
+  }
+  buffer_.clear();
+  consumed_ = 0;
+}
+
+std::size_t FrameParser::FindMagic(std::size_t from) const {
+  // The magic's little-endian byte sequence.
+  std::uint8_t magic[4];
+  for (std::size_t i = 0; i < 4; ++i) {
+    magic[i] = static_cast<std::uint8_t>(FrameWireLayout::kMagic >> (8 * i));
+  }
+  if (buffer_.size() < 4) return buffer_.size();
+  for (std::size_t at = from; at + 4 <= buffer_.size(); ++at) {
+    if (std::memcmp(buffer_.data() + at, magic, 4) == 0) return at;
+  }
+  return buffer_.size();
+}
+
+void FrameParser::Drain(std::vector<FrameEvent>* out) {
+  while (true) {
+    std::size_t avail = buffer_.size() - consumed_;
+    // Resynchronize: discard bytes until a full magic sequence starts at the
+    // read position. A tail that is a *prefix* of the magic is kept — it may
+    // complete on the next read.
+    if (avail != 0 &&
+        (avail < 4 ||
+         ReadU32(buffer_.data() + consumed_) != FrameWireLayout::kMagic)) {
+      std::size_t next = FindMagic(consumed_ + 1);
+      if (next == buffer_.size()) {
+        // No full magic ahead. Keep the longest buffer suffix that is a
+        // proper magic prefix (1-3 bytes) — a magic sequence split across
+        // reads must survive — and discard everything before it.
+        std::uint8_t magic[4];
+        for (std::size_t i = 0; i < 4; ++i) {
+          magic[i] =
+              static_cast<std::uint8_t>(FrameWireLayout::kMagic >> (8 * i));
+        }
+        std::size_t keep = 0;
+        for (std::size_t pref = 3; pref >= 1; --pref) {
+          if (buffer_.size() - consumed_ < pref) continue;
+          if (std::memcmp(buffer_.data() + buffer_.size() - pref, magic,
+                          pref) == 0) {
+            keep = pref;
+            break;
+          }
+        }
+        next = buffer_.size() - keep;
+      }
+      if (next > consumed_) {
+        out->push_back(MakeReject(FrameRejectReason::kBadMagic,
+                                  next - consumed_));
+        consumed_ = next;
+      }
+      avail = buffer_.size() - consumed_;
+      if (avail < 4 ||
+          ReadU32(buffer_.data() + consumed_) != FrameWireLayout::kMagic) {
+        return;  // Partial magic tail (or nothing) kept for the next read.
+      }
+    }
+    if (avail < FrameWireLayout::kHeaderBytes) return;
+
+    const std::uint8_t* head = buffer_.data() + consumed_;
+    const FrameHeader claimed = PeekHeader(head);
+
+    // Header validation. A bad header consumes only the 4 magic bytes, then
+    // resyncs — the rest of the "frame" is untrusted garbage that may hold
+    // the next real frame boundary.
+    FrameRejectReason reason{};
+    bool header_ok = true;
+    if (claimed.version != FrameWireLayout::kVersion) {
+      reason = FrameRejectReason::kBadVersion;
+      header_ok = false;
+    } else if (claimed.flags != 0) {
+      reason = FrameRejectReason::kBadFlags;
+      header_ok = false;
+    } else if (!KnownDigestCodecId(static_cast<std::uint8_t>(claimed.codec))) {
+      reason = FrameRejectReason::kUnknownCodec;
+      header_ok = false;
+    } else if (claimed.payload_len > FrameWireLayout::kMaxPayloadBytes) {
+      reason = FrameRejectReason::kOversizedPayload;
+      header_ok = false;
+    }
+    if (!header_ok) {
+      out->push_back(MakeReject(reason, 4, claimed));
+      consumed_ += 4;
+      continue;
+    }
+
+    const std::size_t total = FrameWireLayout::TotalBytes(claimed.payload_len);
+    if (avail < total) return;  // Wait for the rest of the frame.
+
+    const std::uint64_t stored = ReadU64(
+        head + FrameWireLayout::kHeaderBytes + claimed.payload_len);
+    const std::uint64_t computed =
+        Hash64(head, FrameWireLayout::kHeaderBytes + claimed.payload_len,
+               /*seed=*/FrameWireLayout::kMagic);
+    if (stored != computed) {
+      // Damaged in transit (or a length lie that swallowed the neighbour).
+      // Consume only the magic and resync inside the damaged region.
+      out->push_back(
+          MakeReject(FrameRejectReason::kChecksumMismatch, 4, claimed));
+      consumed_ += 4;
+      continue;
+    }
+
+    FrameEvent event;
+    event.kind = FrameEvent::Kind::kFrame;
+    event.header = claimed;
+    event.payload.assign(head + FrameWireLayout::kHeaderBytes,
+                         head + FrameWireLayout::kHeaderBytes +
+                             claimed.payload_len);
+    out->push_back(std::move(event));
+    consumed_ += total;
+  }
+}
+
+void FrameParser::Compact() {
+  if (consumed_ == 0) return;
+  // Reclaim once the dead prefix dominates, or the buffer is fully drained.
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+    return;
+  }
+  if (consumed_ >= 4096 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+}  // namespace dcs

@@ -1,0 +1,152 @@
+#ifndef DCS_NETIO_FRAME_H_
+#define DCS_NETIO_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sketch/digest_codec.h"
+
+namespace dcs {
+
+/// Fixed little-endian byte offsets of the digest frame header — the
+/// length-prefixed envelope routers wrap around an encoded digest payload
+/// for transport (docs/DISTRIBUTED.md). Like DigestWireLayout, the offsets
+/// are public so the fault-injection harness can patch fields directly and
+/// the parser's validation is tested against every one of them.
+///
+/// Layout: header (24 bytes), payload (payload_len bytes), trailing u64
+/// checksum = Hash64(header + payload, seed = kMagic). The checksum is an
+/// integrity check, not an authenticator.
+struct FrameWireLayout {
+  /// "DCSF" — also the Hash64 checksum seed.
+  static constexpr std::uint32_t kMagic = 0x44435346;
+  static constexpr std::uint16_t kVersion = 1;
+
+  static constexpr std::size_t kMagicOffset = 0;       ///< u32
+  static constexpr std::size_t kVersionOffset = 4;     ///< u16
+  static constexpr std::size_t kCodecOffset = 6;       ///< u8 (DigestCodecId)
+  static constexpr std::size_t kFlagsOffset = 7;       ///< u8, must be 0
+  static constexpr std::size_t kRouterIdOffset = 8;    ///< u32
+  static constexpr std::size_t kEpochIdOffset = 12;    ///< u64
+  static constexpr std::size_t kPayloadLenOffset = 20; ///< u32
+  static constexpr std::size_t kHeaderBytes = 24;
+  static constexpr std::size_t kChecksumBytes = 8;
+
+  /// Upper bound on payload_len the parser will buffer for. Half of
+  /// DigestWireLayout::kMaxTotalRowBytes — a frame that claims more cannot
+  /// hold a decodable digest, so the parser refuses it *before* allocating
+  /// (a lying length prefix must not drive the analysis center out of
+  /// memory).
+  static constexpr std::uint32_t kMaxPayloadBytes = 1u << 27;
+
+  static constexpr std::size_t TotalBytes(std::size_t payload_len) {
+    return kHeaderBytes + payload_len + kChecksumBytes;
+  }
+};
+
+/// Parsed frame header. router_id / epoch_id duplicate the digest payload's
+/// own header so the receiver can account for a frame (and route rejects)
+/// without decoding the payload; the dispatcher cross-checks the two and
+/// rejects frames whose envelope disagrees with their contents.
+struct FrameHeader {
+  std::uint16_t version = FrameWireLayout::kVersion;
+  DigestCodecId codec = DigestCodecId::kSparse;
+  std::uint8_t flags = 0;
+  std::uint32_t router_id = 0;
+  std::uint64_t epoch_id = 0;
+  std::uint32_t payload_len = 0;
+
+  friend bool operator==(const FrameHeader&, const FrameHeader&) = default;
+};
+
+/// Serializes one frame: header + payload + checksum. `payload` is an
+/// encoded digest from EncodeDigestPayload(digest, codec) — the codec byte
+/// in the envelope must match how the payload was encoded, or the strict
+/// decoder on the other side will reject it.
+[[nodiscard]] std::vector<std::uint8_t> EncodeFrame(
+    DigestCodecId codec, std::uint32_t router_id, std::uint64_t epoch_id,
+    const std::vector<std::uint8_t>& payload);
+
+/// Recomputes and overwrites the trailing frame checksum in place (no-op
+/// for buffers shorter than header + checksum). Like
+/// Digest::ResealChecksum, this is an integrity check, not an
+/// authenticator: the fault-injection harness reseals frames whose envelope
+/// fields lie, which is exactly what the dispatcher's cross-checks must
+/// survive.
+void ResealFrameChecksum(std::vector<std::uint8_t>* frame);
+
+/// Why the parser refused bytes (FrameEvent::reason).
+enum class FrameRejectReason : std::uint8_t {
+  kBadMagic = 0,        ///< Garbage between frames; skipped to next magic.
+  kBadVersion,          ///< Unknown protocol version.
+  kBadFlags,            ///< Reserved flags set.
+  kUnknownCodec,        ///< Codec byte not a DigestCodecId.
+  kOversizedPayload,    ///< payload_len > kMaxPayloadBytes.
+  kChecksumMismatch,    ///< Frame arrived damaged.
+  kTruncated,           ///< Stream ended mid-frame (Finish()).
+};
+
+const char* FrameRejectReasonName(FrameRejectReason reason);
+
+/// One parser outcome: a complete validated frame, or a span of refused
+/// bytes with the reason.
+struct FrameEvent {
+  enum class Kind : std::uint8_t { kFrame = 0, kReject = 1 };
+  Kind kind = Kind::kFrame;
+
+  /// kFrame: the validated header. kReject for header-level reasons: the
+  /// claimed (unvalidated, untrusted) fields, for logging only.
+  FrameHeader header;
+  /// kFrame only: the payload bytes, checksum already verified.
+  std::vector<std::uint8_t> payload;
+
+  /// kReject only.
+  FrameRejectReason reason = FrameRejectReason::kBadMagic;
+  /// kReject only: bytes discarded from the stream for this event (resync
+  /// scans coalesce a whole garbage run into one kBadMagic event).
+  std::size_t skipped_bytes = 0;
+};
+
+/// \brief Incremental frame stream parser.
+///
+/// Feed arbitrary chunks of a byte stream (sockets deliver split and
+/// coalesced reads); complete frames and rejected spans come out as
+/// FrameEvents in stream order. After any malformed header or checksum
+/// failure the parser resynchronizes by scanning forward for the next magic
+/// sequence, so one damaged frame costs at most its own bytes, never the
+/// rest of the connection.
+///
+/// The parser never interprets payload bytes — digest decoding (and its own
+/// hardening) happens in the dispatcher. Single-threaded; one parser per
+/// connection.
+class FrameParser {
+ public:
+  FrameParser() = default;
+
+  /// Appends `len` bytes of stream and emits every event that completes.
+  void Consume(const std::uint8_t* data, std::size_t len,
+               std::vector<FrameEvent>* out);
+
+  /// Signals end-of-stream: a buffered partial frame (or partial magic) is
+  /// flushed as one kTruncated reject. The parser is reusable afterwards.
+  void Finish(std::vector<FrameEvent>* out);
+
+  /// Bytes buffered awaiting a frame completion.
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  // Parses events out of buffer_[consumed_..]; stops at a partial frame.
+  void Drain(std::vector<FrameEvent>* out);
+  // Scans buffer_[from..] for the magic sequence; buffer_.size() if absent.
+  std::size_t FindMagic(std::size_t from) const;
+  // Reclaims consumed_ prefix when it dominates the buffer.
+  void Compact();
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_NETIO_FRAME_H_

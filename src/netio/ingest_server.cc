@@ -1,0 +1,236 @@
+#include "netio/ingest_server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace dcs {
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+IngestServer::IngestServer(const IngestServerOptions& options,
+                           FrameDispatcher* dispatcher)
+    : options_(options), dispatcher_(dispatcher) {
+  DCS_CHECK(dispatcher_ != nullptr);
+  DCS_CHECK(options_.read_chunk_bytes > 0);
+  read_buf_.resize(options_.read_chunk_bytes);
+}
+
+IngestServer::~IngestServer() { CloseAll(); }
+
+Status IngestServer::ListenTcp(std::uint16_t port) {
+  DCS_CHECK(tcp_listen_fd_ < 0) << "ListenTcp called twice";
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, SOMAXCONN) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(std::string("bind/listen: ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(std::string("getsockname: ") + std::strerror(err));
+  }
+  const Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+  tcp_listen_fd_ = fd;
+  tcp_port_ = ntohs(bound.sin_port);
+  return Status::Ok();
+}
+
+Status IngestServer::ListenUds(const std::string& path) {
+  DCS_CHECK(uds_listen_fd_ < 0) << "ListenUds called twice";
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // Stale socket file from a previous run.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, SOMAXCONN) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(std::string("bind/listen: ") + std::strerror(err));
+  }
+  const Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+  uds_listen_fd_ = fd;
+  uds_path_ = path;
+  return Status::Ok();
+}
+
+void IngestServer::AcceptPending(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      // EAGAIN: drained. Anything else: transient; retry next round.
+      return;
+    }
+    if (connections_.size() >= options_.max_connections) {
+      ::close(fd);
+      ++stats_.connections_refused;
+      ObsCounter("netio.server.connections_refused").Increment();
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    connections_.push_back(std::move(conn));
+    ++stats_.connections_accepted;
+    ObsCounter("netio.server.connections").Increment();
+  }
+}
+
+bool IngestServer::ReadAndDispatch(Connection* conn) {
+  const ssize_t n =
+      ::read(conn->fd, read_buf_.data(), options_.read_chunk_bytes);
+  if (n < 0) {
+    if (errno == EINTR || errno == EAGAIN) return true;
+    CloseConnection(conn);
+    return false;
+  }
+  if (n == 0) {  // EOF: flush the parser tail (a truncated frame is an event).
+    CloseConnection(conn);
+    return false;
+  }
+  stats_.bytes_received += static_cast<std::uint64_t>(n);
+  ObsCounter("netio.server.bytes_rx").Add(static_cast<std::uint64_t>(n));
+  std::vector<FrameEvent> events;
+  conn->parser.Consume(read_buf_.data(), static_cast<std::size_t>(n), &events);
+  for (const FrameEvent& event : events) {
+    if (event.kind == FrameEvent::Kind::kReject) ++conn->rejects;
+  }
+  dispatcher_->HandleEvents(events);
+  if (conn->rejects > options_.max_rejects_per_connection) {
+    ++stats_.penalty_closes;
+    ObsCounter("netio.server.penalty_closes").Increment();
+    CloseConnection(conn);
+    return false;
+  }
+  return true;
+}
+
+void IngestServer::CloseConnection(Connection* conn) {
+  if (conn->fd < 0) return;
+  std::vector<FrameEvent> tail;
+  conn->parser.Finish(&tail);
+  dispatcher_->HandleEvents(tail);
+  ::close(conn->fd);
+  conn->fd = -1;
+  ++stats_.connections_closed;
+  ObsCounter("netio.server.connections_closed").Increment();
+}
+
+void IngestServer::CloseAll() {
+  for (auto& conn : connections_) {
+    CloseConnection(conn.get());
+  }
+  connections_.clear();
+  if (tcp_listen_fd_ >= 0) {
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+  }
+  if (uds_listen_fd_ >= 0) {
+    ::close(uds_listen_fd_);
+    uds_listen_fd_ = -1;
+    ::unlink(uds_path_.c_str());
+  }
+}
+
+Status IngestServer::Serve() {
+  if (tcp_listen_fd_ < 0 && uds_listen_fd_ < 0) {
+    return Status::FailedPrecondition("no listener configured");
+  }
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    fds.reserve(2 + connections_.size());
+    if (tcp_listen_fd_ >= 0) {
+      fds.push_back(pollfd{tcp_listen_fd_, POLLIN, 0});
+    }
+    if (uds_listen_fd_ >= 0) {
+      fds.push_back(pollfd{uds_listen_fd_, POLLIN, 0});
+    }
+    const std::size_t first_conn = fds.size();
+    for (const auto& conn : connections_) {
+      fds.push_back(pollfd{conn->fd, POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                             options_.poll_timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      CloseAll();
+      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) {  // Timeout: run the hook, re-check the stop flag.
+      if (options_.after_round && !options_.after_round()) break;
+      continue;
+    }
+    std::size_t at = 0;
+    if (tcp_listen_fd_ >= 0) {
+      if ((fds[at].revents & POLLIN) != 0) AcceptPending(tcp_listen_fd_);
+      ++at;
+    }
+    if (uds_listen_fd_ >= 0) {
+      if ((fds[at].revents & POLLIN) != 0) AcceptPending(uds_listen_fd_);
+      ++at;
+    }
+    // Read in connection order — with one loop thread this fixes the offer
+    // order for any given arrival pattern.
+    for (std::size_t i = 0; i < connections_.size(); ++i) {
+      const short revents = fds[first_conn + i].revents;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      (void)ReadAndDispatch(connections_[i].get());
+    }
+    // Compact closed connections.
+    std::size_t kept = 0;
+    for (auto& conn : connections_) {
+      if (conn->fd >= 0) connections_[kept++] = std::move(conn);
+    }
+    connections_.resize(kept);
+    if (options_.after_round && !options_.after_round()) break;
+  }
+  CloseAll();
+  return Status::Ok();
+}
+
+}  // namespace dcs

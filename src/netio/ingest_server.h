@@ -1,0 +1,121 @@
+#ifndef DCS_NETIO_INGEST_SERVER_H_
+#define DCS_NETIO_INGEST_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "netio/dispatch.h"
+#include "netio/frame.h"
+
+namespace dcs {
+
+/// Tuning for the ingestion service (docs/DISTRIBUTED.md).
+struct IngestServerOptions {
+  /// Concurrent connections accepted; excess connects are closed on sight.
+  std::size_t max_connections = 64;
+  /// Bytes read per readable socket per poll round.
+  std::size_t read_chunk_bytes = 64 * 1024;
+  /// Frame-level rejects tolerated before a connection is closed (the
+  /// penalty box). Closing the *connection* is safe where quarantining the
+  /// claimed router would not be: the peer proved itself noisy, while the
+  /// router ids in its garbage are unauthenticated.
+  std::uint64_t max_rejects_per_connection = 64;
+  /// poll() timeout between stop-flag checks. Pure scheduling — the server
+  /// never reads a wall clock.
+  int poll_timeout_ms = 50;
+  /// Called on the Serve() thread after every poll round (so it may safely
+  /// touch the dispatcher and ring — they are only ever driven from that
+  /// thread). Returning false winds the server down like RequestStop().
+  /// The daemon uses this to stream closed-epoch reports out of the ring.
+  std::function<bool()> after_round;
+};
+
+/// Server lifetime counters (mirrored into netio.server.* metrics).
+struct IngestServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t connections_refused = 0;  ///< Over max_connections.
+  std::uint64_t penalty_closes = 0;       ///< Reject budget exhausted.
+  std::uint64_t bytes_received = 0;
+};
+
+/// \brief The analysis center's ingestion daemon core: accept → parse →
+/// validate → dispatch.
+///
+/// Listens on TCP and/or Unix-domain stream sockets, feeds every
+/// connection's bytes through its own FrameParser, and hands the resulting
+/// events to the FrameDispatcher (strict payload decode + identity
+/// cross-check + EpochRing offer — see dispatch.h for the trust boundary).
+///
+/// Threading: Serve() runs the whole accept/read/dispatch loop on the
+/// calling thread — EpochRing is single-threaded, and one reader keeps the
+/// offer order well-defined. Payload decoding still fans out on the
+/// dispatcher's pool per read batch. RequestStop() is safe from any thread;
+/// Serve() notices within poll_timeout_ms, flushes, closes every socket,
+/// and returns.
+class IngestServer {
+ public:
+  /// `dispatcher` must outlive the server.
+  IngestServer(const IngestServerOptions& options, FrameDispatcher* dispatcher);
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  /// Binds a TCP listener on 127.0.0.1:`port` (0 = ephemeral; see
+  /// bound_tcp_port()). Call before Serve().
+  [[nodiscard]] Status ListenTcp(std::uint16_t port);
+
+  /// Binds a Unix-domain stream listener at `path` (unlinked first if it
+  /// exists, and unlinked again on shutdown). Call before Serve().
+  [[nodiscard]] Status ListenUds(const std::string& path);
+
+  /// The TCP port actually bound (after ListenTcp with port 0).
+  std::uint16_t bound_tcp_port() const { return tcp_port_; }
+
+  /// Runs the accept/read/dispatch loop until RequestStop(). Returns an
+  /// error only when no listener was configured.
+  [[nodiscard]] Status Serve();
+
+  /// Asks Serve() to wind down. Safe from any thread and before Serve().
+  void RequestStop() { stop_.store(true, std::memory_order_release); }
+
+  /// Stable only while Serve() is not running (single-threaded loop).
+  const IngestServerStats& stats() const { return stats_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameParser parser;
+    std::uint64_t rejects = 0;
+  };
+
+  // Accepts every pending connection on `listen_fd`.
+  void AcceptPending(int listen_fd);
+  // One chunked read + parse + dispatch. False when the connection is done
+  // (EOF, error, or penalty) and has been closed.
+  bool ReadAndDispatch(Connection* conn);
+  // Flushes the parser tail and closes the socket.
+  void CloseConnection(Connection* conn);
+  void CloseAll();
+
+  IngestServerOptions options_;
+  FrameDispatcher* dispatcher_;
+  int tcp_listen_fd_ = -1;
+  int uds_listen_fd_ = -1;
+  std::uint16_t tcp_port_ = 0;
+  std::string uds_path_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::uint8_t> read_buf_;
+  IngestServerStats stats_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_NETIO_INGEST_SERVER_H_

@@ -1,160 +1,22 @@
 #include "sketch/digest.h"
 
-#include <cstring>
-
 #include "common/hash.h"
 #include "common/logging.h"
-#include "obs/metrics.h"
+#include "sketch/digest_codec.h"
 
 namespace dcs {
-namespace {
 
-constexpr std::uint32_t kDigestMagic = 0x44435345;  // "DCSE" (v2: adaptive).
-
-// Per-row encodings.
-constexpr std::uint8_t kRowDense = 0;
-constexpr std::uint8_t kRowSparse = 1;
-
-void AppendU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xFF);
-}
-
-void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xFF);
-}
-
-void AppendVarint(std::vector<std::uint8_t>* out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out->push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out->push_back(static_cast<std::uint8_t>(v));
-}
-
-bool TakeU32(const std::vector<std::uint8_t>& in, std::size_t* pos,
-             std::uint32_t* v) {
-  if (*pos + 4 > in.size()) return false;
-  *v = 0;
-  for (std::size_t i = 0; i < 4; ++i) {
-    *v |= static_cast<std::uint32_t>(in[*pos + i]) << (8 * i);
-  }
-  *pos += 4;
-  return true;
-}
-
-bool TakeU64(const std::vector<std::uint8_t>& in, std::size_t* pos,
-             std::uint64_t* v) {
-  if (*pos + 8 > in.size()) return false;
-  *v = 0;
-  for (std::size_t i = 0; i < 8; ++i) {
-    *v |= static_cast<std::uint64_t>(in[*pos + i]) << (8 * i);
-  }
-  *pos += 8;
-  return true;
-}
-
-bool TakeVarint(const std::vector<std::uint8_t>& in, std::size_t* pos,
-                std::uint64_t* v) {
-  *v = 0;
-  for (int shift = 0; shift < 64; shift += 7) {
-    if (*pos >= in.size()) return false;
-    const std::uint8_t byte = in[(*pos)++];
-    *v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) return true;
-  }
-  return false;  // Over-long varint.
-}
-
-// Appends one row, choosing the smaller of the dense and sparse forms.
-void EncodeRow(const BitVector& row, std::vector<std::uint8_t>* out) {
-  const std::size_t dense_bytes = row.num_words() * 8;
-
-  // Build the sparse candidate (varint count + varint gaps).
-  std::vector<std::uint8_t> sparse;
-  std::vector<std::size_t> indices;
-  row.AppendSetBits(&indices);
-  AppendVarint(&sparse, indices.size());
-  std::size_t prev = 0;
-  for (std::size_t idx : indices) {
-    AppendVarint(&sparse, idx - prev);  // First gap is the index itself.
-    prev = idx;
-  }
-
-  if (sparse.size() < dense_bytes) {
-    out->push_back(kRowSparse);
-    out->insert(out->end(), sparse.begin(), sparse.end());
-  } else {
-    out->push_back(kRowDense);
-    for (std::size_t w = 0; w < row.num_words(); ++w) {
-      AppendU64(out, row.words()[w]);
-    }
-  }
-}
-
-Status DecodeRow(const std::vector<std::uint8_t>& in, std::size_t* pos,
-                 BitVector* row) {
-  if (*pos >= in.size()) return Status::Corruption("missing row tag");
-  const std::uint8_t tag = in[(*pos)++];
-  if (tag == kRowDense) {
-    for (std::size_t w = 0; w < row->num_words(); ++w) {
-      std::uint64_t word = 0;
-      if (!TakeU64(in, pos, &word)) {
-        return Status::Corruption("truncated dense row");
-      }
-      row->mutable_words()[w] = word;
-    }
-    return Status::Ok();
-  }
-  if (tag != kRowSparse) return Status::Corruption("unknown row tag");
-  std::uint64_t count = 0;
-  if (!TakeVarint(in, pos, &count)) {
-    return Status::Corruption("truncated sparse count");
-  }
-  if (count > row->size()) return Status::Corruption("sparse count too big");
-  std::uint64_t index = 0;
-  bool first = true;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    std::uint64_t gap = 0;
-    if (!TakeVarint(in, pos, &gap)) {
-      return Status::Corruption("truncated sparse row");
-    }
-    index = first ? gap : index + gap;
-    first = false;
-    if (index >= row->size()) {
-      return Status::Corruption("sparse index out of range");
-    }
-    row->Set(index);
-  }
-  return Status::Ok();
-}
-
-}  // namespace
+// The payload serialization itself (header layout, adaptive row encodings,
+// structural bounds, checksum) lives in sketch/digest_codec.cc, shared with
+// the network frame plane. A digest's native storage format is the kSparse
+// codec — the historical adaptive encoding.
 
 std::vector<std::uint8_t> Digest::Encode() const {
-  std::vector<std::uint8_t> out;
-  const std::size_t row_bytes =
-      rows.empty() ? 0 : rows.front().num_words() * 8;
-  out.reserve(64 + rows.size() * (row_bytes + 1) + 8);
-  // Field order defines DigestWireLayout; keep the two in sync.
-  AppendU32(&out, kDigestMagic);
-  AppendU32(&out, router_id);
-  AppendU64(&out, epoch_id);
-  AppendU32(&out, static_cast<std::uint32_t>(kind));
-  AppendU32(&out, num_groups);
-  AppendU32(&out, arrays_per_group);
-  AppendU64(&out, rows.size());
-  AppendU64(&out, rows.empty() ? 0 : rows.front().size());
-  AppendU64(&out, packets_covered);
-  AppendU64(&out, raw_bytes_covered);
-  for (const BitVector& row : rows) {
-    EncodeRow(row, &out);
-  }
-  AppendU64(&out, Hash64(out.data(), out.size(), /*seed=*/kDigestMagic));
-  // NOTE: EncodedSizeBytes() re-encodes, so these also count its calls —
-  // a visible hint that callers doing size accounting pay the full encode.
-  ObsCounter("digest.encode.calls").Increment();
-  ObsCounter("digest.encode.bytes").Add(out.size());
-  return out;
+  return EncodeDigestPayload(*this, DigestCodecId::kSparse);
+}
+
+Status Digest::Decode(const std::vector<std::uint8_t>& bytes, Digest* out) {
+  return DecodeDigestPayload(bytes, DigestCodecId::kSparse, out);
 }
 
 std::size_t Digest::EncodedSizeBytes() const { return Encode().size(); }
@@ -172,7 +34,7 @@ void Digest::ResealChecksum(std::vector<std::uint8_t>* bytes) {
   if (bytes->size() < DigestWireLayout::kChecksumBytes) return;
   const std::uint64_t checksum =
       Hash64(bytes->data(), bytes->size() - DigestWireLayout::kChecksumBytes,
-             /*seed=*/kDigestMagic);
+             /*seed=*/DigestWireLayout::kMagic);
   std::uint8_t* tail =
       bytes->data() + bytes->size() - DigestWireLayout::kChecksumBytes;
   for (std::size_t i = 0; i < DigestWireLayout::kChecksumBytes; ++i) {
@@ -182,88 +44,30 @@ void Digest::ResealChecksum(std::vector<std::uint8_t>* bytes) {
 
 bool Digest::PeekHeader(const std::vector<std::uint8_t>& bytes,
                         std::uint32_t* router_id, std::uint64_t* epoch_id) {
-  std::size_t pos = DigestWireLayout::kMagicOffset;
-  std::uint32_t magic = 0;
-  if (!TakeU32(bytes, &pos, &magic) || magic != kDigestMagic) return false;
-  std::uint32_t router = 0;
-  std::uint64_t epoch = 0;
-  if (!TakeU32(bytes, &pos, &router) || !TakeU64(bytes, &pos, &epoch)) {
+  if (bytes.size() < DigestWireLayout::kEpochIdOffset + 8) return false;
+  const auto read_u32 = [&bytes](std::size_t at) {
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes[at + i]) << (8 * i);
+    }
+    return v;
+  };
+  if (read_u32(DigestWireLayout::kMagicOffset) != DigestWireLayout::kMagic) {
     return false;
   }
-  if (router_id != nullptr) *router_id = router;
-  if (epoch_id != nullptr) *epoch_id = epoch;
+  if (router_id != nullptr) {
+    *router_id = read_u32(DigestWireLayout::kRouterIdOffset);
+  }
+  if (epoch_id != nullptr) {
+    std::uint64_t epoch = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      epoch |= static_cast<std::uint64_t>(
+                   bytes[DigestWireLayout::kEpochIdOffset + i])
+               << (8 * i);
+    }
+    *epoch_id = epoch;
+  }
   return true;
-}
-
-Status Digest::Decode(const std::vector<std::uint8_t>& bytes, Digest* out) {
-  DCS_CHECK(out != nullptr);
-  if (bytes.size() < 8) return Status::Corruption("digest too short");
-  const std::uint64_t stored_checksum =
-      [&] {
-        std::uint64_t v = 0;
-        std::memcpy(&v, bytes.data() + bytes.size() - 8, 8);
-        return v;
-      }();
-  const std::uint64_t computed =
-      Hash64(bytes.data(), bytes.size() - 8, /*seed=*/kDigestMagic);
-  if (stored_checksum != computed) {
-    ObsCounter("digest.decode.checksum_failures").Increment();
-    return Status::Corruption("digest checksum mismatch");
-  }
-  ObsCounter("digest.decode.calls").Increment();
-  ObsCounter("digest.decode.bytes").Add(bytes.size());
-
-  std::size_t pos = 0;
-  std::uint32_t magic = 0;
-  std::uint32_t kind_raw = 0;
-  std::uint64_t num_rows = 0;
-  std::uint64_t row_bits = 0;
-  Digest digest;
-  if (!TakeU32(bytes, &pos, &magic) ||
-      !TakeU32(bytes, &pos, &digest.router_id) ||
-      !TakeU64(bytes, &pos, &digest.epoch_id) ||
-      !TakeU32(bytes, &pos, &kind_raw) ||
-      !TakeU32(bytes, &pos, &digest.num_groups) ||
-      !TakeU32(bytes, &pos, &digest.arrays_per_group) ||
-      !TakeU64(bytes, &pos, &num_rows) || !TakeU64(bytes, &pos, &row_bits) ||
-      !TakeU64(bytes, &pos, &digest.packets_covered) ||
-      !TakeU64(bytes, &pos, &digest.raw_bytes_covered)) {
-    return Status::Corruption("truncated digest header");
-  }
-  if (magic != kDigestMagic) return Status::Corruption("bad digest magic");
-  if (kind_raw != static_cast<std::uint32_t>(DigestKind::kAligned) &&
-      kind_raw != static_cast<std::uint32_t>(DigestKind::kUnaligned)) {
-    return Status::Corruption("unknown digest kind");
-  }
-  digest.kind = static_cast<DigestKind>(kind_raw);
-
-  // Dimension sanity bounds (DigestWireLayout): the checksum is not
-  // cryptographic, so a resealed lying header must not be able to drive
-  // allocation. Every row costs at least its 1-byte tag on the wire, and the
-  // claimed row size is capped before any BitVector is constructed.
-  if (num_rows > bytes.size()) {
-    return Status::Corruption("row count exceeds message size");
-  }
-  if (row_bits > DigestWireLayout::kMaxRowBits) {
-    return Status::Corruption("row size implausibly large");
-  }
-  const std::uint64_t row_alloc_bytes = ((row_bits + 63) / 64) * 8;
-  if (row_alloc_bytes != 0 &&
-      num_rows > DigestWireLayout::kMaxTotalRowBytes / row_alloc_bytes) {
-    return Status::Corruption("digest dimensions implausibly large");
-  }
-
-  digest.rows.reserve(num_rows);
-  for (std::uint64_t r = 0; r < num_rows; ++r) {
-    BitVector row(row_bits);
-    DCS_RETURN_IF_ERROR(DecodeRow(bytes, &pos, &row));
-    digest.rows.push_back(std::move(row));
-  }
-  if (pos + 8 != bytes.size()) {
-    return Status::Corruption("digest trailing bytes");
-  }
-  *out = std::move(digest);
-  return Status::Ok();
 }
 
 }  // namespace dcs

@@ -20,6 +20,8 @@ enum class DigestKind : std::uint8_t {
 /// fields directly to simulate routers that lie about their metadata, and
 /// the decoder's structural validation is tested against every one of them.
 struct DigestWireLayout {
+  /// "DCSE" — also the Hash64 checksum seed.
+  static constexpr std::uint32_t kMagic = 0x44435345;
   static constexpr std::size_t kMagicOffset = 0;            ///< u32
   static constexpr std::size_t kRouterIdOffset = 4;         ///< u32
   static constexpr std::size_t kEpochIdOffset = 8;          ///< u64
@@ -64,10 +66,11 @@ struct Digest {
   /// On-the-wire bytes of the traffic the sketch observed this epoch.
   std::uint64_t raw_bytes_covered = 0;
 
-  /// Serializes to bytes. Each row is stored either dense (raw words) or
-  /// sparse (varint-delta set-bit indices), whichever is smaller — a
-  /// quarter-full epoch's bitmap ships at a fraction of its dense size
-  /// while half-full rows stay dense.
+  /// Serializes to bytes with the adaptive (kSparse) codec from
+  /// sketch/digest_codec.h: each row is stored as the smallest of dense
+  /// words, varint-delta set-bit indices, or zero-run RLE — a quarter-full
+  /// epoch's bitmap ships at a fraction of its dense size while half-full
+  /// rows stay dense.
   [[nodiscard]] std::vector<std::uint8_t> Encode() const;
 
   /// Parses a digest previously produced by Encode. Validates structure and

@@ -1,0 +1,384 @@
+#include "sketch/digest_codec.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace dcs {
+namespace {
+
+void AppendU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xFF);
+}
+
+void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xFF);
+}
+
+void AppendVarint(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(v));
+}
+
+bool TakeU32(const std::vector<std::uint8_t>& in, std::size_t* pos,
+             std::uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  *v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    *v |= static_cast<std::uint32_t>(in[*pos + i]) << (8 * i);
+  }
+  *pos += 4;
+  return true;
+}
+
+bool TakeU64(const std::vector<std::uint8_t>& in, std::size_t* pos,
+             std::uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  *v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    *v |= static_cast<std::uint64_t>(in[*pos + i]) << (8 * i);
+  }
+  *pos += 8;
+  return true;
+}
+
+bool TakeVarint(const std::vector<std::uint8_t>& in, std::size_t* pos,
+                std::uint64_t* v) {
+  *v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= in.size()) return false;
+    const std::uint8_t byte = in[(*pos)++];
+    *v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+  }
+  return false;  // Over-long varint.
+}
+
+// The varint-delta set-bit form (RowWire::kSparse), without its tag byte.
+std::vector<std::uint8_t> BuildSparseCandidate(const BitVector& row) {
+  std::vector<std::uint8_t> sparse;
+  std::vector<std::size_t> indices;
+  row.AppendSetBits(&indices);
+  AppendVarint(&sparse, indices.size());
+  std::size_t prev = 0;
+  for (std::size_t idx : indices) {
+    AppendVarint(&sparse, idx - prev);  // First gap is the index itself.
+    prev = idx;
+  }
+  return sparse;
+}
+
+// The zero-run RLE form (RowWire::kRle), without its tag byte: a sequence
+// of (varint zero-word run, varint literal-word run, literal words) tokens
+// covering every backing word exactly once. A canonical encoder splits on
+// every zero word — a 2-byte token is always cheaper than an 8-byte zero
+// literal — so literal runs contain only non-zero words.
+std::vector<std::uint8_t> BuildRleCandidate(const BitVector& row) {
+  std::vector<std::uint8_t> rle;
+  const std::uint64_t* words = row.words();
+  const std::size_t num_words = row.num_words();
+  std::size_t w = 0;
+  while (w < num_words) {
+    std::size_t zeros = 0;
+    while (w + zeros < num_words && words[w + zeros] == 0) ++zeros;
+    std::size_t literals = 0;
+    while (w + zeros + literals < num_words && words[w + zeros + literals] != 0) {
+      ++literals;
+    }
+    AppendVarint(&rle, zeros);
+    AppendVarint(&rle, literals);
+    for (std::size_t i = 0; i < literals; ++i) {
+      AppendU64(&rle, words[w + zeros + i]);
+    }
+    w += zeros + literals;
+  }
+  return rle;
+}
+
+void AppendDenseRow(const BitVector& row, std::vector<std::uint8_t>* out) {
+  out->push_back(RowWire::kDense);
+  for (std::size_t w = 0; w < row.num_words(); ++w) {
+    AppendU64(out, row.words()[w]);
+  }
+}
+
+// Bits of the last backing word that lie beyond size(); they must be zero
+// in any well-formed row (BitVector maintains the invariant, and the
+// decoder enforces it so a hostile dense/RLE payload cannot smuggle
+// out-of-range bits into weight counts).
+bool TailBitsClean(const BitVector& row) {
+  const std::size_t tail = row.size() % 64;
+  if (tail == 0 || row.num_words() == 0) return true;
+  const std::uint64_t mask = ~((1ULL << tail) - 1);
+  return (row.words()[row.num_words() - 1] & mask) == 0;
+}
+
+Status DecodeDenseRow(const std::vector<std::uint8_t>& in, std::size_t* pos,
+                      BitVector* row) {
+  for (std::size_t w = 0; w < row->num_words(); ++w) {
+    std::uint64_t word = 0;
+    if (!TakeU64(in, pos, &word)) {
+      return Status::Corruption("truncated dense row");
+    }
+    row->mutable_words()[w] = word;
+  }
+  if (!TailBitsClean(*row)) {
+    return Status::Corruption("dense row tail garbage");
+  }
+  return Status::Ok();
+}
+
+Status DecodeSparseRow(const std::vector<std::uint8_t>& in, std::size_t* pos,
+                       BitVector* row) {
+  std::uint64_t count = 0;
+  if (!TakeVarint(in, pos, &count)) {
+    return Status::Corruption("truncated sparse count");
+  }
+  if (count > row->size()) return Status::Corruption("sparse count too big");
+  std::uint64_t index = 0;
+  bool first = true;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t gap = 0;
+    if (!TakeVarint(in, pos, &gap)) {
+      return Status::Corruption("truncated sparse row");
+    }
+    index = first ? gap : index + gap;
+    first = false;
+    if (index >= row->size()) {
+      return Status::Corruption("sparse index out of range");
+    }
+    row->Set(index);
+  }
+  return Status::Ok();
+}
+
+Status DecodeRleRow(const std::vector<std::uint8_t>& in, std::size_t* pos,
+                    BitVector* row) {
+  const std::size_t num_words = row->num_words();
+  std::size_t covered = 0;
+  while (covered < num_words) {
+    std::uint64_t zeros = 0;
+    std::uint64_t literals = 0;
+    if (!TakeVarint(in, pos, &zeros) || !TakeVarint(in, pos, &literals)) {
+      return Status::Corruption("truncated rle token");
+    }
+    if (zeros == 0 && literals == 0) {
+      return Status::Corruption("empty rle token");
+    }
+    if (zeros > num_words - covered ||
+        literals > num_words - covered - zeros) {
+      return Status::Corruption("rle run overflows row");
+    }
+    covered += static_cast<std::size_t>(zeros);  // Words are already zero.
+    for (std::uint64_t i = 0; i < literals; ++i) {
+      std::uint64_t word = 0;
+      if (!TakeU64(in, pos, &word)) {
+        return Status::Corruption("truncated rle literal");
+      }
+      row->mutable_words()[covered++] = word;
+    }
+  }
+  if (!TailBitsClean(*row)) {
+    return Status::Corruption("rle row tail garbage");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* DigestCodecName(DigestCodecId codec) {
+  switch (codec) {
+    case DigestCodecId::kRaw:
+      return "raw";
+    case DigestCodecId::kSparse:
+      return "sparse";
+  }
+  return "unknown";
+}
+
+bool KnownDigestCodecId(std::uint8_t raw) {
+  return raw == static_cast<std::uint8_t>(DigestCodecId::kRaw) ||
+         raw == static_cast<std::uint8_t>(DigestCodecId::kSparse);
+}
+
+void EncodeRow(const BitVector& row, DigestCodecId codec,
+               std::vector<std::uint8_t>* out) {
+  if (codec == DigestCodecId::kRaw) {
+    AppendDenseRow(row, out);
+    return;
+  }
+  const std::size_t dense_bytes = row.num_words() * 8;
+  const std::vector<std::uint8_t> sparse = BuildSparseCandidate(row);
+  const std::vector<std::uint8_t> rle = BuildRleCandidate(row);
+  // Tie-breaks keep pre-RLE encodings stable: sparse only when strictly
+  // smaller than dense (the historical rule), RLE only when strictly
+  // smaller than both.
+  const std::uint8_t tag = rle.size() < dense_bytes && rle.size() < sparse.size()
+                               ? RowWire::kRle
+                           : sparse.size() < dense_bytes ? RowWire::kSparse
+                                                         : RowWire::kDense;
+  if (tag == RowWire::kDense) {
+    AppendDenseRow(row, out);
+  } else {
+    out->push_back(tag);
+    const std::vector<std::uint8_t>& body =
+        tag == RowWire::kRle ? rle : sparse;
+    out->insert(out->end(), body.begin(), body.end());
+  }
+}
+
+Status DecodeRow(const std::vector<std::uint8_t>& in, std::size_t* pos,
+                 DigestCodecId codec, BitVector* row) {
+  DCS_CHECK(row != nullptr);
+  if (*pos >= in.size()) return Status::Corruption("missing row tag");
+  const std::uint8_t tag = in[(*pos)++];
+  if (codec == DigestCodecId::kRaw && tag != RowWire::kDense) {
+    return Status::Corruption("compressed row in raw-codec payload");
+  }
+  switch (tag) {
+    case RowWire::kDense:
+      return DecodeDenseRow(in, pos, row);
+    case RowWire::kSparse:
+      return DecodeSparseRow(in, pos, row);
+    case RowWire::kRle:
+      return DecodeRleRow(in, pos, row);
+    default:
+      return Status::Corruption("unknown row tag");
+  }
+}
+
+std::vector<std::uint8_t> EncodeDigestPayload(const Digest& digest,
+                                              DigestCodecId codec) {
+  std::vector<std::uint8_t> out;
+  const std::size_t row_bytes =
+      digest.rows.empty() ? 0 : digest.rows.front().num_words() * 8;
+  out.reserve(DigestWireLayout::kHeaderBytes +
+              digest.rows.size() * (row_bytes + 1) +
+              DigestWireLayout::kChecksumBytes);
+  // Field order defines DigestWireLayout; keep the two in sync.
+  AppendU32(&out, DigestWireLayout::kMagic);
+  AppendU32(&out, digest.router_id);
+  AppendU64(&out, digest.epoch_id);
+  AppendU32(&out, static_cast<std::uint32_t>(digest.kind));
+  AppendU32(&out, digest.num_groups);
+  AppendU32(&out, digest.arrays_per_group);
+  AppendU64(&out, digest.rows.size());
+  AppendU64(&out, digest.rows.empty() ? 0 : digest.rows.front().size());
+  AppendU64(&out, digest.packets_covered);
+  AppendU64(&out, digest.raw_bytes_covered);
+  for (const BitVector& row : digest.rows) {
+    EncodeRow(row, codec, &out);
+  }
+  AppendU64(&out,
+            Hash64(out.data(), out.size(), /*seed=*/DigestWireLayout::kMagic));
+  // NOTE: EncodedSizeBytes() re-encodes, so these also count its calls — a
+  // visible hint that callers doing size accounting pay the full encode.
+  ObsCounter("digest.encode.calls").Increment();
+  ObsCounter("digest.encode.bytes").Add(out.size());
+  return out;
+}
+
+Status DecodeDigestPayload(const std::vector<std::uint8_t>& bytes,
+                           DigestCodecId codec, Digest* out) {
+  DCS_CHECK(out != nullptr);
+  if (bytes.size() < 8) return Status::Corruption("digest too short");
+  const std::uint64_t stored_checksum = [&] {
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes.data() + bytes.size() - 8, 8);
+    return v;
+  }();
+  const std::uint64_t computed =
+      Hash64(bytes.data(), bytes.size() - 8, /*seed=*/DigestWireLayout::kMagic);
+  if (stored_checksum != computed) {
+    ObsCounter("digest.decode.checksum_failures").Increment();
+    return Status::Corruption("digest checksum mismatch");
+  }
+  ObsCounter("digest.decode.calls").Increment();
+  ObsCounter("digest.decode.bytes").Add(bytes.size());
+
+  std::size_t pos = 0;
+  std::uint32_t magic = 0;
+  std::uint32_t kind_raw = 0;
+  std::uint64_t num_rows = 0;
+  std::uint64_t row_bits = 0;
+  Digest digest;
+  if (!TakeU32(bytes, &pos, &magic) ||
+      !TakeU32(bytes, &pos, &digest.router_id) ||
+      !TakeU64(bytes, &pos, &digest.epoch_id) ||
+      !TakeU32(bytes, &pos, &kind_raw) ||
+      !TakeU32(bytes, &pos, &digest.num_groups) ||
+      !TakeU32(bytes, &pos, &digest.arrays_per_group) ||
+      !TakeU64(bytes, &pos, &num_rows) || !TakeU64(bytes, &pos, &row_bits) ||
+      !TakeU64(bytes, &pos, &digest.packets_covered) ||
+      !TakeU64(bytes, &pos, &digest.raw_bytes_covered)) {
+    return Status::Corruption("truncated digest header");
+  }
+  if (magic != DigestWireLayout::kMagic) {
+    return Status::Corruption("bad digest magic");
+  }
+  if (kind_raw != static_cast<std::uint32_t>(DigestKind::kAligned) &&
+      kind_raw != static_cast<std::uint32_t>(DigestKind::kUnaligned)) {
+    return Status::Corruption("unknown digest kind");
+  }
+  digest.kind = static_cast<DigestKind>(kind_raw);
+
+  // Dimension sanity bounds (DigestWireLayout): the checksum is not
+  // cryptographic, so a resealed lying header must not be able to drive
+  // allocation. Every row costs at least its 1-byte tag on the wire, and the
+  // claimed row size is capped before any BitVector is constructed.
+  if (num_rows > bytes.size()) {
+    return Status::Corruption("row count exceeds message size");
+  }
+  if (row_bits > DigestWireLayout::kMaxRowBits) {
+    return Status::Corruption("row size implausibly large");
+  }
+  const std::uint64_t row_alloc_bytes = ((row_bits + 63) / 64) * 8;
+  if (row_alloc_bytes != 0 &&
+      num_rows > DigestWireLayout::kMaxTotalRowBytes / row_alloc_bytes) {
+    return Status::Corruption("digest dimensions implausibly large");
+  }
+
+  digest.rows.reserve(num_rows);
+  for (std::uint64_t r = 0; r < num_rows; ++r) {
+    BitVector row(row_bits);
+    DCS_RETURN_IF_ERROR(DecodeRow(bytes, &pos, codec, &row));
+    digest.rows.push_back(std::move(row));
+  }
+  if (pos + 8 != bytes.size()) {
+    return Status::Corruption("digest trailing bytes");
+  }
+  *out = std::move(digest);
+  return Status::Ok();
+}
+
+std::size_t RawPayloadSizeBytes(const Digest& digest) {
+  std::size_t rows = 0;
+  for (const BitVector& row : digest.rows) {
+    rows += 1 + row.num_words() * 8;  // Tag byte + dense words.
+  }
+  return DigestWireLayout::kHeaderBytes + rows +
+         DigestWireLayout::kChecksumBytes;
+}
+
+DigestCodecId EncodeDigestPayloadAuto(const Digest& digest,
+                                      std::vector<std::uint8_t>* out) {
+  DCS_CHECK(out != nullptr);
+  std::vector<std::uint8_t> sparse =
+      EncodeDigestPayload(digest, DigestCodecId::kSparse);
+  const std::size_t raw_size = RawPayloadSizeBytes(digest);
+  // Keep the compressed form only when it pays for itself on the WAN: a
+  // saving under 1/16 of the dense size is not worth the slower decode.
+  if (sparse.size() + raw_size / 16 <= raw_size) {
+    *out = std::move(sparse);
+    return DigestCodecId::kSparse;
+  }
+  *out = EncodeDigestPayload(digest, DigestCodecId::kRaw);
+  return DigestCodecId::kRaw;
+}
+
+}  // namespace dcs

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "netio/frame.h"
 #include "sketch/digest.h"
 
 namespace dcs {
@@ -337,6 +338,177 @@ std::vector<std::uint8_t> FaultInjector::MutateForFuzz(
       out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
       return out;
     }
+  }
+}
+
+std::vector<std::uint8_t> FaultInjector::LieAboutFrameLength(
+    std::vector<std::uint8_t> frame, Rng* rng) {
+  DCS_CHECK(rng != nullptr);
+  if (frame.size() <
+      FrameWireLayout::kHeaderBytes + FrameWireLayout::kChecksumBytes) {
+    return frame;
+  }
+  const std::uint32_t len =
+      ReadU32(frame, FrameWireLayout::kPayloadLenOffset);
+  const bool absurd = rng->UniformInt(4) == 0;
+  std::uint32_t lied;
+  if (absurd) {
+    // Past the protocol max: the parser must refuse before buffering.
+    lied = FrameWireLayout::kMaxPayloadBytes + 1 +
+           static_cast<std::uint32_t>(rng->UniformInt(1u << 20));
+  } else {
+    // Off by a few, either direction, never the truth.
+    const std::uint32_t delta =
+        1 + static_cast<std::uint32_t>(rng->UniformInt(32));
+    lied = rng->UniformInt(2) == 0 && len > delta ? len - delta : len + delta;
+  }
+  WriteU32(&frame, FrameWireLayout::kPayloadLenOffset, lied);
+  ResealFrameChecksum(&frame);
+  return frame;
+}
+
+std::vector<std::uint8_t> FaultInjector::CorruptFrameChecksum(
+    std::vector<std::uint8_t> frame, Rng* rng) {
+  DCS_CHECK(rng != nullptr);
+  if (frame.size() < FrameWireLayout::kChecksumBytes) return frame;
+  const std::size_t tail = frame.size() - FrameWireLayout::kChecksumBytes;
+  const std::uint64_t old = ReadU64(frame, tail);
+  std::uint64_t lied = old;
+  while (lied == old) lied = rng->Next();
+  WriteU64(&frame, tail, lied);
+  return frame;
+}
+
+std::vector<std::uint8_t> FaultInjector::LieAboutFrameHeader(
+    std::vector<std::uint8_t> frame, Rng* rng) {
+  DCS_CHECK(rng != nullptr);
+  if (frame.size() <
+      FrameWireLayout::kHeaderBytes + FrameWireLayout::kChecksumBytes) {
+    return frame;
+  }
+  switch (rng->UniformInt(5)) {
+    case 0: {  // Version the parser does not speak.
+      std::uint16_t v = FrameWireLayout::kVersion;
+      while (v == FrameWireLayout::kVersion) {
+        v = static_cast<std::uint16_t>(rng->Next());
+      }
+      frame[FrameWireLayout::kVersionOffset] =
+          static_cast<std::uint8_t>(v & 0xFF);
+      frame[FrameWireLayout::kVersionOffset + 1] =
+          static_cast<std::uint8_t>(v >> 8);
+      break;
+    }
+    case 1:  // Reserved flags set.
+      frame[FrameWireLayout::kFlagsOffset] =
+          static_cast<std::uint8_t>(1 + rng->UniformInt(255));
+      break;
+    case 2:  // Codec id outside the registry (0/1 are the known ids —
+             // swapping those is a *negotiation* question the deterministic
+             // codec tests cover, not a malformed frame).
+      frame[FrameWireLayout::kCodecOffset] =
+          static_cast<std::uint8_t>(2 + rng->UniformInt(254));
+      break;
+    case 3: {  // Envelope router differs from the payload's.
+      const std::uint32_t v = ReadU32(frame, FrameWireLayout::kRouterIdOffset);
+      WriteU32(&frame, FrameWireLayout::kRouterIdOffset,
+               v + 1 + static_cast<std::uint32_t>(rng->UniformInt(1000)));
+      break;
+    }
+    default: {  // Envelope epoch differs from the payload's.
+      const std::uint64_t v = ReadU64(frame, FrameWireLayout::kEpochIdOffset);
+      WriteU64(&frame, FrameWireLayout::kEpochIdOffset,
+               v + 1 + rng->UniformInt(1000));
+      break;
+    }
+  }
+  ResealFrameChecksum(&frame);
+  return frame;
+}
+
+std::vector<std::uint8_t> FaultInjector::CorruptFramePayload(
+    std::vector<std::uint8_t> frame, Rng* rng) {
+  DCS_CHECK(rng != nullptr);
+  const std::size_t overhead =
+      FrameWireLayout::kHeaderBytes + FrameWireLayout::kChecksumBytes;
+  if (frame.size() <= overhead) return frame;
+  const std::size_t payload_len = frame.size() - overhead;
+  // Flip 1-8 payload bits; the digest payload's own checksum breaks, so the
+  // strict decode must fail while the (resealed) frame still parses.
+  const std::uint64_t flips =
+      1 + rng->UniformInt(payload_len * 8 < 8 ? payload_len * 8 : 8);
+  // Distinct positions: a bit flipped twice restores itself, and since the
+  // frame checksum is resealed below, cancelling flips would hand back a
+  // byte-identical intact frame.
+  std::vector<std::uint64_t> chosen;
+  while (chosen.size() < flips) {
+    const std::uint64_t bit = rng->UniformInt(payload_len * 8);
+    bool fresh = true;
+    for (const std::uint64_t seen : chosen) fresh = fresh && seen != bit;
+    if (!fresh) continue;
+    chosen.push_back(bit);
+    frame[FrameWireLayout::kHeaderBytes + (bit >> 3)] ^=
+        static_cast<std::uint8_t>(1u << (bit & 7));
+  }
+  ResealFrameChecksum(&frame);
+  return frame;
+}
+
+std::vector<std::uint8_t> FaultInjector::EmbedInGarbage(
+    const std::vector<std::uint8_t>& frame, Rng* rng) {
+  DCS_CHECK(rng != nullptr);
+  std::vector<std::uint8_t> out =
+      Garbage(rng->UniformInt(256), rng);
+  out.insert(out.end(), frame.begin(), frame.end());
+  const std::vector<std::uint8_t> tail = Garbage(rng->UniformInt(256), rng);
+  out.insert(out.end(), tail.begin(), tail.end());
+  return out;
+}
+
+std::vector<std::uint8_t> FaultInjector::MutateFrameForFuzz(
+    const std::vector<std::uint8_t>& frame, Rng* rng) {
+  DCS_CHECK(rng != nullptr);
+  switch (frame.empty() ? 2 : rng->UniformInt(9)) {
+    case 0:
+      return FlipBits(frame, rng);
+    case 1:
+      return Truncate(frame, rng);
+    case 2:
+      return Garbage(rng->UniformInt(2 * frame.size() + 1), rng);
+    case 3: {  // Insert one random byte strictly before the checksum field:
+               // the covered window shifts, so the checksum cannot match.
+               // Two insertions would merely *prepend garbage* to an intact
+               // frame, which the parser rightly resyncs past and accepts:
+               // position 0, and position 1 with a byte equal to frame[0]
+               // (same buffer either way). Both are excluded — this
+               // mutation must guarantee malformation.
+      std::vector<std::uint8_t> out = frame;
+      const std::size_t bound =
+          out.size() > FrameWireLayout::kChecksumBytes
+              ? out.size() - FrameWireLayout::kChecksumBytes
+              : 1;
+      const std::uint64_t pos =
+          bound > 1 ? 1 + rng->UniformInt(bound - 1) : 0;
+      std::uint8_t value = static_cast<std::uint8_t>(rng->Next());
+      if (pos == 1 && !out.empty() && value == out[0]) {
+        value = static_cast<std::uint8_t>(value ^ 0xFFu);
+      }
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos), value);
+      return out;
+    }
+    case 4: {  // Delete one byte.
+      std::vector<std::uint8_t> out = frame;
+      const std::uint64_t pos = rng->UniformInt(out.size());
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
+      return out;
+    }
+    case 5:
+      return LieAboutFrameLength(frame, rng);
+    case 6:
+      return CorruptFrameChecksum(frame, rng);
+    case 7:
+      return LieAboutFrameHeader(frame, rng);
+    default:
+      return CorruptFramePayload(frame, rng);
   }
 }
 

@@ -130,6 +130,41 @@ class FaultInjector {
   static std::vector<std::uint8_t> MutateForFuzz(
       const std::vector<std::uint8_t>& bytes, Rng* rng);
 
+  // Frame-level primitives (netio/frame.h envelope; docs/DISTRIBUTED.md).
+  // Each takes one well-formed frame from EncodeFrame. Lying mutations
+  // reseal the frame checksum, so only the parser's structural validation
+  // or the dispatcher's cross-checks can catch them.
+
+  /// Rewrites payload_len (off-by-a-few, or absurdly past the protocol
+  /// max) and reseals: the parser must refuse the oversized claim before
+  /// buffering for it, and mis-framed streams must resync.
+  static std::vector<std::uint8_t> LieAboutFrameLength(
+      std::vector<std::uint8_t> frame, Rng* rng);
+  /// Overwrites the trailing frame checksum with random bytes (transit
+  /// damage the parser catches without touching the payload).
+  static std::vector<std::uint8_t> CorruptFrameChecksum(
+      std::vector<std::uint8_t> frame, Rng* rng);
+  /// Rewrites one envelope field and reseals — version / flags / codec
+  /// lies the parser rejects, or router / epoch identity lies only the
+  /// dispatcher's payload cross-check can drop.
+  static std::vector<std::uint8_t> LieAboutFrameHeader(
+      std::vector<std::uint8_t> frame, Rng* rng);
+  /// Flips bits inside the payload and reseals: the frame parses, the
+  /// strict digest decode inside it must fail.
+  static std::vector<std::uint8_t> CorruptFramePayload(
+      std::vector<std::uint8_t> frame, Rng* rng);
+  /// Wraps the buffer in random garbage runs before and/or after it —
+  /// mid-stream resync coverage. Unlike the mutations, the framed bytes
+  /// stay intact: the parser must still deliver the embedded frame.
+  static std::vector<std::uint8_t> EmbedInGarbage(
+      const std::vector<std::uint8_t>& frame, Rng* rng);
+  /// One frame-level mutation picked by *rng — the wire-fuzz generator.
+  /// Every choice yields a stream the dispatcher must never turn into an
+  /// EpochRing offer (integrity broken, structurally invalid, or identity
+  /// cross-check failure).
+  static std::vector<std::uint8_t> MutateFrameForFuzz(
+      const std::vector<std::uint8_t>& frame, Rng* rng);
+
  private:
   FaultPlan plan_;
 };

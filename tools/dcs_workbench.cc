@@ -43,6 +43,16 @@
 //     forces S-1 head closes against the per-offer analysis budget —
 //     the way to watch the shed policies actually fire from the CLI.
 //
+//   dcs_workbench send --in-dir /tmp/dcs (--uds /tmp/dcs.sock | --tcp-port N)
+//       [--host 127.0.0.1] [--codec raw|sparse|auto] [--epochs 1]
+//       [--epoch-stride 1]
+//     Ships the on-disk digests to a running dcs_ingestd over the framed
+//     digest plane (docs/DISTRIBUTED.md), re-stamped as consecutive epochs
+//     exactly like the --ring-epochs replay: epoch-major, router-minor, so
+//     the server's report stream matches an in-process ring replay of the
+//     same digests. --codec picks the per-frame payload codec (auto = keep
+//     sparse only when it saves wire bytes).
+//
 //   dcs_workbench demo
 //     Runs all three stages in a temporary directory.
 //
@@ -62,6 +72,7 @@
 #include <vector>
 
 #include "dcs/dcs.h"
+#include "netio/digest_sender.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "testing/fault_injector.h"
@@ -463,6 +474,76 @@ Status CmdAnalyze(const Flags& flags) {
   return Status::Ok();
 }
 
+// ----------------------------------------------------------------------
+// Stage 2.5: ship digests to a remote analysis center (dcs_ingestd).
+// ----------------------------------------------------------------------
+
+Status CmdSend(const Flags& flags) {
+  const std::string in_dir = flags.Get("in-dir", "");
+  if (in_dir.empty()) return Status::InvalidArgument("--in-dir required");
+  const std::string uds = flags.Get("uds", "");
+  const std::int64_t port = flags.GetInt("tcp-port", 0);
+  if (uds.empty() && port == 0) {
+    return Status::InvalidArgument("--uds or --tcp-port required");
+  }
+  const std::string codec_name = flags.Get("codec", "auto");
+  CodecMode mode;
+  if (codec_name == "raw") {
+    mode = CodecMode::kRaw;
+  } else if (codec_name == "sparse") {
+    mode = CodecMode::kSparse;
+  } else if (codec_name == "auto") {
+    mode = CodecMode::kAuto;
+  } else {
+    return Status::InvalidArgument("--codec must be raw|sparse|auto");
+  }
+  const std::int64_t epochs = flags.GetInt("epochs", 1);
+  const std::int64_t stride = flags.GetInt("epoch-stride", 1);
+  if (epochs < 1 || stride < 1) {
+    return Status::InvalidArgument("--epochs and --epoch-stride must be >= 1");
+  }
+
+  std::vector<Digest> digests;
+  for (std::uint32_t r = 0;; ++r) {
+    std::vector<std::uint8_t> bytes;
+    const Status status = ReadBytes(DigestPath(in_dir, r), &bytes);
+    if (status.code() == Status::Code::kNotFound) break;
+    DCS_RETURN_IF_ERROR(status);
+    Digest digest;
+    DCS_RETURN_IF_ERROR(Digest::Decode(bytes, &digest));
+    digests.push_back(std::move(digest));
+  }
+  if (digests.empty()) return Status::NotFound("no digests in " + in_dir);
+
+  DigestSender sender;
+  if (!uds.empty()) {
+    DCS_RETURN_IF_ERROR(DigestSender::ConnectUds(uds, &sender));
+  } else {
+    DCS_RETURN_IF_ERROR(DigestSender::ConnectTcp(
+        flags.Get("host", "127.0.0.1"), static_cast<std::uint16_t>(port),
+        &sender));
+  }
+  // Epoch-major, router-minor: the canonical replay order, so the server's
+  // report stream is comparable with `analyze --ring-epochs`.
+  for (std::int64_t e = 0; e < epochs; ++e) {
+    for (Digest& digest : digests) {
+      digest.epoch_id =
+          static_cast<std::uint64_t>(e) * static_cast<std::uint64_t>(stride);
+      DCS_RETURN_IF_ERROR(sender.Send(digest, mode));
+    }
+  }
+  const SenderStats& stats = sender.stats();
+  std::printf("send: %llu frames (%llu raw, %llu sparse), %llu bytes, "
+              "codec %s\n",
+              static_cast<unsigned long long>(stats.frames_sent),
+              static_cast<unsigned long long>(stats.raw_frames),
+              static_cast<unsigned long long>(stats.sparse_frames),
+              static_cast<unsigned long long>(stats.bytes_sent),
+              CodecModeName(mode));
+  sender.Close();
+  return Status::Ok();
+}
+
 Status CmdDemo() {
   const std::string dir =
       (std::filesystem::temp_directory_path() / "dcs_workbench_demo")
@@ -507,7 +588,8 @@ Status DumpMetrics(const Flags& flags) {
 
 void PrintUsage() {
   std::printf(
-      "usage: dcs_workbench <synthesize|collect|analyze|demo> [--flags]\n"
+      "usage: dcs_workbench <synthesize|collect|analyze|send|demo> "
+      "[--flags]\n"
       "       [--metrics] [--metrics-out <path>]\n"
       "see the comment block at the top of tools/dcs_workbench.cc\n");
 }
@@ -537,6 +619,8 @@ int Main(int argc, char** argv) {
     status = CmdCollect(flags);
   } else if (command == "analyze") {
     status = CmdAnalyze(flags);
+  } else if (command == "send") {
+    status = CmdSend(flags);
   } else if (command == "demo") {
     status = CmdDemo();
   } else {
