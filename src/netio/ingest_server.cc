@@ -104,13 +104,27 @@ void IngestServer::AcceptPending(int listen_fd) {
   while (true) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      // EAGAIN: drained. Anything else: transient; retry next round.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // Drained.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // EMFILE/ENFILE and friends: the listener stays readable, so the
+      // loop will retry every round — count it so the stall is visible.
+      ++stats_.accept_failures;
+      ObsCounter("netio.server.accept_failures").Increment();
+      DCS_LOG(Warning) << "accept: " << std::strerror(errno);
       return;
     }
     if (connections_.size() >= options_.max_connections) {
       ::close(fd);
       ++stats_.connections_refused;
       ObsCounter("netio.server.connections_refused").Increment();
+      continue;
+    }
+    // Non-blocking so a spurious POLLIN can never park the loop thread in
+    // read() and stall every other connection (and RequestStop).
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      ++stats_.accept_failures;
+      ObsCounter("netio.server.accept_failures").Increment();
       continue;
     }
     auto conn = std::make_unique<Connection>();
@@ -191,6 +205,7 @@ Status IngestServer::Serve() {
       fds.push_back(pollfd{uds_listen_fd_, POLLIN, 0});
     }
     const std::size_t first_conn = fds.size();
+    const std::size_t polled = connections_.size();
     for (const auto& conn : connections_) {
       fds.push_back(pollfd{conn->fd, POLLIN, 0});
     }
@@ -215,8 +230,10 @@ Status IngestServer::Serve() {
       ++at;
     }
     // Read in connection order — with one loop thread this fixes the offer
-    // order for any given arrival pattern.
-    for (std::size_t i = 0; i < connections_.size(); ++i) {
+    // order for any given arrival pattern. Bounded by the pre-poll count:
+    // AcceptPending may have grown connections_ past fds, and the fresh
+    // sockets have no revents yet anyway.
+    for (std::size_t i = 0; i < polled; ++i) {
       const short revents = fds[first_conn + i].revents;
       if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       (void)ReadAndDispatch(connections_[i].get());

@@ -40,6 +40,7 @@ struct IngestServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_closed = 0;
   std::uint64_t connections_refused = 0;  ///< Over max_connections.
+  std::uint64_t accept_failures = 0;      ///< accept()/setup errors (EMFILE…).
   std::uint64_t penalty_closes = 0;       ///< Reject budget exhausted.
   std::uint64_t bytes_received = 0;
 };

@@ -147,6 +147,13 @@ Status DecodeSparseRow(const std::vector<std::uint8_t>& in, std::size_t* pos,
     if (!TakeVarint(in, pos, &gap)) {
       return Status::Corruption("truncated sparse row");
     }
+    // After the first index, gaps must step strictly forward without
+    // wrapping: gap == 0 is a duplicate index and a gap past size() would
+    // overflow index + gap back into range, both only producible by a
+    // non-canonical (corrupt) payload.
+    if (!first && (gap == 0 || gap > row->size() - index)) {
+      return Status::Corruption("sparse gap out of range");
+    }
     index = first ? gap : index + gap;
     first = false;
     if (index >= row->size()) {
