@@ -20,6 +20,14 @@ class ThreadPool;
 /// Entries are computed lazily and cached (the scan touches only the narrow
 /// band of observed fills); the cache is lock-free and safe for concurrent
 /// readers.
+///
+/// Deliberately lock-free — no dcs::Mutex, no DCS_GUARDED_BY: every cache
+/// slot is an independent atomic whose value is a pure function of its
+/// index, so two threads racing to fill the same slot write the same bits
+/// and a relaxed publish is enough (the worst case is duplicated
+/// computation, counted in cache_misses()). Putting the pair-scan's hottest
+/// lookup behind a lock would serialize exactly the work the ThreadPool
+/// shards. Same reasoning as the Counter/Gauge values in obs/metrics.h.
 class LambdaTable {
  public:
   /// Table for rows of `array_bits` bits at per-pair false-alarm level

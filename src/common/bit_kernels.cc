@@ -195,6 +195,7 @@ const BitKernelOps& SelectBitKernels(bool force_scalar) {
 
 const BitKernelOps& ActiveBitKernels() {
   static const BitKernelOps* const table = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): environment is never mutated.
     const char* force = std::getenv("DCS_FORCE_SCALAR");
     const bool force_scalar =
         force != nullptr && *force != '\0' && std::string_view(force) != "0";

@@ -6,7 +6,9 @@
 namespace dcs {
 
 BenchScale BenchScaleFromEnv() {
-  const char* env = std::getenv("DCS_SCALE");
+  // getenv is safe here: nothing in this process calls setenv/putenv, so the
+  // environment block is immutable after main() starts (see .clang-tidy).
+  const char* env = std::getenv("DCS_SCALE");  // NOLINT(concurrency-mt-unsafe)
   if (env != nullptr && std::strcmp(env, "paper") == 0) {
     return BenchScale::kPaper;
   }
@@ -14,6 +16,7 @@ BenchScale BenchScaleFromEnv() {
 }
 
 std::int64_t EnvInt64(const char* name, std::int64_t fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): environment is never mutated.
   const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') return fallback;
   char* end = nullptr;
@@ -23,6 +26,7 @@ std::int64_t EnvInt64(const char* name, std::int64_t fallback) {
 }
 
 double EnvDouble(const char* name, double fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): environment is never mutated.
   const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') return fallback;
   char* end = nullptr;

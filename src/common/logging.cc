@@ -2,14 +2,12 @@
 
 #include <atomic>
 #include <cstring>
-#include <mutex>
 
 namespace dcs {
 namespace internal_logging {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
-std::once_flag g_env_once;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,6 +24,7 @@ const char* LevelName(LogLevel level) {
 }
 
 void InitFromEnv() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): environment is never mutated.
   const char* env = std::getenv("DCS_LOG_LEVEL");
   if (env == nullptr) return;
   if (std::strcmp(env, "debug") == 0) {
@@ -47,7 +46,14 @@ const char* Basename(const char* path) {
 }  // namespace
 
 LogLevel MinLogLevel() {
-  std::call_once(g_env_once, InitFromEnv);
+  // Thread-safe one-time init via a magic static — not std::call_once,
+  // which would pull <mutex> into the one layer beneath common/sync.h
+  // (DCS_CHECK is what the sync wrappers abort through).
+  static const bool env_applied = [] {
+    InitFromEnv();
+    return true;
+  }();
+  (void)env_applied;
   return static_cast<LogLevel>(g_min_level.load());
 }
 

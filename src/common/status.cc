@@ -1,5 +1,7 @@
 #include "common/status.h"
 
+#include <system_error>
+
 namespace dcs {
 namespace {
 
@@ -33,6 +35,10 @@ std::string Status::ToString() const {
   result += ": ";
   result += message_;
   return result;
+}
+
+std::string ErrnoString(int errno_value) {
+  return std::system_category().message(errno_value);
 }
 
 }  // namespace dcs

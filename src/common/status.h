@@ -82,6 +82,13 @@ class [[nodiscard]] Status {
   std::string message_;
 };
 
+/// The system error message for `errno_value`, via the thread-safe
+/// std::system_category() machinery. Use this instead of std::strerror,
+/// which may return a pointer into shared static storage (clang-tidy
+/// concurrency-mt-unsafe) — the netio error paths run while other threads
+/// are live.
+std::string ErrnoString(int errno_value);
+
 /// Evaluates `expr` (a Status expression) and returns it from the enclosing
 /// function if it is not OK.
 #define DCS_RETURN_IF_ERROR(expr)                  \

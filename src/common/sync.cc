@@ -1,0 +1,174 @@
+#include "common/sync.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dcs {
+
+void CondVar::Wait(MutexLock* lock) {
+  DCS_CHECK(lock != nullptr);
+  Mutex* mu = lock->mu_;
+  // Adopt the already-held std::mutex for the duration of the wait, then
+  // release the unique_lock's ownership claim so the MutexLock destructor
+  // remains the one true unlocker. The underlying mutex is atomically
+  // released while blocked and re-held on return, exactly std semantics.
+  // The debug validator's held stack keeps its entry across the wait: the
+  // caller observably holds the mutex at every point before and after, and
+  // the transient release cannot participate in a deadlock cycle (this
+  // thread holds nothing it acquired *after* mu).
+  std::unique_lock<std::mutex> adopted(  // dcs-lint: allow(raw-sync-primitive)
+      mu->mu_, std::adopt_lock);
+  cv_.wait(adopted);
+  (void)adopted.release();
+}
+
+namespace sync_internal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lock-order validator state.
+//
+// One process-wide registry guarded by a *raw* std::mutex (a dcs::Mutex here
+// would recurse into the validator). The registry maps every live annotated
+// mutex to its diagnostic name and holds the first-seen acquisition-order
+// graph: edges_[a] contains b when some thread has blocked on b while
+// holding a. Mutex destruction removes the node and its edges — function-
+// local mutexes (per-call latches) churn addresses, and a stale edge on a
+// recycled address would be a false inversion.
+//
+// All validator containers are ordered (std::map/std::set over addresses):
+// iteration order only affects diagnostic output, but deterministic-by-
+// construction is the house style (docs/PARALLELISM.md §6).
+// ---------------------------------------------------------------------------
+
+struct Registry {
+  std::mutex mu;  // dcs-lint: allow(raw-sync-primitive)
+  std::map<const Mutex*, const char*> names;
+  std::map<const Mutex*, std::set<const Mutex*>> edges;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// The calling thread's held locks, in acquisition order. A plain vector:
+// depth is tiny (2–3 in this tree), linear scans beat any indexed structure.
+thread_local std::vector<const Mutex*> held_stack;
+
+std::string MutexLabel(const Registry& reg, const Mutex* mu) {
+  std::ostringstream out;
+  const auto it = reg.names.find(mu);
+  const char* name = it != reg.names.end() ? it->second : nullptr;
+  if (name != nullptr) {
+    out << "\"" << name << "\"";
+  } else {
+    out << "Mutex@" << static_cast<const void*>(mu);
+  }
+  return out.str();
+}
+
+// Depth-first path search a ->* b over the order graph. Returns the path
+// (inclusive of both endpoints) when one exists.
+bool FindPath(const Registry& reg, const Mutex* a, const Mutex* b,
+              std::set<const Mutex*>* visited,
+              std::vector<const Mutex*>* path) {
+  if (!visited->insert(a).second) return false;
+  path->push_back(a);
+  if (a == b) return true;
+  const auto it = reg.edges.find(a);
+  if (it != reg.edges.end()) {
+    for (const Mutex* next : it->second) {
+      if (FindPath(reg, next, b, visited, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+std::string ChainString(const Registry& reg,
+                        const std::vector<const Mutex*>& chain) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i > 0) out << " -> ";
+    out << MutexLabel(reg, chain[i]);
+  }
+  return out.str();
+}
+
+}  // namespace
+
+void RegisterMutex(const Mutex* mu, const char* name) {
+  Registry& reg = GlobalRegistry();
+  std::scoped_lock lock(reg.mu);  // dcs-lint: allow(raw-sync-primitive)
+  reg.names[mu] = name;
+}
+
+void UnregisterMutex(const Mutex* mu) {
+  Registry& reg = GlobalRegistry();
+  std::scoped_lock lock(reg.mu);  // dcs-lint: allow(raw-sync-primitive)
+  reg.names.erase(mu);
+  reg.edges.erase(mu);
+  for (auto& [from, to] : reg.edges) to.erase(mu);
+}
+
+void ValidateAcquire(const Mutex* mu) {
+  // Self-deadlock first: std::mutex relock is undefined behavior, and no
+  // graph is needed to see it.
+  DCS_CHECK(std::find(held_stack.begin(), held_stack.end(), mu) ==
+            held_stack.end())
+      << "recursive acquisition: thread already holds "
+      << MutexLabel(GlobalRegistry(), mu)
+      << " (chain: " << ChainString(GlobalRegistry(), held_stack) << ")";
+  if (!held_stack.empty()) {
+    Registry& reg = GlobalRegistry();
+    std::scoped_lock lock(reg.mu);  // dcs-lint: allow(raw-sync-primitive)
+    for (const Mutex* held : held_stack) {
+      if (reg.edges[held].count(mu) != 0) continue;  // Edge already known.
+      // Adding held -> mu: if mu already reaches held, the orders conflict.
+      std::set<const Mutex*> visited;
+      std::vector<const Mutex*> reverse_chain;
+      if (FindPath(reg, mu, held, &visited, &reverse_chain)) {
+        std::vector<const Mutex*> this_chain(held_stack.begin(),
+                                             held_stack.end());
+        this_chain.push_back(mu);
+        DCS_CHECK(false)
+            << "lock-order inversion: this thread acquires "
+            << ChainString(reg, this_chain)
+            << " but the established order is "
+            << ChainString(reg, reverse_chain)
+            << " — one of the two paths must reorder its acquisitions";
+      }
+      reg.edges[held].insert(mu);
+    }
+  }
+  held_stack.push_back(mu);
+}
+
+void RecordTryAcquire(const Mutex* mu) { held_stack.push_back(mu); }
+
+void RecordRelease(const Mutex* mu) {
+  // Release order need not be LIFO (though RAII makes it so in practice);
+  // erase the entry wherever it sits.
+  const auto it = std::find(held_stack.rbegin(), held_stack.rend(), mu);
+  DCS_CHECK(it != held_stack.rend())
+      << "releasing a mutex this thread does not hold: "
+      << MutexLabel(GlobalRegistry(), mu);
+  held_stack.erase(std::next(it).base());
+}
+
+std::size_t HeldDepth() { return held_stack.size(); }
+
+void ResetOrderGraphForTest() {
+  Registry& reg = GlobalRegistry();
+  std::scoped_lock lock(reg.mu);  // dcs-lint: allow(raw-sync-primitive)
+  reg.edges.clear();
+}
+
+}  // namespace sync_internal
+}  // namespace dcs

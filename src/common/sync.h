@@ -1,0 +1,232 @@
+#ifndef DCS_COMMON_SYNC_H_
+#define DCS_COMMON_SYNC_H_
+
+// Concurrency contract layer (docs/STATIC_ANALYSIS.md §5).
+//
+// Every piece of cross-thread state in this tree names its lock: the data
+// member carries DCS_GUARDED_BY(mu_), the functions that expect the lock
+// carry DCS_REQUIRES(mu_), and clang's Thread Safety Analysis
+// (-Wthread-safety, a dedicated CI leg) rejects any access that does not
+// hold the named mutex — at compile time, on every path, independent of
+// what schedules TSan happens to observe. On compilers without the
+// annotation support (gcc) every macro is a no-op and the wrappers behave
+// exactly like the std primitives they wrap.
+//
+// The wrappers add one runtime teeth to the static contract: in debug
+// builds (!NDEBUG, mirroring DCS_DCHECK) dcs::Mutex feeds a process-wide
+// lock-order validator — a per-thread held-lock stack recording first-seen
+// acquisition-order edges into a global graph with cycle detection — so the
+// first lock-order inversion anywhere in a test run aborts immediately with
+// both conflicting chains printed, instead of deadlocking once in a
+// thousand schedules. Under NDEBUG the validator compiles out of the
+// lock/unlock paths entirely.
+//
+// This header (with sync.cc) is the only sanctioned home of the raw std
+// synchronization primitives; the dcs_lint `raw-sync-primitive` and
+// `manual-lock-unlock` rules keep them from reappearing elsewhere.
+
+#include <condition_variable>  // dcs-lint: allow(raw-sync-primitive)
+#include <cstddef>
+#include <mutex>  // dcs-lint: allow(raw-sync-primitive)
+
+// ---------------------------------------------------------------------------
+// Thread Safety Analysis attribute macros.
+//
+// Portable spellings of clang's capability attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). gcc defines none
+// of these attributes, so DCS_THREAD_ANNOTATION expands to nothing there and
+// annotated code stays warning-free on every compiler.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DCS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DCS_THREAD_ANNOTATION
+#define DCS_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the capability kind
+/// in diagnostics).
+#define DCS_CAPABILITY(x) DCS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability.
+#define DCS_SCOPED_CAPABILITY DCS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member is protected by the given mutex: every read/write must hold it.
+#define DCS_GUARDED_BY(x) DCS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex (the
+/// pointer itself may be read freely).
+#define DCS_PT_GUARDED_BY(x) DCS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them).
+#define DCS_REQUIRES(...) \
+  DCS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define DCS_ACQUIRE(...) \
+  DCS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define DCS_RELEASE(...) \
+  DCS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns the given value.
+#define DCS_TRY_ACQUIRE(...) \
+  DCS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock guard for
+/// functions that acquire them internally).
+#define DCS_EXCLUDES(...) DCS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares that the annotated function returns a reference to the given
+/// capability (for accessors exposing a member mutex).
+#define DCS_RETURN_CAPABILITY(x) DCS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use outside
+/// the allowlist in docs/STATIC_ANALYSIS.md §5 fails CI — reach for a
+/// narrower annotation first.
+#define DCS_NO_THREAD_SAFETY_ANALYSIS \
+  DCS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dcs {
+
+class Mutex;
+
+namespace sync_internal {
+
+// Debug lock-order validator hooks (always compiled in sync.cc so tests can
+// drive them in any build type; the Mutex fast path only calls them when
+// NDEBUG is not defined).
+//
+// The model: a thread about to *block* on `mu` while holding H1..Hk records
+// the first-seen edges Hi -> mu into a global directed graph. An edge that
+// would close a cycle is a lock-order inversion — some other code path
+// acquires the same mutexes in the opposite order, so the two paths can
+// deadlock each other — and the process aborts via DCS_CHECK with both
+// chains printed. TryLock acquisitions cannot block, so they join the held
+// stack without contributing edges.
+void RegisterMutex(const Mutex* mu, const char* name);
+void UnregisterMutex(const Mutex* mu);
+// Cycle check + edge recording + held-stack push, called before blocking.
+void ValidateAcquire(const Mutex* mu);
+// Held-stack push without edge recording (successful TryLock).
+void RecordTryAcquire(const Mutex* mu);
+// Held-stack removal (any release order; RAII makes it LIFO in practice).
+void RecordRelease(const Mutex* mu);
+// Number of locks the calling thread currently holds (test hook).
+std::size_t HeldDepth();
+// Drops every edge in the global order graph (test isolation only — the
+// production graph is append-only for the process lifetime).
+void ResetOrderGraphForTest();
+
+}  // namespace sync_internal
+
+/// \brief Annotated exclusive mutex (wraps std::mutex).
+///
+/// Identical locking semantics to std::mutex; adds the TSA capability so
+/// DCS_GUARDED_BY members can name it, and the debug lock-order validator.
+/// Use through MutexLock — direct Lock/Unlock calls are flagged by the
+/// dcs_lint `manual-lock-unlock` rule outside this header.
+class DCS_CAPABILITY("mutex") Mutex {
+ public:
+  /// `name` (a string literal or other storage outliving the mutex) labels
+  /// the mutex in lock-order diagnostics; nullptr prints as its address.
+  explicit Mutex(const char* name = nullptr) : name_(name) {
+#ifndef NDEBUG
+    sync_internal::RegisterMutex(this, name_);
+#endif
+  }
+  ~Mutex() {
+#ifndef NDEBUG
+    sync_internal::UnregisterMutex(this);
+#endif
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DCS_ACQUIRE() {
+#ifndef NDEBUG
+    sync_internal::ValidateAcquire(this);
+#endif
+    mu_.lock();  // dcs-lint: allow(manual-lock-unlock)
+  }
+
+  void Unlock() DCS_RELEASE() {
+#ifndef NDEBUG
+    sync_internal::RecordRelease(this);
+#endif
+    mu_.unlock();  // dcs-lint: allow(manual-lock-unlock)
+  }
+
+  /// Non-blocking acquire; true on success. Cannot deadlock, so the debug
+  /// validator records the hold without constraining the order graph.
+  bool TryLock() DCS_TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();  // dcs-lint: allow(manual-lock-unlock)
+#ifndef NDEBUG
+    if (ok) sync_internal::RecordTryAcquire(this);
+#endif
+    return ok;
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  const char* name_;
+};
+
+/// \brief RAII lock: acquires in the constructor, releases in the
+/// destructor. The only way annotated code takes a dcs::Mutex.
+class DCS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DCS_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() DCS_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex* mu_;
+};
+
+/// \brief Condition variable paired with dcs::Mutex.
+///
+/// Wraps std::condition_variable on the Mutex's underlying std::mutex, so
+/// wait/notify semantics (including spurious wakeups) are exactly the std
+/// ones. Wait takes the MutexLock guarding the condition's state; TSA sees
+/// the capability as held across the wait, which is sound — it is held at
+/// every point the caller can observe. Callers re-test their predicate in a
+/// while loop, which also keeps every guarded access visibly inside the
+/// MutexLock scope for the analysis:
+///
+///   MutexLock lock(&mu_);
+///   while (queue_.empty() && !shutting_down_) cv_.Wait(&lock);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`'s mutex and blocks; re-acquires before
+  /// returning. Subject to spurious wakeups, exactly like std::condition
+  /// variables — always wait in a predicate loop.
+  void Wait(MutexLock* lock);
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_COMMON_SYNC_H_

@@ -42,10 +42,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.SignalAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -55,18 +55,18 @@ bool ThreadPool::OnWorkerThread() const {
 
 void ThreadPool::Schedule(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     DCS_CHECK(!shutting_down_);
     queue_.push(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.Signal();
 }
 
 void ThreadPool::Wait() {
   DCS_CHECK(!OnWorkerThread());  // A worker waiting on itself would hang.
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) all_done_.Wait(&lock);
 }
 
 std::vector<ShardRange> ThreadPool::ShardsFor(std::size_t count) const {
@@ -94,22 +94,25 @@ void ThreadPool::RunShards(const std::vector<ShardRange>& shards,
     return;
   }
   // Per-call completion latch, so concurrent RunShards callers (and
-  // unrelated Schedule traffic) never wait on each other's work.
+  // unrelated Schedule traffic) never wait on each other's work. The
+  // counter is the latch state (decremented outside the lock); done_mu only
+  // serializes the sleep/notify handshake, which is why it guards no data.
   std::atomic<std::size_t> remaining{shards.size()};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  Mutex done_mu{"ThreadPool.RunShards.done_mu"};
+  CondVar done_cv;
   for (const ShardRange& shard : shards) {
     Schedule([&fn, &shard, &remaining, &done_mu, &done_cv] {
       fn(shard);
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_all();
+        MutexLock lock(&done_mu);
+        done_cv.SignalAll();
       }
     });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock,
-               [&remaining] { return remaining.load(std::memory_order_acquire) == 0; });
+  MutexLock lock(&done_mu);
+  while (remaining.load(std::memory_order_acquire) != 0) {
+    done_cv.Wait(&lock);
+  }
 }
 
 void ThreadPool::ParallelFor(std::size_t count,
@@ -124,18 +127,17 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(&lock);
       if (queue_.empty()) return;  // shutting_down_ and drained.
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.SignalAll();
     }
   }
 }

@@ -1,13 +1,13 @@
 #ifndef DCS_COMMON_THREAD_POOL_H_
 #define DCS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dcs {
 
@@ -84,12 +84,18 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  /// One mutex covers the whole scheduling state: queue, completion latch,
+  /// and shutdown flag move together (Schedule pushes and bumps in_flight_
+  /// atomically; Wait reads in_flight_ against queue drain).
+  Mutex mu_{"ThreadPool.mu"};
+  CondVar work_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> queue_ DCS_GUARDED_BY(mu_);
+  std::size_t in_flight_ DCS_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ DCS_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor, joined only by the destructor; size()
+  /// is read concurrently but the vector is immutable between the two, so
+  /// no lock applies (deliberately unguarded).
   std::vector<std::thread> threads_;
 };
 

@@ -157,7 +157,10 @@ void EpochRing::CloseHead(CloseMode mode) {
     tracker_.RecordEpoch(detected, routers);
   }
 
-  reports_.push_back(std::move(report));
+  {
+    MutexLock lock(&reports_mu_);
+    reports_.push_back(std::move(report));
+  }
   monitor.ClearEpoch();
   slot.open = false;
   ++head_;
@@ -227,6 +230,7 @@ void EpochRing::Drain() {
 
 std::vector<DcsReport> EpochRing::TakeReports() {
   std::vector<DcsReport> out;
+  MutexLock lock(&reports_mu_);
   out.swap(reports_);
   return out;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "analysis/analysis_context.h"
 #include "dcs/epoch_tracker.h"
 #include "dcs/ingest.h"
@@ -116,6 +117,14 @@ struct RingStats {
 /// Out-of-order tolerance: digests for any epoch inside [head, head+cap)
 /// are accepted in any arrival order. A digest behind the head is refused
 /// (FailedPrecondition, stats().stale_digests) — its epoch already closed.
+///
+/// Threading: the offer/close path (Offer, Drain, stats, tracker,
+/// monitor_for_epoch) is confined to one thread — the slot monitors and
+/// the tracker are not lock-protected, and serial offers are what make the
+/// report stream deterministic. The one cross-thread surface is the closed
+/// report queue: CloseHead() appends and TakeReports() drains under
+/// `reports_mu_`, so an exporter thread may harvest reports while the
+/// serve thread keeps offering.
 class EpochRing {
  public:
   explicit EpochRing(const EpochRingOptions& options);
@@ -133,9 +142,12 @@ class EpochRing {
   void Drain();
 
   /// Removes and returns the reports of every epoch closed so far, in
-  /// epoch order.
-  std::vector<DcsReport> TakeReports();
+  /// epoch order. Safe from any thread (the queue is mutex-guarded); the
+  /// rest of the ring is confined to the offering thread.
+  std::vector<DcsReport> TakeReports() DCS_EXCLUDES(reports_mu_);
 
+  /// Offer-thread only, like everything below: the counters are updated
+  /// without atomics on the offer/close path.
   const RingStats& stats() const { return stats_; }
   const EpochTracker& tracker() const { return tracker_; }
   const EpochRingOptions& options() const { return options_; }
@@ -176,7 +188,10 @@ class EpochRing {
   std::vector<Slot> slots_;
   EpochTracker tracker_;
   RingStats stats_;
-  std::vector<DcsReport> reports_;
+  /// Guards only the closed-report queue — the handoff point between the
+  /// offering thread (CloseHead appends) and whoever drains TakeReports().
+  mutable Mutex reports_mu_{"EpochRing.reports_mu"};
+  std::vector<DcsReport> reports_ DCS_GUARDED_BY(reports_mu_);
   std::uint64_t head_ = 0;
   bool started_ = false;
 };

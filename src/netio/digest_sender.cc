@@ -23,7 +23,7 @@ Status SendAll(int fd, const std::uint8_t* data, std::size_t len) {
     const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::IoError(std::string("send: ") + std::strerror(errno));
+      return Status::IoError("send: " + ErrnoString(errno));
     }
     sent += static_cast<std::size_t>(n);
   }
@@ -68,13 +68,13 @@ Status DigestSender::ConnectTcp(const std::string& host, std::uint16_t port,
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+    return Status::IoError("socket: " + ErrnoString(errno));
   }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     const int err = errno;
     ::close(fd);
-    return Status::IoError(std::string("connect: ") + std::strerror(err));
+    return Status::IoError("connect: " + ErrnoString(err));
   }
   *out = DigestSender(fd);
   return Status::Ok();
@@ -89,13 +89,13 @@ Status DigestSender::ConnectUds(const std::string& path, DigestSender* out) {
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+    return Status::IoError("socket: " + ErrnoString(errno));
   }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     const int err = errno;
     ::close(fd);
-    return Status::IoError(std::string("connect: ") + std::strerror(err));
+    return Status::IoError("connect: " + ErrnoString(err));
   }
   *out = DigestSender(fd);
   return Status::Ok();

@@ -42,11 +42,15 @@ struct DispatchStats {
 /// quarantine an honest router by spraying garbage. Quarantine remains a
 /// ring-level verdict about *well-formed* digests only.
 ///
-/// HandleEvent/HandleEvents must be called from one thread at a time (the
-/// server's ingest loop) — EpochRing is not thread-safe. HandleEvents
-/// additionally decodes payloads on the AnalysisContext pool, then offers
-/// the results serially in arrival order, so the report stream is identical
-/// to HandleEvent one at a time.
+/// Threading: deliberately unlocked. HandleEvent/HandleEvents must be
+/// called from one thread at a time (the server's ingest loop) — the ring's
+/// offer path is thread-confined, and serial offers are what keep the
+/// report stream deterministic, so a mutex here would buy nothing and hide
+/// a contract violation that TSan should catch instead. `stats_` is part of
+/// that confinement (read stats() from the ingest thread, e.g. in the
+/// server's after_round hook). HandleEvents additionally decodes payloads
+/// on the AnalysisContext pool, then offers the results serially in arrival
+/// order, so the report stream is identical to HandleEvent one at a time.
 class FrameDispatcher {
  public:
   /// `ring` must outlive the dispatcher. `pool` may be nullptr (serial

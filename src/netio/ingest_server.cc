@@ -19,7 +19,7 @@ namespace {
 Status SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
-    return Status::IoError(std::string("fcntl: ") + std::strerror(errno));
+    return Status::IoError("fcntl: " + ErrnoString(errno));
   }
   return Status::Ok();
 }
@@ -31,16 +31,21 @@ IngestServer::IngestServer(const IngestServerOptions& options,
     : options_(options), dispatcher_(dispatcher) {
   DCS_CHECK(dispatcher_ != nullptr);
   DCS_CHECK(options_.read_chunk_bytes > 0);
+  MutexLock lock(&mu_);
   read_buf_.resize(options_.read_chunk_bytes);
 }
 
-IngestServer::~IngestServer() { CloseAll(); }
+IngestServer::~IngestServer() {
+  MutexLock lock(&mu_);
+  CloseAll();
+}
 
 Status IngestServer::ListenTcp(std::uint16_t port) {
+  MutexLock lock(&mu_);
   DCS_CHECK(tcp_listen_fd_ < 0) << "ListenTcp called twice";
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+    return Status::IoError("socket: " + ErrnoString(errno));
   }
   const int one = 1;
   (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -52,14 +57,14 @@ Status IngestServer::ListenTcp(std::uint16_t port) {
       ::listen(fd, SOMAXCONN) != 0) {
     const int err = errno;
     ::close(fd);
-    return Status::IoError(std::string("bind/listen: ") + std::strerror(err));
+    return Status::IoError("bind/listen: " + ErrnoString(err));
   }
   sockaddr_in bound{};
   socklen_t bound_len = sizeof(bound);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
     const int err = errno;
     ::close(fd);
-    return Status::IoError(std::string("getsockname: ") + std::strerror(err));
+    return Status::IoError("getsockname: " + ErrnoString(err));
   }
   const Status nb = SetNonBlocking(fd);
   if (!nb.ok()) {
@@ -72,6 +77,7 @@ Status IngestServer::ListenTcp(std::uint16_t port) {
 }
 
 Status IngestServer::ListenUds(const std::string& path) {
+  MutexLock lock(&mu_);
   DCS_CHECK(uds_listen_fd_ < 0) << "ListenUds called twice";
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -82,13 +88,13 @@ Status IngestServer::ListenUds(const std::string& path) {
   ::unlink(path.c_str());  // Stale socket file from a previous run.
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+    return Status::IoError("socket: " + ErrnoString(errno));
   }
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(fd, SOMAXCONN) != 0) {
     const int err = errno;
     ::close(fd);
-    return Status::IoError(std::string("bind/listen: ") + std::strerror(err));
+    return Status::IoError("bind/listen: " + ErrnoString(err));
   }
   const Status nb = SetNonBlocking(fd);
   if (!nb.ok()) {
@@ -110,7 +116,7 @@ void IngestServer::AcceptPending(int listen_fd) {
       // loop will retry every round — count it so the stall is visible.
       ++stats_.accept_failures;
       ObsCounter("netio.server.accept_failures").Increment();
-      DCS_LOG(Warning) << "accept: " << std::strerror(errno);
+      DCS_LOG(Warning) << "accept: " << ErrnoString(errno);
       return;
     }
     if (connections_.size() >= options_.max_connections) {
@@ -192,60 +198,82 @@ void IngestServer::CloseAll() {
 }
 
 Status IngestServer::Serve() {
-  if (tcp_listen_fd_ < 0 && uds_listen_fd_ < 0) {
-    return Status::FailedPrecondition("no listener configured");
+  {
+    MutexLock lock(&mu_);
+    if (tcp_listen_fd_ < 0 && uds_listen_fd_ < 0) {
+      return Status::FailedPrecondition("no listener configured");
+    }
   }
   while (!stop_.load(std::memory_order_acquire)) {
+    // Snapshot the fd set under the lock, then poll without it: poll() is
+    // where this thread parks (up to poll_timeout_ms), and concurrent
+    // stats() readers must not be shut out for that long. Only this thread
+    // mutates the connection table, so the snapshot stays valid across the
+    // unlocked poll.
     std::vector<pollfd> fds;
-    fds.reserve(2 + connections_.size());
-    if (tcp_listen_fd_ >= 0) {
-      fds.push_back(pollfd{tcp_listen_fd_, POLLIN, 0});
-    }
-    if (uds_listen_fd_ >= 0) {
-      fds.push_back(pollfd{uds_listen_fd_, POLLIN, 0});
-    }
-    const std::size_t first_conn = fds.size();
-    const std::size_t polled = connections_.size();
-    for (const auto& conn : connections_) {
-      fds.push_back(pollfd{conn->fd, POLLIN, 0});
+    int tcp_fd = -1;
+    int uds_fd = -1;
+    std::size_t first_conn = 0;
+    std::size_t polled = 0;
+    {
+      MutexLock lock(&mu_);
+      tcp_fd = tcp_listen_fd_;
+      uds_fd = uds_listen_fd_;
+      fds.reserve(2 + connections_.size());
+      if (tcp_fd >= 0) fds.push_back(pollfd{tcp_fd, POLLIN, 0});
+      if (uds_fd >= 0) fds.push_back(pollfd{uds_fd, POLLIN, 0});
+      first_conn = fds.size();
+      polled = connections_.size();
+      for (const auto& conn : connections_) {
+        fds.push_back(pollfd{conn->fd, POLLIN, 0});
+      }
     }
     const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
                              options_.poll_timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
+      const int err = errno;
+      MutexLock lock(&mu_);
       CloseAll();
-      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+      return Status::IoError("poll: " + ErrnoString(err));
     }
     if (ready == 0) {  // Timeout: run the hook, re-check the stop flag.
       if (options_.after_round && !options_.after_round()) break;
       continue;
     }
-    std::size_t at = 0;
-    if (tcp_listen_fd_ >= 0) {
-      if ((fds[at].revents & POLLIN) != 0) AcceptPending(tcp_listen_fd_);
-      ++at;
+    {
+      MutexLock lock(&mu_);
+      std::size_t at = 0;
+      if (tcp_fd >= 0) {
+        if ((fds[at].revents & POLLIN) != 0) AcceptPending(tcp_fd);
+        ++at;
+      }
+      if (uds_fd >= 0) {
+        if ((fds[at].revents & POLLIN) != 0) AcceptPending(uds_fd);
+        ++at;
+      }
+      // Read in connection order — with one loop thread this fixes the
+      // offer order for any given arrival pattern. Bounded by the pre-poll
+      // count: AcceptPending may have grown connections_ past fds, and the
+      // fresh sockets have no revents yet anyway.
+      for (std::size_t i = 0; i < polled; ++i) {
+        const short revents = fds[first_conn + i].revents;
+        if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        (void)ReadAndDispatch(connections_[i].get());
+      }
+      // Compact closed connections.
+      std::size_t kept = 0;
+      for (auto& conn : connections_) {
+        if (conn->fd >= 0) connections_[kept++] = std::move(conn);
+      }
+      connections_.resize(kept);
     }
-    if (uds_listen_fd_ >= 0) {
-      if ((fds[at].revents & POLLIN) != 0) AcceptPending(uds_listen_fd_);
-      ++at;
-    }
-    // Read in connection order — with one loop thread this fixes the offer
-    // order for any given arrival pattern. Bounded by the pre-poll count:
-    // AcceptPending may have grown connections_ past fds, and the fresh
-    // sockets have no revents yet anyway.
-    for (std::size_t i = 0; i < polled; ++i) {
-      const short revents = fds[first_conn + i].revents;
-      if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-      (void)ReadAndDispatch(connections_[i].get());
-    }
-    // Compact closed connections.
-    std::size_t kept = 0;
-    for (auto& conn : connections_) {
-      if (conn->fd >= 0) connections_[kept++] = std::move(conn);
-    }
-    connections_.resize(kept);
+    // The hook runs unlocked: it drives the dispatcher/ring (safe — they
+    // are only ever touched from this thread) and must be free to call
+    // back into stats().
     if (options_.after_round && !options_.after_round()) break;
   }
+  MutexLock lock(&mu_);
   CloseAll();
   return Status::Ok();
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "netio/dispatch.h"
 #include "netio/frame.h"
 
@@ -58,7 +59,11 @@ struct IngestServerStats {
 /// offer order well-defined. Payload decoding still fans out on the
 /// dispatcher's pool per read batch. RequestStop() is safe from any thread;
 /// Serve() notices within poll_timeout_ms, flushes, closes every socket,
-/// and returns.
+/// and returns. The connection table and lifetime counters are guarded by
+/// `mu_` (held across each poll round, released while blocked in poll()),
+/// so stats() is safe from any thread at any time — and the locking
+/// discipline is already the one the roadmap's multi-threaded connection
+/// handling will need, checked by clang -Wthread-safety today.
 class IngestServer {
  public:
   /// `dispatcher` must outlive the server.
@@ -77,7 +82,10 @@ class IngestServer {
   [[nodiscard]] Status ListenUds(const std::string& path);
 
   /// The TCP port actually bound (after ListenTcp with port 0).
-  std::uint16_t bound_tcp_port() const { return tcp_port_; }
+  std::uint16_t bound_tcp_port() const DCS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return tcp_port_;
+  }
 
   /// Runs the accept/read/dispatch loop until RequestStop(). Returns an
   /// error only when no listener was configured.
@@ -86,8 +94,12 @@ class IngestServer {
   /// Asks Serve() to wind down. Safe from any thread and before Serve().
   void RequestStop() { stop_.store(true, std::memory_order_release); }
 
-  /// Stable only while Serve() is not running (single-threaded loop).
-  const IngestServerStats& stats() const { return stats_; }
+  /// Consistent copy of the lifetime counters. Safe from any thread, even
+  /// while Serve() is running (blocks at most one poll round).
+  IngestServerStats stats() const DCS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
 
  private:
   struct Connection {
@@ -97,24 +109,30 @@ class IngestServer {
   };
 
   // Accepts every pending connection on `listen_fd`.
-  void AcceptPending(int listen_fd);
+  void AcceptPending(int listen_fd) DCS_REQUIRES(mu_);
   // One chunked read + parse + dispatch. False when the connection is done
   // (EOF, error, or penalty) and has been closed.
-  bool ReadAndDispatch(Connection* conn);
+  bool ReadAndDispatch(Connection* conn) DCS_REQUIRES(mu_);
   // Flushes the parser tail and closes the socket.
-  void CloseConnection(Connection* conn);
-  void CloseAll();
+  void CloseConnection(Connection* conn) DCS_REQUIRES(mu_);
+  void CloseAll() DCS_REQUIRES(mu_);
 
   IngestServerOptions options_;
   FrameDispatcher* dispatcher_;
-  int tcp_listen_fd_ = -1;
-  int uds_listen_fd_ = -1;
-  std::uint16_t tcp_port_ = 0;
-  std::string uds_path_;
-  std::atomic<bool> stop_{false};
-  std::vector<std::unique_ptr<Connection>> connections_;
-  std::vector<std::uint8_t> read_buf_;
-  IngestServerStats stats_;
+  /// Guards every piece of state the serve loop mutates. Today there is one
+  /// mutator (the Serve() thread) and concurrent readers (stats()); the
+  /// lock held per poll round is what lets tomorrow's connection-handling
+  /// threads land without re-deriving the invariants.
+  mutable Mutex mu_{"IngestServer.mu"};
+  int tcp_listen_fd_ DCS_GUARDED_BY(mu_) = -1;
+  int uds_listen_fd_ DCS_GUARDED_BY(mu_) = -1;
+  std::uint16_t tcp_port_ DCS_GUARDED_BY(mu_) = 0;
+  std::string uds_path_ DCS_GUARDED_BY(mu_);
+  std::atomic<bool> stop_{false};  ///< Lock-free by design: RequestStop()
+                                   ///< must never block behind a poll round.
+  std::vector<std::unique_ptr<Connection>> connections_ DCS_GUARDED_BY(mu_);
+  std::vector<std::uint8_t> read_buf_ DCS_GUARDED_BY(mu_);
+  IngestServerStats stats_ DCS_GUARDED_BY(mu_);
 };
 
 }  // namespace dcs

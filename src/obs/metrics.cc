@@ -67,7 +67,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(&mu_);
   auto it = slots_.find(name);
   if (it == slots_.end()) {
     Slot slot;
@@ -80,7 +80,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(&mu_);
   auto it = slots_.find(name);
   if (it == slots_.end()) {
     Slot slot;
@@ -93,7 +93,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(&mu_);
   auto it = slots_.find(name);
   if (it == slots_.end()) {
     Slot slot;
@@ -108,7 +108,7 @@ LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name) {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
-  std::scoped_lock lock(mu_);
+  MutexLock lock(&mu_);
   snapshot.entries.reserve(slots_.size());
   for (const auto& [name, slot] : slots_) {  // std::map: already sorted.
     MetricsSnapshot::Entry entry;
@@ -141,7 +141,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetValues() {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, slot] : slots_) {
     switch (slot.type) {
       case MetricType::kCounter:
@@ -158,7 +158,7 @@ void MetricsRegistry::ResetValues() {
 }
 
 std::size_t MetricsRegistry::num_metrics() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(&mu_);
   return slots_.size();
 }
 

@@ -7,10 +7,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dcs {
 
@@ -189,9 +190,18 @@ class MetricsRegistry {
     std::unique_ptr<LatencyHistogram> histogram;
   };
 
+  /// Deliberately lock-free: every hot-path update (Counter::Add,
+  /// Gauge::Set, LatencyHistogram::Record) is a relaxed atomic against
+  /// values owned by the slots below, so mu_ guards the *map*, never the
+  /// metric values — annotating the values DCS_GUARDED_BY(mu_) would be
+  /// wrong, not just noisy. The enable flag is part of that lock-free
+  /// surface (each metric keeps a pointer to it).
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::map<std::string, Slot, std::less<>> slots_;
+  mutable Mutex mu_{"MetricsRegistry.mu"};
+  /// Interned name -> slot. Values are unique_ptrs precisely so the
+  /// references Get* hands out stay stable while the map rebalances under
+  /// later registrations.
+  std::map<std::string, Slot, std::less<>> slots_ DCS_GUARDED_BY(mu_);
 };
 
 /// Shorthands on the global registry. At hot sites cache the result:

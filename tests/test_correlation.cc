@@ -1,9 +1,10 @@
 #include "analysis/correlation.h"
 
-#include <mutex>
 #include <set>
 
 #include <gtest/gtest.h>
+
+#include "common/sync.h"
 
 namespace dcs {
 namespace {
@@ -48,10 +49,10 @@ TEST(ForEachGroupPairTest, ParallelCoversSamePairs) {
   ThreadPool pool(3);
   PairScanOptions opts;
   opts.pool = &pool;
-  std::mutex mu;
+  Mutex mu;
   std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
   ForEachGroupPair(10, opts, [&](std::uint32_t a, std::uint32_t b) {
-    std::scoped_lock lock(mu);
+    MutexLock lock(&mu);
     EXPECT_TRUE(seen.emplace(a, b).second);
   });
   EXPECT_EQ(seen.size(), 45u);

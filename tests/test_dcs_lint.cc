@@ -8,7 +8,9 @@
 #include "dcs_lint_lib.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
+#include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -373,6 +375,111 @@ TEST(TargetIntrinsicsRuleTest, CleanCases) {
 }
 
 // ---------------------------------------------------------------------------
+// raw-sync-primitive
+// ---------------------------------------------------------------------------
+
+TEST(RawSyncPrimitiveRuleTest, FlagsStdPrimitivesAndHeaders) {
+  const auto f1 = LintContent("src/dcs/foo.cc",
+                              "std::mutex mu;\n", kPrefixes);
+  ASSERT_EQ(f1.size(), 1u);
+  EXPECT_EQ(f1[0].rule, kRuleRawSyncPrimitive);
+  EXPECT_EQ(f1[0].line, 1u);
+
+  const auto f2 = LintContent(
+      "src/netio/foo.cc",
+      "std::scoped_lock lock(mu);\nstd::condition_variable cv;\n", kPrefixes);
+  ASSERT_EQ(f2.size(), 2u);
+  EXPECT_EQ(f2[0].rule, kRuleRawSyncPrimitive);
+  EXPECT_EQ(f2[1].rule, kRuleRawSyncPrimitive);
+
+  const auto f3 =
+      LintContent("tools/foo.cc", "#include <mutex>\n", kPrefixes);
+  EXPECT_TRUE(HasRule(f3, kRuleRawSyncPrimitive));
+
+  // Tests and benches are in scope too: fixture code sets the idiom people
+  // copy, so only an explicit suppression may use a raw primitive there.
+  const auto f4 = LintContent("tests/foo.cc",
+                              "std::unique_lock<std::mutex> l(mu);\n",
+                              kPrefixes);
+  EXPECT_TRUE(HasRule(f4, kRuleRawSyncPrimitive));
+}
+
+TEST(RawSyncPrimitiveRuleTest, Suppressed) {
+  const auto findings = LintContent(
+      "tests/foo.cc",
+      "std::mutex control;  // dcs-lint: allow(raw-sync-primitive)\n",
+      kPrefixes);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(RawSyncPrimitiveRuleTest, CleanCases) {
+  // The wrapper layer itself is the sanctioned home.
+  EXPECT_TRUE(LintContent("src/common/sync.h",
+                          "#include <mutex>\nstd::mutex mu_;\n", kPrefixes)
+                  .empty());
+  EXPECT_TRUE(LintContent("src/common/sync.cc",
+                          "std::unique_lock<std::mutex> adopted(mu);\n",
+                          kPrefixes)
+                  .empty());
+  // The annotated wrappers are the point of the rule.
+  EXPECT_TRUE(LintContent("src/dcs/foo.cc",
+                          "Mutex mu_{\"foo.mu\"};\nMutexLock lock(&mu_);\n",
+                          kPrefixes)
+                  .empty());
+  // Lock-free atomics are deliberately out of scope.
+  EXPECT_TRUE(LintContent("src/dcs/foo.cc",
+                          "std::atomic<bool> stop_{false};\n", kPrefixes)
+                  .empty());
+  // Mentions in comments and strings are not code.
+  EXPECT_TRUE(LintContent("src/dcs/foo.cc",
+                          "// a std::mutex here would deadlock\n", kPrefixes)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// manual-lock-unlock
+// ---------------------------------------------------------------------------
+
+TEST(ManualLockUnlockRuleTest, FlagsDirectLockAndUnlockCalls) {
+  const auto f1 = LintContent("src/dcs/foo.cc",
+                              "mu.lock();\nwork();\nmu.unlock();\n",
+                              kPrefixes);
+  ASSERT_EQ(f1.size(), 2u);
+  EXPECT_EQ(f1[0].rule, kRuleManualLockUnlock);
+  EXPECT_EQ(f1[0].line, 1u);
+  EXPECT_EQ(f1[1].line, 3u);
+
+  const auto f2 =
+      LintContent("src/netio/foo.cc", "mu->try_lock();\n", kPrefixes);
+  EXPECT_TRUE(HasRule(f2, kRuleManualLockUnlock));
+}
+
+TEST(ManualLockUnlockRuleTest, Suppressed) {
+  const auto findings = LintContent(
+      "src/dcs/foo.cc",
+      "// dcs-lint: allow(manual-lock-unlock)\nmu.lock();\n", kPrefixes);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(ManualLockUnlockRuleTest, CleanCases) {
+  // The capitalized dcs::Mutex surface is fine (MutexLock is the RAII
+  // path; TryLock is legitimately call-by-hand because it cannot block).
+  EXPECT_TRUE(LintContent("src/dcs/foo.cc",
+                          "if (mu.TryLock()) { mu.Unlock(); }\n", kPrefixes)
+                  .empty());
+  // Identifiers merely containing 'lock' are fine.
+  EXPECT_TRUE(LintContent("src/dcs/foo.cc",
+                          "timer.clock();\nstate.lockstep(x);\n"
+                          "if (blocked(queue)) return;\n",
+                          kPrefixes)
+                  .empty());
+  // The wrapper layer drives the std primitives by construction.
+  EXPECT_TRUE(LintContent("src/common/sync.cc",
+                          "mu_.lock();\nmu_.unlock();\n", kPrefixes)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
 // Rule catalog sanity.
 // ---------------------------------------------------------------------------
 
@@ -384,11 +491,48 @@ TEST(RuleCatalogTest, ListsEveryRuleExactlyOnce) {
     EXPECT_FALSE(description.empty());
   }
   std::vector<std::string> expected = {
-      kRuleUnseededRng, kRuleUnorderedIteration, kRuleWallClock,
-      kRuleMetricName, kRuleFloatEquality, kRuleTargetIntrinsics};
+      kRuleUnseededRng,    kRuleUnorderedIteration, kRuleWallClock,
+      kRuleMetricName,     kRuleFloatEquality,      kRuleTargetIntrinsics,
+      kRuleRawSyncPrimitive, kRuleManualLockUnlock};
   std::sort(slugs.begin(), slugs.end());
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(slugs, expected);
+}
+
+// Every rule slug in the docs/STATIC_ANALYSIS.md §3 table must exist in the
+// linter and vice versa — the doc is part of the contract, and this guard
+// is what keeps it from drifting when a rule is added or renamed.
+TEST(RuleCatalogTest, DocTableMatchesCatalogBothWays) {
+  std::ifstream in(std::filesystem::path(DCS_LINT_SOURCE_ROOT) / "docs" /
+                   "STATIC_ANALYSIS.md");
+  ASSERT_TRUE(in.good()) << "docs/STATIC_ANALYSIS.md not readable";
+  std::vector<std::string> documented;
+  std::string line;
+  // A rule row is "| `slug` | scope | ..." — first cell, backticked,
+  // lowercase-hyphen. Other backticked tokens on the line are prose.
+  const std::regex row_re(R"(^\|\s*`([a-z][a-z0-9-]*)`\s*\|)");
+  while (std::getline(in, line)) {
+    std::smatch m;
+    if (std::regex_search(line, m, row_re)) documented.push_back(m[1].str());
+  }
+  std::vector<std::string> implemented;
+  for (const auto& [slug, description] : RuleCatalog()) {
+    implemented.push_back(slug);
+  }
+  std::sort(documented.begin(), documented.end());
+  std::sort(implemented.begin(), implemented.end());
+  for (const std::string& slug : implemented) {
+    EXPECT_TRUE(std::binary_search(documented.begin(), documented.end(), slug))
+        << "rule '" << slug
+        << "' is implemented but missing from the docs/STATIC_ANALYSIS.md "
+           "rule table";
+  }
+  for (const std::string& slug : documented) {
+    EXPECT_TRUE(
+        std::binary_search(implemented.begin(), implemented.end(), slug))
+        << "docs/STATIC_ANALYSIS.md documents rule '" << slug
+        << "' which the linter does not implement";
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,336 @@
+// Proof suite for the concurrency contract layer (common/sync.h,
+// docs/STATIC_ANALYSIS.md §5), in three parts:
+//
+//  1. Wrapper equivalence: dcs::Mutex / MutexLock / CondVar behave exactly
+//     like the std primitives they wrap — mutual exclusion, TryLock
+//     semantics, producer/consumer wakeups — checked differentially against
+//     a std::mutex control where that sharpens the claim.
+//  2. Lock-order validator, hook level: the sync_internal hooks are always
+//     compiled, so the graph mechanics (first-seen edges, cycle detection,
+//     TryLock exemption, destruction cleanup) are provable in every build
+//     type, including the NDEBUG builds where Mutex itself skips them.
+//  3. Lock-order validator, end to end: in debug builds (!NDEBUG) a real
+//     A->B / B->A inversion through Mutex::Lock aborts with both chains in
+//     the message.
+
+#include "common/sync.h"
+
+#include <atomic>
+#include <condition_variable>  // dcs-lint: allow(raw-sync-primitive)
+#include <mutex>               // dcs-lint: allow(raw-sync-primitive)
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Part 1: wrapper equivalence.
+// ---------------------------------------------------------------------------
+
+// Hammers `increments` lock-protected ++ operations per thread through
+// `lock_fn`; the final count is exact iff the lock provides mutual
+// exclusion.
+template <typename LockFn>
+long HammerCounter(int threads, int increments, LockFn lock_fn) {
+  long count = 0;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < increments; ++i) lock_fn(count);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return count;
+}
+
+TEST(SyncMutexTest, MutualExclusionMatchesStdMutex) {
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20000;
+
+  Mutex dcs_mu("test.counter");
+  const long dcs_count = HammerCounter(kThreads, kIncrements, [&](long& c) {
+    MutexLock lock(&dcs_mu);
+    ++c;
+  });
+
+  std::mutex std_mu;  // dcs-lint: allow(raw-sync-primitive)
+  const long std_count = HammerCounter(kThreads, kIncrements, [&](long& c) {
+    std::scoped_lock lock(std_mu);  // dcs-lint: allow(raw-sync-primitive)
+    ++c;
+  });
+
+  EXPECT_EQ(dcs_count, kThreads * static_cast<long>(kIncrements));
+  EXPECT_EQ(dcs_count, std_count);
+}
+
+TEST(SyncMutexTest, TryLockFailsWhileHeldAndSucceedsWhenFree) {
+  Mutex mu("test.trylock");
+  ASSERT_TRUE(mu.TryLock());
+  // Contended TryLock must fail without blocking — probe from another
+  // thread because relocking from this one would be UB on a std::mutex.
+  bool contended_result = true;
+  std::thread prober([&] { contended_result = mu.TryLock(); });
+  prober.join();
+  EXPECT_FALSE(contended_result);
+  mu.Unlock();
+
+  std::thread reacquirer([&] {
+    ASSERT_TRUE(mu.TryLock());
+    mu.Unlock();
+  });
+  reacquirer.join();
+}
+
+TEST(SyncMutexTest, MutexLockReleasesOnScopeExit) {
+  Mutex mu("test.raii");
+  { MutexLock lock(&mu); }
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(SyncCondVarTest, ProducerConsumerDeliversEverythingInOrder) {
+  constexpr int kItems = 1000;
+  Mutex mu("test.queue");
+  CondVar ready;
+  std::queue<int> queue;
+  bool done = false;
+
+  std::vector<int> received;
+  std::thread consumer([&] {
+    while (true) {
+      int item = -1;
+      {
+        MutexLock lock(&mu);
+        while (queue.empty() && !done) ready.Wait(&lock);
+        if (queue.empty()) return;  // done && drained
+        item = queue.front();
+        queue.pop();
+      }
+      received.push_back(item);
+    }
+  });
+
+  for (int i = 0; i < kItems; ++i) {
+    {
+      MutexLock lock(&mu);
+      queue.push(i);
+    }
+    ready.Signal();
+  }
+  {
+    MutexLock lock(&mu);
+    done = true;
+  }
+  ready.SignalAll();
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SyncCondVarTest, SignalAllWakesEveryWaiter) {
+  constexpr int kWaiters = 8;
+  Mutex mu("test.barrier");
+  CondVar go;
+  int waiting = 0;
+  bool released = false;
+
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(&mu);
+      ++waiting;
+      go.Signal();  // Tell the releaser we arrived.
+      while (!released) go.Wait(&lock);
+    });
+  }
+
+  {
+    MutexLock lock(&mu);
+    while (waiting < kWaiters) go.Wait(&lock);
+    released = true;
+  }
+  go.SignalAll();
+  for (std::thread& w : waiters) w.join();  // Hangs if anyone missed the wake.
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: lock-order validator, driven through the always-compiled hooks.
+//
+// The hooks maintain a per-thread held stack, so each test balances its
+// Validate/Record calls; ResetOrderGraphForTest() isolates the first-seen
+// edge graph between tests. In debug builds Mutex construction registers
+// names automatically; RegisterMutex is idempotent, so calling it again
+// keeps these tests build-type independent.
+// ---------------------------------------------------------------------------
+
+namespace si = sync_internal;
+
+class LockOrderValidatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { si::ResetOrderGraphForTest(); }
+  void TearDown() override {
+    ASSERT_EQ(si::HeldDepth(), 0u) << "test leaked a held-stack entry";
+    si::ResetOrderGraphForTest();
+  }
+};
+
+TEST_F(LockOrderValidatorTest, HeldDepthTracksAcquireRelease) {
+  Mutex a("order.a");
+  Mutex b("order.b");
+  EXPECT_EQ(si::HeldDepth(), 0u);
+  si::ValidateAcquire(&a);
+  EXPECT_EQ(si::HeldDepth(), 1u);
+  si::ValidateAcquire(&b);
+  EXPECT_EQ(si::HeldDepth(), 2u);
+  si::RecordRelease(&b);
+  si::RecordRelease(&a);
+  EXPECT_EQ(si::HeldDepth(), 0u);
+}
+
+TEST_F(LockOrderValidatorTest, ConsistentOrderIsAccepted) {
+  Mutex a("order.a");
+  Mutex b("order.b");
+  for (int round = 0; round < 3; ++round) {
+    si::ValidateAcquire(&a);
+    si::ValidateAcquire(&b);
+    si::RecordRelease(&b);
+    si::RecordRelease(&a);
+  }
+}
+
+TEST_F(LockOrderValidatorTest, InversionAbortsWithBothChains) {
+  Mutex a("order.a");
+  Mutex b("order.b");
+  si::RegisterMutex(&a, "order.a");
+  si::RegisterMutex(&b, "order.b");
+  si::ValidateAcquire(&a);
+  si::ValidateAcquire(&b);  // Establishes a -> b.
+  si::RecordRelease(&b);
+  si::RecordRelease(&a);
+  si::ValidateAcquire(&b);
+  // The inversion diagnostic must name the rule and both mutex chains.
+  EXPECT_DEATH(si::ValidateAcquire(&a),
+               "lock-order inversion.*order\\.b.*order\\.a.*established "
+               "order.*order\\.a.*order\\.b");
+  si::RecordRelease(&b);
+}
+
+TEST_F(LockOrderValidatorTest, TransitiveInversionIsACycleToo) {
+  Mutex a("order.a");
+  Mutex b("order.b");
+  Mutex c("order.c");
+  si::RegisterMutex(&a, "order.a");
+  si::RegisterMutex(&c, "order.c");
+  si::ValidateAcquire(&a);
+  si::ValidateAcquire(&b);  // a -> b
+  si::RecordRelease(&b);
+  si::RecordRelease(&a);
+  si::ValidateAcquire(&b);
+  si::ValidateAcquire(&c);  // b -> c
+  si::RecordRelease(&c);
+  si::RecordRelease(&b);
+  si::ValidateAcquire(&c);
+  EXPECT_DEATH(si::ValidateAcquire(&a),  // c -> a closes a 3-cycle.
+               "lock-order inversion.*order\\.a.*order\\.c");
+  si::RecordRelease(&c);
+}
+
+TEST_F(LockOrderValidatorTest, RecursiveAcquisitionAborts) {
+  Mutex a("order.recursive");
+  si::RegisterMutex(&a, "order.recursive");
+  si::ValidateAcquire(&a);
+  EXPECT_DEATH(si::ValidateAcquire(&a), "recursive acquisition");
+  si::RecordRelease(&a);
+}
+
+TEST_F(LockOrderValidatorTest, ReleasingUnheldMutexAborts) {
+  Mutex a("order.unheld");
+  si::RegisterMutex(&a, "order.unheld");
+  EXPECT_DEATH(si::RecordRelease(&a), "does not hold");
+}
+
+TEST_F(LockOrderValidatorTest, TryAcquireDoesNotConstrainTheOrder) {
+  Mutex a("order.a");
+  Mutex b("order.b");
+  // TryLock cannot block, so holding a while try-acquiring b must NOT
+  // record a -> b...
+  si::ValidateAcquire(&a);
+  si::RecordTryAcquire(&b);
+  si::RecordRelease(&b);
+  si::RecordRelease(&a);
+  // ...and the opposite blocking order stays legal.
+  si::ValidateAcquire(&b);
+  si::ValidateAcquire(&a);
+  si::RecordRelease(&a);
+  si::RecordRelease(&b);
+}
+
+TEST_F(LockOrderValidatorTest, DestructionRemovesEdgesForAddressReuse) {
+  Mutex a("order.a");
+  {
+    Mutex b("order.b");
+    si::RegisterMutex(&b, "order.b");
+    si::ValidateAcquire(&a);
+    si::ValidateAcquire(&b);  // a -> b, with b short-lived.
+    si::RecordRelease(&b);
+    si::RecordRelease(&a);
+    si::UnregisterMutex(&b);  // What ~Mutex does in debug builds.
+    // A recycled mutex at b's address must start with a clean slate: the
+    // stale a -> b edge would make this fresh b -> a order a false
+    // inversion.
+    si::RegisterMutex(&b, "order.b2");
+    si::ValidateAcquire(&b);
+    si::ValidateAcquire(&a);
+    si::RecordRelease(&a);
+    si::RecordRelease(&b);
+    si::UnregisterMutex(&b);
+    si::RegisterMutex(&b, "order.b");  // Rebalance for ~Mutex in debug.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Part 3: end to end through Mutex::Lock, debug builds only. Under NDEBUG
+// the validator is compiled out of the lock path (mirroring DCS_DCHECK), so
+// the inversion simply runs to completion there.
+// ---------------------------------------------------------------------------
+
+#ifndef NDEBUG
+TEST(LockOrderEndToEndTest, RealInversionThroughMutexLockAborts) {
+  si::ResetOrderGraphForTest();
+  EXPECT_DEATH(
+      {
+        Mutex a("e2e.a");
+        Mutex b("e2e.b");
+        {
+          MutexLock la(&a);
+          MutexLock lb(&b);  // Establishes a -> b.
+        }
+        MutexLock lb(&b);
+        MutexLock la(&a);  // Inversion: aborts before deadlock can happen.
+      },
+      "lock-order inversion.*e2e");
+  si::ResetOrderGraphForTest();
+}
+
+TEST(LockOrderEndToEndTest, ValidatorIsWiredIntoTheLockPath) {
+  si::ResetOrderGraphForTest();
+  Mutex mu("e2e.depth");
+  EXPECT_EQ(si::HeldDepth(), 0u);
+  {
+    MutexLock lock(&mu);
+    EXPECT_EQ(si::HeldDepth(), 1u);
+  }
+  EXPECT_EQ(si::HeldDepth(), 0u);
+  si::ResetOrderGraphForTest();
+}
+#endif  // !NDEBUG
+
+}  // namespace
+}  // namespace dcs

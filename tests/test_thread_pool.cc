@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -202,6 +203,72 @@ TEST(ThreadPoolTest, WaitUnderContention) {
   for (std::thread& t : waiters) t.join();
   pool.Wait();
   EXPECT_EQ(counter.load(), 200);
+}
+
+// ---------------------------------------------------------------------------
+// Teardown edges. These are the races TSan is pointed at explicitly in CI
+// (ctest -R "test_sync|test_thread_pool" in the sanitizer job): destruction
+// overlapping queued work, nested shard runs during shutdown, and waiter
+// release ordering against the final drain.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTeardownTest, DestructorDrainsTasksStillQueued) {
+  // The destructor's contract is drain-then-join, not abandon: tasks that
+  // were accepted must run even when nobody calls Wait(). One worker with a
+  // slow head task guarantees a deep queue at destruction time.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    pool.Schedule(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+    for (int i = 0; i < 100; ++i) {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTeardownTest, NestedRunShardsDuringShutdownRunsInline) {
+  // A worker task that fans out with RunShards/ParallelFor while the
+  // destructor has already flagged shutdown must complete inline — the
+  // nested call may not Schedule (new work is refused during teardown) and
+  // may not deadlock waiting for workers that are busy winding down.
+  std::atomic<int> inner{0};
+  {
+    ThreadPool pool(2);
+    pool.Schedule([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      pool.ParallelFor(64, [&inner](std::size_t) { inner.fetch_add(1); });
+    });
+    // Leave scope immediately: the destructor runs while the task sleeps,
+    // so the nested ParallelFor starts with shutting_down_ already set.
+  }
+  EXPECT_EQ(inner.load(), 64);
+}
+
+TEST(ThreadPoolTeardownTest, WaitersAreReleasedBeforeTeardown) {
+  // Waiters blocked in Wait() while the final tasks drain must all be
+  // released by the last worker's broadcast, immediately ahead of the
+  // destructor's own shutdown handshake on the same mutex.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Schedule([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1);
+      });
+    }
+    std::vector<std::thread> waiters;
+    for (int w = 0; w < 4; ++w) {
+      waiters.emplace_back([&] {
+        pool.Wait();
+        EXPECT_EQ(counter.load(), 32);  // Wait() returned after the drain.
+      });
+    }
+    for (std::thread& t : waiters) t.join();
+  }
+  EXPECT_EQ(counter.load(), 32);
 }
 
 TEST(ThreadPoolTest, ParallelForManyMoreShardsThanThreads) {

@@ -7,10 +7,13 @@
 // and the `// dcs-lint: allow(<rule>)` suppression syntax.
 //
 // Usage:
-//   dcs_lint [--root <dir>] [--fail-on-findings] [--list-rules] [files...]
+//   dcs_lint [--root <dir>] [--fail-on-findings] [--format=text|github]
+//            [--list-rules] [files...]
 //
 // With no file arguments, walks src/, tools/, tests/, bench/, and examples/
-// under the root (default: the current directory). Exit status is 0 when
+// under the root (default: the current directory). --format=github emits
+// GitHub Actions workflow commands (::error file=...,line=...::) so findings
+// surface as inline annotations on the PR diff. Exit status is 0 when
 // clean, 1 when findings exist and --fail-on-findings was given, 2 on usage
 // errors.
 
@@ -24,9 +27,32 @@ namespace {
 
 void PrintUsage() {
   std::printf(
-      "usage: dcs_lint [--root <dir>] [--fail-on-findings] [--list-rules] "
-      "[files...]\n"
+      "usage: dcs_lint [--root <dir>] [--fail-on-findings] "
+      "[--format=text|github] [--list-rules] [files...]\n"
       "Project determinism linter; see docs/STATIC_ANALYSIS.md.\n");
+}
+
+/// Escapes a message for a GitHub Actions workflow-command data section:
+/// %, \r, and \n would otherwise terminate or corrupt the command.
+std::string GithubEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '%':
+        out += "%25";
+        break;
+      case '\r':
+        out += "%0D";
+        break;
+      case '\n':
+        out += "%0A";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -35,6 +61,7 @@ int main(int argc, char** argv) {
   dcs::lint::LintOptions options;
   options.root = ".";
   bool fail_on_findings = false;
+  bool github_format = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -47,6 +74,10 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--fail-on-findings") {
       fail_on_findings = true;
+    } else if (arg == "--format=text") {
+      github_format = false;
+    } else if (arg == "--format=github") {
+      github_format = true;
     } else if (arg == "--root") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--root requires a directory argument\n");
@@ -65,7 +96,15 @@ int main(int argc, char** argv) {
   const std::vector<dcs::lint::Finding> findings =
       dcs::lint::LintTree(options);
   for (const dcs::lint::Finding& finding : findings) {
-    std::printf("%s\n", finding.ToString().c_str());
+    if (github_format) {
+      // One annotation per finding, pinned to the offending line; the rule
+      // slug rides in the title so the annotation names its own suppression.
+      std::printf("::error file=%s,line=%zu,title=dcs-lint %s::%s\n",
+                  finding.file.c_str(), finding.line, finding.rule.c_str(),
+                  GithubEscape(finding.message).c_str());
+    } else {
+      std::printf("%s\n", finding.ToString().c_str());
+    }
   }
   std::printf("dcs_lint: %zu finding(s)\n", findings.size());
   return (fail_on_findings && !findings.empty()) ? 1 : 0;

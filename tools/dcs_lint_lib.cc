@@ -17,6 +17,8 @@ const char* const kRuleWallClock = "wall-clock";
 const char* const kRuleMetricName = "metric-name";
 const char* const kRuleFloatEquality = "float-equality";
 const char* const kRuleTargetIntrinsics = "target-intrinsics";
+const char* const kRuleRawSyncPrimitive = "raw-sync-primitive";
+const char* const kRuleManualLockUnlock = "manual-lock-unlock";
 
 std::vector<std::pair<std::string, std::string>> RuleCatalog() {
   return {
@@ -40,6 +42,15 @@ std::vector<std::pair<std::string, std::string>> RuleCatalog() {
        "target-specific SIMD intrinsics or intrinsic headers outside "
        "src/common/bit_kernels_avx2.cc; all ISA-specific code must live in "
        "the one TU built with target flags, behind the dispatch table"},
+      {kRuleRawSyncPrimitive,
+       "raw std synchronization primitive (std::mutex, lock_guard, "
+       "unique_lock, condition_variable, ...) outside src/common/sync.*; "
+       "use the annotated dcs::Mutex/MutexLock/CondVar wrappers so clang "
+       "-Wthread-safety and the debug lock-order validator see the lock"},
+      {kRuleManualLockUnlock,
+       "direct .lock()/.unlock() call outside src/common/sync.*; locks are "
+       "RAII-only (dcs::MutexLock) so no early return or exception can "
+       "leave a mutex held"},
   };
 }
 
@@ -466,6 +477,45 @@ void CheckTargetIntrinsics(const FileContext& ctx) {
                   "dispatch table (common/bit_kernels.h) instead");
 }
 
+// ---------------------------------------------------------------------------
+// Rule: raw-sync-primitive
+// ---------------------------------------------------------------------------
+
+bool IsSyncWrapperFile(const std::string& rel_path) {
+  return rel_path == "src/common/sync.h" || rel_path == "src/common/sync.cc";
+}
+
+void CheckRawSyncPrimitive(const FileContext& ctx) {
+  // The wrapper layer is the one place allowed to touch std primitives —
+  // everything else goes through dcs::Mutex so the TSA annotations and the
+  // lock-order validator actually see the lock.
+  if (IsSyncWrapperFile(ctx.rel_path)) return;
+  // Types and the headers that provide them. std::atomic stays legal: the
+  // rule is about *locks* the analyses cannot see, not lock-free code.
+  static const std::regex re(
+      R"(\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|condition_variable(_any)?|lock_guard|scoped_lock|unique_lock|shared_lock|call_once|once_flag)\b|#\s*include\s*<(mutex|shared_mutex|condition_variable)>)");
+  EmitLineMatches(ctx, ctx.lexed.code_nostr, re, kRuleRawSyncPrimitive,
+                  "raw std synchronization primitive; use dcs::Mutex / "
+                  "MutexLock / CondVar (common/sync.h) so clang "
+                  "-Wthread-safety and the lock-order validator apply");
+}
+
+// ---------------------------------------------------------------------------
+// Rule: manual-lock-unlock
+// ---------------------------------------------------------------------------
+
+void CheckManualLockUnlock(const FileContext& ctx) {
+  if (IsSyncWrapperFile(ctx.rel_path)) return;
+  // Lowercase lock()/unlock()/try_lock() are the std BasicLockable surface;
+  // dcs::Mutex deliberately capitalizes Lock/Unlock/TryLock so a match here
+  // is always a std primitive being driven by hand.
+  static const std::regex re(
+      R"((\.|->)\s*(lock|unlock|try_lock(_for|_until)?)\s*\()");
+  EmitLineMatches(ctx, ctx.lexed.code_nostr, re, kRuleManualLockUnlock,
+                  "manual lock()/unlock() call; scope the critical section "
+                  "with RAII (dcs::MutexLock) instead");
+}
+
 }  // namespace
 
 std::vector<std::string> ParseCatalogPrefixes(const std::string& markdown) {
@@ -497,6 +547,8 @@ std::vector<Finding> LintContent(const std::string& rel_path,
   CheckMetricNames(ctx, prefixes);
   CheckFloatEquality(ctx);
   CheckTargetIntrinsics(ctx);
+  CheckRawSyncPrimitive(ctx);
+  CheckManualLockUnlock(ctx);
   return findings;
 }
 

@@ -28,6 +28,8 @@ extern const char* const kRuleWallClock;
 extern const char* const kRuleMetricName;
 extern const char* const kRuleFloatEquality;
 extern const char* const kRuleTargetIntrinsics;
+extern const char* const kRuleRawSyncPrimitive;
+extern const char* const kRuleManualLockUnlock;
 
 /// All rule slugs with a one-line description, for --list-rules and docs.
 std::vector<std::pair<std::string, std::string>> RuleCatalog();
