@@ -122,6 +122,34 @@ void ThreadPool::ParallelFor(std::size_t count,
   });
 }
 
+void ThreadPool::RunTasks(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (OnWorkerThread() || tasks.size() == 1) {
+    // Nested call (or nothing to spread): run inline. Tasks carry no
+    // ordering contract, so the batch-order schedule is as good as any.
+    for (const auto& task : tasks) task();
+    return;
+  }
+  // Per-call completion latch, exactly as in RunShards: concurrent callers
+  // (and unrelated Schedule traffic) never wait on each other's work.
+  std::atomic<std::size_t> remaining{tasks.size()};
+  Mutex done_mu{"ThreadPool.RunTasks.done_mu"};
+  CondVar done_cv;
+  for (const auto& task : tasks) {
+    Schedule([&task, &remaining, &done_mu, &done_cv] {
+      task();
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        MutexLock lock(&done_mu);
+        done_cv.SignalAll();
+      }
+    });
+  }
+  MutexLock lock(&done_mu);
+  while (remaining.load(std::memory_order_acquire) != 0) {
+    done_cv.Wait(&lock);
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   current_worker_pool = this;
   while (true) {

@@ -81,6 +81,15 @@ class ThreadPool {
   void ParallelFor(std::size_t count,
                    const std::function<void(std::size_t)>& fn);
 
+  /// Runs a batch of heterogeneous tasks across the pool and blocks until
+  /// all complete — the counterpart of RunShards for work that is not an
+  /// index range (e.g. the ingest server draining one task per readable
+  /// connection, where per-task cost varies with what the peer sent). Tasks
+  /// may run in any order and must not depend on shared mutable state
+  /// beyond their own closure. Safe to call from a worker thread of this
+  /// pool: the tasks then run inline on the caller, in batch order.
+  void RunTasks(const std::vector<std::function<void()>>& tasks);
+
  private:
   void WorkerLoop();
 

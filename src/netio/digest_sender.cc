@@ -6,8 +6,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -46,62 +49,160 @@ const char* CodecModeName(CodecMode mode) {
 
 DigestSender::~DigestSender() { Close(); }
 
-DigestSender::DigestSender(DigestSender&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), stats_(other.stats_) {}
+void DigestSender::MoveFrom(DigestSender* other) {
+  fd_ = std::exchange(other->fd_, -1);
+  broken_ = std::exchange(other->broken_, false);
+  options_ = other->options_;
+  endpoint_kind_ = std::exchange(other->endpoint_kind_, EndpointKind::kNone);
+  endpoint_host_or_path_ = std::move(other->endpoint_host_or_path_);
+  other->endpoint_host_or_path_.clear();
+  endpoint_port_ = std::exchange(other->endpoint_port_, 0);
+  out_buf_ = std::move(other->out_buf_);
+  other->out_buf_.clear();
+  pending_frames_ = std::exchange(other->pending_frames_, 0);
+  pending_raw_ = std::exchange(other->pending_raw_, 0);
+  pending_sparse_ = std::exchange(other->pending_sparse_, 0);
+  // The counters travel with the connection; the moved-from shell must
+  // read as a fresh sender, or reusing it double-counts every frame it
+  // ever shipped.
+  stats_ = std::exchange(other->stats_, SenderStats{});
+}
+
+DigestSender::DigestSender(DigestSender&& other) noexcept { MoveFrom(&other); }
 
 DigestSender& DigestSender::operator=(DigestSender&& other) noexcept {
   if (this != &other) {
     Close();
-    fd_ = std::exchange(other.fd_, -1);
-    stats_ = other.stats_;
+    MoveFrom(&other);
   }
   return *this;
 }
 
+Status DigestSender::ConnectEndpoint(int* out_fd) const {
+  if (endpoint_kind_ == EndpointKind::kTcp) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint_port_);
+    if (::inet_pton(AF_INET, endpoint_host_or_path_.c_str(), &addr.sin_addr) !=
+        1) {
+      return Status::InvalidArgument("not a numeric IPv4 address: " +
+                                     endpoint_host_or_path_);
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IoError("socket: " + ErrnoString(errno));
+    }
+    if (options_.tcp_keepalive) {
+      const int one = 1;
+      (void)::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one));
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError("connect: " + ErrnoString(err));
+    }
+    *out_fd = fd;
+    return Status::Ok();
+  }
+  if (endpoint_kind_ == EndpointKind::kUds) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (endpoint_host_or_path_.size() + 1 > sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     endpoint_host_or_path_);
+    }
+    std::memcpy(addr.sun_path, endpoint_host_or_path_.c_str(),
+                endpoint_host_or_path_.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IoError("socket: " + ErrnoString(errno));
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError("connect: " + ErrnoString(err));
+    }
+    *out_fd = fd;
+    return Status::Ok();
+  }
+  return Status::FailedPrecondition("sender has no endpoint to connect to");
+}
+
 Status DigestSender::ConnectTcp(const std::string& host, std::uint16_t port,
-                                DigestSender* out) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IoError("socket: " + ErrnoString(errno));
-  }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::IoError("connect: " + ErrnoString(err));
-  }
-  *out = DigestSender(fd);
+                                DigestSender* out,
+                                const SenderOptions& options) {
+  DigestSender sender;
+  sender.options_ = options;
+  sender.endpoint_kind_ = EndpointKind::kTcp;
+  sender.endpoint_host_or_path_ = host;
+  sender.endpoint_port_ = port;
+  int fd = -1;
+  DCS_RETURN_IF_ERROR(sender.ConnectEndpoint(&fd));
+  sender.fd_ = fd;
+  *out = std::move(sender);
   return Status::Ok();
 }
 
-Status DigestSender::ConnectUds(const std::string& path, DigestSender* out) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() + 1 > sizeof(addr.sun_path)) {
-    return Status::InvalidArgument("unix socket path too long: " + path);
+Status DigestSender::ConnectUds(const std::string& path, DigestSender* out,
+                                const SenderOptions& options) {
+  DigestSender sender;
+  sender.options_ = options;
+  sender.endpoint_kind_ = EndpointKind::kUds;
+  sender.endpoint_host_or_path_ = path;
+  int fd = -1;
+  DCS_RETURN_IF_ERROR(sender.ConnectEndpoint(&fd));
+  sender.fd_ = fd;
+  *out = std::move(sender);
+  return Status::Ok();
+}
+
+void DigestSender::MarkBroken() {
+  // The socket may hold a half-written frame: any further write would land
+  // mid-frame and cost the receiver a resync scan. Drop the connection and
+  // the unsent tail; Reconnect() restarts the stream at a frame boundary.
+  ++stats_.send_failures;
+  ObsCounter("netio.sender.send_failures").Increment();
+  if (pending_frames_ > 0) {
+    stats_.frames_dropped += pending_frames_;
+    ObsCounter("netio.sender.frames_dropped").Add(pending_frames_);
   }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IoError("socket: " + ErrnoString(errno));
+  out_buf_.clear();
+  pending_frames_ = pending_raw_ = pending_sparse_ = 0;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::IoError("connect: " + ErrnoString(err));
+  broken_ = true;
+}
+
+Status DigestSender::FlushBuffer() {
+  if (out_buf_.empty()) return Status::Ok();
+  const Status sent = SendAll(fd_, out_buf_.data(), out_buf_.size());
+  if (!sent.ok()) {
+    MarkBroken();
+    return sent;
   }
-  *out = DigestSender(fd);
+  stats_.bytes_sent += out_buf_.size();
+  stats_.frames_sent += pending_frames_;
+  stats_.raw_frames += pending_raw_;
+  stats_.sparse_frames += pending_sparse_;
+  ++stats_.flushes;
+  ObsCounter("netio.sender.bytes").Add(out_buf_.size());
+  if (pending_frames_ > 0) {
+    ObsCounter("netio.sender.frames").Add(pending_frames_);
+  }
+  out_buf_.clear();
+  pending_frames_ = pending_raw_ = pending_sparse_ = 0;
   return Status::Ok();
 }
 
 Status DigestSender::Send(const Digest& digest, CodecMode mode) {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "sender broken by an earlier I/O error; Reconnect() first");
+  }
   if (fd_ < 0) return Status::FailedPrecondition("sender not connected");
   std::vector<std::uint8_t> payload;
   DigestCodecId codec = DigestCodecId::kSparse;
@@ -122,32 +223,94 @@ Status DigestSender::Send(const Digest& digest, CodecMode mode) {
   }
   const std::vector<std::uint8_t> frame =
       EncodeFrame(codec, digest.router_id, digest.epoch_id, payload);
-  DCS_RETURN_IF_ERROR(SendAll(fd_, frame.data(), frame.size()));
-  ++stats_.frames_sent;
-  stats_.bytes_sent += frame.size();
+  out_buf_.insert(out_buf_.end(), frame.begin(), frame.end());
+  ++pending_frames_;
   if (codec == DigestCodecId::kRaw) {
-    ++stats_.raw_frames;
+    ++pending_raw_;
   } else {
-    ++stats_.sparse_frames;
+    ++pending_sparse_;
   }
-  ObsCounter("netio.sender.frames").Increment();
-  ObsCounter("netio.sender.bytes").Add(frame.size());
+  if (out_buf_.size() >= options_.coalesce_bytes) {
+    return FlushBuffer();
+  }
   return Status::Ok();
 }
 
 Status DigestSender::SendRaw(const std::vector<std::uint8_t>& bytes) {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "sender broken by an earlier I/O error; Reconnect() first");
+  }
   if (fd_ < 0) return Status::FailedPrecondition("sender not connected");
-  DCS_RETURN_IF_ERROR(SendAll(fd_, bytes.data(), bytes.size()));
+  // Preserve stream order relative to coalesced frames.
+  DCS_RETURN_IF_ERROR(FlushBuffer());
+  const Status sent = SendAll(fd_, bytes.data(), bytes.size());
+  if (!sent.ok()) {
+    MarkBroken();
+    return sent;
+  }
   stats_.bytes_sent += bytes.size();
   ObsCounter("netio.sender.bytes").Add(bytes.size());
   return Status::Ok();
 }
 
+Status DigestSender::Flush() {
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "sender broken by an earlier I/O error; Reconnect() first");
+  }
+  if (fd_ < 0) return Status::FailedPrecondition("sender not connected");
+  return FlushBuffer();
+}
+
+Status DigestSender::Reconnect() {
+  if (endpoint_kind_ == EndpointKind::kNone) {
+    return Status::FailedPrecondition("sender was never connected");
+  }
+  // Whatever is pending belongs to the dead stream; replaying it after a
+  // partial write could interleave with the half-sent frame's bytes.
+  if (pending_frames_ > 0) {
+    stats_.frames_dropped += pending_frames_;
+    ObsCounter("netio.sender.frames_dropped").Add(pending_frames_);
+  }
+  out_buf_.clear();
+  pending_frames_ = pending_raw_ = pending_sparse_ = 0;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  Status last = Status::Ok();
+  std::uint32_t backoff_ms = options_.reconnect_backoff_ms;
+  for (std::uint32_t attempt = 0; attempt < options_.reconnect_attempts;
+       ++attempt) {
+    if (attempt > 0) {
+      // Scheduling delay only — no clock is read, so dcs_lint's
+      // wall-clock determinism rule holds.
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options_.reconnect_backoff_max_ms);
+    }
+    int fd = -1;
+    last = ConnectEndpoint(&fd);
+    if (last.ok()) {
+      fd_ = fd;
+      broken_ = false;
+      ++stats_.reconnects;
+      ObsCounter("netio.sender.reconnects").Increment();
+      return Status::Ok();
+    }
+    if (last.code() == Status::Code::kInvalidArgument) break;  // Unfixable.
+  }
+  return last;
+}
+
 void DigestSender::Close() {
   if (fd_ < 0) return;
-  ::shutdown(fd_, SHUT_WR);
-  ::close(fd_);
-  fd_ = -1;
+  (void)FlushBuffer();  // Best effort; a failure here closed the fd already.
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_WR);
+    ::close(fd_);
+    fd_ = -1;
+  }
 }
 
 }  // namespace dcs

@@ -21,12 +21,37 @@ enum class CodecMode {
 
 const char* CodecModeName(CodecMode mode);
 
+/// Client-side tuning (docs/DISTRIBUTED.md). The defaults reproduce the
+/// PR-8 behavior: every frame flushed immediately, no automatic retries.
+struct SenderOptions {
+  /// Frame coalescing: Send() appends frames to an output buffer that is
+  /// flushed once it holds at least this many bytes (and on Flush()/
+  /// Close()). 0 = flush every frame immediately. Batching amortizes
+  /// syscalls when a router ships many per-epoch digests — the
+  /// thousands-of-routers fan-in knob.
+  std::size_t coalesce_bytes = 0;
+  /// SO_KEEPALIVE on TCP sockets, so a monitor that silently disappears
+  /// (pulled cable, dead VM) eventually surfaces as a send error instead
+  /// of a sender blocked forever on a dead peer.
+  bool tcp_keepalive = true;
+  /// Reconnect(): connection attempts before giving up…
+  std::uint32_t reconnect_attempts = 4;
+  /// …starting at this backoff between attempts, doubling per failure…
+  std::uint32_t reconnect_backoff_ms = 1;
+  /// …capped here.
+  std::uint32_t reconnect_backoff_max_ms = 1000;
+};
+
 /// Sender lifetime counters (mirrored into netio.sender.* metrics).
 struct SenderStats {
-  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_sent = 0;  ///< Frames whose bytes reached the socket.
   std::uint64_t bytes_sent = 0;
   std::uint64_t raw_frames = 0;
   std::uint64_t sparse_frames = 0;
+  std::uint64_t flushes = 0;         ///< Buffer flushes that hit the socket.
+  std::uint64_t send_failures = 0;   ///< I/O errors that broke the sender.
+  std::uint64_t frames_dropped = 0;  ///< Buffered frames lost to a break.
+  std::uint64_t reconnects = 0;      ///< Successful Reconnect() calls.
 };
 
 /// \brief Client side of the digest plane: frames digests onto a connected
@@ -36,6 +61,15 @@ struct SenderStats {
 /// story is one sender per collector, shipping each epoch's digest as soon
 /// as the epoch closes; `dcs_workbench send` drives the same library from
 /// synthesized traces.
+///
+/// Failure model: any socket I/O error marks the sender **broken** — the
+/// socket may hold a half-written frame, so continuing to write would
+/// interleave bytes mid-frame and cost the receiver a resync. A broken
+/// sender fails every Send/SendRaw/Flush with FailedPrecondition until
+/// Reconnect() succeeds; Reconnect() (exponential backoff, remembers the
+/// original endpoint) starts a clean frame stream — buffered unsent frames
+/// are dropped (counted in stats().frames_dropped), never replayed into
+/// the middle of a stream.
 class DigestSender {
  public:
   DigestSender() = default;
@@ -49,33 +83,70 @@ class DigestSender {
   /// Connects to a TCP listener. `host` is a numeric IPv4 address
   /// (e.g. "127.0.0.1" — the digest plane does not resolve names).
   [[nodiscard]] static Status ConnectTcp(const std::string& host,
-                                         std::uint16_t port,
-                                         DigestSender* out);
+                                         std::uint16_t port, DigestSender* out,
+                                         const SenderOptions& options = {});
 
   /// Connects to a Unix-domain stream listener at `path`.
   [[nodiscard]] static Status ConnectUds(const std::string& path,
-                                         DigestSender* out);
+                                         DigestSender* out,
+                                         const SenderOptions& options = {});
 
-  /// Frames and sends one digest. The frame's envelope identity is taken
-  /// from the digest itself, so a well-formed send always passes the
-  /// receiver's identity cross-check.
+  /// Frames one digest and queues it on the output buffer; flushes the
+  /// buffer when it reaches options.coalesce_bytes (immediately when 0).
+  /// The frame's envelope identity is taken from the digest itself, so a
+  /// well-formed send always passes the receiver's identity cross-check.
   [[nodiscard]] Status Send(const Digest& digest, CodecMode mode);
 
   /// Sends raw bytes verbatim — the fault-injection hook the wire-fuzz
-  /// suite uses to ship mutated frames through a real socket.
+  /// suite uses to ship mutated frames through a real socket. Flushes any
+  /// coalesced frames first so stream order is preserved.
   [[nodiscard]] Status SendRaw(const std::vector<std::uint8_t>& bytes);
 
-  /// Half-closes the write side (receiver sees EOF) and closes the socket.
-  /// Idempotent; also run by the destructor.
+  /// Pushes every coalesced frame to the socket now.
+  [[nodiscard]] Status Flush();
+
+  /// Re-establishes the connection after a break (or a Close): up to
+  /// options.reconnect_attempts tries with exponential backoff between
+  /// them. On success the sender is usable again and the frame stream
+  /// restarts cleanly (pending unsent frames are dropped and counted).
+  /// Fails with FailedPrecondition if the sender was never connected.
+  [[nodiscard]] Status Reconnect();
+
+  /// Flushes buffered frames (best effort), half-closes the write side
+  /// (receiver sees EOF) and closes the socket. Idempotent; also run by
+  /// the destructor. A closed sender can Reconnect().
   void Close();
 
   bool connected() const { return fd_ >= 0; }
+  /// True after an I/O error: sends fail until Reconnect() succeeds.
+  bool broken() const { return broken_; }
   const SenderStats& stats() const { return stats_; }
+  const SenderOptions& options() const { return options_; }
 
  private:
-  explicit DigestSender(int fd) : fd_(fd) {}
+  enum class EndpointKind : std::uint8_t { kNone, kTcp, kUds };
+
+  // Opens a socket to the remembered endpoint (applying tcp_keepalive).
+  Status ConnectEndpoint(int* out_fd) const;
+  // Records an I/O failure: closes the socket, drops pending frames.
+  void MarkBroken();
+  // Sends the coalesced buffer; credits pending frame counts on success.
+  Status FlushBuffer();
+  void MoveFrom(DigestSender* other);
 
   int fd_ = -1;
+  bool broken_ = false;
+  SenderOptions options_;
+  EndpointKind endpoint_kind_ = EndpointKind::kNone;
+  std::string endpoint_host_or_path_;
+  std::uint16_t endpoint_port_ = 0;
+  /// Coalesced, not-yet-flushed frame bytes and their frame counts (the
+  /// stats credit only on a successful flush — a frame that never reached
+  /// the socket is never counted as sent).
+  std::vector<std::uint8_t> out_buf_;
+  std::uint64_t pending_frames_ = 0;
+  std::uint64_t pending_raw_ = 0;
+  std::uint64_t pending_sparse_ = 0;
   SenderStats stats_;
 };
 

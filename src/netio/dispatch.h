@@ -51,6 +51,10 @@ struct DispatchStats {
 /// server's after_round hook). HandleEvents additionally decodes payloads
 /// on the AnalysisContext pool, then offers the results serially in arrival
 /// order, so the report stream is identical to HandleEvent one at a time.
+/// The multi-threaded IngestServer preserves this contract: connection
+/// reads and frame *parsing* fan out across its worker pool, but every
+/// HandleEvents call happens on the leader thread, one connection at a
+/// time, in connection order (the "ordered offer" stage).
 class FrameDispatcher {
  public:
   /// `ring` must outlive the dispatcher. `pool` may be nullptr (serial

@@ -7,6 +7,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -24,6 +25,38 @@ Status SetNonBlocking(int fd) {
   return Status::Ok();
 }
 
+// Fills `addr` from `path`, rejecting paths that do not fit sun_path.
+Status FillUdsAddr(const std::string& path, sockaddr_un* addr) {
+  addr->sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::Ok();
+}
+
+/// What a probe-connect against an existing socket file found.
+enum class UdsProbe { kAbsent, kStale, kLive, kError };
+
+// Probes `path` before binding over it: a live daemon answers the connect
+// (the probe connection is closed immediately — the daemon just sees a
+// no-byte EOF), a stale file refuses it, a missing file is free.
+UdsProbe ProbeUds(const sockaddr_un& addr, int* probe_errno) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *probe_errno = errno;
+    return UdsProbe::kError;
+  }
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  *probe_errno = rc == 0 ? 0 : errno;
+  ::close(fd);
+  if (rc == 0) return UdsProbe::kLive;
+  if (*probe_errno == ECONNREFUSED) return UdsProbe::kStale;
+  if (*probe_errno == ENOENT) return UdsProbe::kAbsent;
+  return UdsProbe::kError;
+}
+
 }  // namespace
 
 IngestServer::IngestServer(const IngestServerOptions& options,
@@ -31,8 +64,7 @@ IngestServer::IngestServer(const IngestServerOptions& options,
     : options_(options), dispatcher_(dispatcher) {
   DCS_CHECK(dispatcher_ != nullptr);
   DCS_CHECK(options_.read_chunk_bytes > 0);
-  MutexLock lock(&mu_);
-  read_buf_.resize(options_.read_chunk_bytes);
+  DCS_CHECK(options_.accept_backoff_rounds > 0);
 }
 
 IngestServer::~IngestServer() {
@@ -80,12 +112,26 @@ Status IngestServer::ListenUds(const std::string& path) {
   MutexLock lock(&mu_);
   DCS_CHECK(uds_listen_fd_ < 0) << "ListenUds called twice";
   sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() + 1 > sizeof(addr.sun_path)) {
-    return Status::InvalidArgument("unix socket path too long: " + path);
+  DCS_RETURN_IF_ERROR(FillUdsAddr(path, &addr));
+  // Never blindly unlink: the file may be a *live* daemon's socket, and
+  // destroying it would silently orphan that daemon (its clients connect
+  // into nothing while it keeps serving a path that no longer exists).
+  // Probe-connect first; only a refused connect proves the file stale.
+  int probe_errno = 0;
+  switch (ProbeUds(addr, &probe_errno)) {
+    case UdsProbe::kAbsent:
+      break;  // Nothing at the path; bind will create it.
+    case UdsProbe::kStale:
+      ::unlink(path.c_str());  // Dead owner's leftover; safe to reclaim.
+      break;
+    case UdsProbe::kLive:
+      return Status::FailedPrecondition(
+          "unix socket " + path +
+          " is in use by a live server (connect succeeded)");
+    case UdsProbe::kError:
+      return Status::IoError("probing " + path + ": " +
+                             ErrnoString(probe_errno));
   }
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  ::unlink(path.c_str());  // Stale socket file from a previous run.
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IoError("socket: " + ErrnoString(errno));
@@ -106,18 +152,19 @@ Status IngestServer::ListenUds(const std::string& path) {
   return Status::Ok();
 }
 
-void IngestServer::AcceptPending(int listen_fd) {
+bool IngestServer::AcceptPending(int listen_fd) {
   while (true) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // Drained.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // Drained.
       if (errno == EINTR || errno == ECONNABORTED) continue;
-      // EMFILE/ENFILE and friends: the listener stays readable, so the
-      // loop will retry every round — count it so the stall is visible.
+      // EMFILE/ENFILE and friends: the listener stays readable, so without
+      // backoff every poll round would burn a wakeup retrying. The caller
+      // deafens the listeners for an interval; count the failure here.
       ++stats_.accept_failures;
       ObsCounter("netio.server.accept_failures").Increment();
       DCS_LOG(Warning) << "accept: " << ErrnoString(errno);
-      return;
+      return false;
     }
     if (connections_.size() >= options_.max_connections) {
       ::close(fd);
@@ -125,8 +172,8 @@ void IngestServer::AcceptPending(int listen_fd) {
       ObsCounter("netio.server.connections_refused").Increment();
       continue;
     }
-    // Non-blocking so a spurious POLLIN can never park the loop thread in
-    // read() and stall every other connection (and RequestStop).
+    // Non-blocking so a spurious POLLIN can never park a drain task in
+    // read() and stall the round (and RequestStop).
     if (!SetNonBlocking(fd).ok()) {
       ::close(fd);
       ++stats_.accept_failures;
@@ -135,32 +182,48 @@ void IngestServer::AcceptPending(int listen_fd) {
     }
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    conn->read_buf.resize(options_.read_chunk_bytes);
     connections_.push_back(std::move(conn));
     ++stats_.connections_accepted;
+    // A successful accept proves the resource squeeze is over.
+    accept_backoff_next_ = options_.accept_backoff_rounds;
     ObsCounter("netio.server.connections").Increment();
   }
 }
 
-bool IngestServer::ReadAndDispatch(Connection* conn) {
+void IngestServer::DrainConnection(Connection* conn) const {
+  conn->bytes_read = 0;
   const ssize_t n =
-      ::read(conn->fd, read_buf_.data(), options_.read_chunk_bytes);
+      ::read(conn->fd, conn->read_buf.data(), options_.read_chunk_bytes);
   if (n < 0) {
-    if (errno == EINTR || errno == EAGAIN) return true;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return;
+    conn->io_error = true;
+    return;
+  }
+  if (n == 0) {  // EOF: the offer stage flushes the parser tail.
+    conn->saw_eof = true;
+    return;
+  }
+  conn->bytes_read = static_cast<std::size_t>(n);
+  conn->parser.Consume(conn->read_buf.data(), conn->bytes_read, &conn->events);
+}
+
+bool IngestServer::OfferRound(Connection* conn) {
+  if (conn->bytes_read > 0) {
+    stats_.bytes_received += conn->bytes_read;
+    ObsCounter("netio.server.bytes_rx").Add(conn->bytes_read);
+  }
+  if (!conn->events.empty()) {
+    for (const FrameEvent& event : conn->events) {
+      if (event.kind == FrameEvent::Kind::kReject) ++conn->rejects;
+    }
+    dispatcher_->HandleEvents(conn->events);
+    conn->events.clear();
+  }
+  if (conn->io_error || conn->saw_eof) {
     CloseConnection(conn);
     return false;
   }
-  if (n == 0) {  // EOF: flush the parser tail (a truncated frame is an event).
-    CloseConnection(conn);
-    return false;
-  }
-  stats_.bytes_received += static_cast<std::uint64_t>(n);
-  ObsCounter("netio.server.bytes_rx").Add(static_cast<std::uint64_t>(n));
-  std::vector<FrameEvent> events;
-  conn->parser.Consume(read_buf_.data(), static_cast<std::size_t>(n), &events);
-  for (const FrameEvent& event : events) {
-    if (event.kind == FrameEvent::Kind::kReject) ++conn->rejects;
-  }
-  dispatcher_->HandleEvents(events);
   if (conn->rejects > options_.max_rejects_per_connection) {
     ++stats_.penalty_closes;
     ObsCounter("netio.server.penalty_closes").Increment();
@@ -203,6 +266,7 @@ Status IngestServer::Serve() {
     if (tcp_listen_fd_ < 0 && uds_listen_fd_ < 0) {
       return Status::FailedPrecondition("no listener configured");
     }
+    accept_backoff_next_ = options_.accept_backoff_rounds;
   }
   while (!stop_.load(std::memory_order_acquire)) {
     // Snapshot the fd set under the lock, then poll without it: poll() is
@@ -217,8 +281,15 @@ Status IngestServer::Serve() {
     std::size_t polled = 0;
     {
       MutexLock lock(&mu_);
-      tcp_fd = tcp_listen_fd_;
-      uds_fd = uds_listen_fd_;
+      // A backoff interval keeps the listeners out of the poll set — an
+      // unacceptable connection cannot wake us, so the EMFILE retry costs
+      // one interval, not one wakeup per round.
+      if (accept_deaf_rounds_ > 0) {
+        --accept_deaf_rounds_;
+      } else {
+        tcp_fd = tcp_listen_fd_;
+        uds_fd = uds_listen_fd_;
+      }
       fds.reserve(2 + connections_.size());
       if (tcp_fd >= 0) fds.push_back(pollfd{tcp_fd, POLLIN, 0});
       if (uds_fd >= 0) fds.push_back(pollfd{uds_fd, POLLIN, 0});
@@ -228,8 +299,15 @@ Status IngestServer::Serve() {
         fds.push_back(pollfd{conn->fd, POLLIN, 0});
       }
     }
-    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
-                             options_.poll_timeout_ms);
+    int ready = 0;
+    if (fds.empty()) {
+      // Every listener deafened and no connections: sleep out one round.
+      pollfd none{-1, 0, 0};
+      ready = ::poll(&none, 1, options_.poll_timeout_ms);
+    } else {
+      ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                     options_.poll_timeout_ms);
+    }
     if (ready < 0) {
       if (errno == EINTR) continue;
       const int err = errno;
@@ -244,22 +322,57 @@ Status IngestServer::Serve() {
     {
       MutexLock lock(&mu_);
       std::size_t at = 0;
+      bool accept_ok = true;
       if (tcp_fd >= 0) {
-        if ((fds[at].revents & POLLIN) != 0) AcceptPending(tcp_fd);
+        if ((fds[at].revents & POLLIN) != 0) {
+          accept_ok = AcceptPending(tcp_fd) && accept_ok;
+        }
         ++at;
       }
       if (uds_fd >= 0) {
-        if ((fds[at].revents & POLLIN) != 0) AcceptPending(uds_fd);
+        if ((fds[at].revents & POLLIN) != 0) {
+          accept_ok = AcceptPending(uds_fd) && accept_ok;
+        }
         ++at;
       }
-      // Read in connection order — with one loop thread this fixes the
-      // offer order for any given arrival pattern. Bounded by the pre-poll
-      // count: AcceptPending may have grown connections_ past fds, and the
-      // fresh sockets have no revents yet anyway.
+      if (!accept_ok) {
+        // Resource failure: deafen the listeners for the current interval
+        // and double the next one (capped). Established connections keep
+        // being served throughout — only *new* peers wait.
+        accept_deaf_rounds_ = accept_backoff_next_;
+        accept_backoff_next_ = std::min(accept_backoff_next_ * 2,
+                                        options_.accept_backoff_max_rounds);
+        ++stats_.accept_backoffs;
+        ObsCounter("netio.server.accept_backoff").Increment();
+      }
+      // Stage 1 — drain: collect the readable connections (bounded by the
+      // pre-poll count: AcceptPending may have grown connections_ past
+      // fds, and the fresh sockets have no revents yet anyway) and fan
+      // their reads + frame parsing out across the pool. Each connection
+      // owns its buffer and parser, so the tasks share nothing; the pool's
+      // completion latch hands their results back to this thread.
+      std::vector<Connection*> readable;
+      readable.reserve(polled);
       for (std::size_t i = 0; i < polled; ++i) {
         const short revents = fds[first_conn + i].revents;
         if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-        (void)ReadAndDispatch(connections_[i].get());
+        readable.push_back(connections_[i].get());
+      }
+      if (options_.pool != nullptr && readable.size() > 1) {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(readable.size());
+        for (Connection* conn : readable) {
+          tasks.emplace_back([this, conn] { DrainConnection(conn); });
+        }
+        options_.pool->RunTasks(tasks);
+      } else {
+        for (Connection* conn : readable) DrainConnection(conn);
+      }
+      // Stage 2 — ordered offer: always on this thread, always in
+      // connection order. One funnel into the dispatcher/ring is what
+      // keeps the report stream identical at any worker count.
+      for (Connection* conn : readable) {
+        (void)OfferRound(conn);
       }
       // Compact closed connections.
       std::size_t kept = 0;

@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/sync.h"
+#include "common/thread_pool.h"
 #include "netio/dispatch.h"
 #include "netio/frame.h"
 
@@ -29,6 +30,24 @@ struct IngestServerOptions {
   /// poll() timeout between stop-flag checks. Pure scheduling — the server
   /// never reads a wall clock.
   int poll_timeout_ms = 50;
+  /// After an accept() resource failure (EMFILE and friends) the listener
+  /// stays readable, so polling it again immediately would burn a wakeup
+  /// per round making no progress. Instead the listeners are left out of
+  /// the poll set ("deafened") for this many rounds, doubling on every
+  /// consecutive failure up to `accept_backoff_max_rounds`; a successful
+  /// accept resets the interval. Measured in poll rounds (each at most
+  /// poll_timeout_ms), never in wall-clock time.
+  std::size_t accept_backoff_rounds = 8;
+  std::size_t accept_backoff_max_rounds = 512;
+  /// Optional worker pool for the read pipeline. When set, each poll round
+  /// fans the readable connections out across the pool — every connection
+  /// owns its buffer and parser, so reads and frame parsing are
+  /// embarrassingly parallel — and the decoded events are then offered
+  /// through the single ordered stage on the poll thread (see class
+  /// comment). nullptr = everything on the poll thread (the PR-8 behavior).
+  /// The pool must outlive the server and must not be polled from inside
+  /// `after_round` (the server owns it for the duration of a round).
+  ThreadPool* pool = nullptr;
   /// Called on the Serve() thread after every poll round (so it may safely
   /// touch the dispatcher and ring — they are only ever driven from that
   /// thread). Returning false winds the server down like RequestStop().
@@ -42,6 +61,7 @@ struct IngestServerStats {
   std::uint64_t connections_closed = 0;
   std::uint64_t connections_refused = 0;  ///< Over max_connections.
   std::uint64_t accept_failures = 0;      ///< accept()/setup errors (EMFILE…).
+  std::uint64_t accept_backoffs = 0;      ///< Listener deafen intervals begun.
   std::uint64_t penalty_closes = 0;       ///< Reject budget exhausted.
   std::uint64_t bytes_received = 0;
 };
@@ -54,16 +74,27 @@ struct IngestServerStats {
 /// events to the FrameDispatcher (strict payload decode + identity
 /// cross-check + EpochRing offer — see dispatch.h for the trust boundary).
 ///
-/// Threading: Serve() runs the whole accept/read/dispatch loop on the
-/// calling thread — EpochRing is single-threaded, and one reader keeps the
-/// offer order well-defined. Payload decoding still fans out on the
-/// dispatcher's pool per read batch. RequestStop() is safe from any thread;
-/// Serve() notices within poll_timeout_ms, flushes, closes every socket,
-/// and returns. The connection table and lifetime counters are guarded by
-/// `mu_` (held across each poll round, released while blocked in poll()),
-/// so stats() is safe from any thread at any time — and the locking
-/// discipline is already the one the roadmap's multi-threaded connection
-/// handling will need, checked by clang -Wthread-safety today.
+/// Threading (docs/DISTRIBUTED.md): Serve() runs the poll loop on the
+/// calling thread — the *leader*. Each round the leader polls, accepts, and
+/// splits the rest of the round in two stages:
+///
+///  1. **Drain** (parallel when options.pool is set): every readable
+///     connection is one task — read a chunk off the socket into the
+///     connection's own buffer and run its own FrameParser. Connections
+///     share no mutable state, so any schedule produces the same
+///     per-connection event lists.
+///  2. **Ordered offer** (always the leader, always in connection order):
+///     the parsed events are accounted and handed to the FrameDispatcher,
+///     which offers decoded digests to the EpochRing serially. This single
+///     funnel is what keeps the report stream byte-identical to the
+///     in-process path at any worker count — the proof is the loopback
+///     differential suite at server threads 1/2/8.
+///
+/// RequestStop() is safe from any thread; Serve() notices within
+/// poll_timeout_ms, flushes, closes every socket, and returns. The
+/// connection table and lifetime counters are guarded by `mu_` (held across
+/// each poll round, released while blocked in poll()), so stats() is safe
+/// from any thread at any time.
 class IngestServer {
  public:
   /// `dispatcher` must outlive the server.
@@ -77,8 +108,12 @@ class IngestServer {
   /// bound_tcp_port()). Call before Serve().
   [[nodiscard]] Status ListenTcp(std::uint16_t port);
 
-  /// Binds a Unix-domain stream listener at `path` (unlinked first if it
-  /// exists, and unlinked again on shutdown). Call before Serve().
+  /// Binds a Unix-domain stream listener at `path`. An existing socket file
+  /// is probed first: if a peer answers the connect, a live daemon owns the
+  /// path and this returns FailedPrecondition instead of destroying its
+  /// socket; only a stale file (connect refused — the previous owner died
+  /// without unlinking) is removed. The path is unlinked on shutdown. Call
+  /// before Serve().
   [[nodiscard]] Status ListenUds(const std::string& path);
 
   /// The TCP port actually bound (after ListenTcp with port 0).
@@ -95,34 +130,53 @@ class IngestServer {
   void RequestStop() { stop_.store(true, std::memory_order_release); }
 
   /// Consistent copy of the lifetime counters. Safe from any thread, even
-  /// while Serve() is running (blocks at most one poll round).
+  /// while Serve() is running (blocks at most one poll round, including any
+  /// epoch analysis that round triggers).
   IngestServerStats stats() const DCS_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return stats_;
   }
 
  private:
+  /// Per-connection state. The buffer, parser, and round results are
+  /// confined to the one drain task the leader assigns per round (workers
+  /// are synchronized with the leader through the pool's completion latch),
+  /// so they need no lock of their own; everything else is leader-only
+  /// under mu_.
   struct Connection {
     int fd = -1;
     FrameParser parser;
     std::uint64_t rejects = 0;
+    /// Own read buffer: read_chunk_bytes, allocated on accept, reused every
+    /// round — no shared scratch between connections.
+    std::vector<std::uint8_t> read_buf;
+    /// Drain-stage results, consumed and cleared by the offer stage.
+    std::vector<FrameEvent> events;
+    std::size_t bytes_read = 0;
+    bool saw_eof = false;
+    bool io_error = false;
   };
 
-  // Accepts every pending connection on `listen_fd`.
-  void AcceptPending(int listen_fd) DCS_REQUIRES(mu_);
-  // One chunked read + parse + dispatch. False when the connection is done
-  // (EOF, error, or penalty) and has been closed.
-  bool ReadAndDispatch(Connection* conn) DCS_REQUIRES(mu_);
+  // Accepts every pending connection on `listen_fd`. Returns false on an
+  // accept resource failure (the caller starts a backoff interval).
+  bool AcceptPending(int listen_fd) DCS_REQUIRES(mu_);
+  // Drain stage: one chunked read + parse into conn-local state. Runs on a
+  // pool worker (or the leader); touches no guarded state.
+  void DrainConnection(Connection* conn) const;
+  // Ordered offer stage: accounts the round's bytes/rejects, hands events
+  // to the dispatcher, applies penalty/EOF/error closes. Leader only.
+  // False when the connection was closed.
+  bool OfferRound(Connection* conn) DCS_REQUIRES(mu_);
   // Flushes the parser tail and closes the socket.
   void CloseConnection(Connection* conn) DCS_REQUIRES(mu_);
   void CloseAll() DCS_REQUIRES(mu_);
 
   IngestServerOptions options_;
   FrameDispatcher* dispatcher_;
-  /// Guards every piece of state the serve loop mutates. Today there is one
-  /// mutator (the Serve() thread) and concurrent readers (stats()); the
-  /// lock held per poll round is what lets tomorrow's connection-handling
-  /// threads land without re-deriving the invariants.
+  /// Guards every piece of state the serve loop mutates. The leader holds
+  /// it across each poll round (released while blocked in poll()); workers
+  /// never take it — their connection state is handed over through the
+  /// pool's completion latch instead.
   mutable Mutex mu_{"IngestServer.mu"};
   int tcp_listen_fd_ DCS_GUARDED_BY(mu_) = -1;
   int uds_listen_fd_ DCS_GUARDED_BY(mu_) = -1;
@@ -131,7 +185,10 @@ class IngestServer {
   std::atomic<bool> stop_{false};  ///< Lock-free by design: RequestStop()
                                    ///< must never block behind a poll round.
   std::vector<std::unique_ptr<Connection>> connections_ DCS_GUARDED_BY(mu_);
-  std::vector<std::uint8_t> read_buf_ DCS_GUARDED_BY(mu_);
+  /// Accept-backoff state: rounds the listeners stay out of the poll set,
+  /// and the length of the next interval (doubles per consecutive failure).
+  std::size_t accept_deaf_rounds_ DCS_GUARDED_BY(mu_) = 0;
+  std::size_t accept_backoff_next_ DCS_GUARDED_BY(mu_) = 0;
   IngestServerStats stats_ DCS_GUARDED_BY(mu_);
 };
 

@@ -1,0 +1,345 @@
+// DigestSender lifecycle tests (src/netio/digest_sender.h): move semantics
+// leave the moved-from shell stats-clean, an I/O failure mid-stream breaks
+// the sender until Reconnect() starts a clean frame stream, and frame
+// coalescing defers socket writes (and stats credit) to the flush.
+//
+// The peer here is a bare AF_UNIX listener, not an IngestServer: these are
+// tests of the sender's failure model, so the test needs to close sockets
+// mid-stream and inspect the raw bytes a receiver would see.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "netio/digest_sender.h"
+#include "netio/frame.h"
+#include "sketch/digest.h"
+
+namespace dcs {
+namespace {
+
+// A bare Unix-domain stream listener the tests drive by hand.
+class UdsListener {
+ public:
+  UdsListener() {
+    static int counter = 0;
+    path_ = (std::filesystem::temp_directory_path() /
+             ("dcs_sender_test_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter++) + ".sock"))
+                .string();
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+    (void)::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    (void)::listen(fd_, 8);
+  }
+
+  ~UdsListener() {
+    CloseListener();
+    ::unlink(path_.c_str());
+  }
+
+  const std::string& path() const { return path_; }
+
+  // Blocks until the next pending connection; the caller owns the fd.
+  int Accept() { return ::accept(fd_, nullptr, nullptr); }
+
+  void CloseListener() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+// Reads `fd` to EOF.
+std::vector<std::uint8_t> ReadAll(int fd) {
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  return bytes;
+}
+
+// Parses a received byte stream and returns (frames, rejects).
+std::pair<std::size_t, std::size_t> ParseStream(
+    const std::vector<std::uint8_t>& bytes) {
+  FrameParser parser;
+  std::vector<FrameEvent> events;
+  parser.Consume(bytes.data(), bytes.size(), &events);
+  parser.Finish(&events);
+  std::size_t frames = 0;
+  std::size_t rejects = 0;
+  for (const FrameEvent& event : events) {
+    if (event.kind == FrameEvent::Kind::kFrame) {
+      ++frames;
+    } else {
+      ++rejects;
+    }
+  }
+  return {frames, rejects};
+}
+
+// A minimal valid aligned digest (one 64-bit row).
+Digest TinyDigest(std::uint64_t epoch, std::uint32_t router) {
+  Digest digest;
+  digest.router_id = router;
+  digest.epoch_id = epoch;
+  digest.kind = DigestKind::kAligned;
+  digest.packets_covered = 10;
+  digest.raw_bytes_covered = 5360;
+  BitVector row(64);
+  for (std::size_t i = router % 7; i < 64; i += 7) row.Set(i);
+  digest.rows.push_back(std::move(row));
+  return digest;
+}
+
+// The wire size of TinyDigest under the raw codec (for coalesce thresholds).
+std::size_t TinyFrameBytes() {
+  const Digest digest = TinyDigest(0, 0);
+  const std::vector<std::uint8_t> payload =
+      EncodeDigestPayload(digest, DigestCodecId::kRaw);
+  return EncodeFrame(DigestCodecId::kRaw, digest.router_id, digest.epoch_id,
+                     payload)
+      .size();
+}
+
+TEST(DigestSenderMoveTest, MoveResetsSourceStatsAndConnection) {
+  UdsListener listener;
+  DigestSender sender;
+  ASSERT_TRUE(DigestSender::ConnectUds(listener.path(), &sender).ok());
+  const int peer = listener.Accept();
+  ASSERT_GE(peer, 0);
+
+  ASSERT_TRUE(sender.Send(TinyDigest(0, 1), CodecMode::kRaw).ok());
+  ASSERT_TRUE(sender.Send(TinyDigest(0, 2), CodecMode::kRaw).ok());
+  ASSERT_EQ(sender.stats().frames_sent, 2u);
+  const std::uint64_t bytes_before = sender.stats().bytes_sent;
+  ASSERT_GT(bytes_before, 0u);
+
+  // Move construction: the stats travel with the connection; the moved-from
+  // shell must read as a fresh sender (reusing it after a move used to
+  // double-count every frame it ever shipped).
+  DigestSender moved(std::move(sender));
+  EXPECT_EQ(moved.stats().frames_sent, 2u);
+  EXPECT_EQ(moved.stats().bytes_sent, bytes_before);
+  EXPECT_TRUE(moved.connected());
+  EXPECT_EQ(sender.stats().frames_sent, 0u);
+  EXPECT_EQ(sender.stats().bytes_sent, 0u);
+  EXPECT_FALSE(sender.connected());
+  EXPECT_FALSE(sender.broken());
+
+  // Move assignment resets the source the same way.
+  DigestSender assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.stats().frames_sent, 2u);
+  EXPECT_EQ(moved.stats().frames_sent, 0u);
+  EXPECT_FALSE(moved.connected());
+
+  // The surviving sender still works; the stream stays parseable.
+  ASSERT_TRUE(assigned.Send(TinyDigest(1, 1), CodecMode::kRaw).ok());
+  EXPECT_EQ(assigned.stats().frames_sent, 3u);
+  assigned.Close();
+  const auto [frames, rejects] = ParseStream(ReadAll(peer));
+  EXPECT_EQ(frames, 3u);
+  EXPECT_EQ(rejects, 0u);
+  ::close(peer);
+}
+
+TEST(DigestSenderFailureTest, IoErrorBreaksSenderUntilReconnect) {
+  UdsListener listener;
+  SenderOptions options;
+  options.coalesce_bytes = 1 << 20;  // Buffer everything until Flush().
+  options.reconnect_attempts = 4;
+  options.reconnect_backoff_ms = 1;
+  DigestSender sender;
+  ASSERT_TRUE(DigestSender::ConnectUds(listener.path(), &sender, options).ok());
+  const int peer = listener.Accept();
+  ASSERT_GE(peer, 0);
+
+  // Two frames buffered, nothing on the wire yet.
+  ASSERT_TRUE(sender.Send(TinyDigest(0, 1), CodecMode::kRaw).ok());
+  ASSERT_TRUE(sender.Send(TinyDigest(0, 2), CodecMode::kRaw).ok());
+  ASSERT_EQ(sender.stats().frames_sent, 0u);
+
+  // Peer hangs up; the flush hits EPIPE and must break the sender.
+  ::close(peer);
+  const Status flush = sender.Flush();
+  ASSERT_FALSE(flush.ok());
+  EXPECT_EQ(flush.code(), Status::Code::kIoError);
+  EXPECT_TRUE(sender.broken());
+  EXPECT_FALSE(sender.connected());
+  EXPECT_EQ(sender.stats().send_failures, 1u);
+  EXPECT_EQ(sender.stats().frames_dropped, 2u);
+  EXPECT_EQ(sender.stats().frames_sent, 0u);
+
+  // Broken is sticky: every send path fails fast without touching a socket.
+  EXPECT_EQ(sender.Send(TinyDigest(1, 1), CodecMode::kRaw).code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(sender.SendRaw({0x00}).code(), Status::Code::kFailedPrecondition);
+  EXPECT_EQ(sender.Flush().code(), Status::Code::kFailedPrecondition);
+
+  // The listener still exists, so Reconnect() succeeds and the new stream
+  // is clean — it starts at a frame boundary with no replayed tail.
+  ASSERT_TRUE(sender.Reconnect().ok());
+  EXPECT_FALSE(sender.broken());
+  EXPECT_TRUE(sender.connected());
+  EXPECT_EQ(sender.stats().reconnects, 1u);
+  const int peer2 = listener.Accept();
+  ASSERT_GE(peer2, 0);
+  for (std::uint64_t e = 0; e < 3; ++e) {
+    ASSERT_TRUE(sender.Send(TinyDigest(e, 7), CodecMode::kAuto).ok());
+  }
+  ASSERT_TRUE(sender.Flush().ok());
+  EXPECT_EQ(sender.stats().frames_sent, 3u);
+  sender.Close();
+  const auto [frames, rejects] = ParseStream(ReadAll(peer2));
+  EXPECT_EQ(frames, 3u);
+  EXPECT_EQ(rejects, 0u);
+  ::close(peer2);
+}
+
+TEST(DigestSenderFailureTest, ReconnectExhaustsAttemptsWhenListenerGone) {
+  SenderOptions options;
+  options.reconnect_attempts = 2;
+  options.reconnect_backoff_ms = 1;
+  DigestSender sender;
+  std::string path;
+  {
+    UdsListener listener;
+    path = listener.path();
+    ASSERT_TRUE(DigestSender::ConnectUds(path, &sender, options).ok());
+    const int peer = listener.Accept();
+    ASSERT_GE(peer, 0);
+    ::close(peer);
+    // Listener destructor closes the socket and unlinks the path.
+  }
+  // Peer closed: an immediate-mode send surfaces the I/O error.
+  Status send = Status::Ok();
+  for (int i = 0; i < 8 && send.ok(); ++i) {
+    send = sender.Send(TinyDigest(0, 1), CodecMode::kRaw);
+  }
+  ASSERT_FALSE(send.ok());
+  ASSERT_TRUE(sender.broken());
+
+  // Nothing listens there any more: every attempt fails, the sender stays
+  // broken, and no reconnect is counted.
+  const Status reconnect = sender.Reconnect();
+  ASSERT_FALSE(reconnect.ok());
+  EXPECT_EQ(reconnect.code(), Status::Code::kIoError);
+  EXPECT_TRUE(sender.broken());
+  EXPECT_EQ(sender.stats().reconnects, 0u);
+}
+
+TEST(DigestSenderFailureTest, ReconnectWithoutEndpointFailsPrecondition) {
+  DigestSender sender;
+  EXPECT_EQ(sender.Reconnect().code(), Status::Code::kFailedPrecondition);
+}
+
+TEST(DigestSenderCoalesceTest, BuffersUntilThresholdThenFlushes) {
+  UdsListener listener;
+  const std::size_t frame_bytes = TinyFrameBytes();
+  SenderOptions options;
+  options.coalesce_bytes = 2 * frame_bytes;  // Third send crosses it.
+  DigestSender sender;
+  ASSERT_TRUE(DigestSender::ConnectUds(listener.path(), &sender, options).ok());
+  const int peer = listener.Accept();
+  ASSERT_GE(peer, 0);
+
+  ASSERT_TRUE(sender.Send(TinyDigest(0, 1), CodecMode::kRaw).ok());
+  EXPECT_EQ(sender.stats().frames_sent, 0u);
+  EXPECT_EQ(sender.stats().bytes_sent, 0u);
+  EXPECT_EQ(sender.stats().flushes, 0u);
+  ASSERT_TRUE(sender.Send(TinyDigest(0, 2), CodecMode::kRaw).ok());
+  // Two frames reached exactly coalesce_bytes: one flush, both credited.
+  EXPECT_EQ(sender.stats().frames_sent, 2u);
+  EXPECT_EQ(sender.stats().bytes_sent, 2 * frame_bytes);
+  EXPECT_EQ(sender.stats().flushes, 1u);
+  EXPECT_EQ(sender.stats().raw_frames, 2u);
+
+  // A third frame buffers; explicit Flush() pushes it.
+  ASSERT_TRUE(sender.Send(TinyDigest(0, 3), CodecMode::kRaw).ok());
+  EXPECT_EQ(sender.stats().frames_sent, 2u);
+  ASSERT_TRUE(sender.Flush().ok());
+  EXPECT_EQ(sender.stats().frames_sent, 3u);
+  EXPECT_EQ(sender.stats().flushes, 2u);
+
+  // SendRaw preserves stream order by flushing coalesced frames first.
+  ASSERT_TRUE(sender.Send(TinyDigest(0, 4), CodecMode::kRaw).ok());
+  const Digest fifth = TinyDigest(0, 5);
+  const std::vector<std::uint8_t> raw_frame =
+      EncodeFrame(DigestCodecId::kRaw, fifth.router_id, fifth.epoch_id,
+                  EncodeDigestPayload(fifth, DigestCodecId::kRaw));
+  ASSERT_TRUE(sender.SendRaw(raw_frame).ok());
+  EXPECT_EQ(sender.stats().frames_sent, 4u);  // SendRaw bytes aren't frames.
+  sender.Close();  // Close flushes any tail (none here).
+
+  const auto [frames, rejects] = ParseStream(ReadAll(peer));
+  EXPECT_EQ(frames, 5u);
+  EXPECT_EQ(rejects, 0u);
+  ::close(peer);
+}
+
+TEST(DigestSenderCoalesceTest, CloseFlushesBufferedFrames) {
+  UdsListener listener;
+  SenderOptions options;
+  options.coalesce_bytes = 1 << 20;
+  DigestSender sender;
+  ASSERT_TRUE(DigestSender::ConnectUds(listener.path(), &sender, options).ok());
+  const int peer = listener.Accept();
+  ASSERT_GE(peer, 0);
+  ASSERT_TRUE(sender.Send(TinyDigest(0, 1), CodecMode::kSparse).ok());
+  ASSERT_TRUE(sender.Send(TinyDigest(0, 2), CodecMode::kSparse).ok());
+  EXPECT_EQ(sender.stats().frames_sent, 0u);
+  sender.Close();
+  EXPECT_EQ(sender.stats().frames_sent, 2u);
+  EXPECT_EQ(sender.stats().sparse_frames, 2u);
+  const auto [frames, rejects] = ParseStream(ReadAll(peer));
+  EXPECT_EQ(frames, 2u);
+  EXPECT_EQ(rejects, 0u);
+  ::close(peer);
+}
+
+TEST(DigestSenderCoalesceTest, ClosedSenderCanReconnect) {
+  UdsListener listener;
+  DigestSender sender;
+  ASSERT_TRUE(DigestSender::ConnectUds(listener.path(), &sender).ok());
+  const int peer = listener.Accept();
+  ASSERT_GE(peer, 0);
+  sender.Close();
+  EXPECT_FALSE(sender.connected());
+  EXPECT_EQ(sender.Send(TinyDigest(0, 1), CodecMode::kRaw).code(),
+            Status::Code::kFailedPrecondition);
+
+  // Close() remembers the endpoint, so a deliberate reconnect works.
+  ASSERT_TRUE(sender.Reconnect().ok());
+  const int peer2 = listener.Accept();
+  ASSERT_GE(peer2, 0);
+  ASSERT_TRUE(sender.Send(TinyDigest(0, 1), CodecMode::kRaw).ok());
+  sender.Close();
+  const auto [frames, rejects] = ParseStream(ReadAll(peer2));
+  EXPECT_EQ(frames, 1u);
+  EXPECT_EQ(rejects, 0u);
+  ::close(peer);
+  ::close(peer2);
+}
+
+}  // namespace
+}  // namespace dcs

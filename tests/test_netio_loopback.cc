@@ -11,9 +11,12 @@
 // variant (one socket per router) checks that aligned analysis is arrival-
 // order invariant when every epoch stays inside the ring window.
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <functional>
 #include <memory>
@@ -157,6 +160,11 @@ NetResult ServeLoopback(std::size_t threads, bool tcp,
 
   const IngestServer* server_ptr = nullptr;
   IngestServerOptions options;
+  // The same pool drives analysis decode *and* the server's parallel read
+  // stage, so the t2/t8 parameterizations exercise the multi-threaded
+  // server end to end — the differential below is the proof that worker
+  // count never changes the report stream.
+  options.pool = pool.get();
   options.poll_timeout_ms = 5;
   options.after_round = [&server_ptr, expected_connections]() {
     if (server_ptr == nullptr) return true;
@@ -278,14 +286,16 @@ TEST(NetioLoopbackTest, TcpMatchesInProcess) {
 // One connection per router, all sending concurrently. Aligned analysis is
 // arrival-order invariant, and with every epoch inside the ring window
 // (epochs <= capacity) no interleaving can force an early close — so any
-// arrival order yields the canonical reports.
-TEST(NetioLoopbackTest, ConcurrentRouterConnectionsMatchCanonical) {
+// arrival order yields the canonical reports. At `threads` > 1 the server
+// drains those connections on its worker pool — the multi-connection proof
+// that the parallel read stage preserves the report stream.
+void RunConcurrentRouters(std::size_t threads) {
   constexpr std::uint64_t kEpochs = 3;  // < RingOptions().capacity.
   const std::vector<Digest> canonical =
       CanonicalStream(kEpochs, /*aligned=*/true);
-  const std::vector<DcsReport> expected = InProcessReports(canonical, 1);
+  const std::vector<DcsReport> expected = InProcessReports(canonical, threads);
   const NetResult actual = ServeLoopback(
-      1, /*tcp=*/false, kRouters, [](const Endpoint& endpoint) {
+      threads, /*tcp=*/false, kRouters, [](const Endpoint& endpoint) {
         std::vector<std::thread> routers;
         for (std::uint32_t r = 0; r < kRouters; ++r) {
           routers.emplace_back([&endpoint, r] {
@@ -303,6 +313,14 @@ TEST(NetioLoopbackTest, ConcurrentRouterConnectionsMatchCanonical) {
   ExpectSameReports(expected, actual);
   EXPECT_EQ(actual.server.connections_accepted, kRouters);
   EXPECT_EQ(actual.dispatch.digests_accepted, kRouters * kEpochs);
+}
+
+TEST(NetioLoopbackTest, ConcurrentRouterConnectionsMatchCanonical) {
+  RunConcurrentRouters(1);
+}
+
+TEST(NetioLoopbackTest, ConcurrentRouterConnectionsMatchCanonicalThreaded) {
+  RunConcurrentRouters(4);
 }
 
 // Codec accounting: a raw-mode stream is all raw frames, a sparse-mode
@@ -325,6 +343,71 @@ TEST(NetioLoopbackTest, CodecAccountingAndSparseSavings) {
   EXPECT_EQ(sparse.dispatch.dense_bytes, raw.dispatch.dense_bytes);
   EXPECT_EQ(raw.dispatch.payload_bytes, raw.dispatch.dense_bytes);
   ExpectSameReports(raw.reports, sparse);
+}
+
+// A stale socket file — the previous daemon died without unlinking — is
+// reclaimed: ListenUds probes it, gets connection-refused, and binds.
+TEST(NetioLoopbackTest, StaleUdsSocketPathReclaimed) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("dcs_stale_uds_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  // Manufacture the stale file: bind a raw listener, then close it without
+  // unlinking — exactly what a crashed daemon leaves behind (nothing
+  // answers the socket file any more, so a probe connect is refused).
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(fd, 1), 0);
+    ::close(fd);  // Socket file survives; nothing answers it.
+  }
+  EpochRing ring(RingOptions(), AnalysisContext{});
+  FrameDispatcher dispatcher(&ring, nullptr);
+  IngestServer server(IngestServerOptions{}, &dispatcher);
+  EXPECT_TRUE(server.ListenUds(path).ok());
+}
+
+// A *live* socket path — another daemon is serving it — must be refused,
+// not hijacked: unlinking it would silently orphan the running server.
+TEST(NetioLoopbackTest, LiveUdsSocketPathRefused) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("dcs_live_uds_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  EpochRing ring(RingOptions(), AnalysisContext{});
+  FrameDispatcher dispatcher(&ring, nullptr);
+  IngestServerOptions options;
+  options.poll_timeout_ms = 5;
+  IngestServer live(options, &dispatcher);
+  ASSERT_TRUE(live.ListenUds(path).ok());
+  std::thread serve_thread([&live] { (void)live.Serve(); });
+
+  EpochRing ring2(RingOptions(), AnalysisContext{});
+  FrameDispatcher dispatcher2(&ring2, nullptr);
+  IngestServer usurper(IngestServerOptions{}, &dispatcher2);
+  const Status status = usurper.ListenUds(path);
+  EXPECT_EQ(status.code(), Status::Code::kFailedPrecondition);
+
+  // The incumbent is unharmed: a client still connects and ships. (It sees
+  // two connections total — the usurper's probe is itself a short-lived
+  // accept-then-EOF connection, which is exactly how the probe avoids
+  // false "stale" verdicts.)
+  DigestSender sender;
+  EXPECT_TRUE(DigestSender::ConnectUds(path, &sender).ok());
+  EXPECT_TRUE(sender.Send(AlignedDigest(0, 0), CodecMode::kAuto).ok());
+  sender.Close();
+  // Wait (scheduling yields, no timing assumption) for the server to see
+  // the connections come and go before winding it down.
+  while (live.stats().connections_closed < 2) std::this_thread::yield();
+  live.RequestStop();
+  serve_thread.join();
+  EXPECT_EQ(live.stats().connections_accepted, 2u);
 }
 
 // An identity lie — the frame envelope claiming a different router than the

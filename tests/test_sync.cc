@@ -136,7 +136,12 @@ TEST(SyncCondVarTest, ProducerConsumerDeliversEverythingInOrder) {
 TEST(SyncCondVarTest, SignalAllWakesEveryWaiter) {
   constexpr int kWaiters = 8;
   Mutex mu("test.barrier");
-  CondVar go;
+  // One condvar per condition. Sharing a single condvar here is a lost
+  // wakeup: a waiter's arrival Signal() can be delivered to another waiter
+  // (which rechecks `released` and sleeps again) instead of the releaser,
+  // consuming the only notification that `waiting` changed.
+  CondVar arrived;  // Waiters → releaser: `waiting` advanced.
+  CondVar go;       // Releaser → waiters: `released` flipped.
   int waiting = 0;
   bool released = false;
 
@@ -146,14 +151,14 @@ TEST(SyncCondVarTest, SignalAllWakesEveryWaiter) {
     waiters.emplace_back([&] {
       MutexLock lock(&mu);
       ++waiting;
-      go.Signal();  // Tell the releaser we arrived.
+      arrived.Signal();  // Tell the releaser we arrived.
       while (!released) go.Wait(&lock);
     });
   }
 
   {
     MutexLock lock(&mu);
-    while (waiting < kWaiters) go.Wait(&lock);
+    while (waiting < kWaiters) arrived.Wait(&lock);
     released = true;
   }
   go.SignalAll();

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -133,6 +134,48 @@ TEST(ThreadPoolTest, RunShardsExecutesEveryShardOnce) {
   for (std::size_t i = 0; i < hits.size(); ++i) {
     EXPECT_EQ(hits[i].load(), 1) << "index " << i;
   }
+}
+
+TEST(ThreadPoolTest, RunTasksExecutesEveryTaskOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(37);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.RunTasks(tasks);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, RunTasksEmptyAndSingle) {
+  ThreadPool pool(2);
+  pool.RunTasks({});  // Must not deadlock.
+  std::atomic<int> counter{0};
+  pool.RunTasks({[&counter] { counter.fetch_add(1); }});
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedRunTasksRunsInlineInBatchOrder) {
+  // RunTasks from a worker thread must not deadlock waiting on itself; it
+  // degrades to inline execution, preserving batch order. (A two-task
+  // batch, because a single task runs inline on the caller and would not
+  // reach a worker thread at all.)
+  ThreadPool pool(2);
+  std::vector<int> order;
+  std::atomic<int> other{0};
+  pool.RunTasks({[&pool, &order] {
+                   EXPECT_TRUE(pool.OnWorkerThread());
+                   std::vector<std::function<void()>> inner;
+                   for (int i = 0; i < 5; ++i) {
+                     inner.push_back([&order, i] { order.push_back(i); });
+                   }
+                   pool.RunTasks(inner);
+                 },
+                 [&other] { other.fetch_add(1); }});
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(other.load(), 1);
 }
 
 TEST(ThreadPoolTest, NestedParallelForRunsInline) {

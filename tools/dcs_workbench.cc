@@ -45,7 +45,7 @@
 //
 //   dcs_workbench send --in-dir /tmp/dcs (--uds /tmp/dcs.sock | --tcp-port N)
 //       [--host 127.0.0.1] [--codec raw|sparse|auto] [--epochs 1]
-//       [--epoch-stride 1]
+//       [--epoch-stride 1] [--coalesce-bytes 0]
 //     Ships the on-disk digests to a running dcs_ingestd over the framed
 //     digest plane (docs/DISTRIBUTED.md), re-stamped as consecutive epochs
 //     exactly like the --ring-epochs replay: epoch-major, router-minor, so
@@ -515,13 +515,19 @@ Status CmdSend(const Flags& flags) {
   }
   if (digests.empty()) return Status::NotFound("no digests in " + in_dir);
 
+  // --coalesce-bytes batches frames on the sender before each socket write
+  // (0 = ship every frame immediately); the fan-in knob for runs that
+  // replay many epochs per connection.
+  SenderOptions sender_options;
+  sender_options.coalesce_bytes =
+      static_cast<std::size_t>(flags.GetInt("coalesce-bytes", 0));
   DigestSender sender;
   if (!uds.empty()) {
-    DCS_RETURN_IF_ERROR(DigestSender::ConnectUds(uds, &sender));
+    DCS_RETURN_IF_ERROR(DigestSender::ConnectUds(uds, &sender, sender_options));
   } else {
     DCS_RETURN_IF_ERROR(DigestSender::ConnectTcp(
         flags.Get("host", "127.0.0.1"), static_cast<std::uint16_t>(port),
-        &sender));
+        &sender, sender_options));
   }
   // Epoch-major, router-minor: the canonical replay order, so the server's
   // report stream is comparable with `analyze --ring-epochs`.
@@ -532,6 +538,7 @@ Status CmdSend(const Flags& flags) {
       DCS_RETURN_IF_ERROR(sender.Send(digest, mode));
     }
   }
+  DCS_RETURN_IF_ERROR(sender.Flush());
   const SenderStats& stats = sender.stats();
   std::printf("send: %llu frames (%llu raw, %llu sparse), %llu bytes, "
               "codec %s\n",
